@@ -1,0 +1,17 @@
+//! Baseline synchronous counters for the Table 1 comparison.
+//!
+//! Table 1 of *Towards Optimal Synchronous Counting* compares the paper's
+//! deterministic construction against space-efficient *randomised*
+//! algorithms in the style of [6, 7] (S. Dolev's book; Dolev–Welch): "the
+//! nodes can just pick random states until a clear majority of them has the
+//! same state, after which they start to follow the majority". These have
+//! tiny state (the counter value itself) but exponential expected
+//! stabilisation time — the shape the Table 1 harness (experiment E1)
+//! measures against the boosted counters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod randomized;
+
+pub use randomized::RandomizedCounter;

@@ -1,0 +1,210 @@
+//! The randomised quorum-follow counter.
+
+use rand::RngCore;
+use sc_protocol::{
+    bits_for, BitReader, BitVec, CodecError, Counter, MessageView, NodeId, ParamError,
+    StepContext, SyncProtocol, Tally,
+};
+
+/// Randomised synchronous `c`-counter in the style of rows [6, 7] of
+/// Table 1: follow a value supported by an `n−f` quorum, otherwise pick a
+/// fresh random value.
+///
+/// * **Closure**: once all correct nodes hold the same value `w`, every
+///   correct node sees `z_w ≥ n−f` forever (correct nodes alone provide the
+///   quorum), adopts `w+1`, and counting persists — regardless of Byzantine
+///   behaviour.
+/// * **Convergence**: with `n > 3f` at most one value can be presented as a
+///   quorum in any round (two would need `2(n−2f) ≤ n−f` correct
+///   supporters), so in every round the correct nodes that are not forced
+///   all randomise, and with probability at least `c^{−(n−f)}` the network
+///   lands on one common value. Stabilisation therefore has expected time
+///   `O(c^{n−f})` — *exponential*, against the boosted counter's linear
+///   time, which is exactly the trade-off Table 1 reports.
+///
+/// State: `⌈log₂ c⌉` bits (just the counter value).
+///
+/// # Example
+///
+/// ```
+/// use sc_baselines::RandomizedCounter;
+/// use sc_protocol::Counter;
+///
+/// let r = RandomizedCounter::new(4, 1, 2)?;
+/// assert_eq!(r.state_bits(), 1);
+/// assert_eq!(r.resilience(), 1);
+/// # Ok::<(), sc_protocol::ParamError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RandomizedCounter {
+    n: usize,
+    f: usize,
+    c: u64,
+}
+
+impl RandomizedCounter {
+    /// A randomised `c`-counter for `n` nodes tolerating `f < n/3` faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `n > 3f` and `c ≥ 2`.
+    pub fn new(n: usize, f: usize, c: u64) -> Result<Self, ParamError> {
+        if n <= 3 * f {
+            return Err(ParamError::constraint(format!(
+                "randomised counting requires n > 3f, got n = {n}, f = {f}"
+            )));
+        }
+        if c < 2 {
+            return Err(ParamError::constraint(format!("counter modulus must be ≥ 2, got {c}")));
+        }
+        Ok(RandomizedCounter { n, f, c })
+    }
+
+    /// The quorum size `n − f`.
+    pub fn quorum(&self) -> usize {
+        self.n - self.f
+    }
+
+    /// Geometric estimate of the *expected* stabilisation time,
+    /// `c^{n−f}` rounds (saturating). This is the quantity Table 1 lists for
+    /// randomised algorithms; there is no worst-case deterministic bound.
+    pub fn expected_stabilization(&self) -> u64 {
+        self.c.saturating_pow((self.n - self.f) as u32)
+    }
+}
+
+impl SyncProtocol for RandomizedCounter {
+    type State = u64;
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn step(
+        &self,
+        _node: NodeId,
+        view: &MessageView<'_, u64>,
+        ctx: &mut StepContext<'_>,
+    ) -> u64 {
+        let tally: Tally = view.iter().map(|&v| v % self.c).collect();
+        match tally.min_value_with_count_over(self.quorum() - 1) {
+            Some(w) => (w + 1) % self.c,
+            None => ctx.rng.next_u64() % self.c,
+        }
+    }
+
+    fn output(&self, _node: NodeId, state: &u64) -> u64 {
+        *state % self.c
+    }
+
+    fn random_state(&self, _node: NodeId, rng: &mut dyn RngCore) -> u64 {
+        rng.next_u64() % self.c
+    }
+}
+
+impl Counter for RandomizedCounter {
+    fn modulus(&self) -> u64 {
+        self.c
+    }
+
+    fn resilience(&self) -> usize {
+        self.f
+    }
+
+    fn state_bits(&self) -> u32 {
+        bits_for(self.c)
+    }
+
+    /// For this *randomised* algorithm the value is the expected
+    /// stabilisation time (the convention of Table 1), not a worst-case
+    /// promise.
+    fn stabilization_bound(&self) -> u64 {
+        self.expected_stabilization()
+    }
+
+    fn encode_state(&self, _node: NodeId, state: &u64, out: &mut BitVec) {
+        out.push_bits(*state % self.c, self.state_bits());
+    }
+
+    fn decode_state(&self, _node: NodeId, input: &mut BitReader<'_>) -> Result<u64, CodecError> {
+        let raw = input.read_bits(self.state_bits())?;
+        if raw >= self.c {
+            return Err(CodecError::InvalidField { field: "randomised counter value", value: raw });
+        }
+        Ok(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use sc_sim::{adversaries, Simulation};
+
+    #[test]
+    fn construction_is_validated() {
+        assert!(RandomizedCounter::new(3, 1, 2).is_err());
+        assert!(RandomizedCounter::new(4, 1, 1).is_err());
+        assert!(RandomizedCounter::new(4, 1, 2).is_ok());
+    }
+
+    #[test]
+    fn quorum_forces_following() {
+        let r = RandomizedCounter::new(4, 1, 4).unwrap();
+        let states = vec![2u64, 2, 2, 0];
+        let view = MessageView::new(&states, &[]);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut ctx = StepContext::new(&mut rng);
+        // Quorum of 3 on value 2 → adopt 3.
+        assert_eq!(r.step(NodeId::new(0), &view, &mut ctx), 3);
+    }
+
+    #[test]
+    fn no_quorum_randomises_within_domain() {
+        let r = RandomizedCounter::new(4, 1, 4).unwrap();
+        let states = vec![0u64, 1, 2, 3];
+        let view = MessageView::new(&states, &[]);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let mut ctx = StepContext::new(&mut rng);
+            assert!(r.step(NodeId::new(0), &view, &mut ctx) < 4);
+        }
+    }
+
+    #[test]
+    fn stabilises_under_byzantine_faults() {
+        let r = RandomizedCounter::new(4, 1, 2).unwrap();
+        // Expected time ~ 2^3 = 8; a 2000-round horizon fails with
+        // probability < (7/8)^1000 — never, for fixed seeds.
+        for seed in 0..5 {
+            let adv = adversaries::two_faced(&r, [1], seed);
+            let mut sim = Simulation::new(&r, adv, seed);
+            let report = sim.run_until_stable(2000).unwrap_or_else(|e| {
+                panic!("randomised counter failed to stabilise (seed {seed}): {e}")
+            });
+            assert!(report.confirmed_rounds >= 4);
+        }
+    }
+
+    #[test]
+    fn agreement_is_absorbing() {
+        let r = RandomizedCounter::new(7, 2, 3).unwrap();
+        let adv = adversaries::random(&r, [0, 6], 3);
+        let mut sim = Simulation::with_states(&r, adv, vec![1; 7], 9);
+        let trace = sim.run_trace(200);
+        for t in 0..trace.len() {
+            assert!(trace.agreed_value(t).is_some(), "agreement lost at round {t}");
+        }
+    }
+
+    #[test]
+    fn codec_and_bounds() {
+        let r = RandomizedCounter::new(4, 1, 2).unwrap();
+        assert_eq!(r.expected_stabilization(), 8);
+        let mut bits = BitVec::new();
+        r.encode_state(NodeId::new(0), &1, &mut bits);
+        assert_eq!(bits.len(), 1);
+        assert_eq!(r.decode_state(NodeId::new(0), &mut bits.reader()).unwrap(), 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! E2 / Figure 1 benchmark: decoding leader pointers and finding the common
+//! windows over a full counter period.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sc_core::BoostParams;
+
+fn bench_figure1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure1");
+    g.sample_size(20).measurement_time(Duration::from_secs(3));
+
+    // Corollary 1 topology: k = 4 single-node blocks, τ = 9, period 2304.
+    let p = BoostParams::new(1, 0, 4, 1, 8, 0).unwrap();
+
+    g.bench_function("pointer_decode_full_period", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for v in 0..p.c_req() {
+                for block in 0..p.k() {
+                    acc += black_box(p.pointer(block, v).b);
+                }
+            }
+            acc
+        })
+    });
+
+    g.bench_function("common_window_detection", |b| {
+        // Offsets model stabilised blocks with arbitrary phases.
+        let offsets = [17u64, 900, 1411, 2000];
+        b.iter(|| {
+            let mut longest = 0u64;
+            let mut run = 0u64;
+            for t in 0..p.c_req() {
+                let b0 = p.pointer(0, offsets[0] + t).b;
+                let common =
+                    (1..p.k()).all(|i| p.pointer(i, offsets[i] + t).b == b0);
+                run = if common { run + 1 } else { 0 };
+                longest = longest.max(run);
+            }
+            black_box(longest)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_figure1);
+criterion_main!(benches);

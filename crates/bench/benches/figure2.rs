@@ -1,0 +1,50 @@
+//! E3 / Figure 2 benchmark: constructing and stepping the recursive
+//! A(4,1) → A(12,3) → A(36,7) stack.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sc_core::CounterBuilder;
+use sc_sim::{adversaries, Simulation};
+
+fn bench_figure2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure2");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+
+    g.bench_function("construct_A(36,7)", |b| {
+        b.iter(|| {
+            black_box(
+                CounterBuilder::corollary1(1, 2)
+                    .unwrap()
+                    .boost(3)
+                    .unwrap()
+                    .boost(3)
+                    .unwrap()
+                    .build()
+                    .unwrap(),
+            )
+        })
+    });
+
+    let a36 =
+        CounterBuilder::corollary1(1, 2).unwrap().boost(3).unwrap().boost(3).unwrap()
+            .build()
+            .unwrap();
+    let faulty = [0usize, 1, 2, 3, 4, 12, 24];
+    g.bench_function("run_100_rounds_A(36,7)_7_byzantine", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let adv = adversaries::random(&a36, faulty, seed);
+            let mut sim = Simulation::new(&a36, adv, seed);
+            sim.run(100);
+            black_box(sim.outputs_now())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_figure2);
+criterion_main!(benches);

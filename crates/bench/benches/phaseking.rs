@@ -1,0 +1,35 @@
+//! E6 / Table 2 benchmark: one-shot phase-king consensus throughput.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sc_consensus::{run_consensus, PhaseKing};
+use sc_sim::adversaries;
+
+fn bench_phaseking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("phaseking");
+    g.sample_size(30).measurement_time(Duration::from_secs(3));
+
+    for (n, f) in [(4usize, 1usize), (7, 2), (13, 4)] {
+        let pk = PhaseKing::new(n, f, 8).unwrap();
+        let inputs: Vec<u64> = (0..n as u64).map(|v| v % 8).collect();
+        let faulty: Vec<usize> = (0..f).collect();
+        g.bench_with_input(
+            BenchmarkId::new("one_shot", format!("n{n}_f{f}")),
+            &pk,
+            |b, pk| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let adv = adversaries::random(pk, faulty.iter().copied(), seed);
+                    black_box(run_consensus(pk, &inputs, adv, seed))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_phaseking);
+criterion_main!(benches);

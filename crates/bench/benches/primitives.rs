@@ -1,0 +1,54 @@
+//! Micro-benchmarks of the hot primitives: majority votes, tallies,
+//! bit-codec round trips, pointer decomposition.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sc_core::{BoostParams, CounterBuilder};
+use sc_protocol::{majority_or, BitVec, Counter as _, NodeId, SyncProtocol as _, Tally};
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("primitives");
+    g.sample_size(60).measurement_time(Duration::from_secs(2));
+
+    let mut rng = SmallRng::seed_from_u64(1);
+    let values: Vec<u64> = (0..100).map(|_| rng.random_range(0..8u64)).collect();
+
+    g.bench_function("majority_100_values", |b| {
+        b.iter(|| black_box(majority_or(values.iter().copied(), 0)))
+    });
+
+    g.bench_function("tally_build_and_query_100", |b| {
+        b.iter(|| {
+            let t: Tally = values.iter().copied().collect();
+            black_box((t.count(3), t.min_value_with_count_over(10)))
+        })
+    });
+
+    let p = BoostParams::new(4, 1, 3, 3, 960, 0).unwrap();
+    g.bench_function("pointer_decode", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(977);
+            black_box(p.pointer((v % 3) as usize, v % p.c_req()))
+        })
+    });
+
+    let algo = CounterBuilder::corollary1(1, 2).unwrap().boost(3).unwrap().build().unwrap();
+    let state = algo.random_state(NodeId::new(5), &mut rng);
+    g.bench_function("codec_round_trip_A(12,3)_state", |b| {
+        b.iter(|| {
+            let mut bits = BitVec::new();
+            algo.encode_state(NodeId::new(5), &state, &mut bits);
+            black_box(algo.decode_state(NodeId::new(5), &mut bits.reader()).unwrap())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

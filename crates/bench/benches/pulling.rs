@@ -1,0 +1,53 @@
+//! E5 / §5 benchmark: round cost of the pulling model — full pulling vs
+//! sampled pulling, and plan generation.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sc_core::CounterBuilder;
+use sc_protocol::NodeId;
+use sc_pulling::{KingPullMode, PullCounter, PullProtocol, PullSimulation, Sampling};
+use sc_sim::adversaries;
+
+fn bench_pulling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pulling");
+    g.sample_size(20).measurement_time(Duration::from_secs(3));
+
+    let algo = CounterBuilder::corollary1(1, 2).unwrap().boost(3).unwrap().build().unwrap();
+    let full = PullCounter::from_algorithm(&algo, Sampling::Full).unwrap();
+    let sampled = PullCounter::from_algorithm(
+        &algo,
+        Sampling::Sampled { m: 9, king_mode: KingPullMode::All, fixed_seed: None },
+    )
+    .unwrap();
+
+    g.bench_function("full_rounds_x10_A(12,3)", |b| {
+        let mut sim = PullSimulation::new(&full, adversaries::none(), 3);
+        b.iter(|| {
+            sim.run(10);
+            black_box(sim.round())
+        })
+    });
+
+    g.bench_function("sampled_rounds_x10_A(12,3)_M9", |b| {
+        let mut sim = PullSimulation::new(&sampled, adversaries::none(), 3);
+        b.iter(|| {
+            sim.run(10);
+            black_box(sim.round())
+        })
+    });
+
+    g.bench_function("plan_generation_sampled", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let state = sampled.random_state(NodeId::new(5), &mut rng);
+        b.iter(|| black_box(sampled.plan(NodeId::new(5), &state, &mut rng)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_pulling);
+criterion_main!(benches);

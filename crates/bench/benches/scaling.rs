@@ -1,0 +1,37 @@
+//! E4 benchmark: per-round simulation cost as the recursion deepens
+//! (the practical cost of resilience boosting).
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sc_core::CounterBuilder;
+use sc_sim::{adversaries, Simulation};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scaling_round_cost");
+    g.sample_size(20).measurement_time(Duration::from_secs(3));
+
+    let stacks = [
+        ("A(4,1)", CounterBuilder::corollary1(1, 2).unwrap()),
+        ("A(12,3)", CounterBuilder::corollary1(1, 2).unwrap().boost(3).unwrap()),
+        (
+            "A(36,7)",
+            CounterBuilder::corollary1(1, 2).unwrap().boost(3).unwrap().boost(3).unwrap(),
+        ),
+    ];
+    for (label, builder) in stacks {
+        let algo = builder.build().unwrap();
+        g.bench_with_input(BenchmarkId::new("rounds_x10", label), &algo, |b, algo| {
+            let mut sim = Simulation::new(algo, adversaries::none(), 7);
+            b.iter(|| {
+                sim.run(10);
+                black_box(sim.round())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

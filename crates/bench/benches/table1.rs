@@ -1,0 +1,54 @@
+//! E1 / Table 1 benchmark: full stabilisation runs of the measurable rows —
+//! the boosted deterministic counter vs the randomised baseline.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sc_baselines::RandomizedCounter;
+use sc_core::CounterBuilder;
+use sc_protocol::Counter as _;
+use sc_sim::{adversaries, Simulation};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+
+    let a4 = CounterBuilder::corollary1(1, 2).unwrap().build().unwrap();
+    g.bench_function("stabilize_A(4,1)_random_adversary", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let adv = adversaries::random(&a4, [1], seed);
+            let mut sim = Simulation::new(&a4, adv, seed);
+            black_box(sim.run_until_stable(a4.stabilization_bound() + 64).unwrap())
+        })
+    });
+
+    let a12 = CounterBuilder::corollary1(1, 2).unwrap().boost(3).unwrap().build().unwrap();
+    g.bench_function("stabilize_A(12,3)_random_adversary", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let adv = adversaries::random(&a12, [0, 1, 4], seed);
+            let mut sim = Simulation::new(&a12, adv, seed);
+            black_box(sim.run_until_stable(a12.stabilization_bound() + 64).unwrap())
+        })
+    });
+
+    let baseline = RandomizedCounter::new(4, 1, 2).unwrap();
+    g.bench_function("stabilize_randomized_baseline_n4", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let adv = adversaries::two_faced(&baseline, [1], seed);
+            let mut sim = Simulation::new(&baseline, adv, seed);
+            black_box(sim.run_until_stable(4096).unwrap())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E7 benchmark: exhaustive verification throughput of the model checker.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sc_core::{LutCounter, LutSpec};
+use sc_verifier::verify;
+
+fn follow_leader() -> LutCounter {
+    LutCounter::new(LutSpec {
+        n: 2,
+        f: 0,
+        c: 2,
+        states: 2,
+        transition: vec![vec![1, 0, 1, 0], vec![1, 0, 1, 0]],
+        output: vec![vec![0, 1], vec![0, 1]],
+        stabilization_bound: 1,
+    })
+    .unwrap()
+}
+
+fn follow_max_4_1() -> LutCounter {
+    let rows: Vec<u8> = (0..16u32)
+        .map(|index| {
+            let max = (0..4).map(|u| (index >> u & 1) as u8).max().unwrap();
+            (max + 1) % 2
+        })
+        .collect();
+    LutCounter::new(LutSpec {
+        n: 4,
+        f: 1,
+        c: 2,
+        states: 2,
+        transition: vec![rows.clone(), rows.clone(), rows.clone(), rows],
+        output: vec![vec![0, 1]; 4],
+        stabilization_bound: 0,
+    })
+    .unwrap()
+}
+
+fn bench_verifier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("verifier");
+    g.sample_size(50).measurement_time(Duration::from_secs(3));
+
+    let small = follow_leader();
+    g.bench_function("verify_2_node_f0", |b| b.iter(|| black_box(verify(&small).unwrap())));
+
+    let byz = follow_max_4_1();
+    g.bench_function("verify_4_node_f1_all_fault_sets", |b| {
+        b.iter(|| black_box(verify(&byz).unwrap()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_verifier);
+criterion_main!(benches);

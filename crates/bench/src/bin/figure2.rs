@@ -1,0 +1,89 @@
+//! E3 — regenerates **Figure 2**: the recursive construction
+//! `A(4,1) → A(12,3) → A(36,7)` with k = 3 blocks per level.
+//!
+//! Prints the block tree with an adversarial fault placement (one faulty
+//! block per level plus spread faults, as in the paper's picture), then
+//! measures the stabilisation of every level of the stack against its
+//! Theorem 1 bound.
+
+use sc_bench::{measure_stabilization, print_table, summarize};
+use sc_core::CounterBuilder;
+use sc_protocol::{Counter as _, SyncProtocol as _};
+
+fn main() {
+    println!("# E3 / Figure 2 — recursive application with k = 3 blocks\n");
+
+    let builder = CounterBuilder::corollary1(1, 2).unwrap().boost(3).unwrap().boost(3).unwrap();
+    let plans = builder.plan().unwrap();
+    println!("Construction plan (modulus chain derived bottom-up):");
+    print_table(
+        &["level", "n", "f", "k", "modulus C", "S bits", "T bound"],
+        &plans
+            .iter()
+            .map(|p| {
+                vec![
+                    p.level.to_string(),
+                    p.n.to_string(),
+                    p.f.to_string(),
+                    p.k.to_string(),
+                    p.modulus.to_string(),
+                    p.state_bits.to_string(),
+                    p.time_bound.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    // The paper's picture: F = 7 faults on 36 nodes — block 0 of the top
+    // level (= nodes 0..12) gets 4 faults (faulty block), the rest spread.
+    let faulty = [0usize, 1, 2, 3, 4, 12, 24];
+    println!("\nFault placement (x = Byzantine):");
+    for top_block in 0..3 {
+        let mut line = format!("  A(12,3) block {top_block}: ");
+        for mid in 0..3 {
+            line.push('[');
+            for j in 0..4 {
+                let v = top_block * 12 + mid * 4 + j;
+                line.push(if faulty.contains(&v) { 'x' } else { 'o' });
+            }
+            line.push_str("] ");
+        }
+        println!("{line}");
+    }
+
+    // Measure each level of the stack.
+    println!("\nMeasured stabilisation vs proven bound (full adversary suite):");
+    let seeds: Vec<u64> = (0..3).collect();
+    let levels: Vec<(&str, sc_core::Algorithm, Vec<usize>)> = vec![
+        (
+            "A(4,1)",
+            CounterBuilder::corollary1(1, 2).unwrap().build().unwrap(),
+            vec![1],
+        ),
+        (
+            "A(12,3)",
+            CounterBuilder::corollary1(1, 2).unwrap().boost(3).unwrap().build().unwrap(),
+            vec![0, 1, 4],
+        ),
+        ("A(36,7)", builder.build().unwrap(), faulty.to_vec()),
+    ];
+    let mut rows = Vec::new();
+    for (label, algo, faults) in &levels {
+        let results = measure_stabilization(algo, faults, &seeds, 64);
+        let s = summarize(&results);
+        rows.push(vec![
+            label.to_string(),
+            algo.n().to_string(),
+            algo.resilience().to_string(),
+            format!("{:.0}", s.mean),
+            s.worst.to_string(),
+            algo.stabilization_bound().to_string(),
+            s.runs.to_string(),
+        ]);
+    }
+    print_table(
+        &["counter", "N", "F", "mean stab.", "worst stab.", "bound", "runs"],
+        &rows,
+    );
+    println!("\nEvery run stabilised within the Theorem 1 bound (asserted).");
+}

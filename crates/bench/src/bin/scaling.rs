@@ -1,0 +1,125 @@
+//! E4 — the scaling claims of Theorems 2–3 (the "this work" row of
+//! Table 1): stabilisation time linear in `f`, state polylogarithmic in `f`.
+//!
+//! Measures a k = 3 stack at f = 1, 3, 7, 15 and prints the analytic plans
+//! of the fixed-k (Theorem 2) and varying-k (Theorem 3) schedules as an
+//! ablation of the schedule choice.
+
+use sc_bench::{measure_stabilization, print_table, summarize};
+use sc_core::CounterBuilder;
+use sc_protocol::{Counter as _, SyncProtocol as _};
+
+fn main() {
+    println!("# E4 — scaling in f (Theorems 2–3)\n");
+
+    // --- Measured sweep: k = 3 stack, one faulty block per level. --------
+    println!("Measured (k = 3 recursion, random + bad-king adversaries):");
+    let mut rows = Vec::new();
+    let mut builder = CounterBuilder::corollary1(1, 2).unwrap();
+    let mut measured: Vec<(usize, u64, u32)> = Vec::new();
+    for level in 0..3 {
+        let algo = builder.build().unwrap();
+        let (n, f) = (algo.n(), algo.resilience());
+        // One faulty block (f_inner+1 faults) + the rest spread, the worst
+        // placement the bound allows.
+        let block = n / 3;
+        let faults: Vec<usize> = if f == 1 {
+            vec![1]
+        } else {
+            let inner_f = (f - 1) / 2; // f = 2·f_inner + 1 on this schedule
+            let mut v: Vec<usize> = (0..=inner_f).collect(); // block 0 faulty
+            let mut pos = block;
+            while v.len() < f {
+                v.push(pos);
+                pos += 1;
+            }
+            v
+        };
+        let seeds: Vec<u64> = (0..2).collect();
+        let results = measure_stabilization(&algo, &faults, &seeds, 64);
+        let s = summarize(&results);
+        let bound = algo.stabilization_bound();
+        rows.push(vec![
+            f.to_string(),
+            n.to_string(),
+            format!("{:.0}", s.mean),
+            s.worst.to_string(),
+            bound.to_string(),
+            format!("{:.0}", bound as f64 / f as f64),
+            algo.state_bits().to_string(),
+        ]);
+        measured.push((f, bound, algo.state_bits()));
+        if level < 2 {
+            builder = builder.boost(3).unwrap();
+        }
+    }
+    // Larger stacks: analytic rows (simulating N = 108 for ~8k rounds per
+    // run across the whole suite is minutes of work; the bound is exact).
+    for extra in [1usize, 2] {
+        let mut b = CounterBuilder::corollary1(1, 2).unwrap().boost(3).unwrap().boost(3).unwrap();
+        for _ in 0..extra {
+            b = b.boost(3).unwrap();
+        }
+        let plan = b.plan().unwrap();
+        let top = plan.last().unwrap();
+        rows.push(vec![
+            top.f.to_string(),
+            top.n.to_string(),
+            "(analytic)".into(),
+            "(analytic)".into(),
+            top.time_bound.to_string(),
+            format!("{:.0}", top.time_bound as f64 / top.f as f64),
+            top.state_bits.to_string(),
+        ]);
+        measured.push((top.f, top.time_bound, top.state_bits));
+    }
+    print_table(
+        &["f", "n", "mean stab.", "worst stab.", "T bound", "bound/f", "S bits"],
+        &rows,
+    );
+
+    // Shape assertion: T(f) = a·f + b is linear iff the *marginal* cost
+    // ΔT/Δf stays within a constant band (T/f itself is dominated by the
+    // base constant b at small f).
+    let slopes: Vec<f64> = measured
+        .windows(2)
+        .map(|w| (w[1].1 - w[0].1) as f64 / (w[1].0 - w[0].0) as f64)
+        .collect();
+    let spread = slopes.iter().cloned().fold(f64::MIN, f64::max)
+        / slopes.iter().cloned().fold(f64::MAX, f64::min);
+    println!(
+        "\nmarginal cost ΔT/Δf across the sweep: {:?} (spread {spread:.2}×; \
+         flat ⇒ T = O(f))",
+        slopes.iter().map(|s| *s as u64).collect::<Vec<_>>()
+    );
+    assert!(spread < 1.5, "stabilisation bound is not linear in f");
+
+    // --- Ablation: schedules (analytic plans). ----------------------------
+    println!("\nAblation — schedule choice (analytic plans, top level each):");
+    let mut rows = Vec::new();
+    for (label, plan) in [
+        ("Theorem 2, k=3 ×4", CounterBuilder::theorem2(3, 4, 2).unwrap().plan().unwrap()),
+        ("Theorem 2, k=4 ×4", CounterBuilder::theorem2(4, 4, 2).unwrap().plan().unwrap()),
+        ("Theorem 2, k=6 ×3", CounterBuilder::theorem2(6, 3, 2).unwrap().plan().unwrap()),
+        ("Theorem 3, P=1", CounterBuilder::theorem3(1, 2).unwrap().plan().unwrap()),
+        ("Corollary 1, f=3", CounterBuilder::corollary1(3, 2).unwrap().plan().unwrap()),
+        ("Corollary 1, f=4", CounterBuilder::corollary1(4, 2).unwrap().plan().unwrap()),
+    ] {
+        let top = plan.last().unwrap();
+        rows.push(vec![
+            label.to_string(),
+            top.n.to_string(),
+            top.f.to_string(),
+            format!("{:.3}", top.f as f64 / top.n as f64),
+            top.time_bound.to_string(),
+            top.state_bits.to_string(),
+        ]);
+    }
+    print_table(&["schedule", "n", "f", "f/n", "T bound", "S bits"], &rows);
+    println!(
+        "\nReading: larger k per level buys resilience density (f/n) at a \
+         steep (2m)^k time cost per level; Corollary 1's flat schedule is \
+         super-exponential in f (the f^O(f) of the paper) while the \
+         recursive schedules stay linear in f."
+    );
+}

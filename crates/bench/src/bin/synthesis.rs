@@ -1,0 +1,119 @@
+//! E7 — the algorithm-synthesis pipeline of [4, 5]: exhaustive verification
+//! of small counters and stochastic synthesis.
+//!
+//! Regenerates the context for Table 1's computer-designed rows: exact
+//! worst-case stabilisation times for small verified algorithms, failure
+//! witnesses for broken ones, and a budgeted search report for the
+//! `n = 4, f = 1` instance the paper's companion works solved with SAT
+//! solvers.
+
+use sc_bench::print_table;
+use sc_core::{LutCounter, LutSpec};
+use sc_verifier::{synthesize, verify, SynthesisOutcome, Verdict};
+
+fn main() {
+    println!("# E7 — verification and synthesis of small counters\n");
+
+    // --- Exact verification of hand-written tables. -----------------------
+    println!("Exhaustive verification (all fault sets × all Byzantine behaviours):");
+    let mut rows = Vec::new();
+
+    let trivial = LutCounter::new(LutSpec {
+        n: 1,
+        f: 0,
+        c: 2,
+        states: 2,
+        transition: vec![vec![1, 0]],
+        output: vec![vec![0, 1]],
+        stabilization_bound: 0,
+    })
+    .unwrap();
+    rows.push(describe("trivial 1-node 2-counter", &trivial));
+
+    let follow_leader = LutCounter::new(LutSpec {
+        n: 2,
+        f: 0,
+        c: 2,
+        states: 2,
+        transition: vec![vec![1, 0, 1, 0], vec![1, 0, 1, 0]],
+        output: vec![vec![0, 1], vec![0, 1]],
+        stabilization_bound: 1,
+    })
+    .unwrap();
+    rows.push(describe("2-node follow-leader", &follow_leader));
+
+    let frozen = LutCounter::new(LutSpec {
+        n: 2,
+        f: 0,
+        c: 2,
+        states: 2,
+        transition: vec![vec![0, 1, 0, 1], vec![0, 0, 1, 1]],
+        output: vec![vec![0, 1], vec![0, 1]],
+        stabilization_bound: 0,
+    })
+    .unwrap();
+    rows.push(describe("2-node frozen (broken)", &frozen));
+
+    // Quorumless max-following with a Byzantine node: must fail.
+    let rows16: Vec<u8> = (0..16u32)
+        .map(|index| {
+            let max = (0..4).map(|u| (index >> u & 1) as u8).max().unwrap();
+            (max + 1) % 2
+        })
+        .collect();
+    let follow_max = LutCounter::new(LutSpec {
+        n: 4,
+        f: 1,
+        c: 2,
+        states: 2,
+        transition: vec![rows16.clone(), rows16.clone(), rows16.clone(), rows16],
+        output: vec![vec![0, 1]; 4],
+        stabilization_bound: 0,
+    })
+    .unwrap();
+    rows.push(describe("4-node follow-max, f=1 (broken)", &follow_max));
+
+    print_table(&["algorithm", "verdict", "exact worst-case time"], &rows);
+
+    // --- Synthesis. --------------------------------------------------------
+    println!("\nStochastic synthesis (hill-climbing on attractor coverage):");
+    let mut rows = Vec::new();
+    for (label, n, f, c, states, budget) in [
+        ("n=1, f=0, c=2, |X|=2", 1usize, 0usize, 2u64, 2u8, 500u64),
+        ("n=2, f=0, c=2, |X|=2", 2, 0, 2, 2, 5_000),
+        ("n=2, f=0, c=4, |X|=4", 2, 0, 4, 4, 20_000),
+        ("n=4, f=1, c=2, |X|=2", 4, 1, 2, 2, 20_000),
+        ("n=4, f=1, c=2, |X|=3", 4, 1, 2, 3, 20_000),
+    ] {
+        let report = synthesize(n, f, c, states, 42, budget).unwrap();
+        let outcome = match &report.outcome {
+            SynthesisOutcome::Found { worst_case_time, .. } => {
+                format!("FOUND, verified T = {worst_case_time}")
+            }
+            SynthesisOutcome::Exhausted { best_coverage } => {
+                format!("exhausted, best coverage {best_coverage:.3}")
+            }
+        };
+        rows.push(vec![label.to_string(), report.evaluations.to_string(), outcome]);
+    }
+    print_table(&["instance", "evaluations", "outcome"], &rows);
+    println!(
+        "\nThe f = 1 instances reproduce the *pipeline* of [4, 5]; solving them \
+         needed SAT-scale search there (the paper cites computer-designed \
+         3-state algorithms for n ≥ 4), so a small stochastic budget reporting \
+         high-but-incomplete coverage is the expected outcome."
+    );
+}
+
+fn describe(label: &str, lut: &LutCounter) -> Vec<String> {
+    match verify(lut).unwrap() {
+        Verdict::Stabilizes { worst_case_time } => {
+            vec![label.to_string(), "self-stabilising ✓".into(), worst_case_time.to_string()]
+        }
+        Verdict::Fails { fault_set, stuck_configs, witness } => vec![
+            label.to_string(),
+            format!("FAILS (fault set {fault_set:?})"),
+            format!("{stuck_configs} stuck configs; witness lasso of {} steps", witness.byz.len()),
+        ],
+    }
+}

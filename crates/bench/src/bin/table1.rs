@@ -1,0 +1,130 @@
+//! E1 — regenerates **Table 1**: summary of synchronous 2-counting
+//! algorithms (resilience, stabilisation time, state bits, deterministic?).
+//!
+//! Measured rows are produced by running the actual algorithms over the
+//! full adversary suite; paper rows that are out of scope (the \[2\] baseline
+//! and the intricate randomised algorithms of \[5\]) are printed from the
+//! paper for comparison and marked as such. Absolute constants are ours;
+//! the *shape* — deterministic linear-in-f time at polylogarithmic space
+//! versus exponential-time randomised at minimal space versus
+//! super-exponential optimal-resilience — is the reproduction target.
+
+use sc_baselines::RandomizedCounter;
+use sc_bench::{measure_stabilization, print_table, summarize};
+use sc_core::CounterBuilder;
+use sc_protocol::{Counter as _, SyncProtocol as _};
+use sc_sim::{adversaries, Simulation};
+
+fn main() {
+    println!("# E1 / Table 1 — synchronous 2-counting algorithms\n");
+    let seeds: Vec<u64> = (0..4).collect();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    // --- Paper-only rows (not implemented; printed for comparison). ------
+    rows.push(vec![
+        "f < n/3 [2] (paper)".into(),
+        "O(f)".into(),
+        "O(f log f)".into(),
+        "yes".into(),
+        "paper row; full DH07 out of scope (DESIGN.md §4)".into(),
+    ]);
+    rows.push(vec![
+        "f < n/3 [5] rand (paper)".into(),
+        "min{2^(2f+2)+1, 2^O(f²/n)}".into(),
+        "1".into(),
+        "no".into(),
+        "paper row; intricate randomised variant not rebuilt".into(),
+    ]);
+
+    // --- Randomised baseline ([6,7]-style), measured. ---------------------
+    for (n, f) in [(4usize, 1usize), (7, 2)] {
+        let r = RandomizedCounter::new(n, f, 2).unwrap();
+        let mut worst = 0u64;
+        let mut total = 0u64;
+        let runs = 8;
+        for seed in 0..runs {
+            let adv = adversaries::two_faced(&r, (0..f).collect::<Vec<_>>(), seed);
+            let mut sim = Simulation::new(&r, adv, seed);
+            let report = sim.run_until_stable(4096).expect("randomised baseline stabilises");
+            worst = worst.max(report.stabilization_round);
+            total += report.stabilization_round;
+        }
+        rows.push(vec![
+            format!("f={f}, n={n} [6,7]-style (measured)"),
+            format!("{:.1} mean / {worst} worst (exp. bound {})",
+                    total as f64 / runs as f64, r.expected_stabilization()),
+            format!("{}", r.state_bits()),
+            "no".into(),
+            "randomised quorum-follow baseline".into(),
+        ]);
+    }
+
+    // --- Corollary 1 (optimal resilience), measured for f = 1. -----------
+    let a4 = CounterBuilder::corollary1(1, 2).unwrap().build().unwrap();
+    let results = measure_stabilization(&a4, &[1], &seeds, 64);
+    let s = summarize(&results);
+    rows.push(vec![
+        format!("f=1, n=4 Cor. 1 (measured)"),
+        format!("{:.0} mean / {} worst ≤ {} bound", s.mean, s.worst, a4.stabilization_bound()),
+        format!("{}", a4.state_bits()),
+        "yes".into(),
+        "optimal resilience, f^O(f) bound".into(),
+    ]);
+
+    // --- This work: boosted recursion, measured. --------------------------
+    let stacks: Vec<(String, Vec<usize>)> = vec![
+        ("A(12,3)".into(), vec![0, 1, 4]),   // one faulty block + spread
+        ("A(36,7)".into(), vec![0, 1, 2, 3, 4, 12, 24]), // block 0 fully faulty
+    ];
+    let mut algos = Vec::new();
+    algos.push(CounterBuilder::corollary1(1, 2).unwrap().boost(3).unwrap().build().unwrap());
+    algos.push(
+        CounterBuilder::corollary1(1, 2).unwrap().boost(3).unwrap().boost(3).unwrap()
+            .build()
+            .unwrap(),
+    );
+    for ((label, faulty), algo) in stacks.into_iter().zip(&algos) {
+        let results = measure_stabilization(algo, &faulty, &seeds, 64);
+        let s = summarize(&results);
+        rows.push(vec![
+            format!("f={}, n={} this work (measured)", algo.resilience(), algo.n()),
+            format!("{:.0} mean / {} worst ≤ {} bound", s.mean, s.worst, algo.stabilization_bound()),
+            format!("{}", algo.state_bits()),
+            "yes".into(),
+            format!("{label}, {} runs over full adversary suite", s.runs),
+        ]);
+    }
+
+    // --- This work, analytic rows for larger f (Theorem 2 plans). --------
+    for levels in [3usize, 4] {
+        let plan = CounterBuilder::theorem2(4, levels, 2).unwrap().plan().unwrap();
+        let top = plan.last().unwrap();
+        rows.push(vec![
+            format!("f={}, n={} this work (bound)", top.f, top.n),
+            format!("{} rounds (= O(f))", top.time_bound),
+            format!("{}", top.state_bits),
+            "yes".into(),
+            format!("Theorem 2 plan, k=4, {levels} levels"),
+        ]);
+    }
+
+    print_table(
+        &["algorithm (resilience)", "stabilisation time", "state bits", "det.", "notes"],
+        &rows,
+    );
+
+    // Shape check printed for EXPERIMENTS.md.
+    println!("\nShape checks:");
+    let t12 = algos[0].stabilization_bound() as f64 / algos[0].resilience() as f64;
+    let t36 = algos[1].stabilization_bound() as f64 / algos[1].resilience() as f64;
+    println!(
+        "- linear time: bound/f is {t12:.0} at f=3 vs {t36:.0} at f=7 \
+         (flat ⇒ linear; the baseline's 2^(n-f) is exponential)"
+    );
+    println!(
+        "- space: {} bits at f=3 vs {} bits at f=7 vs 1 bit randomised \
+         (polylog growth)",
+        algos[0].state_bits(),
+        algos[1].state_bits()
+    );
+}

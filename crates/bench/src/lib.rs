@@ -1,0 +1,194 @@
+//! Shared measurement helpers for the experiment harness (E1–E7).
+//!
+//! The binaries in `src/bin/` regenerate every table and figure of the
+//! paper (see `DESIGN.md` §3 for the experiment index); the Criterion
+//! benches in `benches/` measure the performance of the implementation
+//! itself. Both build on the helpers here: a standard adversary suite, a
+//! stabilisation-measurement loop, and a markdown table printer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sc_core::{adversaries as core_adv, Algorithm, CounterState};
+use sc_protocol::Counter as _;
+use sc_sim::{adversaries, Adversary, Simulation};
+
+/// A constructor producing a fresh adversary instance for a given seed.
+///
+/// Factories are `Send + Sync` so measurement sweeps can fan strategies out
+/// across threads (the produced adversaries stay on their worker thread).
+pub type AdversaryFactory<'a> =
+    Box<dyn Fn(u64) -> Box<dyn Adversary<CounterState> + 'a> + Send + Sync + 'a>;
+
+/// The standard stress suite: one factory per qualitatively different
+/// Byzantine strategy, all corrupting the same `faulty` set.
+pub fn adversary_suite<'a>(
+    algo: &'a Algorithm,
+    faulty: &'a [usize],
+) -> Vec<(&'static str, AdversaryFactory<'a>)> {
+    if faulty.is_empty() {
+        let none: AdversaryFactory<'a> = Box::new(|_| Box::new(adversaries::none()));
+        return vec![("fault-free", none)];
+    }
+    let suite: Vec<(&'static str, AdversaryFactory<'a>)> = vec![
+        (
+            "crash",
+            Box::new(move |seed| Box::new(adversaries::crash(algo, faulty.iter().copied(), seed))),
+        ),
+        (
+            "random",
+            Box::new(move |seed| Box::new(adversaries::random(algo, faulty.iter().copied(), seed))),
+        ),
+        (
+            "two-faced",
+            Box::new(move |seed| {
+                Box::new(adversaries::two_faced(algo, faulty.iter().copied(), seed))
+            }),
+        ),
+        (
+            "replay",
+            Box::new(move |_| Box::new(adversaries::replay(faulty.iter().copied(), 3))),
+        ),
+        (
+            "bad-king",
+            Box::new(move |seed| Box::new(core_adv::bad_king(algo, faulty.iter().copied(), seed))),
+        ),
+        (
+            "pointer-split",
+            Box::new(move |seed| {
+                Box::new(core_adv::pointer_split(algo, faulty.iter().copied(), seed))
+            }),
+        ),
+    ];
+    suite
+}
+
+/// One measured stabilisation run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunResult {
+    /// Strategy name from [`adversary_suite`].
+    pub strategy: &'static str,
+    /// Seed of the initial configuration and adversary randomness.
+    pub seed: u64,
+    /// Observed stabilisation round.
+    pub stabilization: u64,
+}
+
+/// Summary statistics over a batch of runs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Summary {
+    /// Worst observed stabilisation round.
+    pub worst: u64,
+    /// Mean observed stabilisation round.
+    pub mean: f64,
+    /// Number of runs.
+    pub runs: usize,
+}
+
+/// Measures the stabilisation time of `algo` over the whole adversary suite
+/// and all `seeds`, asserting the proven bound on every run. Strategies are
+/// measured on parallel worker threads (the runs are independent
+/// simulations).
+///
+/// # Panics
+///
+/// Panics if any run fails to stabilise within `bound + margin` rounds or
+/// stabilises later than the proven bound — either would falsify Theorem 1.
+pub fn measure_stabilization(
+    algo: &Algorithm,
+    faulty: &[usize],
+    seeds: &[u64],
+    margin: u64,
+) -> Vec<RunResult> {
+    let bound = algo.stabilization_bound();
+    let suite = adversary_suite(algo, faulty);
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = suite
+            .into_iter()
+            .map(|(name, factory)| {
+                scope.spawn(move |_| {
+                    let mut results = Vec::with_capacity(seeds.len());
+                    for &seed in seeds {
+                        let mut sim = Simulation::new(algo, factory(seed), seed);
+                        let report = sim.run_until_stable(bound + margin).unwrap_or_else(|e| {
+                            panic!("{name} (seed {seed}) did not stabilise: {e}")
+                        });
+                        assert!(
+                            report.stabilization_round <= bound,
+                            "{name} (seed {seed}): {} > proven bound {bound}",
+                            report.stabilization_round
+                        );
+                        results.push(RunResult {
+                            strategy: name,
+                            seed,
+                            stabilization: report.stabilization_round,
+                        });
+                    }
+                    results
+                })
+            })
+            .collect();
+        let mut results = Vec::new();
+        for handle in handles {
+            results.extend(handle.join().expect("measurement worker panicked"));
+        }
+        results
+    })
+    .expect("measurement scope panicked")
+}
+
+/// Summarises a batch of [`RunResult`]s.
+pub fn summarize(results: &[RunResult]) -> Summary {
+    if results.is_empty() {
+        return Summary::default();
+    }
+    let worst = results.iter().map(|r| r.stabilization).max().unwrap_or(0);
+    let sum: u64 = results.iter().map(|r| r.stabilization).sum();
+    Summary { worst, mean: sum as f64 / results.len() as f64, runs: results.len() }
+}
+
+/// Prints a markdown table with aligned columns.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+            .collect();
+        println!("| {} |", padded.join(" | "));
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("|-{}-|", sep.join("-|-"));
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_core::CounterBuilder;
+
+    #[test]
+    fn suite_and_measurement_work_end_to_end() {
+        let algo = CounterBuilder::corollary1(1, 4).unwrap().build().unwrap();
+        let results = measure_stabilization(&algo, &[2], &[5], 64);
+        assert_eq!(results.len(), 6); // six strategies
+        let s = summarize(&results);
+        assert!(s.worst <= algo.stabilization_bound());
+        assert_eq!(s.runs, 6);
+    }
+
+    #[test]
+    fn fault_free_suite_is_singleton() {
+        let algo = CounterBuilder::corollary1(1, 4).unwrap().build().unwrap();
+        assert_eq!(adversary_suite(&algo, &[]).len(), 1);
+    }
+}

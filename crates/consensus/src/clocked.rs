@@ -1,0 +1,256 @@
+//! The counting → consensus reduction.
+
+use rand::RngCore;
+use sc_protocol::{Counter, MessageView, NodeId, ParamError, StepContext, SyncProtocol, Tally};
+
+use crate::instructions::{execute_slot, IncrementMode, PhaseKingParams};
+use crate::registers::PkRegisters;
+
+/// Self-stabilising *repeated* consensus clocked by a synchronous counter.
+///
+/// §1 of the paper notes that counting and consensus are interreducible:
+/// "given a synchronous counting algorithm one can design a binary consensus
+/// algorithm and vice versa". This type is the forward direction: once the
+/// underlying counter has stabilised, its output (mod `3(F+1)`) gives every
+/// correct node a common slot number, which drives one phase-king execution
+/// per counter cycle. Every cycle then satisfies agreement and validity on
+/// the (fixed) inputs — i.e. self-stabilising repeated consensus.
+///
+/// A cycle spans `3(F+2)` slots: slot 0 *loads* the node's input into the
+/// registers (it cannot also execute instructions, because the values
+/// broadcast at slot 0 still belong to the previous cycle), which sacrifices
+/// the first group's collect instruction; the remaining `F+1` complete king
+/// groups guarantee one honest king, exactly the pigeonhole of §3.5. The
+/// counter's modulus must be a multiple of `3(F+2)` so cycles align with the
+/// counter period.
+///
+/// # Example
+///
+/// See `tests/` and `examples/tdma_mutex.rs`; unit tests below run the
+/// reduction over a fault-free self-stabilising counter.
+#[derive(Clone, Debug)]
+pub struct ClockedConsensus<C> {
+    counter: C,
+    params: PhaseKingParams,
+    inputs: Vec<u64>,
+}
+
+/// Per-node state of [`ClockedConsensus`]: the counter state plus the
+/// phase-king registers.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ClockedState<S> {
+    /// State of the underlying synchronous counter.
+    pub counter: S,
+    /// Registers of the in-flight phase-king execution.
+    pub regs: PkRegisters,
+}
+
+impl<C: Counter> ClockedConsensus<C> {
+    /// Wraps `counter` to run repeated `f`-resilient consensus on values in
+    /// `[c]` with the given per-node `inputs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `counter.n() > 3f`, `c > 1`,
+    /// `inputs.len() == counter.n()` with all inputs in `[c]`, and
+    /// `counter.modulus()` is a multiple of `3(f+2)`.
+    pub fn new(counter: C, f: usize, c: u64, inputs: Vec<u64>) -> Result<Self, ParamError> {
+        let params = PhaseKingParams::with_king_groups(counter.n(), f, c, f as u64 + 2)?;
+        if counter.modulus() % params.slots() != 0 {
+            return Err(ParamError::constraint(format!(
+                "counter modulus {} is not a multiple of 3(F+2) = {}",
+                counter.modulus(),
+                params.slots()
+            )));
+        }
+        if inputs.len() != counter.n() {
+            return Err(ParamError::constraint(format!(
+                "{} inputs for {} nodes",
+                inputs.len(),
+                counter.n()
+            )));
+        }
+        if let Some(bad) = inputs.iter().find(|&&x| x >= c) {
+            return Err(ParamError::constraint(format!("input {bad} outside [{c}]")));
+        }
+        Ok(ClockedConsensus { counter, params, inputs })
+    }
+
+    /// The underlying counter.
+    pub fn counter(&self) -> &C {
+        &self.counter
+    }
+
+    /// Slots per consensus cycle, `3(F+2)`.
+    pub fn slots(&self) -> u64 {
+        self.params.slots()
+    }
+
+    /// The slot a node occupies in `state` (meaningful after the counter has
+    /// stabilised, when it is common to all correct nodes).
+    pub fn slot(&self, node: NodeId, state: &ClockedState<C::State>) -> u64 {
+        self.counter.output(node, &state.counter) % self.params.slots()
+    }
+
+    /// The decision of the cycle that just completed, available exactly when
+    /// the node sits at slot 0 (before its registers are reloaded).
+    pub fn decision(&self, node: NodeId, state: &ClockedState<C::State>) -> Option<u64> {
+        (self.slot(node, state) == 0).then(|| state.regs.output(self.params.c()))
+    }
+}
+
+impl<C: Counter> SyncProtocol for ClockedConsensus<C> {
+    type State = ClockedState<C::State>;
+
+    fn n(&self) -> usize {
+        self.counter.n()
+    }
+
+    fn step(
+        &self,
+        node: NodeId,
+        view: &MessageView<'_, Self::State>,
+        ctx: &mut StepContext<'_>,
+    ) -> Self::State {
+        // 1. Advance the underlying counter on the received counter states.
+        let inner: Vec<C::State> = view.iter().map(|s| s.counter.clone()).collect();
+        let inner_view = MessageView::new(&inner, &[]);
+        let next_counter = self.counter.step(node, &inner_view, ctx);
+
+        // 2. Determine this round's slot from the *start-of-round* output.
+        let slot = self.slot(node, view.get(node));
+
+        // 3. Slot 0 loads the input (the broadcast values still belong to
+        //    the previous cycle, so no instruction can use them); all other
+        //    slots execute their Table 2 instruction set.
+        let regs = if slot == 0 {
+            PkRegisters::new(self.inputs[node.index()], true)
+        } else {
+            let tally: Tally = view.iter().map(|s| s.regs.a).collect();
+            let king = self.params.king_of_group(slot / 3);
+            let king_value = view.get(king).regs.a;
+            execute_slot(
+                &self.params,
+                view.get(node).regs,
+                slot,
+                &tally,
+                king_value,
+                IncrementMode::OneShot,
+            )
+        };
+
+        ClockedState { counter: next_counter, regs }
+    }
+
+    fn output(&self, _node: NodeId, state: &Self::State) -> u64 {
+        state.regs.output(self.params.c())
+    }
+
+    fn random_state(&self, node: NodeId, rng: &mut dyn RngCore) -> Self::State {
+        let counter = self.counter.random_state(node, rng);
+        let pk = crate::PhaseKing::new(self.params.n(), self.params.f(), self.params.c())
+            .expect("parameters already validated");
+        let regs = pk.random_state(node, rng).regs;
+        ClockedState { counter, regs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_protocol::{BitReader, BitVec, CodecError};
+    use sc_sim::{adversaries, Simulation};
+
+    /// Fault-free self-stabilising counter: adopt `max + 1 mod c`.
+    #[derive(Clone, Debug)]
+    struct FollowMax {
+        n: usize,
+        c: u64,
+    }
+
+    impl SyncProtocol for FollowMax {
+        type State = u64;
+        fn n(&self) -> usize {
+            self.n
+        }
+        fn step(&self, _: NodeId, view: &MessageView<'_, u64>, _: &mut StepContext<'_>) -> u64 {
+            (view.iter().max().copied().unwrap() + 1) % self.c
+        }
+        fn output(&self, _: NodeId, s: &u64) -> u64 {
+            *s
+        }
+        fn random_state(&self, _: NodeId, rng: &mut dyn RngCore) -> u64 {
+            rng.next_u64() % self.c
+        }
+    }
+
+    impl Counter for FollowMax {
+        fn modulus(&self) -> u64 {
+            self.c
+        }
+        fn resilience(&self) -> usize {
+            0
+        }
+        fn state_bits(&self) -> u32 {
+            sc_protocol::bits_for(self.c)
+        }
+        fn stabilization_bound(&self) -> u64 {
+            1
+        }
+        fn encode_state(&self, _: NodeId, s: &u64, out: &mut BitVec) {
+            out.push_bits(*s, self.state_bits());
+        }
+        fn decode_state(&self, _: NodeId, r: &mut BitReader<'_>) -> Result<u64, CodecError> {
+            r.read_bits(self.state_bits())
+        }
+    }
+
+    #[test]
+    fn repeated_consensus_after_stabilisation() {
+        let counter = FollowMax { n: 4, c: 6 };
+        let inputs = vec![1, 1, 1, 1];
+        let cc = ClockedConsensus::new(counter, 0, 2, inputs).unwrap();
+        let mut sim = Simulation::new(&cc, adversaries::none(), 5);
+        sim.run(8); // well past the counter's stabilisation
+        // Walk two full cycles; at every slot-0 state the decision must be
+        // the (unanimous) input 1.
+        let mut decisions = 0;
+        for _ in 0..2 * cc.slots() {
+            sim.step();
+            for &v in sim.honest() {
+                if let Some(d) = cc.decision(v, &sim.states()[v.index()]) {
+                    assert_eq!(d, 1);
+                    decisions += 1;
+                }
+            }
+        }
+        assert!(decisions >= 4, "expected at least one full cycle of decisions");
+    }
+
+    #[test]
+    fn mixed_inputs_yield_agreement_each_cycle() {
+        let counter = FollowMax { n: 4, c: 12 };
+        let cc = ClockedConsensus::new(counter, 0, 4, vec![3, 0, 3, 2]).unwrap();
+        let mut sim = Simulation::new(&cc, adversaries::none(), 9);
+        sim.run(13);
+        for _ in 0..cc.slots() * 2 {
+            sim.step();
+            let per_round: Vec<u64> = sim
+                .honest()
+                .iter()
+                .filter_map(|&v| cc.decision(v, &sim.states()[v.index()]))
+                .collect();
+            assert!(per_round.windows(2).all(|w| w[0] == w[1]), "{per_round:?}");
+        }
+    }
+
+    #[test]
+    fn constructor_validates_modulus_and_inputs() {
+        let mk = || FollowMax { n: 4, c: 7 };
+        assert!(ClockedConsensus::new(mk(), 0, 2, vec![0; 4]).is_err()); // 7 % 6 != 0
+        let mk6 = || FollowMax { n: 4, c: 6 };
+        assert!(ClockedConsensus::new(mk6(), 0, 2, vec![0; 3]).is_err()); // wrong arity
+        assert!(ClockedConsensus::new(mk6(), 0, 2, vec![0, 0, 2, 0]).is_err()); // input ≥ c
+        assert!(ClockedConsensus::new(mk6(), 0, 2, vec![0; 4]).is_ok());
+    }
+}

@@ -1,0 +1,336 @@
+//! The instruction sets of Table 2.
+//!
+//! For `ℓ ∈ [F+2]` the paper defines three instruction sets executed in
+//! consecutive rounds — with node `ℓ` acting as *king* in the third:
+//!
+//! ```text
+//! I_{3ℓ}  : 1. if fewer than N−F nodes sent a[v], set a[v] ← ∞
+//!           2. increment a[v]
+//! I_{3ℓ+1}: 1. z_j := number of j values received
+//!           2. if z_{a[v]} ≥ N−F set d[v] ← 1 else d[v] ← 0
+//!           3. a[v] ← min{ j : z_j > F }
+//!           4. increment a[v]
+//! I_{3ℓ+2}: 1. if a[v] = ∞ or d[v] = 0, set a[v] ← min{C, a[ℓ]}
+//!           2. d[v] ← 1; increment a[v]
+//! ```
+//!
+//! The functions here are *pure*: they map the node's current registers and
+//! the tally of received `a`-values to new registers, so the identical code
+//! drives (a) the classic one-shot consensus (no increments), (b) the
+//! self-stabilising counting variant inside the boosted counter of Theorem 1
+//! (increments after every slot), and (c) the sampled thresholds of the
+//! pulling model, which substitutes `⅔M` / `⅓M` for `N−F` / `F+1` (§5.3) via
+//! [`PhaseKingParams::sampled`].
+
+use sc_protocol::{ParamError, Tally};
+
+use crate::registers::{PkRegisters, INFINITY};
+
+/// Whether the register is incremented after every instruction set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IncrementMode {
+    /// The counting variant of §3.4: `increment a[v]` ends every slot, so an
+    /// agreed register keeps counting modulo `C` forever (Lemma 5).
+    Counting,
+    /// Classic one-shot consensus: registers hold a value, no increments.
+    OneShot,
+}
+
+/// Validated parameters of a phase-king execution.
+///
+/// # Example
+///
+/// ```
+/// use sc_consensus::PhaseKingParams;
+///
+/// let p = PhaseKingParams::new(4, 1, 8)?;
+/// assert_eq!(p.keep_threshold(), 3);   // N − F
+/// assert_eq!(p.adopt_threshold(), 1);  // values must beat F
+/// assert_eq!(p.slots(), 9);            // 3(F+2)
+/// assert!(PhaseKingParams::new(3, 1, 8).is_err()); // needs N > 3F
+/// # Ok::<(), sc_protocol::ParamError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhaseKingParams {
+    n: usize,
+    f: usize,
+    c: u64,
+    keep: usize,
+    beat: usize,
+    king_groups: u64,
+}
+
+impl PhaseKingParams {
+    /// Parameters for `n` nodes, `f` faults, values modulo `c`, with the
+    /// broadcast thresholds `N−F` and `F+1` and the paper-exact `F+2` king
+    /// groups.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `n > 3f` and `c > 1`.
+    pub fn new(n: usize, f: usize, c: u64) -> Result<Self, ParamError> {
+        Self::with_king_groups(n, f, c, f as u64 + 2)
+    }
+
+    /// Like [`PhaseKingParams::new`] with an explicit number of king groups.
+    ///
+    /// One-shot consensus needs `F+1` groups (some king is then correct);
+    /// the self-stabilising counting variant needs `F+2` because the
+    /// stabilisation window may cut one group (§3.5), and the predictive
+    /// pulling mode adds further `king_slack` groups (see DESIGN.md §2.5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `n > 3f`, `c > 1`, `groups ≥ f+1` and
+    /// `groups ≤ n` (every king must exist).
+    pub fn with_king_groups(n: usize, f: usize, c: u64, groups: u64) -> Result<Self, ParamError> {
+        if n <= 3 * f {
+            return Err(ParamError::constraint(format!(
+                "phase king requires N > 3F, got N = {n}, F = {f}"
+            )));
+        }
+        if c < 2 {
+            return Err(ParamError::constraint(format!("counter size C > 1 required, got {c}")));
+        }
+        if groups < f as u64 + 1 {
+            return Err(ParamError::constraint(format!(
+                "need at least F+1 = {} king groups, got {groups}",
+                f + 1
+            )));
+        }
+        if groups > n as u64 {
+            return Err(ParamError::constraint(format!(
+                "{groups} king groups need {groups} distinct kings but only {n} nodes exist"
+            )));
+        }
+        Ok(PhaseKingParams { n, f, c, keep: n - f, beat: f, king_groups: groups })
+    }
+
+    /// Sampled-threshold parameters for the pulling model (§5.3): a node
+    /// draws `m` samples and replaces `N−F` by `⌈2m/3⌉` and the `> F` test
+    /// by `> ⌊m/3⌋`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `n > 3f`, `c > 1` and `m ≥ 3`.
+    pub fn sampled(n: usize, f: usize, c: u64, m: usize, groups: u64) -> Result<Self, ParamError> {
+        let mut params = Self::with_king_groups(n, f, c, groups)?;
+        if m < 3 {
+            return Err(ParamError::constraint(format!("sample size must be ≥ 3, got {m}")));
+        }
+        params.keep = m.div_ceil(3) * 2;
+        params.beat = m / 3;
+        Ok(params)
+    }
+
+    /// Network size `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Fault bound `F`.
+    pub fn f(&self) -> usize {
+        self.f
+    }
+
+    /// Counter size `C`.
+    pub fn c(&self) -> u64 {
+        self.c
+    }
+
+    /// Votes required to *keep* a value (`N−F`, or `⌈2m/3⌉` sampled).
+    pub fn keep_threshold(&self) -> usize {
+        self.keep
+    }
+
+    /// Vote count a value must *beat* to be adopted (`F`, or `⌊m/3⌋`).
+    pub fn adopt_threshold(&self) -> usize {
+        self.beat
+    }
+
+    /// Number of king groups (`F+2` unless slack was requested).
+    pub fn king_groups(&self) -> u64 {
+        self.king_groups
+    }
+
+    /// Total slots `τ = 3 · king_groups`; the self-stabilising round counter
+    /// must count modulo a multiple of this.
+    pub fn slots(&self) -> u64 {
+        3 * self.king_groups
+    }
+
+    /// The king node of slot-group `ℓ` (node `ℓ` by convention).
+    pub fn king_of_group(&self, group: u64) -> sc_protocol::NodeId {
+        debug_assert!(group < self.king_groups);
+        sc_protocol::NodeId::new(group as usize)
+    }
+}
+
+/// Applies the instruction set selected by `slot ∈ [3·groups]` to one node.
+///
+/// * `regs` — the node's registers at the start of the round.
+/// * `tally` — the multiset of `a`-values the node received this round
+///   (including its own broadcast).
+/// * `king_value` — the `a`-value received *from the king of this slot's
+///   group*; only read in the third slot of a group.
+///
+/// Returns the updated registers.
+pub fn execute_slot(
+    params: &PhaseKingParams,
+    regs: PkRegisters,
+    slot: u64,
+    tally: &Tally,
+    king_value: u64,
+    mode: IncrementMode,
+) -> PkRegisters {
+    debug_assert!(slot < params.slots(), "slot {slot} out of range");
+    let mut next = match slot % 3 {
+        0 => collect(params, regs, tally),
+        1 => propose(params, regs, tally),
+        _ => king_adopt(params, regs, king_value),
+    };
+    if mode == IncrementMode::Counting {
+        next.increment(params.c);
+    }
+    next
+}
+
+/// `I_{3ℓ}` without the increment: reset to `∞` unless the node's own value
+/// has at least `N−F` support.
+fn collect(params: &PhaseKingParams, mut regs: PkRegisters, tally: &Tally) -> PkRegisters {
+    if tally.count(regs.a) < params.keep {
+        regs.a = INFINITY;
+    }
+    regs
+}
+
+/// `I_{3ℓ+1}` without the increment: set `d` from the `N−F` test and adopt
+/// `min{j : z_j > F}` (or `∞` when no value qualifies).
+fn propose(params: &PhaseKingParams, mut regs: PkRegisters, tally: &Tally) -> PkRegisters {
+    regs.d = tally.count(regs.a) >= params.keep;
+    regs.a = tally.min_value_with_count_over(params.beat).unwrap_or(INFINITY);
+    regs
+}
+
+/// `I_{3ℓ+2}` without the increment: undecided nodes adopt the king's value
+/// capped at `C`; everyone sets `d ← 1`.
+fn king_adopt(params: &PhaseKingParams, mut regs: PkRegisters, king_value: u64) -> PkRegisters {
+    if regs.a == INFINITY || !regs.d {
+        regs.a = params.c.min(king_value);
+    }
+    regs.d = true;
+    regs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> PhaseKingParams {
+        PhaseKingParams::new(7, 2, 10).unwrap()
+    }
+
+    fn tally_of(values: &[u64]) -> Tally {
+        Tally::from_values(values.iter().copied())
+    }
+
+    #[test]
+    fn collect_keeps_supported_values() {
+        let p = params(); // keep threshold 5
+        let t = tally_of(&[4, 4, 4, 4, 4, 9, 9]);
+        let r = execute_slot(&p, PkRegisters::new(4, false), 0, &t, 0, IncrementMode::OneShot);
+        assert_eq!(r.a, 4);
+    }
+
+    #[test]
+    fn collect_resets_unsupported_values() {
+        let p = params();
+        let t = tally_of(&[4, 4, 4, 4, 9, 9, 9]);
+        let r = execute_slot(&p, PkRegisters::new(4, false), 0, &t, 0, IncrementMode::OneShot);
+        assert_eq!(r.a, INFINITY);
+    }
+
+    #[test]
+    fn collect_in_counting_mode_increments() {
+        let p = params();
+        let t = tally_of(&[4, 4, 4, 4, 4, 9, 9]);
+        let r = execute_slot(&p, PkRegisters::new(4, false), 3, &t, 0, IncrementMode::Counting);
+        assert_eq!(r.a, 5);
+    }
+
+    #[test]
+    fn propose_sets_d_and_adopts_minimum_qualifier() {
+        let p = params(); // beat threshold 2
+        let t = tally_of(&[6, 6, 6, 2, 2, 2, 9]);
+        // Own value 6 has support 3 < keep 5 so d = 0; min qualifying is 2.
+        let r = execute_slot(&p, PkRegisters::new(6, true), 1, &t, 0, IncrementMode::OneShot);
+        assert!(!r.d);
+        assert_eq!(r.a, 2);
+    }
+
+    #[test]
+    fn propose_without_qualifier_resets() {
+        let p = params();
+        let t = tally_of(&[0, 1, 2, 3, 4, 5, 6]); // every count = 1 ≤ F = 2
+        let r = execute_slot(&p, PkRegisters::new(0, true), 1, &t, 0, IncrementMode::OneShot);
+        assert_eq!(r.a, INFINITY);
+        assert!(!r.d);
+    }
+
+    #[test]
+    fn king_slot_overrides_undecided_nodes() {
+        let p = params();
+        let t = Tally::new();
+        let undecided = PkRegisters::new(7, false);
+        let r = execute_slot(&p, undecided, 2, &t, 3, IncrementMode::OneShot);
+        assert_eq!(r.a, 3);
+        assert!(r.d);
+        // A decided node ignores the king.
+        let decided = PkRegisters::new(7, true);
+        let r = execute_slot(&p, decided, 2, &t, 3, IncrementMode::OneShot);
+        assert_eq!(r.a, 7);
+    }
+
+    #[test]
+    fn king_value_is_capped_at_c() {
+        let p = params();
+        let r = execute_slot(
+            &p,
+            PkRegisters::reset(),
+            2,
+            &Tally::new(),
+            INFINITY,
+            IncrementMode::OneShot,
+        );
+        assert_eq!(r.a, p.c());
+        // In counting mode the subsequent increment renormalises into [C].
+        let r = execute_slot(
+            &p,
+            PkRegisters::reset(),
+            5,
+            &Tally::new(),
+            INFINITY,
+            IncrementMode::Counting,
+        );
+        assert_eq!(r.a, (p.c() + 1) % p.c());
+    }
+
+    #[test]
+    fn sampled_thresholds_follow_section_5() {
+        let p = PhaseKingParams::sampled(100, 30, 4, 30, 32).unwrap();
+        assert_eq!(p.keep_threshold(), 20); // 2/3 of 30
+        assert_eq!(p.adopt_threshold(), 10); // 1/3 of 30
+        assert!(PhaseKingParams::sampled(100, 30, 4, 2, 32).is_err());
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(PhaseKingParams::new(6, 2, 4).is_err()); // 6 ≤ 3·2
+        assert!(PhaseKingParams::new(7, 2, 1).is_err()); // C too small
+        assert!(PhaseKingParams::with_king_groups(7, 2, 4, 2).is_err()); // < F+1
+        assert!(PhaseKingParams::with_king_groups(7, 2, 4, 8).is_err()); // > N kings
+        let p = PhaseKingParams::with_king_groups(7, 2, 4, 5).unwrap();
+        assert_eq!(p.slots(), 15);
+        assert_eq!(p.king_of_group(4).index(), 4);
+    }
+}

@@ -1,0 +1,48 @@
+//! Phase-king Byzantine consensus and its counting-adapted instruction sets.
+//!
+//! The resilience-boosting construction of *Towards Optimal Synchronous
+//! Counting* controls "an execution of the well-known phase king protocol
+//! [Berman, Garay, Perry; FOCS 1989]" with a self-stabilising round counter.
+//! This crate provides that substrate in three layers:
+//!
+//! * [`PkRegisters`] / [`instructions`] — the exact instruction sets
+//!   `I_{3ℓ}`, `I_{3ℓ+1}`, `I_{3ℓ+2}` of **Table 2**, as pure functions over
+//!   a received-value [`Tally`](sc_protocol::Tally). Two modes:
+//!   [`IncrementMode::Counting`] (the paper's self-stabilising variant where
+//!   the register is incremented modulo `C` after every slot) and
+//!   [`IncrementMode::OneShot`] (classic consensus, no increments).
+//! * [`PhaseKing`] — classic one-shot multivalued consensus for `N > 3F`,
+//!   run as an ordinary protocol on the simulator. Lemmas 4–5 of the paper
+//!   are the agreement/persistence arguments for these instruction sets and
+//!   are property-tested here.
+//! * [`ClockedConsensus`] — the counting→consensus reduction sketched in §1:
+//!   any self-stabilising counter clocks repeated phase-king executions,
+//!   yielding self-stabilising repeated consensus.
+//!
+//! # Example
+//!
+//! One-shot consensus among 4 nodes, one Byzantine, on inputs in `[8]`:
+//!
+//! ```
+//! use sc_consensus::{decide, PhaseKing};
+//! use sc_sim::adversaries;
+//!
+//! let pk = PhaseKing::new(4, 1, 8).unwrap();
+//! let adv = adversaries::random(&pk, [2], 99);
+//! let decisions = sc_consensus::run_consensus(&pk, &[3, 3, 0 /*faulty*/, 3], adv, 1);
+//! // Validity: all correct inputs were 3, so the decision is 3.
+//! assert_eq!(decisions, vec![3, 3, 3]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clocked;
+pub mod instructions;
+mod one_shot;
+mod registers;
+
+pub use clocked::{ClockedConsensus, ClockedState};
+pub use instructions::{IncrementMode, PhaseKingParams};
+pub use one_shot::{decide, run_consensus, ConsensusState, PhaseKing};
+pub use registers::{PkRegisters, INFINITY};

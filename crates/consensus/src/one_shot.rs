@@ -1,0 +1,235 @@
+//! Classic one-shot phase-king consensus.
+
+use rand::{Rng, RngCore};
+use sc_protocol::{MessageView, NodeId, ParamError, StepContext, SyncProtocol, Tally};
+
+use crate::instructions::{execute_slot, IncrementMode, PhaseKingParams};
+use crate::registers::{PkRegisters, INFINITY};
+use sc_sim::{Adversary, Simulation};
+
+/// One-shot multivalued Byzantine consensus for `N > 3F` nodes
+/// (Berman–Garay–Perry phase king, the protocol referenced as \[1\] by the
+/// paper), expressed with the Table 2 instruction sets in
+/// [`IncrementMode::OneShot`].
+///
+/// `F+1` king groups of three rounds each are executed; since at most `F`
+/// nodes are faulty, at least one group has a correct king, which forces
+/// agreement (Lemma 4 without increments); agreement then persists (Lemma 5
+/// without increments). Validity holds because a value held by all correct
+/// nodes always passes the `N−F` support test.
+///
+/// Unlike the counters in this workspace, consensus is **not**
+/// self-stabilising: all correct nodes must start in round 0 with their
+/// input loaded via [`PhaseKing::initial_state`].
+///
+/// See the crate-level documentation for an example.
+#[derive(Clone, Debug)]
+pub struct PhaseKing {
+    params: PhaseKingParams,
+}
+
+/// Per-node state of [`PhaseKing`]: the synchronised round number and the
+/// Table 2 registers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ConsensusState {
+    /// Rounds executed so far (all correct nodes agree on this by
+    /// construction — consensus starts synchronised).
+    pub round: u64,
+    /// The `(a, d)` register pair.
+    pub regs: PkRegisters,
+}
+
+impl PhaseKing {
+    /// Consensus among `n` nodes tolerating `f` faults on values in `[c]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `n > 3f` and `c > 1`.
+    pub fn new(n: usize, f: usize, c: u64) -> Result<Self, ParamError> {
+        let params = PhaseKingParams::with_king_groups(n, f, c, f as u64 + 1)?;
+        Ok(PhaseKing { params })
+    }
+
+    /// The validated parameters in use.
+    pub fn params(&self) -> &PhaseKingParams {
+        &self.params
+    }
+
+    /// Total number of rounds until every correct node has decided.
+    pub fn rounds(&self) -> u64 {
+        self.params.slots()
+    }
+
+    /// The starting state of a node with input `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is outside `[c]`.
+    pub fn initial_state(&self, value: u64) -> ConsensusState {
+        assert!(value < self.params.c(), "input {value} outside [{}]", self.params.c());
+        ConsensusState { round: 0, regs: PkRegisters::new(value, true) }
+    }
+}
+
+impl SyncProtocol for PhaseKing {
+    type State = ConsensusState;
+
+    fn n(&self) -> usize {
+        self.params.n()
+    }
+
+    fn step(
+        &self,
+        node: NodeId,
+        view: &MessageView<'_, ConsensusState>,
+        _ctx: &mut StepContext<'_>,
+    ) -> ConsensusState {
+        let me = *view.get(node);
+        if me.round >= self.params.slots() {
+            // Decided: the protocol has terminated, the state is frozen.
+            return me;
+        }
+        let slot = me.round;
+        let tally: Tally = view.iter().map(|s| s.regs.a).collect();
+        let king = self.params.king_of_group(slot / 3);
+        let king_value = view.get(king).regs.a;
+        let regs = execute_slot(&self.params, me.regs, slot, &tally, king_value,
+                                IncrementMode::OneShot);
+        ConsensusState { round: me.round + 1, regs }
+    }
+
+    fn output(&self, _node: NodeId, state: &ConsensusState) -> u64 {
+        state.regs.output(self.params.c())
+    }
+
+    fn random_state(&self, _node: NodeId, rng: &mut dyn RngCore) -> ConsensusState {
+        // Arbitrary representable state; used by adversaries to fabricate
+        // plausible messages (the round field of *other* nodes is never read,
+        // only their registers are).
+        let c = self.params.c();
+        let a = if rng.random_bool(0.2) { INFINITY } else { rng.random_range(0..c) };
+        ConsensusState {
+            round: rng.random_range(0..=self.params.slots()),
+            regs: PkRegisters::new(a, rng.random_bool(0.5)),
+        }
+    }
+}
+
+/// The decision of a node, if it has terminated.
+///
+/// # Example
+///
+/// ```
+/// use sc_consensus::{decide, PhaseKing};
+///
+/// let pk = PhaseKing::new(4, 1, 2)?;
+/// let s = pk.initial_state(1);
+/// assert_eq!(decide(&pk, &s), None); // round 0: still running
+/// # Ok::<(), sc_protocol::ParamError>(())
+/// ```
+pub fn decide(pk: &PhaseKing, state: &ConsensusState) -> Option<u64> {
+    (state.round >= pk.params.slots()).then(|| state.regs.output(pk.params.c()))
+}
+
+/// Runs one consensus instance to termination on a fresh simulation and
+/// returns the decisions of the correct nodes (in increasing node order).
+///
+/// `inputs[v]` is node `v`'s input; entries of faulty nodes are ignored.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != pk.n()` or an input is outside `[c]`.
+pub fn run_consensus<A>(pk: &PhaseKing, inputs: &[u64], adversary: A, seed: u64) -> Vec<u64>
+where
+    A: Adversary<ConsensusState>,
+{
+    assert_eq!(inputs.len(), pk.n(), "one input per node required");
+    let faulty: Vec<NodeId> = adversary.faulty().to_vec();
+    let states: Vec<ConsensusState> = inputs
+        .iter()
+        .enumerate()
+        .map(|(v, &input)| {
+            if faulty.binary_search(&NodeId::new(v)).is_ok() {
+                // Placeholder; never read.
+                ConsensusState { round: 0, regs: PkRegisters::reset() }
+            } else {
+                pk.initial_state(input)
+            }
+        })
+        .collect();
+    let mut sim = Simulation::with_states(pk, adversary, states, seed);
+    sim.run(pk.rounds());
+    sim.honest()
+        .iter()
+        .map(|&v| {
+            decide(pk, &sim.states()[v.index()]).expect("protocol ran to termination")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_sim::adversaries;
+
+    #[test]
+    fn validity_with_unanimous_inputs() {
+        let pk = PhaseKing::new(7, 2, 4).unwrap();
+        let adv = adversaries::random(&pk, [1, 5], 3);
+        let decisions = run_consensus(&pk, &[2, 0, 2, 2, 2, 0, 2], adv, 1);
+        assert_eq!(decisions, vec![2; 5]);
+    }
+
+    #[test]
+    fn agreement_with_mixed_inputs_under_equivocation() {
+        let pk = PhaseKing::new(4, 1, 2).unwrap();
+        for seed in 0..20 {
+            let adv = adversaries::two_faced(&pk, [3], seed);
+            let decisions = run_consensus(&pk, &[0, 1, 1, 0], adv, seed);
+            assert!(decisions.windows(2).all(|w| w[0] == w[1]), "seed {seed}: {decisions:?}");
+        }
+    }
+
+    #[test]
+    fn agreement_under_every_fault_position() {
+        let pk = PhaseKing::new(4, 1, 8).unwrap();
+        for faulty in 0..4usize {
+            for seed in 0..10 {
+                let adv = adversaries::random(&pk, [faulty], seed);
+                let decisions = run_consensus(&pk, &[5, 1, 3, 7], adv, seed);
+                assert!(
+                    decisions.windows(2).all(|w| w[0] == w[1]),
+                    "faulty {faulty} seed {seed}: {decisions:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fault_free_run_decides_on_a_common_input_value() {
+        let pk = PhaseKing::new(4, 1, 4).unwrap();
+        let decisions = run_consensus(&pk, &[3, 1, 1, 1], adversaries::none(), 0);
+        assert!(decisions.windows(2).all(|w| w[0] == w[1]));
+        // With a correct king and honest majority on 1, the decision is 1.
+        assert_eq!(decisions[0], 1);
+    }
+
+    #[test]
+    fn decided_state_is_frozen() {
+        let pk = PhaseKing::new(4, 1, 2).unwrap();
+        let adv = adversaries::none();
+        let states: Vec<ConsensusState> = (0..4).map(|_| pk.initial_state(1)).collect();
+        let mut sim = Simulation::with_states(&pk, adv, states, 0);
+        sim.run(pk.rounds() + 10);
+        for v in sim.honest() {
+            assert_eq!(decide(&pk, &sim.states()[v.index()]), Some(1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn oversized_input_panics() {
+        let pk = PhaseKing::new(4, 1, 2).unwrap();
+        let _ = pk.initial_state(2);
+    }
+}

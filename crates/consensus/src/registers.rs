@@ -1,0 +1,144 @@
+//! The phase-king register pair `(a, d)`.
+
+use sc_protocol::{BitReader, BitVec, CodecError};
+
+/// The reset state `∞` of the output register `a`.
+///
+/// `∞` sorts above every counter value, so `min{C, a[ℓ]}` and
+/// `min{j : z_j > F}` work out with plain `u64` comparisons.
+pub const INFINITY: u64 = u64::MAX;
+
+/// Registers of the phase-king protocol at one node: the output register
+/// `a ∈ [C] ∪ {∞}` and the auxiliary flag `d` (Table 2).
+///
+/// # Example
+///
+/// ```
+/// use sc_consensus::{PkRegisters, INFINITY};
+///
+/// let mut r = PkRegisters::new(6, true);
+/// r.increment(7);
+/// assert_eq!(r.a, 0); // wrapped modulo C = 7
+/// let mut frozen = PkRegisters::reset();
+/// frozen.increment(7);
+/// assert_eq!(frozen.a, INFINITY); // increment is a no-op on ∞
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PkRegisters {
+    /// Output register `a[v] ∈ [C] ∪ {∞}` (with `∞ = u64::MAX`).
+    pub a: u64,
+    /// Auxiliary register `d[v] ∈ {0, 1}`.
+    pub d: bool,
+}
+
+impl PkRegisters {
+    /// Registers holding value `a` with flag `d`.
+    pub fn new(a: u64, d: bool) -> Self {
+        PkRegisters { a, d }
+    }
+
+    /// Registers in the reset state `(∞, 0)`.
+    pub fn reset() -> Self {
+        PkRegisters { a: INFINITY, d: false }
+    }
+
+    /// The paper's `increment a[v]`: adds one modulo `c` unless `a = ∞`.
+    pub fn increment(&mut self, c: u64) {
+        if self.a != INFINITY {
+            self.a = (self.a + 1) % c;
+        }
+    }
+
+    /// The counter value this register represents, mapping non-values
+    /// (`∞`, or the transient cap `C`) to 0 so that agreeing registers
+    /// always yield agreeing outputs.
+    pub fn output(&self, c: u64) -> u64 {
+        if self.a >= c {
+            0
+        } else {
+            self.a
+        }
+    }
+
+    /// Encodes the pair into `⌈log₂(C+1)⌉ + 1` bits: `a` with `∞ ↦ C`,
+    /// then `d`. This is exactly the space charged by Theorem 1.
+    pub fn encode(&self, c: u64, out: &mut BitVec) {
+        let width = sc_protocol::bits_for(c + 1);
+        let raw = if self.a == INFINITY { c } else { self.a };
+        out.push_bits(raw, width);
+        out.push_bit(self.d);
+    }
+
+    /// Decodes a pair written by [`PkRegisters::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] if the bit string is exhausted or the decoded
+    /// register exceeds its domain `[C] ∪ {∞}`.
+    pub fn decode(c: u64, input: &mut BitReader<'_>) -> Result<Self, CodecError> {
+        let width = sc_protocol::bits_for(c + 1);
+        let raw = input.read_bits(width)?;
+        if raw > c {
+            return Err(CodecError::InvalidField { field: "phase-king register a", value: raw });
+        }
+        let a = if raw == c { INFINITY } else { raw };
+        let d = input.read_bit()?;
+        Ok(PkRegisters { a, d })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn increment_wraps_and_skips_infinity() {
+        let mut r = PkRegisters::new(4, false);
+        r.increment(5);
+        assert_eq!(r.a, 0);
+        let mut inf = PkRegisters::reset();
+        inf.increment(5);
+        assert_eq!(inf.a, INFINITY);
+    }
+
+    #[test]
+    fn increment_normalises_the_transient_cap() {
+        // After `a ← min{C, a[ℓ]}` the register may briefly hold C; the
+        // subsequent increment must bring it back into [C].
+        let mut r = PkRegisters::new(5, true);
+        r.increment(5);
+        assert_eq!(r.a, 1); // (5 + 1) mod 5, matching the paper's literal text
+    }
+
+    #[test]
+    fn output_maps_non_values_to_zero() {
+        assert_eq!(PkRegisters::new(3, true).output(8), 3);
+        assert_eq!(PkRegisters::reset().output(8), 0);
+        assert_eq!(PkRegisters::new(8, true).output(8), 0);
+    }
+
+    #[test]
+    fn codec_round_trips_all_values() {
+        let c = 11u64;
+        for a in (0..c).chain([INFINITY]) {
+            for d in [false, true] {
+                let regs = PkRegisters::new(a, d);
+                let mut bits = BitVec::new();
+                regs.encode(c, &mut bits);
+                assert_eq!(bits.len() as u32, sc_protocol::bits_for(c + 1) + 1);
+                let decoded = PkRegisters::decode(c, &mut bits.reader()).unwrap();
+                assert_eq!(decoded, regs);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_out_of_domain() {
+        // Width for c = 5 is 3 bits; raw value 7 > c is invalid.
+        let mut bits = BitVec::new();
+        bits.push_bits(7, 3);
+        bits.push_bit(false);
+        let err = PkRegisters::decode(5, &mut bits.reader()).unwrap_err();
+        assert!(matches!(err, CodecError::InvalidField { .. }));
+    }
+}

@@ -1,0 +1,114 @@
+//! Lemmas 4 and 5 of the paper as executable properties.
+//!
+//! The proofs in §3.4 argue about one node's registers given the multiset
+//! of values it received; we model exactly that: `N−F` correct values plus
+//! `F` adversarially chosen values per node per round, with per-node
+//! independence (every correct node gets its own Byzantine stuffing).
+
+use proptest::prelude::*;
+use sc_consensus::instructions::{execute_slot, IncrementMode};
+use sc_consensus::{PhaseKingParams, PkRegisters, INFINITY};
+use sc_protocol::Tally;
+
+const C: u64 = 16;
+
+fn reg_value() -> impl Strategy<Value = u64> {
+    prop_oneof![4 => 0u64..C, 1 => Just(INFINITY)]
+}
+
+/// Runs the three slots of king group `ℓ` for all correct nodes, with
+/// per-node Byzantine values chosen by proptest, in counting mode.
+fn run_group(
+    params: &PhaseKingParams,
+    mut regs: Vec<PkRegisters>,
+    group: u64,
+    byz: &[Vec<u64>], // [round][node-specific values], cycled
+    king_is_honest: bool,
+    byz_king: u64,
+) -> Vec<PkRegisters> {
+    let n_honest = regs.len();
+    let f = params.n() - n_honest;
+    for phase in 0..3u64 {
+        let slot = 3 * group + phase;
+        let broadcast: Vec<u64> = regs.iter().map(|r| r.a).collect();
+        let mut next = Vec::with_capacity(n_honest);
+        for (i, reg) in regs.iter().enumerate() {
+            let mut tally: Tally = broadcast.iter().copied().collect();
+            for j in 0..f {
+                let row = &byz[(phase as usize) % byz.len()];
+                tally.add(row[(i + j) % row.len()]);
+            }
+            // King 0 is by convention the first correct node when honest;
+            // otherwise the adversary picks the king value per receiver.
+            let king_value = if king_is_honest {
+                broadcast[0]
+            } else {
+                // Per-receiver equivocation on the king channel.
+                byz[(phase as usize) % byz.len()][i % byz[0].len()].min(byz_king)
+            };
+            next.push(execute_slot(params, *reg, slot, &tally, king_value,
+                                   IncrementMode::Counting));
+        }
+        regs = next;
+    }
+    regs
+}
+
+proptest! {
+    /// Lemma 4: after a complete group with an honest king, all correct
+    /// registers agree, are finite, and have d = 1 — from **any** starting
+    /// registers and **any** Byzantine values.
+    #[test]
+    fn lemma4_honest_king_forces_agreement(
+        start in proptest::collection::vec((reg_value(), any::<bool>()), 3),
+        byz in proptest::collection::vec(proptest::collection::vec(reg_value(), 3), 3),
+    ) {
+        let params = PhaseKingParams::new(4, 1, C).unwrap();
+        let regs: Vec<PkRegisters> =
+            start.into_iter().map(|(a, d)| PkRegisters::new(a, d)).collect();
+        let out = run_group(&params, regs, 0, &byz, true, 0);
+        prop_assert!(out.iter().all(|r| r.d));
+        prop_assert!(out.iter().all(|r| r.a != INFINITY));
+        prop_assert!(out.windows(2).all(|w| w[0].a == w[1].a), "{out:?}");
+    }
+
+    /// Lemma 5: once agreement holds (common a, d = 1), it persists through
+    /// any group — honest or Byzantine king — and the register counts.
+    #[test]
+    fn lemma5_agreement_persists_and_counts(
+        x in 0u64..C,
+        group in 0u64..3,
+        byz in proptest::collection::vec(proptest::collection::vec(reg_value(), 3), 3),
+        byz_king in reg_value(),
+        king_is_honest in any::<bool>(),
+    ) {
+        let params = PhaseKingParams::new(4, 1, C).unwrap();
+        let regs = vec![PkRegisters::new(x, true); 3];
+        let out = run_group(&params, regs, group, &byz, king_is_honest, byz_king);
+        let expect = (x + 3) % C; // three counting slots
+        prop_assert!(out.iter().all(|r| r.a == expect && r.d), "{out:?}");
+    }
+
+    /// One-shot mode (no increments): the same persistence without drift,
+    /// which is what `ClockedConsensus` relies on between cycles.
+    #[test]
+    fn one_shot_agreement_is_stationary(
+        x in 0u64..C,
+        slot in 0u64..6,
+        stuffing in proptest::collection::vec(reg_value(), 1),
+    ) {
+        let params = PhaseKingParams::with_king_groups(4, 1, C, 2).unwrap();
+        let mut tally: Tally = [x, x, x].into_iter().collect();
+        tally.extend(stuffing.iter().copied());
+        let next = execute_slot(
+            &params,
+            PkRegisters::new(x, true),
+            slot,
+            &tally,
+            stuffing[0],
+            IncrementMode::OneShot,
+        );
+        prop_assert_eq!(next.a, x);
+        prop_assert!(next.d);
+    }
+}

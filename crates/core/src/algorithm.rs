@@ -1,0 +1,369 @@
+//! The runtime-recursive counter algorithm type.
+
+use rand::RngCore;
+use sc_protocol::{
+    BitReader, BitVec, CodecError, Counter, MessageView, NodeId, ParamError,
+    StepContext, SyncProtocol,
+};
+
+use crate::boosted::{BoostedCounter, BoostedState};
+use crate::lut::{LutCounter, LutSpec};
+use crate::params::BoostParams;
+use crate::trivial::TrivialCounter;
+
+/// A self-stabilising synchronous counter of this paper's family.
+///
+/// The recursion depth of Theorems 2–3 is chosen at runtime, so the
+/// counter algebra is a closed enum rather than nested generic types:
+///
+/// * [`Algorithm::trivial`] — the one-node base counter,
+/// * [`Algorithm::lut`] — a table-driven (synthesised) small counter,
+/// * [`Algorithm::boosted`] — Theorem 1 applied to any inner `Algorithm`.
+///
+/// `Algorithm` implements [`SyncProtocol`] and [`Counter`], so any level of
+/// the recursion runs directly on the simulator and reports its proven
+/// bounds. Use [`crate::CounterBuilder`] for whole recursive stacks.
+///
+/// # Example
+///
+/// ```
+/// use sc_core::Algorithm;
+/// use sc_protocol::{Counter, SyncProtocol};
+///
+/// // A(4, 1): 4 blocks of the trivial counter (Corollary 1, f = 1).
+/// let inner = Algorithm::trivial(2304)?; // 2304 = 3(F+2)·(2m)^k = 9·4^4
+/// let a4 = Algorithm::boosted(inner, 4, 1, 8, 0)?;
+/// assert_eq!(a4.n(), 4);
+/// assert_eq!(a4.resilience(), 1);
+/// assert_eq!(a4.modulus(), 8);
+/// # Ok::<(), sc_protocol::ParamError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub enum Algorithm {
+    /// The trivial one-node counter.
+    Trivial(TrivialCounter),
+    /// A table-driven small counter.
+    Lut(LutCounter),
+    /// A Theorem 1 boosting layer over an inner algorithm.
+    Boosted(Box<BoostedCounter>),
+}
+
+/// The state of one node running an [`Algorithm`]; variants mirror the
+/// algorithm variants.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum CounterState {
+    /// Counter value of the trivial counter.
+    Trivial(u64),
+    /// State index of a table-driven counter.
+    Lut(u8),
+    /// Inner state and phase-king registers of a boosted counter.
+    Boosted(Box<BoostedState>),
+}
+
+impl CounterState {
+    /// The trivial counter value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this state belongs to a different algorithm kind.
+    #[track_caller]
+    pub fn as_trivial(&self) -> u64 {
+        match self {
+            CounterState::Trivial(v) => *v,
+            other => panic!("expected trivial state, got {other:?}"),
+        }
+    }
+
+    /// The LUT state index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this state belongs to a different algorithm kind.
+    #[track_caller]
+    pub fn as_lut(&self) -> u8 {
+        match self {
+            CounterState::Lut(s) => *s,
+            other => panic!("expected LUT state, got {other:?}"),
+        }
+    }
+
+    /// The boosted state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this state belongs to a different algorithm kind.
+    #[track_caller]
+    pub fn as_boosted(&self) -> &BoostedState {
+        match self {
+            CounterState::Boosted(b) => b,
+            other => panic!("expected boosted state, got {other:?}"),
+        }
+    }
+
+    /// The inner counter state of a boosted state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this state belongs to a different algorithm kind.
+    #[track_caller]
+    pub fn as_boosted_inner(&self) -> &CounterState {
+        &self.as_boosted().inner
+    }
+}
+
+impl Algorithm {
+    /// The trivial one-node `c`-counter (§4.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] when `c < 2`.
+    pub fn trivial(c: u64) -> Result<Self, ParamError> {
+        Ok(Algorithm::Trivial(TrivialCounter::new(c)?))
+    }
+
+    /// A table-driven counter from explicit transition/output tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] when the tables are malformed (see
+    /// [`LutCounter::new`]).
+    pub fn lut(spec: LutSpec) -> Result<Self, ParamError> {
+        Ok(Algorithm::Lut(LutCounter::new(spec)?))
+    }
+
+    /// Theorem 1: boosts `inner` with `k` blocks to resilience `f_total`,
+    /// output modulus `c_out`, and `king_slack` extra king groups
+    /// (0 = paper-exact).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] when the preconditions of Theorem 1 fail (see
+    /// [`BoostParams::new`]) or `inner` does not match them (see
+    /// [`BoostedCounter::new`]).
+    pub fn boosted(
+        inner: Algorithm,
+        k: usize,
+        f_total: usize,
+        c_out: u64,
+        king_slack: u64,
+    ) -> Result<Self, ParamError> {
+        let params =
+            BoostParams::new(inner.n(), inner.resilience(), k, f_total, c_out, king_slack)?;
+        Ok(Algorithm::Boosted(Box::new(BoostedCounter::new(inner, params)?)))
+    }
+
+    /// The boosting layer, if this algorithm is a boosted counter.
+    pub fn as_boosted_counter(&self) -> Option<&BoostedCounter> {
+        match self {
+            Algorithm::Boosted(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Number of boosting layers above the base counter.
+    pub fn depth(&self) -> usize {
+        match self {
+            Algorithm::Boosted(b) => 1 + b.inner().depth(),
+            _ => 0,
+        }
+    }
+}
+
+impl SyncProtocol for Algorithm {
+    type State = CounterState;
+
+    fn n(&self) -> usize {
+        match self {
+            Algorithm::Trivial(_) => 1,
+            Algorithm::Lut(l) => l.spec().n,
+            Algorithm::Boosted(b) => b.params().n_total(),
+        }
+    }
+
+    fn step(
+        &self,
+        node: NodeId,
+        view: &MessageView<'_, CounterState>,
+        ctx: &mut StepContext<'_>,
+    ) -> CounterState {
+        match self {
+            Algorithm::Trivial(t) => CounterState::Trivial(t.next(view.get(node).as_trivial())),
+            Algorithm::Lut(l) => {
+                let received: Vec<u8> =
+                    view.iter().map(|s| l.clamp(s.as_lut())).collect();
+                CounterState::Lut(l.next(node.index(), &received))
+            }
+            Algorithm::Boosted(b) => CounterState::Boosted(Box::new(b.step(node, view, ctx))),
+        }
+    }
+
+    fn output(&self, node: NodeId, state: &CounterState) -> u64 {
+        match self {
+            Algorithm::Trivial(t) => state.as_trivial() % t.modulus(),
+            Algorithm::Lut(l) => l.output(node.index(), state.as_lut()),
+            Algorithm::Boosted(b) => state.as_boosted().regs.output(b.params().c_out()),
+        }
+    }
+
+    fn random_state(&self, node: NodeId, rng: &mut dyn RngCore) -> CounterState {
+        match self {
+            Algorithm::Trivial(t) => CounterState::Trivial(rng.next_u64() % t.modulus()),
+            Algorithm::Lut(l) => CounterState::Lut(l.clamp(rng.next_u64() as u8)),
+            Algorithm::Boosted(b) => CounterState::Boosted(Box::new(b.random_state(node, rng))),
+        }
+    }
+}
+
+impl Counter for Algorithm {
+    fn modulus(&self) -> u64 {
+        match self {
+            Algorithm::Trivial(t) => t.modulus(),
+            Algorithm::Lut(l) => l.spec().c,
+            Algorithm::Boosted(b) => b.params().c_out(),
+        }
+    }
+
+    fn resilience(&self) -> usize {
+        match self {
+            Algorithm::Trivial(_) => 0,
+            Algorithm::Lut(l) => l.spec().f,
+            Algorithm::Boosted(b) => b.params().f_total(),
+        }
+    }
+
+    fn state_bits(&self) -> u32 {
+        match self {
+            Algorithm::Trivial(t) => t.state_bits(),
+            Algorithm::Lut(l) => l.state_bits(),
+            Algorithm::Boosted(b) => {
+                b.inner().state_bits() + b.params().state_overhead_bits()
+            }
+        }
+    }
+
+    fn stabilization_bound(&self) -> u64 {
+        match self {
+            Algorithm::Trivial(_) => 0,
+            Algorithm::Lut(l) => l.spec().stabilization_bound,
+            Algorithm::Boosted(b) => {
+                b.inner().stabilization_bound() + b.params().time_overhead()
+            }
+        }
+    }
+
+    fn encode_state(&self, node: NodeId, state: &CounterState, out: &mut BitVec) {
+        match self {
+            Algorithm::Trivial(t) => out.push_bits(state.as_trivial(), t.state_bits()),
+            Algorithm::Lut(l) => out.push_bits(u64::from(state.as_lut()), l.state_bits()),
+            Algorithm::Boosted(b) => {
+                let s = state.as_boosted();
+                let (_, local) = b.params().block_of(node);
+                b.inner().encode_state(NodeId::new(local), &s.inner, out);
+                s.regs.encode(b.params().c_out(), out);
+            }
+        }
+    }
+
+    fn decode_state(
+        &self,
+        node: NodeId,
+        input: &mut BitReader<'_>,
+    ) -> Result<CounterState, CodecError> {
+        match self {
+            Algorithm::Trivial(t) => {
+                let raw = input.read_bits(t.state_bits())?;
+                if raw >= t.modulus() {
+                    return Err(CodecError::InvalidField { field: "trivial counter", value: raw });
+                }
+                Ok(CounterState::Trivial(raw))
+            }
+            Algorithm::Lut(l) => {
+                let raw = input.read_bits(l.state_bits())?;
+                if raw >= u64::from(l.states()) {
+                    return Err(CodecError::InvalidField { field: "LUT state", value: raw });
+                }
+                Ok(CounterState::Lut(raw as u8))
+            }
+            Algorithm::Boosted(b) => {
+                let (_, local) = b.params().block_of(node);
+                let inner = b.inner().decode_state(NodeId::new(local), input)?;
+                let regs = sc_consensus::PkRegisters::decode(b.params().c_out(), input)?;
+                Ok(CounterState::Boosted(Box::new(BoostedState { inner, regs })))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trivial_counts_through_the_trait() {
+        let a = Algorithm::trivial(5).unwrap();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let states = vec![CounterState::Trivial(4)];
+        let view = MessageView::new(&states, &[]);
+        let mut ctx = StepContext::new(&mut rng);
+        let next = a.step(NodeId::new(0), &view, &mut ctx);
+        assert_eq!(next, CounterState::Trivial(0));
+        assert_eq!(a.output(NodeId::new(0), &next), 0);
+    }
+
+    #[test]
+    fn trivial_bounds() {
+        let a = Algorithm::trivial(2304).unwrap();
+        assert_eq!(a.state_bits(), 12);
+        assert_eq!(a.stabilization_bound(), 0);
+        assert_eq!(a.resilience(), 0);
+        assert_eq!(a.depth(), 0);
+    }
+
+    #[test]
+    fn codec_round_trip_trivial() {
+        let a = Algorithm::trivial(100).unwrap();
+        for v in [0u64, 1, 63, 99] {
+            let s = CounterState::Trivial(v);
+            let mut bits = BitVec::new();
+            a.encode_state(NodeId::new(0), &s, &mut bits);
+            assert_eq!(bits.len() as u32, a.state_bits());
+            let back = a.decode_state(NodeId::new(0), &mut bits.reader()).unwrap();
+            assert_eq!(back, s);
+        }
+    }
+
+    #[test]
+    fn codec_rejects_out_of_range_trivial() {
+        let a = Algorithm::trivial(100).unwrap();
+        let mut bits = BitVec::new();
+        bits.push_bits(101, 7);
+        assert!(a.decode_state(NodeId::new(0), &mut bits.reader()).is_err());
+    }
+
+    #[test]
+    fn boosted_codec_round_trips_random_states() {
+        let inner = Algorithm::trivial(2304).unwrap();
+        let a = Algorithm::boosted(inner, 4, 1, 8, 0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(42);
+        for node in 0..4 {
+            for _ in 0..50 {
+                let id = NodeId::new(node);
+                let s = a.random_state(id, &mut rng);
+                let mut bits = BitVec::new();
+                a.encode_state(id, &s, &mut bits);
+                assert_eq!(bits.len() as u32, a.state_bits(), "codec width = S(A)");
+                let back = a.decode_state(id, &mut bits.reader()).unwrap();
+                assert_eq!(back, s);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expected trivial state")]
+    fn mismatched_state_kind_panics() {
+        let s = CounterState::Lut(0);
+        let _ = s.as_trivial();
+    }
+}

@@ -1,0 +1,235 @@
+//! The resilience-boosting construction (Theorem 1, §3).
+
+use rand::{Rng, RngCore};
+use sc_consensus::instructions::{execute_slot, IncrementMode};
+use sc_consensus::{PkRegisters, INFINITY};
+use sc_protocol::{majority_or, MessageView, NodeId, ParamError, StepContext, Tally};
+
+use crate::algorithm::{Algorithm, CounterState};
+use crate::params::BoostParams;
+
+/// One application of Theorem 1: a `C`-counter on `N = k·n` nodes tolerating
+/// `F < (f+1)·⌈k/2⌉` faults, built from `k` block-local copies of an
+/// `(n, f)`-counter.
+///
+/// Every round, node `v = (i, j)` (§3.5):
+///
+/// 1. advances its block's copy `A_i` of the inner counter on the states
+///    received from its own block;
+/// 2. interprets every received inner counter through the `(r, y, b)`
+///    decomposition of §3.2 and takes the three-stage majority vote of §3.3
+///    — per-block leader support `bᵢ`, global leader block `B`, and the
+///    leader's slot counter `R`;
+/// 3. executes instruction set `I_R` of the phase-king protocol (Table 2)
+///    in counting mode on its `(a, d)` registers.
+///
+/// Once some honest-king group runs to completion inside a window where `R`
+/// is common and incrementing (Lemmas 2–4), all correct registers agree and
+/// count modulo `C` forever (Lemma 5).
+///
+/// Constructed via [`Algorithm::boosted`] or [`crate::CounterBuilder`].
+#[derive(Clone, Debug)]
+pub struct BoostedCounter {
+    inner: Algorithm,
+    params: BoostParams,
+}
+
+/// One node's view of the three-stage majority vote of §3.3.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VoteObservation {
+    /// `bᵢ` — the leader block each block currently supports (majority of
+    /// its members' pointers; 0 when no majority exists).
+    pub block_support: Vec<u64>,
+    /// `B` — the elected leader block.
+    pub leader: usize,
+    /// `R` — the leader block's slot counter, selecting the phase-king
+    /// instruction set `I_R`.
+    pub slot: u64,
+}
+
+/// Per-node state of a [`BoostedCounter`]: the inner counter state plus the
+/// phase-king registers — exactly the `S(A) + ⌈log(C+1)⌉ + 1` bits of
+/// Theorem 1.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct BoostedState {
+    /// State of the block-local inner counter.
+    pub inner: CounterState,
+    /// Phase-king registers `(a, d)`.
+    pub regs: PkRegisters,
+}
+
+impl BoostedCounter {
+    /// Wraps `inner` with the boosting layer described by `params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] when `inner` does not match `params`: its size
+    /// must equal `params.n_inner()`, its resilience must be at least
+    /// `params.f_inner()`, and its modulus must be a multiple of
+    /// `params.c_req()`.
+    pub fn new(inner: Algorithm, params: BoostParams) -> Result<Self, ParamError> {
+        use sc_protocol::{Counter as _, SyncProtocol as _};
+        if inner.n() != params.n_inner() {
+            return Err(ParamError::constraint(format!(
+                "inner counter has {} nodes, blocks have {}",
+                inner.n(),
+                params.n_inner()
+            )));
+        }
+        if inner.resilience() < params.f_inner() {
+            return Err(ParamError::constraint(format!(
+                "inner counter tolerates {} faults, construction assumes {}",
+                inner.resilience(),
+                params.f_inner()
+            )));
+        }
+        if inner.modulus() % params.c_req() != 0 {
+            return Err(ParamError::constraint(format!(
+                "inner modulus {} is not a multiple of c_req = {}",
+                inner.modulus(),
+                params.c_req()
+            )));
+        }
+        Ok(BoostedCounter { inner, params })
+    }
+
+    /// The inner counter run by every block.
+    pub fn inner(&self) -> &Algorithm {
+        &self.inner
+    }
+
+    /// The construction parameters.
+    pub fn params(&self) -> &BoostParams {
+        &self.params
+    }
+
+    /// The raw inner counter value a node in `block` announces with `state`,
+    /// i.e. `h(j, state)` before any block-modulus reduction.
+    fn inner_value(&self, local: usize, state: &CounterState) -> u64 {
+        use sc_protocol::SyncProtocol as _;
+        self.inner.output(NodeId::new(local), state)
+    }
+
+    /// The three-stage majority vote of §3.3 as computed from a received
+    /// state vector: per-block leader support `bᵢ`, the elected leader
+    /// block `B`, and its slot counter `R`.
+    ///
+    /// This is exactly the voting step of the transition function, exposed
+    /// for instrumentation — Lemma 3 (all correct nodes eventually share an
+    /// incrementing `R` for ≥ τ rounds) is verified live against these
+    /// observations in the integration tests and the E2 harness.
+    pub fn observe(&self, view: &MessageView<'_, CounterState>) -> VoteObservation {
+        let p = &self.params;
+        let k = p.k();
+        let n = p.n_inner();
+
+        // bᵢ = majority{ b[i, j] : j ∈ [n] } for every block i.
+        let mut block_support = Vec::with_capacity(k);
+        for i in 0..k {
+            let votes = (0..n).map(|j| {
+                let state = view.get(p.member(i, j));
+                let value = self.inner_value(j, state.as_boosted_inner());
+                p.pointer(i, value).b as u64
+            });
+            block_support.push(majority_or(votes, 0));
+        }
+
+        // B = majority{ bᵢ : i ∈ [k] }.
+        let leader = majority_or(block_support.iter().copied(), 0) as usize;
+
+        // R = majority{ r[B, j] : j ∈ [n] }.
+        let slots = (0..n).map(|j| {
+            let state = view.get(p.member(leader, j));
+            let value = self.inner_value(j, state.as_boosted_inner());
+            p.pointer(leader, value).r
+        });
+        let slot = majority_or(slots, 0);
+        VoteObservation { block_support, leader, slot }
+    }
+
+    /// The slot counter `R` this node derives from `view` (§3.3).
+    pub(crate) fn vote_slot(&self, view: &MessageView<'_, CounterState>) -> u64 {
+        self.observe(view).slot
+    }
+
+    /// The transition of node `v` (§3.5). Called through
+    /// [`Algorithm::step`](sc_protocol::SyncProtocol::step).
+    pub(crate) fn step(
+        &self,
+        node: NodeId,
+        view: &MessageView<'_, CounterState>,
+        ctx: &mut StepContext<'_>,
+    ) -> BoostedState {
+        use sc_protocol::SyncProtocol as _;
+        let p = &self.params;
+        let (block, local) = p.block_of(node);
+
+        // 1. Advance this block's copy of the inner counter.
+        let block_states: Vec<CounterState> = (0..p.n_inner())
+            .map(|j| view.get(p.member(block, j)).as_boosted_inner().clone())
+            .collect();
+        let block_view = MessageView::new(&block_states, &[]);
+        let next_inner = self.inner.step(NodeId::new(local), &block_view, ctx);
+
+        // 2. Majority-vote the current slot R.
+        let slot = self.vote_slot(view);
+
+        // 3. Execute instruction set I_R in counting mode.
+        let tally: Tally = view.iter().map(|s| s.as_boosted().regs.a).collect();
+        let king = p.pk().king_of_group(slot / 3);
+        let king_value = view.get(king).as_boosted().regs.a;
+        let me = view.get(node).as_boosted();
+        let regs =
+            execute_slot(p.pk(), me.regs, slot, &tally, king_value, IncrementMode::Counting);
+
+        BoostedState { inner: next_inner, regs }
+    }
+
+    /// Samples an arbitrary representable state (for self-stabilisation
+    /// testing and adversarial message fabrication).
+    pub(crate) fn random_state(&self, node: NodeId, rng: &mut dyn RngCore) -> BoostedState {
+        use sc_protocol::SyncProtocol as _;
+        let (_, local) = self.params.block_of(node);
+        let inner = self.inner.random_state(NodeId::new(local), rng);
+        let c = self.params.c_out();
+        let a = if rng.random_bool(0.125) { INFINITY } else { rng.random_range(0..c) };
+        BoostedState { inner, regs: PkRegisters::new(a, rng.random_bool(0.5)) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CounterBuilder;
+    use sc_protocol::{Counter as _, SyncProtocol as _};
+
+    #[test]
+    fn construction_validates_the_inner_counter() {
+        let params = BoostParams::new(1, 0, 4, 1, 8, 0).unwrap();
+        // Wrong modulus: trivial counter must count mod a multiple of 2304.
+        let bad = Algorithm::trivial(100).unwrap();
+        assert!(BoostedCounter::new(bad, params.clone()).is_err());
+        // Wrong size.
+        let params12 = BoostParams::new(3, 0, 4, 1, 8, 0).unwrap();
+        let small = Algorithm::trivial(params12.c_req()).unwrap();
+        assert!(BoostedCounter::new(small, params12).is_err());
+        // Correct.
+        let good = Algorithm::trivial(2304).unwrap();
+        assert!(BoostedCounter::new(good, params).is_ok());
+    }
+
+    #[test]
+    fn theorem_1_cost_recurrences_hold() {
+        // The next level (k = 3, F = 3) needs an inner modulus divisible by
+        // c_req = 3(F+2)(2m)^k = 15 * 64 = 960.
+        let a4 = CounterBuilder::corollary1(1, 960).unwrap().build().unwrap();
+        let b = Algorithm::boosted(a4.clone(), 3, 3, 16, 0).unwrap();
+        // S(B) = S(A) + ⌈log(C+1)⌉ + 1.
+        assert_eq!(b.state_bits(), a4.state_bits() + sc_protocol::bits_for(17) + 1);
+        // T(B) = T(A) + 3(F+2)(2m)^k.
+        assert_eq!(b.stabilization_bound(), a4.stabilization_bound() + 960);
+        assert_eq!(b.n(), 12);
+        assert_eq!(b.resilience(), 3);
+        assert_eq!(b.modulus(), 16);
+    }
+}

@@ -1,0 +1,83 @@
+//! The trivial one-node counter (§4.1).
+
+use sc_protocol::{bits_for, ParamError};
+
+/// The trivial synchronous `c`-counter for `n = 1`, `f = 0`: a single node
+/// incrementing its own value modulo `c` every round.
+///
+/// It stabilises in 0 rounds — whatever the initial value, the output counts
+/// correctly from round 0 — and uses `⌈log₂ c⌉` bits. Corollary 1 bootstraps
+/// the whole recursive construction from this counter.
+///
+/// # Example
+///
+/// ```
+/// use sc_core::TrivialCounter;
+///
+/// let t = TrivialCounter::new(2304)?;
+/// assert_eq!(t.modulus(), 2304);
+/// assert_eq!(t.next(2303), 0);
+/// # Ok::<(), sc_protocol::ParamError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrivialCounter {
+    c: u64,
+}
+
+impl TrivialCounter {
+    /// A one-node counter modulo `c`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] when `c < 2`.
+    pub fn new(c: u64) -> Result<Self, ParamError> {
+        if c < 2 {
+            return Err(ParamError::constraint(format!("counter modulus must be ≥ 2, got {c}")));
+        }
+        Ok(TrivialCounter { c })
+    }
+
+    /// The modulus `c`.
+    pub fn modulus(&self) -> u64 {
+        self.c
+    }
+
+    /// The transition function: `value + 1 mod c`.
+    ///
+    /// Out-of-range inputs (possible only for adversarially fabricated
+    /// states) are first reduced modulo `c`.
+    pub fn next(&self, value: u64) -> u64 {
+        (value % self.c + 1) % self.c
+    }
+
+    /// Space `S(A) = ⌈log₂ c⌉` bits.
+    pub fn state_bits(&self) -> u32 {
+        bits_for(self.c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_wraps() {
+        let t = TrivialCounter::new(3).unwrap();
+        assert_eq!(t.next(0), 1);
+        assert_eq!(t.next(2), 0);
+        // Defensive reduction of fabricated out-of-range states.
+        assert_eq!(t.next(7), 2);
+    }
+
+    #[test]
+    fn space_matches_the_paper() {
+        assert_eq!(TrivialCounter::new(2304).unwrap().state_bits(), 12);
+        assert_eq!(TrivialCounter::new(2).unwrap().state_bits(), 1);
+    }
+
+    #[test]
+    fn rejects_degenerate_moduli() {
+        assert!(TrivialCounter::new(0).is_err());
+        assert!(TrivialCounter::new(1).is_err());
+    }
+}

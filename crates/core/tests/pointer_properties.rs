@@ -1,0 +1,78 @@
+//! Property-based tests on the `(r, y, b)` decomposition and the parameter
+//! algebra of the boosting construction — Lemmas 1–2 as pure arithmetic.
+
+use proptest::prelude::*;
+use sc_core::{BoostParams, CounterBuilder};
+use sc_protocol::Counter as _;
+
+fn params_strategy() -> impl Strategy<Value = BoostParams> {
+    // Blocks of single nodes (Corollary 1 topology) with k ∈ 4..8 (F = 1
+    // needs N = k > 3F) and a handful of king-slack choices.
+    (4usize..8, 0u64..2).prop_map(|(k, slack)| {
+        BoostParams::new(1, 0, k, 1, 8, slack).expect("valid parameters")
+    })
+}
+
+proptest! {
+    /// After stabilisation the slot counter r increments by 1 (mod τ) when
+    /// the underlying counter increments, for every block.
+    #[test]
+    fn slot_counter_increments_with_the_counter(
+        p in params_strategy(),
+        v in 0u64..100_000,
+    ) {
+        for block in 0..p.k() {
+            let now = p.pointer(block, v);
+            let next = p.pointer(block, v + 1);
+            prop_assert_eq!(next.r, (now.r + 1) % p.tau());
+        }
+    }
+
+    /// The pointer b is constant within each dwell segment of length
+    /// τ·(2m)^i and cycles through [m] (Lemma 1's structure).
+    #[test]
+    fn pointer_dwell_structure(p in params_strategy(), segment in 0u64..32) {
+        for block in 0..p.k() {
+            let dwell = p.tau() * (2 * p.m() as u64).pow(block as u32);
+            let start = segment * dwell;
+            let b0 = p.pointer(block, start).b;
+            prop_assert!(b0 < p.m());
+            // Constant throughout the segment (sample a few offsets).
+            for off in [1u64, dwell / 2, dwell - 1] {
+                prop_assert_eq!(p.pointer(block, start + off).b, b0);
+            }
+            // Adjacent segments differ by exactly the [2m]→[m] wheel step.
+            let b1 = p.pointer(block, start + dwell).b;
+            prop_assert_eq!(b1, ((start / dwell + 1) % (2 * p.m() as u64) % p.m() as u64) as usize);
+        }
+    }
+
+    /// The value decomposes exactly as v mod c_i = r + τ·y.
+    #[test]
+    fn decomposition_is_exact(p in params_strategy(), v in any::<u64>()) {
+        for block in 0..p.k() {
+            let ptr = p.pointer(block, v);
+            prop_assert_eq!(ptr.r + p.tau() * ptr.y, v % p.block_modulus(block));
+            prop_assert!(ptr.y < (2 * p.m() as u64).pow(block as u32 + 1));
+        }
+    }
+
+    /// Theorem 1 cost recurrences as properties of the builder.
+    #[test]
+    fn builder_respects_cost_recurrences(k in 3usize..5, c in 2u64..64) {
+        let one = CounterBuilder::corollary1(1, c).unwrap().build().unwrap();
+        let builder = CounterBuilder::corollary1(1, c).unwrap().boost(k).unwrap();
+        let two = builder.build().unwrap();
+        let plan = builder.plan().unwrap();
+        let top = plan.last().unwrap();
+        // S(B) = S(A) + ⌈log(C+1)⌉ + 1, with A's modulus rewired to c_req.
+        prop_assert_eq!(
+            two.state_bits(),
+            plan[plan.len() - 2].state_bits + sc_protocol::bits_for(c + 1) + 1
+        );
+        // T(B) = T(A) + 3(F+2)(2m)^k.
+        let m = k.div_ceil(2) as u64;
+        let overhead = 3 * (top.f as u64 + 2) * (2 * m).pow(k as u32);
+        prop_assert_eq!(two.stabilization_bound(), one.stabilization_bound() + overhead);
+    }
+}

@@ -1,0 +1,247 @@
+//! Bit-exact state encoding.
+//!
+//! The paper measures space as `S(A) = ⌈log |X|⌉` bits per node and proves
+//! the recurrence `S(B) = S(A) + ⌈log(C+1)⌉ + 1` for the boosted counter
+//! (Theorem 1). Counters in this workspace implement an encoder/decoder into
+//! [`BitVec`] whose *exact width* is asserted against the claimed `S(·)` in
+//! tests, turning the space analysis into an executable invariant.
+
+use std::error::Error;
+use std::fmt;
+
+/// A growable bit string with MSB-first in-word layout.
+///
+/// # Example
+///
+/// ```
+/// use sc_protocol::BitVec;
+///
+/// let mut bits = BitVec::new();
+/// bits.push_bits(0b101, 3);
+/// bits.push_bit(true);
+/// assert_eq!(bits.len(), 4);
+/// let mut r = bits.reader();
+/// assert_eq!(r.read_bits(3)?, 0b101);
+/// assert!(r.read_bit()?);
+/// # Ok::<(), sc_protocol::CodecError>(())
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates an empty bit string.
+    pub fn new() -> Self {
+        BitVec::default()
+    }
+
+    /// Number of bits stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no bits are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends the low `width` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or if `value` does not fit in `width` bits —
+    /// an encoder bug that would silently corrupt the space accounting.
+    pub fn push_bits(&mut self, value: u64, width: u32) {
+        assert!(width <= 64, "width {width} exceeds u64");
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value} does not fit in {width} bits"
+        );
+        for i in (0..width).rev() {
+            self.push_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Appends a single bit.
+    pub fn push_bit(&mut self, bit: bool) {
+        let word = self.len / 64;
+        let offset = 63 - (self.len % 64);
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << offset;
+        }
+        self.len += 1;
+    }
+
+    /// Returns the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn bit(&self, index: usize) -> bool {
+        assert!(index < self.len, "bit index {index} out of range");
+        (self.words[index / 64] >> (63 - (index % 64))) & 1 == 1
+    }
+
+    /// Creates a cursor reading from the first bit.
+    pub fn reader(&self) -> BitReader<'_> {
+        BitReader { bits: self, pos: 0 }
+    }
+}
+
+/// Cursor over a [`BitVec`].
+///
+/// See [`BitVec`] for an example.
+#[derive(Clone, Debug)]
+pub struct BitReader<'a> {
+    bits: &'a BitVec,
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Number of bits not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bits.len() - self.pos
+    }
+
+    /// Reads `width` bits, most significant first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::OutOfBits`] when fewer than `width` bits remain.
+    pub fn read_bits(&mut self, width: u32) -> Result<u64, CodecError> {
+        assert!(width <= 64, "width {width} exceeds u64");
+        if (width as usize) > self.remaining() {
+            return Err(CodecError::OutOfBits {
+                wanted: width as usize,
+                remaining: self.remaining(),
+            });
+        }
+        let mut value = 0u64;
+        for _ in 0..width {
+            value = (value << 1) | u64::from(self.bits.bit(self.pos));
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+
+    /// Reads a single bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::OutOfBits`] at the end of the string.
+    pub fn read_bit(&mut self) -> Result<bool, CodecError> {
+        Ok(self.read_bits(1)? == 1)
+    }
+}
+
+/// Error produced when decoding a state from its bit representation.
+///
+/// # Example
+///
+/// ```
+/// use sc_protocol::{BitVec, CodecError};
+///
+/// let bits = BitVec::new();
+/// let err = bits.reader().read_bits(4).unwrap_err();
+/// assert!(matches!(err, CodecError::OutOfBits { .. }));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The bit string ended before the requested field.
+    OutOfBits {
+        /// Bits requested by the decoder.
+        wanted: usize,
+        /// Bits still available.
+        remaining: usize,
+    },
+    /// A decoded field holds a value outside its domain.
+    InvalidField {
+        /// Which field was malformed, e.g. `"phase-king register"`.
+        field: &'static str,
+        /// The offending raw value.
+        value: u64,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::OutOfBits { wanted, remaining } => {
+                write!(f, "bit string exhausted: wanted {wanted} bits, {remaining} remain")
+            }
+            CodecError::InvalidField { field, value } => {
+                write!(f, "decoded value {value} is outside the domain of {field}")
+            }
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed_fields() {
+        let mut bits = BitVec::new();
+        bits.push_bits(0xDEAD, 16);
+        bits.push_bit(false);
+        bits.push_bits(5, 3);
+        bits.push_bits(0, 0); // zero-width fields are allowed
+        let mut r = bits.reader();
+        assert_eq!(r.read_bits(16).unwrap(), 0xDEAD);
+        assert!(!r.read_bit().unwrap());
+        assert_eq!(r.read_bits(3).unwrap(), 5);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn crossing_word_boundaries() {
+        let mut bits = BitVec::new();
+        for i in 0..130u64 {
+            bits.push_bit(i % 3 == 0);
+        }
+        assert_eq!(bits.len(), 130);
+        let mut r = bits.reader();
+        for i in 0..130u64 {
+            assert_eq!(r.read_bit().unwrap(), i % 3 == 0, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn full_width_values() {
+        let mut bits = BitVec::new();
+        bits.push_bits(u64::MAX, 64);
+        assert_eq!(bits.reader().read_bits(64).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn push_rejects_oversized_values() {
+        let mut bits = BitVec::new();
+        bits.push_bits(8, 3);
+    }
+
+    #[test]
+    fn out_of_bits_error_reports_counts() {
+        let mut bits = BitVec::new();
+        bits.push_bits(1, 2);
+        let mut r = bits.reader();
+        let err = r.read_bits(5).unwrap_err();
+        assert_eq!(err, CodecError::OutOfBits { wanted: 5, remaining: 2 });
+        assert!(err.to_string().contains("wanted 5"));
+    }
+
+    #[test]
+    fn display_for_invalid_field() {
+        let err = CodecError::InvalidField { field: "register", value: 9 };
+        assert!(err.to_string().contains("register"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Error types for parameter validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when construction parameters are inconsistent or overflow.
+///
+/// The resilience-boosting construction (Theorem 1) is only defined when its
+/// preconditions hold — `k ≥ 3`, `F < (f+1)·⌈k/2⌉`, `C > 1`, and the inner
+/// counter's modulus is a multiple of `3(F+2)(2m)^k`. All parameter
+/// arithmetic is checked; quantities like `(2m)^k` grow quickly and must not
+/// silently wrap.
+///
+/// # Example
+///
+/// ```
+/// use sc_protocol::ParamError;
+///
+/// let err = ParamError::constraint("k must be at least 3");
+/// assert_eq!(err.to_string(), "invalid parameters: k must be at least 3");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParamError {
+    /// A derived quantity does not fit in the arithmetic width used.
+    Overflow {
+        /// Which quantity overflowed, e.g. `"3(F+2)(2m)^k"`.
+        what: String,
+    },
+    /// A precondition of the construction is violated.
+    Constraint {
+        /// Human-readable description of the violated precondition.
+        what: String,
+    },
+}
+
+impl ParamError {
+    /// Convenience constructor for [`ParamError::Overflow`].
+    pub fn overflow(what: impl Into<String>) -> Self {
+        ParamError::Overflow { what: what.into() }
+    }
+
+    /// Convenience constructor for [`ParamError::Constraint`].
+    pub fn constraint(what: impl Into<String>) -> Self {
+        ParamError::Constraint { what: what.into() }
+    }
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::Overflow { what } => {
+                write!(f, "parameter arithmetic overflowed: {what}")
+            }
+            ParamError::Constraint { what } => write!(f, "invalid parameters: {what}"),
+        }
+    }
+}
+
+impl Error for ParamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let o = ParamError::overflow("(2m)^k");
+        assert_eq!(o.to_string(), "parameter arithmetic overflowed: (2m)^k");
+        let c = ParamError::constraint("C > 1 required");
+        assert!(c.to_string().contains("C > 1"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn is_error<E: Error + Send + Sync + 'static>(_: E) {}
+        is_error(ParamError::constraint("x"));
+    }
+
+    #[test]
+    fn variants_compare_by_content() {
+        assert_eq!(ParamError::overflow("a"), ParamError::overflow("a"));
+        assert_ne!(ParamError::overflow("a"), ParamError::constraint("a"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Identifier newtypes.
+
+use std::fmt;
+
+/// Identifier of a node in a fully connected network of `n` nodes.
+///
+/// Node identifiers are the set `[n] = {0, 1, …, n−1}` of the paper. The
+/// newtype keeps node indices from being confused with block indices, counts,
+/// or counter values in the heavily index-based construction code.
+///
+/// # Example
+///
+/// ```
+/// use sc_protocol::NodeId;
+///
+/// let v = NodeId::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(v.to_string(), "3");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Wraps a raw index as a node identifier.
+    pub const fn new(index: usize) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the raw index of this node.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(index: usize) -> Self {
+        NodeId(index)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> usize {
+        id.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Identifier of a block in the resilience-boosting construction (§3).
+///
+/// The boosted network of `N = k·n` nodes is divided into `k` blocks of `n`
+/// nodes; node `v = (i, j)` is the `j`-th node of block `i`. Blocks are the
+/// unit of fault accounting: a block with more than `f` faulty nodes is a
+/// *faulty block*.
+///
+/// # Example
+///
+/// ```
+/// use sc_protocol::{BlockId, NodeId};
+///
+/// let block = BlockId::new(2);
+/// // With blocks of n = 4 nodes, block 2 owns flat node ids 8..12.
+/// assert_eq!(block.member(1, 4), NodeId::new(9));
+/// assert_eq!(BlockId::of(NodeId::new(9), 4), block);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(usize);
+
+impl BlockId {
+    /// Wraps a raw index as a block identifier.
+    pub const fn new(index: usize) -> Self {
+        BlockId(index)
+    }
+
+    /// Returns the raw index of this block.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Returns the block containing `node` when blocks have `n` members.
+    pub const fn of(node: NodeId, n: usize) -> Self {
+        BlockId(node.index() / n)
+    }
+
+    /// Returns the flat identifier of the `j`-th member of this block when
+    /// blocks have `n` members.
+    pub const fn member(self, j: usize, n: usize) -> NodeId {
+        NodeId::new(self.0 * n + j)
+    }
+
+    /// Returns the within-block index of `node`, which must belong to this
+    /// block when blocks have `n` members.
+    pub const fn local_index(node: NodeId, n: usize) -> usize {
+        node.index() % n
+    }
+}
+
+impl From<usize> for BlockId {
+    fn from(index: usize) -> Self {
+        BlockId(index)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips_through_usize() {
+        let id = NodeId::from(7usize);
+        assert_eq!(usize::from(id), 7);
+        assert_eq!(id, NodeId::new(7));
+    }
+
+    #[test]
+    fn node_id_orders_by_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::default(), NodeId::new(0));
+    }
+
+    #[test]
+    fn block_membership_is_consistent() {
+        let n = 5;
+        for raw in 0..20 {
+            let node = NodeId::new(raw);
+            let block = BlockId::of(node, n);
+            let local = BlockId::local_index(node, n);
+            assert_eq!(block.member(local, n), node);
+            assert!(local < n);
+        }
+    }
+
+    #[test]
+    fn block_display_and_conversion() {
+        assert_eq!(BlockId::from(3usize).to_string(), "3");
+        assert_eq!(BlockId::new(3).index(), 3);
+    }
+}

@@ -1,0 +1,188 @@
+//! Checked modular and combinatorial arithmetic used by the constructions.
+
+use crate::ParamError;
+
+/// Returns the number of bits needed to store any value in `0..values`.
+///
+/// This is the paper's space measure `⌈log₂ |X|⌉`. By convention a
+/// single-valued state needs `0` bits.
+///
+/// # Example
+///
+/// ```
+/// use sc_protocol::bits_for;
+///
+/// assert_eq!(bits_for(1), 0);
+/// assert_eq!(bits_for(2), 1);
+/// assert_eq!(bits_for(3), 2);
+/// assert_eq!(bits_for(2304), 12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `values == 0` (an empty state space has no representation).
+pub fn bits_for(values: u64) -> u32 {
+    assert!(values > 0, "state space must be non-empty");
+    if values == 1 {
+        0
+    } else {
+        u64::BITS - (values - 1).leading_zeros()
+    }
+}
+
+/// Computes `base^exp` in `u64`, failing instead of wrapping.
+///
+/// # Errors
+///
+/// Returns [`ParamError::Overflow`] when the result exceeds `u64::MAX`.
+///
+/// # Example
+///
+/// ```
+/// use sc_protocol::checked_pow_u64;
+///
+/// assert_eq!(checked_pow_u64(4, 4, "(2m)^k")?, 256);
+/// assert!(checked_pow_u64(10, 30, "(2m)^k").is_err());
+/// # Ok::<(), sc_protocol::ParamError>(())
+/// ```
+pub fn checked_pow_u64(base: u64, exp: u32, what: &str) -> Result<u64, ParamError> {
+    base.checked_pow(exp)
+        .ok_or_else(|| ParamError::overflow(format!("{what} = {base}^{exp}")))
+}
+
+/// Increments `value` modulo `modulus`.
+///
+/// This is the paper's `increment` operation on counter registers (without
+/// the `∞` reset state, which callers handle separately).
+///
+/// # Example
+///
+/// ```
+/// use sc_protocol::inc_mod;
+///
+/// assert_eq!(inc_mod(2, 3), 0);
+/// assert_eq!(inc_mod(0, 3), 1);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `modulus == 0` or `value >= modulus`.
+pub fn inc_mod(value: u64, modulus: u64) -> u64 {
+    assert!(modulus > 0, "modulus must be positive");
+    assert!(value < modulus, "value {value} out of range for modulus {modulus}");
+    if value + 1 == modulus {
+        0
+    } else {
+        value + 1
+    }
+}
+
+/// A half-open interval of round numbers `[start, end)`.
+///
+/// Used to reason about the leader-pointer windows of Lemmas 1–2: within one
+/// counter period each block points to every candidate leader for an interval
+/// of rounds, and the lemmas assert those intervals share a sufficiently long
+/// intersection.
+///
+/// # Example
+///
+/// ```
+/// use sc_protocol::Interval;
+///
+/// let a = Interval::new(10, 20);
+/// let b = Interval::new(15, 40);
+/// assert_eq!(a.intersect(b), Interval::new(15, 20));
+/// assert_eq!(a.intersect(b).len(), 5);
+/// assert!(a.contains(12) && !a.contains(20));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Interval {
+    /// First round in the interval.
+    pub start: u64,
+    /// First round past the interval.
+    pub end: u64,
+}
+
+impl Interval {
+    /// Creates the interval `[start, end)`; an inverted pair denotes the
+    /// empty interval.
+    pub fn new(start: u64, end: u64) -> Self {
+        Interval { start, end }
+    }
+
+    /// Number of rounds covered.
+    pub fn len(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the interval covers no rounds.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// Whether `round` lies inside the interval.
+    pub fn contains(&self, round: u64) -> bool {
+        self.start <= round && round < self.end
+    }
+
+    /// The common sub-interval of `self` and `other` (possibly empty).
+    pub fn intersect(&self, other: Interval) -> Interval {
+        Interval {
+            start: self.start.max(other.start),
+            end: self.end.min(other.end),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_powers_of_two() {
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(4), 2);
+        assert_eq!(bits_for(5), 3);
+        assert_eq!(bits_for(256), 8);
+        assert_eq!(bits_for(257), 9);
+        assert_eq!(bits_for(u64::MAX), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn bits_for_rejects_zero() {
+        bits_for(0);
+    }
+
+    #[test]
+    fn checked_pow_boundaries() {
+        assert_eq!(checked_pow_u64(2, 63, "x").unwrap(), 1 << 63);
+        assert!(checked_pow_u64(2, 64, "x").is_err());
+        assert_eq!(checked_pow_u64(7, 0, "x").unwrap(), 1);
+    }
+
+    #[test]
+    fn inc_mod_wraps() {
+        assert_eq!(inc_mod(0, 1), 0);
+        assert_eq!(inc_mod(6, 7), 0);
+        assert_eq!(inc_mod(5, 7), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn inc_mod_rejects_out_of_range() {
+        inc_mod(7, 7);
+    }
+
+    #[test]
+    fn interval_edge_cases() {
+        let empty = Interval::new(5, 5);
+        assert!(empty.is_empty());
+        assert_eq!(empty.len(), 0);
+        assert!(!empty.contains(5));
+        let inverted = Interval::new(9, 3);
+        assert!(inverted.is_empty());
+        let a = Interval::new(0, 10);
+        assert!(a.intersect(Interval::new(10, 20)).is_empty());
+    }
+}

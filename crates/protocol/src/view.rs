@@ -1,0 +1,160 @@
+//! The per-receiver view of one communication round.
+
+use crate::NodeId;
+
+/// The vector of states received by one node in one synchronous round.
+///
+/// In the model of §2, every node broadcasts its state and receives a vector
+/// `x ∈ Xⁿ`. Correct nodes broadcast the *same* state to everyone, while
+/// Byzantine nodes may send a different state to every receiver. A
+/// `MessageView` therefore consists of
+///
+/// * `base` — the honest broadcast vector (entries of faulty senders are
+///   placeholders), shared by all receivers in a round, and
+/// * `overrides` — the receiver-specific states chosen by the adversary for
+///   the faulty senders.
+///
+/// This layering avoids cloning the `n` honest states once per receiver
+/// (`O(n²)` clones per round) while still modelling full per-receiver
+/// equivocation.
+///
+/// # Example
+///
+/// ```
+/// use sc_protocol::{MessageView, NodeId};
+///
+/// let base = vec![10u64, 20, 30];
+/// let overrides = vec![(NodeId::new(1), 99u64)]; // node 1 lies to us
+/// let view = MessageView::new(&base, &overrides);
+/// assert_eq!(*view.get(NodeId::new(0)), 10);
+/// assert_eq!(*view.get(NodeId::new(1)), 99);
+/// assert_eq!(view.iter().copied().collect::<Vec<_>>(), vec![10, 99, 30]);
+/// ```
+#[derive(Debug)]
+pub struct MessageView<'a, S> {
+    base: &'a [S],
+    overrides: &'a [(NodeId, S)],
+}
+
+impl<'a, S> MessageView<'a, S> {
+    /// Creates a view over the honest broadcast `base` with receiver-specific
+    /// `overrides` for faulty senders.
+    ///
+    /// Each override index must be in range; duplicate overrides resolve to
+    /// the first entry.
+    pub fn new(base: &'a [S], overrides: &'a [(NodeId, S)]) -> Self {
+        debug_assert!(
+            overrides.iter().all(|(id, _)| id.index() < base.len()),
+            "override for node outside the network"
+        );
+        MessageView { base, overrides }
+    }
+
+    /// Number of states in the received vector (the network size `n`).
+    pub fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Whether the vector is empty (only for degenerate zero-node networks).
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty()
+    }
+
+    /// The state received from `sender` this round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender` is outside the network.
+    pub fn get(&self, sender: NodeId) -> &S {
+        for (id, state) in self.overrides {
+            if *id == sender {
+                return state;
+            }
+        }
+        &self.base[sender.index()]
+    }
+
+    /// Iterates over the received states in sender-id order.
+    pub fn iter(&self) -> Iter<'_, S> {
+        Iter { view: self, next: 0 }
+    }
+}
+
+/// Iterator over the states of a [`MessageView`] in sender-id order.
+#[derive(Debug)]
+pub struct Iter<'a, S> {
+    view: &'a MessageView<'a, S>,
+    next: usize,
+}
+
+impl<'a, S> Iterator for Iter<'a, S> {
+    type Item = &'a S;
+
+    fn next(&mut self) -> Option<&'a S> {
+        if self.next >= self.view.len() {
+            return None;
+        }
+        let item = self.view.get(NodeId::new(self.next));
+        self.next += 1;
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = self.view.len() - self.next;
+        (rest, Some(rest))
+    }
+}
+
+impl<'a, S> ExactSizeIterator for Iter<'a, S> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn without_overrides_view_mirrors_base() {
+        let base = vec![1u32, 2, 3, 4];
+        let view = MessageView::new(&base, &[]);
+        assert_eq!(view.len(), 4);
+        assert!(!view.is_empty());
+        for (i, v) in base.iter().enumerate() {
+            assert_eq!(view.get(NodeId::new(i)), v);
+        }
+    }
+
+    #[test]
+    fn overrides_shadow_base_entries() {
+        let base = vec![0u32; 3];
+        let overrides = vec![(NodeId::new(2), 7u32), (NodeId::new(0), 9)];
+        let view = MessageView::new(&base, &overrides);
+        assert_eq!(*view.get(NodeId::new(0)), 9);
+        assert_eq!(*view.get(NodeId::new(1)), 0);
+        assert_eq!(*view.get(NodeId::new(2)), 7);
+    }
+
+    #[test]
+    fn duplicate_overrides_take_first() {
+        let base = vec![0u32; 2];
+        let overrides = vec![(NodeId::new(1), 5u32), (NodeId::new(1), 6)];
+        let view = MessageView::new(&base, &overrides);
+        assert_eq!(*view.get(NodeId::new(1)), 5);
+    }
+
+    #[test]
+    fn iterator_is_exact_size_and_ordered() {
+        let base = vec![10u32, 20, 30];
+        let overrides = vec![(NodeId::new(1), 21u32)];
+        let view = MessageView::new(&base, &overrides);
+        let it = view.iter();
+        assert_eq!(it.len(), 3);
+        assert_eq!(it.copied().collect::<Vec<_>>(), vec![10, 21, 30]);
+    }
+
+    #[test]
+    fn empty_view() {
+        let base: Vec<u32> = Vec::new();
+        let view = MessageView::new(&base, &[]);
+        assert!(view.is_empty());
+        assert_eq!(view.iter().count(), 0);
+    }
+}

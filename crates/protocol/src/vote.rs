@@ -1,0 +1,223 @@
+//! Majority votes and tallies.
+//!
+//! The boosting construction (§3.3) repeatedly takes majority votes over
+//! received values. The paper's `majority` evaluates to a value `a` only if
+//! `a` occurs *strictly more* than half the time, and is otherwise
+//! unconstrained (`∗`) — implementations then default to an arbitrary fixed
+//! value. We surface the unconstrained case as `None` so call sites choose
+//! their default explicitly.
+
+use std::collections::BTreeMap;
+
+/// Returns the strict-majority value of `values`, if one exists.
+///
+/// A value wins only when it occurs more than `len/2` times; with no such
+/// value the paper's majority function is unconstrained and we return
+/// `None`.
+///
+/// # Example
+///
+/// ```
+/// use sc_protocol::majority;
+///
+/// assert_eq!(majority([2u64, 2, 2, 1]), Some(2));
+/// assert_eq!(majority([2u64, 2, 1, 1]), None); // exactly half is not enough
+/// assert_eq!(majority(Vec::<u64>::new()), None);
+/// ```
+pub fn majority<I, T>(values: I) -> Option<T>
+where
+    I: IntoIterator<Item = T>,
+    T: Ord,
+{
+    let mut counts: BTreeMap<T, usize> = BTreeMap::new();
+    let mut total = 0usize;
+    for v in values {
+        *counts.entry(v).or_insert(0) += 1;
+        total += 1;
+    }
+    counts
+        .into_iter()
+        .find(|(_, count)| 2 * count > total)
+        .map(|(value, _)| value)
+}
+
+/// Returns the strict-majority value of `values`, or `default` when no
+/// strict majority exists.
+///
+/// This matches the paper's advice of "defaulting to, e.g., 0, when no such
+/// majority is found".
+///
+/// # Example
+///
+/// ```
+/// use sc_protocol::majority_or;
+///
+/// assert_eq!(majority_or([5u64, 5, 1], 0), 5);
+/// assert_eq!(majority_or([5u64, 1], 0), 0);
+/// ```
+pub fn majority_or<I>(values: I, default: u64) -> u64
+where
+    I: IntoIterator<Item = u64>,
+{
+    majority(values).unwrap_or(default)
+}
+
+/// An ordered tally of `u64` values.
+///
+/// Drives the phase-king instruction sets of Table 2, which need the count
+/// `z_j` of each received value `j`, the threshold tests `z_j ≥ N − F` and
+/// `z_j > F`, and `min{j : z_j > F}`. Values are kept in increasing order so
+/// the minimum query is a scan; the reset state `∞` is encoded by callers as
+/// `u64::MAX` and therefore naturally sorts last.
+///
+/// # Example
+///
+/// ```
+/// use sc_protocol::Tally;
+///
+/// let mut z = Tally::new();
+/// for v in [4u64, 4, 9, u64::MAX] {
+///     z.add(v);
+/// }
+/// assert_eq!(z.total(), 4);
+/// assert_eq!(z.count(4), 2);
+/// assert_eq!(z.min_value_with_count_over(1), Some(4));
+/// assert_eq!(z.min_value_with_count_over(2), None);
+/// assert_eq!(z.majority(), None);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Tally {
+    counts: BTreeMap<u64, usize>,
+    total: usize,
+}
+
+impl Tally {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        Tally::default()
+    }
+
+    /// Builds a tally from an iterator of values.
+    pub fn from_values<I: IntoIterator<Item = u64>>(values: I) -> Self {
+        let mut tally = Tally::new();
+        for v in values {
+            tally.add(v);
+        }
+        tally
+    }
+
+    /// Records one occurrence of `value`.
+    pub fn add(&mut self, value: u64) {
+        *self.counts.entry(value).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Number of occurrences of `value` (the paper's `z_value`).
+    pub fn count(&self, value: u64) -> usize {
+        self.counts.get(&value).copied().unwrap_or(0)
+    }
+
+    /// Total number of recorded values.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The smallest value occurring strictly more than `threshold` times:
+    /// `min{j : z_j > threshold}`.
+    pub fn min_value_with_count_over(&self, threshold: usize) -> Option<u64> {
+        self.counts
+            .iter()
+            .find(|(_, &count)| count > threshold)
+            .map(|(&value, _)| value)
+    }
+
+    /// The strict-majority value, if any.
+    pub fn majority(&self) -> Option<u64> {
+        self.counts
+            .iter()
+            .find(|(_, &count)| 2 * count > self.total)
+            .map(|(&value, _)| value)
+    }
+
+    /// Iterates over `(value, count)` pairs in increasing value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, usize)> + '_ {
+        self.counts.iter().map(|(&v, &c)| (v, c))
+    }
+}
+
+impl FromIterator<u64> for Tally {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        Tally::from_values(iter)
+    }
+}
+
+impl Extend<u64> for Tally {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        for v in iter {
+            self.add(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_requires_strict_majority() {
+        assert_eq!(majority([1u64, 1, 2, 2]), None);
+        assert_eq!(majority([1u64, 1, 1, 2]), Some(1));
+        assert_eq!(majority([7u64]), Some(7));
+    }
+
+    #[test]
+    fn majority_on_non_numeric_ord_types() {
+        assert_eq!(majority(["a", "b", "a"]), Some("a"));
+    }
+
+    #[test]
+    fn majority_or_defaults() {
+        assert_eq!(majority_or([], 42), 42);
+        assert_eq!(majority_or([3, 3, 3, 1, 2], 42), 3);
+    }
+
+    #[test]
+    fn tally_counts_and_thresholds() {
+        let z: Tally = [5u64, 5, 5, 8, 8, u64::MAX].into_iter().collect();
+        assert_eq!(z.total(), 6);
+        assert_eq!(z.count(5), 3);
+        assert_eq!(z.count(8), 2);
+        assert_eq!(z.count(0), 0);
+        assert_eq!(z.min_value_with_count_over(2), Some(5));
+        assert_eq!(z.min_value_with_count_over(1), Some(5));
+        // Only the reset state (u64::MAX) would win here with threshold 0 for
+        // large values; the scan returns the smallest qualifying value.
+        assert_eq!(z.min_value_with_count_over(0), Some(5));
+        assert_eq!(z.min_value_with_count_over(5), None);
+    }
+
+    #[test]
+    fn tally_majority_matches_free_function() {
+        let values = [9u64, 9, 9, 1, 2];
+        let z = Tally::from_values(values);
+        assert_eq!(z.majority(), majority(values));
+    }
+
+    #[test]
+    fn infinity_sorts_last() {
+        let z = Tally::from_values([u64::MAX, u64::MAX, 3]);
+        // min over values with count > 1 is ∞ since only ∞ qualifies.
+        assert_eq!(z.min_value_with_count_over(1), Some(u64::MAX));
+        // 3 is found first when the threshold admits it.
+        assert_eq!(z.min_value_with_count_over(0), Some(3));
+    }
+
+    #[test]
+    fn extend_accumulates() {
+        let mut z = Tally::new();
+        z.extend([1u64, 1]);
+        z.extend([2u64]);
+        assert_eq!(z.total(), 3);
+        assert_eq!(z.iter().collect::<Vec<_>>(), vec![(1, 2), (2, 1)]);
+    }
+}

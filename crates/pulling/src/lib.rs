@@ -1,0 +1,57 @@
+//! The pulling model and its randomised counters (§5).
+//!
+//! In the **pulling model** a node does not broadcast: each round it
+//! *contacts* a set of nodes, and every contacted node responds with its
+//! current state (faulty nodes may answer each request arbitrarily and
+//! differently). The cost of an exchange is attributed to the pulling node —
+//! in a circuit, the puller pays the energy for the link — so the relevant
+//! complexity is the maximum number of pulls a *correct* node performs per
+//! round.
+//!
+//! The deterministic counters of §3–4 translate to this model by pulling all
+//! `n − 1` other nodes ([`Sampling::Full`]). §5 shows that sampling
+//! `M = Θ(log η)` states per block and replacing the phase-king thresholds
+//! `N−F` / `F+1` by `⅔M` / `⅓M` preserves all majority-vote guarantees with
+//! high probability (Lemmas 8–9, Theorem 4), reducing the per-node message
+//! complexity to `O(k log η)` per level — polylogarithmic overall
+//! (Corollary 4). Fixing the random choices once yields the pseudo-random
+//! variant against oblivious adversaries (Corollary 5).
+//!
+//! This crate provides:
+//!
+//! * [`PullProtocol`] / [`PullSimulation`] — the execution model, with
+//!   per-request adversarial responses and pull accounting;
+//! * [`PullCounter`] — the Theorem 4 counter, built from any deterministic
+//!   [`Algorithm`](sc_core::Algorithm) via [`PullCounter::from_algorithm`],
+//!   with per-level [`Sampling`] choices;
+//! * [`KingPullMode`] — how the king's value is obtained: pull all `F+2+s`
+//!   candidates, or *predict* the next slot and pull one (requires king
+//!   slack ≥ 1; see DESIGN.md §4).
+//!
+//! # Example
+//!
+//! ```
+//! use sc_core::CounterBuilder;
+//! use sc_pulling::{KingPullMode, PullCounter, PullSimulation, Sampling};
+//! use sc_sim::adversaries;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let algo = CounterBuilder::corollary1(1, 8)?.build()?;
+//! let pc = PullCounter::from_algorithm(&algo, Sampling::Full)?;
+//! let mut sim = PullSimulation::new(&pc, adversaries::none(), 3);
+//! sim.run(16);
+//! assert!(sim.max_pulls_per_round() <= 4 + 2); // N − 1 targets + kings
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counter;
+mod protocol;
+mod simulation;
+
+pub use counter::{KingPullMode, PullBoosted, PullBoostedState, PullCounter, PullState, Sampling};
+pub use protocol::PullProtocol;
+pub use simulation::PullSimulation;

@@ -1,0 +1,47 @@
+//! The pull-based protocol interface.
+
+use rand::RngCore;
+use sc_protocol::{NodeId, StepContext};
+
+/// A synchronous protocol in the pulling model (§5.1).
+///
+/// Each round a node (1) chooses which nodes to contact ([`PullProtocol::plan`]),
+/// (2) receives one response per request — in request order, duplicates
+/// allowed — and (3) updates its state ([`PullProtocol::pull_step`]).
+///
+/// The *plan* may be randomised (fresh samples per round, Theorem 4) or
+/// fixed (pseudo-random variant, Corollary 5); its **length** must be a
+/// deterministic function of the protocol parameters, so that implementations
+/// can split the response vector structurally.
+pub trait PullProtocol {
+    /// Local node state.
+    type State: Clone + std::fmt::Debug;
+
+    /// Number of nodes.
+    fn n(&self) -> usize;
+
+    /// The nodes contacted by `node` this round, in request order;
+    /// repetitions are allowed (sampling with replacement).
+    fn plan(&self, node: NodeId, state: &Self::State, rng: &mut dyn RngCore) -> Vec<NodeId>;
+
+    /// Number of requests [`PullProtocol::plan`] issues, which must not
+    /// depend on the state or randomness.
+    fn plan_len(&self) -> usize;
+
+    /// Computes the next state from the node's own state and the responses,
+    /// where `responses[i]` answers `plan[i]`.
+    fn pull_step(
+        &self,
+        node: NodeId,
+        state: &Self::State,
+        responses: &[(NodeId, Self::State)],
+        ctx: &mut StepContext<'_>,
+    ) -> Self::State;
+
+    /// Output value of a node.
+    fn output(&self, node: NodeId, state: &Self::State) -> u64;
+
+    /// Samples an arbitrary representable state (arbitrary initialisation
+    /// and adversarial fabrication).
+    fn random_state(&self, node: NodeId, rng: &mut dyn RngCore) -> Self::State;
+}

@@ -1,0 +1,187 @@
+//! Execution engine for the pulling model.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sc_protocol::{NodeId, StepContext};
+use sc_sim::{detect_stabilization, Adversary, OutputTrace, RoundContext, SimError,
+             StabilizationReport};
+
+use crate::protocol::PullProtocol;
+
+/// A synchronous execution in the pulling model (§5.1).
+///
+/// Each round every correct node issues its pull requests; correct targets
+/// respond with their start-of-round state, faulty targets answer **per
+/// request** through the adversary (the same faulty node may answer two
+/// pullers — or two requests of one puller — differently). The maximum
+/// number of pulls issued by a correct node per round is tracked as the
+/// model's message complexity.
+///
+/// See the crate-level documentation for an example.
+pub struct PullSimulation<'a, P: PullProtocol, A> {
+    protocol: &'a P,
+    adversary: A,
+    states: Vec<P::State>,
+    faulty: Vec<NodeId>,
+    honest: Vec<NodeId>,
+    round: u64,
+    rng: SmallRng,
+    max_pulls: usize,
+}
+
+impl<'a, P, A> PullSimulation<'a, P, A>
+where
+    P: PullProtocol,
+    A: Adversary<P::State>,
+{
+    /// Starts an execution from an adversarially random configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the adversary names a node outside the network or corrupts
+    /// every node.
+    pub fn new(protocol: &'a P, adversary: A, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let states: Vec<P::State> = (0..protocol.n())
+            .map(|i| protocol.random_state(NodeId::new(i), &mut rng))
+            .collect();
+        Self::with_states(protocol, adversary, states, seed.wrapping_add(1))
+    }
+
+    /// Starts an execution from an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`PullSimulation::new`], plus a width mismatch.
+    pub fn with_states(protocol: &'a P, adversary: A, states: Vec<P::State>, seed: u64) -> Self {
+        assert_eq!(states.len(), protocol.n(), "initial configuration width mismatch");
+        let faulty: Vec<NodeId> = adversary.faulty().to_vec();
+        assert!(faulty.iter().all(|id| id.index() < protocol.n()), "fault outside network");
+        assert!(faulty.len() < protocol.n(), "at least one node must stay correct");
+        let honest = (0..protocol.n())
+            .map(NodeId::new)
+            .filter(|id| faulty.binary_search(id).is_err())
+            .collect();
+        PullSimulation {
+            protocol,
+            adversary,
+            states,
+            faulty,
+            honest,
+            round: 0,
+            rng: SmallRng::seed_from_u64(seed),
+            max_pulls: 0,
+        }
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Sorted identifiers of correct nodes.
+    pub fn honest(&self) -> &[NodeId] {
+        &self.honest
+    }
+
+    /// Current states (faulty entries are placeholders).
+    pub fn states(&self) -> &[P::State] {
+        &self.states
+    }
+
+    /// The most pulls any correct node issued in any round so far — the
+    /// per-node message complexity of §5.
+    pub fn max_pulls_per_round(&self) -> usize {
+        self.max_pulls
+    }
+
+    /// Outputs of the correct nodes.
+    pub fn outputs_now(&self) -> Vec<u64> {
+        self.honest
+            .iter()
+            .map(|&id| self.protocol.output(id, &self.states[id.index()]))
+            .collect()
+    }
+
+    /// Executes one round.
+    pub fn step(&mut self) {
+        let ctx = RoundContext {
+            round: self.round,
+            honest: &self.states,
+            faulty: &self.faulty,
+        };
+        self.adversary.begin_round(&ctx);
+
+        let mut next: Vec<P::State> = Vec::with_capacity(self.states.len());
+        for i in 0..self.states.len() {
+            let puller = NodeId::new(i);
+            if self.faulty.binary_search(&puller).is_ok() {
+                next.push(self.states[i].clone());
+                continue;
+            }
+            let plan = self.protocol.plan(puller, &self.states[i], &mut self.rng);
+            debug_assert_eq!(plan.len(), self.protocol.plan_len(), "plan length must be static");
+            self.max_pulls = self.max_pulls.max(plan.len());
+            let responses: Vec<(NodeId, P::State)> = plan
+                .into_iter()
+                .map(|target| {
+                    let state = if self.faulty.binary_search(&target).is_ok() {
+                        self.adversary.message(target, puller, &ctx)
+                    } else {
+                        self.states[target.index()].clone()
+                    };
+                    (target, state)
+                })
+                .collect();
+            let mut step_ctx = StepContext::new(&mut self.rng);
+            next.push(self.protocol.pull_step(puller, &self.states[i], &responses, &mut step_ctx));
+        }
+        self.states = next;
+        self.round += 1;
+    }
+
+    /// Executes `rounds` rounds.
+    pub fn run(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// Executes `rounds` rounds recording the correct outputs each round.
+    pub fn run_trace(&mut self, rounds: u64) -> OutputTrace {
+        let mut trace = OutputTrace::new(self.honest.clone());
+        trace.push_row(self.outputs_now());
+        for _ in 0..rounds {
+            self.step();
+            trace.push_row(self.outputs_now());
+        }
+        trace
+    }
+
+    /// Runs for `horizon` rounds and checks stabilisation against `modulus`
+    /// (pull protocols do not carry their modulus in the trait).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NotStabilized`] when no adequate stable suffix exists.
+    pub fn run_until_stable(
+        &mut self,
+        horizon: u64,
+        modulus: u64,
+    ) -> Result<StabilizationReport, SimError> {
+        let confirm = (2 * modulus).clamp(8, 128);
+        let trace = self.run_trace(horizon);
+        detect_stabilization(&trace, modulus, confirm.min(horizon / 2).max(1))
+    }
+}
+
+impl<'a, P: PullProtocol, A> std::fmt::Debug for PullSimulation<'a, P, A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PullSimulation")
+            .field("n", &self.states.len())
+            .field("round", &self.round)
+            .field("faulty", &self.faulty)
+            .field("max_pulls", &self.max_pulls)
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,352 @@
+//! Advanced adversary strategies: protocol-simulating sleepers and greedy
+//! lookahead attackers.
+//!
+//! Unlike the stateless strategies in [`crate::adversaries`], these run the
+//! protocol themselves: the [`sleeper`] executes it honestly on behalf of
+//! the faulty nodes until a wake round (so stabilisation happens with the
+//! faults invisible, and the attack starts *after* agreement — the exact
+//! scenario of Lemma 5), and the [`greedy`] attacker simulates every correct
+//! node one round ahead under a set of candidate scripts and plays whichever
+//! maximises disagreement.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sc_protocol::{MessageView, NodeId, StepContext, SyncProtocol};
+
+use crate::adversary::{Adversary, RoundContext};
+
+fn normalize(faulty: impl IntoIterator<Item = usize>) -> Vec<NodeId> {
+    let mut ids: Vec<NodeId> = faulty.into_iter().map(NodeId::new).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+/// Faulty nodes execute the protocol *honestly* until `wake_round`, then
+/// switch to the strategy produced by `attack`.
+///
+/// A self-stabilising counter will stabilise long before a late wake round
+/// — the faults are literally invisible — so this strategy tests the other
+/// half of the specification: once counting has begun, the sudden onset of
+/// Byzantine behaviour must not break it (closure / Lemma 5).
+pub fn sleeper<'a, P, A>(
+    protocol: &'a P,
+    faulty: impl IntoIterator<Item = usize>,
+    wake_round: u64,
+    attack: A,
+    seed: u64,
+) -> Sleeper<'a, P, A>
+where
+    P: SyncProtocol,
+    A: Adversary<P::State>,
+{
+    let faulty = normalize(faulty);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let states = faulty
+        .iter()
+        .map(|&id| protocol.random_state(id, &mut rng))
+        .collect();
+    Sleeper { protocol, faulty, wake_round, attack, states, next: None, rng }
+}
+
+/// Adversary produced by [`sleeper`].
+pub struct Sleeper<'a, P: SyncProtocol, A> {
+    protocol: &'a P,
+    faulty: Vec<NodeId>,
+    wake_round: u64,
+    attack: A,
+    /// The honest-execution states of the sleeping nodes (parallel to
+    /// `faulty`) at the *start* of the current round — these are what gets
+    /// broadcast; the post-step states are staged in `next` until the
+    /// following round so the sleeper is never a round ahead of the network.
+    states: Vec<P::State>,
+    next: Option<Vec<P::State>>,
+    rng: SmallRng,
+}
+
+impl<'a, P: SyncProtocol, A> std::fmt::Debug for Sleeper<'a, P, A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sleeper")
+            .field("faulty", &self.faulty)
+            .field("wake_round", &self.wake_round)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a, P, A> Adversary<P::State> for Sleeper<'a, P, A>
+where
+    P: SyncProtocol,
+    A: Adversary<P::State>,
+{
+    fn faulty(&self) -> &[NodeId] {
+        &self.faulty
+    }
+
+    fn begin_round(&mut self, ctx: &RoundContext<'_, P::State>) {
+        // Promote last round's staged step to the broadcast state.
+        if let Some(next) = self.next.take() {
+            self.states = next;
+        }
+        if ctx.round >= self.wake_round {
+            self.attack.begin_round(ctx);
+            return;
+        }
+        // Execute the protocol honestly for every sleeping node: its view
+        // is the honest broadcast with the sleepers' entries replaced by
+        // their own (honestly maintained) start-of-round states.
+        let overrides: Vec<(NodeId, P::State)> = self
+            .faulty
+            .iter()
+            .zip(&self.states)
+            .map(|(&id, s)| (id, s.clone()))
+            .collect();
+        let view = MessageView::new(ctx.honest, &overrides);
+        let mut next = Vec::with_capacity(self.states.len());
+        for &id in &self.faulty {
+            let mut step_ctx = StepContext::new(&mut self.rng);
+            next.push(self.protocol.step(id, &view, &mut step_ctx));
+        }
+        self.next = Some(next);
+    }
+
+    fn message(&mut self, from: NodeId, to: NodeId, ctx: &RoundContext<'_, P::State>) -> P::State {
+        if ctx.round >= self.wake_round {
+            return self.attack.message(from, to, ctx);
+        }
+        let idx = self.faulty.binary_search(&from).expect("message from non-faulty node");
+        self.states[idx].clone()
+    }
+}
+
+/// One-step greedy lookahead: each round the adversary considers a set of
+/// candidate scripts (two-faced splits of donor/random states), simulates
+/// every correct node one round ahead under each script, and commits to the
+/// script producing the most output disagreement.
+///
+/// This is the strongest *generic* strategy in the workspace — it uses full
+/// knowledge of the protocol's transition function, like the adversary in
+/// the model — at a cost of `candidates × n` extra protocol steps per round.
+pub fn greedy<'a, P: SyncProtocol>(
+    protocol: &'a P,
+    faulty: impl IntoIterator<Item = usize>,
+    candidates: usize,
+    seed: u64,
+) -> Greedy<'a, P> {
+    Greedy {
+        protocol,
+        faulty: normalize(faulty),
+        candidates: candidates.max(1),
+        rng: SmallRng::seed_from_u64(seed),
+        faces: None,
+    }
+}
+
+/// Adversary produced by [`greedy`].
+pub struct Greedy<'a, P: SyncProtocol> {
+    protocol: &'a P,
+    faulty: Vec<NodeId>,
+    candidates: usize,
+    rng: SmallRng,
+    faces: Option<(P::State, P::State)>,
+}
+
+impl<'a, P: SyncProtocol> std::fmt::Debug for Greedy<'a, P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Greedy")
+            .field("faulty", &self.faulty)
+            .field("candidates", &self.candidates)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a, P: SyncProtocol> Greedy<'a, P> {
+    /// Scores a candidate script: simulate every correct node one round
+    /// ahead and count distinct outputs (more = better for the adversary),
+    /// breaking ties towards *non-incrementing* behaviour.
+    fn score(&mut self, ctx: &RoundContext<'_, P::State>, faces: &(P::State, P::State)) -> usize {
+        let mut outputs = Vec::new();
+        for id in ctx.honest_ids() {
+            let overrides: Vec<(NodeId, P::State)> = self
+                .faulty
+                .iter()
+                .map(|&from| {
+                    let face =
+                        if id.index() % 2 == 0 { faces.0.clone() } else { faces.1.clone() };
+                    (from, face)
+                })
+                .collect();
+            let view = MessageView::new(ctx.honest, &overrides);
+            let mut step_ctx = StepContext::new(&mut self.rng);
+            let next = self.protocol.step(id, &view, &mut step_ctx);
+            outputs.push(self.protocol.output(id, &next));
+        }
+        outputs.sort_unstable();
+        outputs.dedup();
+        outputs.len()
+    }
+}
+
+impl<'a, P: SyncProtocol> Adversary<P::State> for Greedy<'a, P> {
+    fn faulty(&self) -> &[NodeId] {
+        &self.faulty
+    }
+
+    fn begin_round(&mut self, ctx: &RoundContext<'_, P::State>) {
+        let honest: Vec<NodeId> = ctx.honest_ids().collect();
+        let mut best: Option<((P::State, P::State), usize)> = None;
+        for _ in 0..self.candidates {
+            // Candidate faces: a mix of honest donors and random states.
+            let pick = |rng: &mut SmallRng, protocol: &P| -> P::State {
+                if rng.random_bool(0.5) && !honest.is_empty() {
+                    let donor = honest[rng.random_range(0..honest.len())];
+                    ctx.honest[donor.index()].clone()
+                } else {
+                    protocol.random_state(NodeId::new(0), rng)
+                }
+            };
+            let faces = (pick(&mut self.rng, self.protocol), pick(&mut self.rng, self.protocol));
+            let score = self.score(ctx, &faces);
+            if best.as_ref().is_none_or(|(_, s)| score > *s) {
+                best = Some((faces, score));
+            }
+        }
+        self.faces = best.map(|(f, _)| f);
+    }
+
+    fn message(&mut self, _from: NodeId, to: NodeId, _ctx: &RoundContext<'_, P::State>) -> P::State {
+        let (a, b) = self.faces.as_ref().expect("begin_round not called");
+        if to.index() % 2 == 0 {
+            a.clone()
+        } else {
+            b.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversaries;
+    use rand::RngCore;
+    use sc_protocol::Counter;
+
+    /// Fault-free self-stabilising counter used as the subject.
+    #[derive(Clone, Debug)]
+    struct FollowMin {
+        n: usize,
+        c: u64,
+    }
+
+    impl SyncProtocol for FollowMin {
+        type State = u64;
+        fn n(&self) -> usize {
+            self.n
+        }
+        fn step(&self, _: NodeId, view: &MessageView<'_, u64>, _: &mut StepContext<'_>) -> u64 {
+            (view.iter().min().copied().unwrap() + 1) % self.c
+        }
+        fn output(&self, _: NodeId, s: &u64) -> u64 {
+            *s
+        }
+        fn random_state(&self, _: NodeId, rng: &mut dyn RngCore) -> u64 {
+            rng.next_u64() % self.c
+        }
+    }
+
+    impl Counter for FollowMin {
+        fn modulus(&self) -> u64 {
+            self.c
+        }
+        fn resilience(&self) -> usize {
+            0
+        }
+        fn state_bits(&self) -> u32 {
+            sc_protocol::bits_for(self.c)
+        }
+        fn stabilization_bound(&self) -> u64 {
+            1
+        }
+        fn encode_state(&self, _: NodeId, s: &u64, out: &mut sc_protocol::BitVec) {
+            out.push_bits(*s, self.state_bits());
+        }
+        fn decode_state(
+            &self,
+            _: NodeId,
+            r: &mut sc_protocol::BitReader<'_>,
+        ) -> Result<u64, sc_protocol::CodecError> {
+            r.read_bits(self.state_bits())
+        }
+    }
+
+    #[test]
+    fn sleeper_behaves_honestly_before_waking() {
+        // FollowMin has resilience 0, so a *sleeping* fault must not disturb
+        // it at all: the system stabilises as if fault-free.
+        let p = FollowMin { n: 4, c: 8 };
+        let attack = adversaries::fixed([2], 0u64);
+        let adv = sleeper(&p, [2], 1_000, attack, 5);
+        let mut sim = crate::Simulation::new(&p, adv, 9);
+        let report = sim.run_until_stable(64).unwrap();
+        assert!(report.stabilization_round <= 2);
+    }
+
+    #[test]
+    fn sleeper_attacks_after_waking() {
+        // After the wake round the fixed-0 attack pins FollowMin's minimum,
+        // freezing the counter — detectable as a counting violation.
+        let p = FollowMin { n: 4, c: 8 };
+        let attack = adversaries::fixed([2], 0u64);
+        let adv = sleeper(&p, [2], 20, attack, 5);
+        let mut sim = crate::Simulation::new(&p, adv, 9);
+        sim.run(20);
+        let trace = sim.run_trace(30);
+        let frozen = (0..trace.len()).filter(|&r| trace.agreed_value(r) == Some(1)).count();
+        assert!(frozen >= 25, "attack after waking should pin the counter near 1");
+    }
+
+    /// Zero-resilience max-follower: splittable by sending different large
+    /// values to the two receiver parities.
+    #[derive(Clone, Debug)]
+    struct FollowMax {
+        n: usize,
+        c: u64,
+    }
+
+    impl SyncProtocol for FollowMax {
+        type State = u64;
+        fn n(&self) -> usize {
+            self.n
+        }
+        fn step(&self, _: NodeId, view: &MessageView<'_, u64>, _: &mut StepContext<'_>) -> u64 {
+            (view.iter().max().copied().unwrap() + 1) % self.c
+        }
+        fn output(&self, _: NodeId, s: &u64) -> u64 {
+            *s
+        }
+        fn random_state(&self, _: NodeId, rng: &mut dyn RngCore) -> u64 {
+            rng.next_u64() % self.c
+        }
+    }
+
+    #[test]
+    fn greedy_splits_zero_resilience_counters() {
+        // Greedy lookahead must keep FollowMax (resilience 0) from counting:
+        // a pair of distinct faces above the honest maximum splits the
+        // parities, and the lookahead score selects such pairs whenever the
+        // candidate pool contains one. A small modulus keeps the honest
+        // maximum wrapping into range so split opportunities keep recurring.
+        let p = FollowMax { n: 4, c: 64 };
+        let adv = greedy(&p, [1], 8, 3);
+        let mut sim = crate::Simulation::new(&p, adv, 11);
+        let trace = sim.run_trace(80);
+        let disagreements =
+            (0..trace.len()).filter(|&r| trace.agreed_value(r).is_none()).count();
+        assert!(disagreements > 15, "greedy adversary failed to split: {disagreements}");
+
+        // Sanity: the same protocol with no faults counts from round 1 on.
+        let mut clean = crate::Simulation::new(&p, adversaries::none(), 11);
+        let trace = clean.run_trace(64);
+        let report = crate::detect_stabilization(&trace, 64, 8).unwrap();
+        assert!(report.stabilization_round <= 1);
+    }
+}

@@ -1,0 +1,415 @@
+//! A library of generic Byzantine fault strategies.
+//!
+//! Self-stabilisation is a worst-case property, so no strategy library can
+//! *prove* an algorithm correct — that is what the proven bounds and the
+//! [`sc_verifier`-style](https://arxiv.org/abs/1304.5719) exhaustive checking
+//! of small instances are for. These strategies instead provide strong,
+//! qualitatively different stress patterns used across the test suite and the
+//! experiment harness:
+//!
+//! * [`none`] — fault-free executions (sanity baseline),
+//! * [`crash`] — faulty nodes freeze an arbitrary state forever,
+//! * [`random`] — fresh arbitrary state per (sender, receiver, round),
+//! * [`two_faced`] — classic equivocation: plausible-but-different honest
+//!   states presented to the two halves of the network, attacking majority
+//!   votes,
+//! * [`replay`] — lagged copies of honest states, attacking counters
+//!   specifically (stale counter values are plausible values),
+//! * [`fixed`] — a caller-chosen constant state (building block for tests).
+//!
+//! Counter-*structure-aware* attacks (king impersonation, pointer splitting)
+//! live in `sc-core::adversaries`, next to the state types they inspect.
+
+use std::collections::VecDeque;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sc_protocol::{NodeId, SyncProtocol};
+
+use crate::adversary::{Adversary, RoundContext};
+
+/// Sorts, deduplicates and wraps raw faulty indices.
+fn normalize(faulty: impl IntoIterator<Item = usize>) -> Vec<NodeId> {
+    let mut ids: Vec<NodeId> = faulty.into_iter().map(NodeId::new).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+/// The empty adversary: no faulty nodes at all.
+///
+/// # Example
+///
+/// ```
+/// use sc_sim::{adversaries, Adversary};
+///
+/// let adv = adversaries::none();
+/// assert!(<_ as Adversary<u64>>::faulty(&adv).is_empty());
+/// ```
+pub fn none() -> NoFaults {
+    NoFaults { _priv: () }
+}
+
+/// Adversary with no faulty nodes. See [`none`].
+#[derive(Clone, Debug)]
+pub struct NoFaults {
+    _priv: (),
+}
+
+impl<S> Adversary<S> for NoFaults {
+    fn faulty(&self) -> &[NodeId] {
+        &[]
+    }
+
+    fn message(&mut self, from: NodeId, _to: NodeId, _ctx: &RoundContext<'_, S>) -> S {
+        unreachable!("no faulty nodes, but a message was requested from {from}")
+    }
+}
+
+/// Crash-style faults: each faulty node freezes an arbitrary state (sampled
+/// once from the protocol's state space) and broadcasts it forever.
+///
+/// This is the *weakest* Byzantine behaviour — it cannot equivocate — and is
+/// mainly useful to check that algorithms do not rely on faulty nodes
+/// participating.
+pub fn crash<P: SyncProtocol>(
+    protocol: &P,
+    faulty: impl IntoIterator<Item = usize>,
+    seed: u64,
+) -> Crash<P::State> {
+    let ids = normalize(faulty);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let frozen = ids
+        .iter()
+        .map(|&id| protocol.random_state(id, &mut rng))
+        .collect();
+    Crash { faulty: ids, frozen }
+}
+
+/// Adversary produced by [`crash`].
+#[derive(Clone, Debug)]
+pub struct Crash<S> {
+    faulty: Vec<NodeId>,
+    frozen: Vec<S>,
+}
+
+impl<S: Clone + std::fmt::Debug> Adversary<S> for Crash<S> {
+    fn faulty(&self) -> &[NodeId] {
+        &self.faulty
+    }
+
+    fn message(&mut self, from: NodeId, _to: NodeId, _ctx: &RoundContext<'_, S>) -> S {
+        let idx = self
+            .faulty
+            .binary_search(&from)
+            .expect("message requested from a non-faulty node");
+        self.frozen[idx].clone()
+    }
+}
+
+/// Fully random Byzantine noise: a fresh arbitrary state for every
+/// (sender, receiver, round) triple.
+///
+/// Because states are drawn from the protocol's own state space they are
+/// always *well-formed*, unlike bit-level garbage; this exercises every
+/// decoding path without tripping validation.
+pub fn random<P: SyncProtocol>(
+    protocol: &P,
+    faulty: impl IntoIterator<Item = usize>,
+    seed: u64,
+) -> FreshRandom<'_, P::State> {
+    let sample: Sampler<'_, P::State> =
+        Box::new(move |node, rng| protocol.random_state(node, rng));
+    FreshRandom { faulty: normalize(faulty), rng: SmallRng::seed_from_u64(seed), sample }
+}
+
+type Sampler<'a, S> = Box<dyn Fn(NodeId, &mut SmallRng) -> S + 'a>;
+
+/// Like [`random`], but drawing fabricated states from an arbitrary sampler
+/// instead of a [`SyncProtocol`] — for protocols of other communication
+/// models (e.g. the pulling model).
+pub fn random_from<'a, S>(
+    sampler: impl Fn(NodeId, &mut SmallRng) -> S + 'a,
+    faulty: impl IntoIterator<Item = usize>,
+    seed: u64,
+) -> FreshRandom<'a, S> {
+    FreshRandom {
+        faulty: normalize(faulty),
+        rng: SmallRng::seed_from_u64(seed),
+        sample: Box::new(sampler),
+    }
+}
+
+/// Like [`two_faced`], but drawing fallback states from an arbitrary sampler
+/// instead of a [`SyncProtocol`].
+pub fn two_faced_from<'a, S>(
+    sampler: impl Fn(NodeId, &mut SmallRng) -> S + 'a,
+    faulty: impl IntoIterator<Item = usize>,
+    seed: u64,
+) -> TwoFaced<'a, S> {
+    TwoFaced {
+        faulty: normalize(faulty),
+        rng: SmallRng::seed_from_u64(seed),
+        sample: Box::new(sampler),
+        faces: None,
+    }
+}
+
+/// Adversary produced by [`random`].
+pub struct FreshRandom<'a, S> {
+    faulty: Vec<NodeId>,
+    rng: SmallRng,
+    sample: Sampler<'a, S>,
+}
+
+impl<S> std::fmt::Debug for FreshRandom<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FreshRandom").field("faulty", &self.faulty).finish_non_exhaustive()
+    }
+}
+
+impl<S: Clone + std::fmt::Debug> Adversary<S> for FreshRandom<'_, S> {
+    fn faulty(&self) -> &[NodeId] {
+        &self.faulty
+    }
+
+    fn message(&mut self, from: NodeId, _to: NodeId, _ctx: &RoundContext<'_, S>) -> S {
+        (self.sample)(from, &mut self.rng)
+    }
+}
+
+/// Two-faced equivocation: each round the adversary picks two *honest donor
+/// states* and presents one to even-indexed receivers and the other to
+/// odd-indexed receivers.
+///
+/// Donor states are plausible in-protocol states, which is the strongest way
+/// to attack majority votes: the faulty nodes appear to be correct members of
+/// two different "camps", keeping the camps from converging.
+pub fn two_faced<P: SyncProtocol>(
+    protocol: &P,
+    faulty: impl IntoIterator<Item = usize>,
+    seed: u64,
+) -> TwoFaced<'_, P::State> {
+    let sample: Sampler<'_, P::State> =
+        Box::new(move |node, rng| protocol.random_state(node, rng));
+    TwoFaced {
+        faulty: normalize(faulty),
+        rng: SmallRng::seed_from_u64(seed),
+        sample,
+        faces: None,
+    }
+}
+
+/// Adversary produced by [`two_faced`].
+pub struct TwoFaced<'a, S> {
+    faulty: Vec<NodeId>,
+    rng: SmallRng,
+    sample: Sampler<'a, S>,
+    faces: Option<(S, S)>,
+}
+
+impl<S> std::fmt::Debug for TwoFaced<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TwoFaced").field("faulty", &self.faulty).finish_non_exhaustive()
+    }
+}
+
+impl<S: Clone + std::fmt::Debug> Adversary<S> for TwoFaced<'_, S> {
+    fn faulty(&self) -> &[NodeId] {
+        &self.faulty
+    }
+
+    fn begin_round(&mut self, ctx: &RoundContext<'_, S>) {
+        let honest: Vec<NodeId> = ctx.honest_ids().collect();
+        let pick = |rng: &mut SmallRng| -> usize { rng.random_range(0..honest.len().max(1)) };
+        let (a, b) = if honest.is_empty() {
+            // Degenerate all-faulty network: fall back to sampled states.
+            (
+                (self.sample)(NodeId::new(0), &mut self.rng),
+                (self.sample)(NodeId::new(0), &mut self.rng),
+            )
+        } else {
+            let ia = pick(&mut self.rng);
+            let ib = pick(&mut self.rng);
+            (
+                ctx.honest[honest[ia].index()].clone(),
+                ctx.honest[honest[ib].index()].clone(),
+            )
+        };
+        self.faces = Some((a, b));
+    }
+
+    fn message(&mut self, _from: NodeId, to: NodeId, _ctx: &RoundContext<'_, S>) -> S {
+        let (a, b) = self.faces.as_ref().expect("begin_round not called");
+        if to.index() % 2 == 0 {
+            a.clone()
+        } else {
+            b.clone()
+        }
+    }
+}
+
+/// Replay attack: faulty nodes echo honest states from `delay` rounds ago.
+///
+/// Stale counter states are plausible counter states, so this specifically
+/// attacks the *increment* part of the counting specification.
+pub fn replay<S: Clone>(faulty: impl IntoIterator<Item = usize>, delay: usize) -> Replay<S> {
+    Replay { faulty: normalize(faulty), delay: delay.max(1), history: VecDeque::new() }
+}
+
+/// Adversary produced by [`replay`].
+#[derive(Clone, Debug)]
+pub struct Replay<S> {
+    faulty: Vec<NodeId>,
+    delay: usize,
+    history: VecDeque<Vec<S>>,
+}
+
+impl<S: Clone + std::fmt::Debug> Adversary<S> for Replay<S> {
+    fn faulty(&self) -> &[NodeId] {
+        &self.faulty
+    }
+
+    fn begin_round(&mut self, ctx: &RoundContext<'_, S>) {
+        self.history.push_back(ctx.honest.to_vec());
+        while self.history.len() > self.delay {
+            self.history.pop_front();
+        }
+    }
+
+    fn message(&mut self, _from: NodeId, to: NodeId, ctx: &RoundContext<'_, S>) -> S {
+        let snapshot = self.history.front().expect("begin_round not called");
+        // Echo a (possibly stale) honest state back at the receiver; pick the
+        // donor deterministically so different receivers see different lags.
+        let donor = ctx
+            .honest_ids()
+            .nth(to.index() % ctx.honest_ids().count().max(1))
+            .unwrap_or(to);
+        snapshot[donor.index()].clone()
+    }
+}
+
+/// Sends the caller-supplied state to every receiver in every round.
+///
+/// # Example
+///
+/// ```
+/// use sc_sim::adversaries;
+///
+/// let adv = adversaries::fixed([1usize, 3], 99u64);
+/// ```
+pub fn fixed<S: Clone>(faulty: impl IntoIterator<Item = usize>, state: S) -> Fixed<S> {
+    Fixed { faulty: normalize(faulty), state }
+}
+
+/// Adversary produced by [`fixed`].
+#[derive(Clone, Debug)]
+pub struct Fixed<S> {
+    faulty: Vec<NodeId>,
+    state: S,
+}
+
+impl<S: Clone + std::fmt::Debug> Adversary<S> for Fixed<S> {
+    fn faulty(&self) -> &[NodeId] {
+        &self.faulty
+    }
+
+    fn message(&mut self, _from: NodeId, _to: NodeId, _ctx: &RoundContext<'_, S>) -> S {
+        self.state.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+    use sc_protocol::{MessageView, StepContext, SyncProtocol};
+
+    struct Toy;
+    impl SyncProtocol for Toy {
+        type State = u64;
+        fn n(&self) -> usize {
+            4
+        }
+        fn step(&self, _: NodeId, _: &MessageView<'_, u64>, _: &mut StepContext<'_>) -> u64 {
+            0
+        }
+        fn output(&self, _: NodeId, s: &u64) -> u64 {
+            *s
+        }
+        fn random_state(&self, _: NodeId, rng: &mut dyn RngCore) -> u64 {
+            rng.next_u64() % 100
+        }
+    }
+
+    fn ctx<'a>(honest: &'a [u64], faulty: &'a [NodeId]) -> RoundContext<'a, u64> {
+        RoundContext { round: 0, honest, faulty }
+    }
+
+    #[test]
+    fn normalize_sorts_and_dedups() {
+        assert_eq!(normalize([3, 1, 3, 0]), vec![NodeId::new(0), NodeId::new(1), NodeId::new(3)]);
+    }
+
+    #[test]
+    fn crash_always_sends_the_same_state() {
+        let mut adv = crash(&Toy, [2], 9);
+        let honest = vec![0u64; 4];
+        let faulty = vec![NodeId::new(2)];
+        let c = ctx(&honest, &faulty);
+        let first = adv.message(NodeId::new(2), NodeId::new(0), &c);
+        for to in [0usize, 1, 3] {
+            assert_eq!(adv.message(NodeId::new(2), NodeId::new(to), &c), first);
+        }
+    }
+
+    #[test]
+    fn two_faced_splits_receivers_by_parity() {
+        let mut adv = two_faced(&Toy, [3], 5);
+        let honest = vec![10u64, 20, 30, 40];
+        let faulty = vec![NodeId::new(3)];
+        let c = ctx(&honest, &faulty);
+        adv.begin_round(&c);
+        let to_even = adv.message(NodeId::new(3), NodeId::new(0), &c);
+        let to_even2 = adv.message(NodeId::new(3), NodeId::new(2), &c);
+        let to_odd = adv.message(NodeId::new(3), NodeId::new(1), &c);
+        assert_eq!(to_even, to_even2);
+        // Faces are honest donor states.
+        assert!(honest.contains(&to_even));
+        assert!(honest.contains(&to_odd));
+    }
+
+    #[test]
+    fn replay_serves_stale_states() {
+        let mut adv = replay::<u64>([0], 2);
+        let faulty = vec![NodeId::new(0)];
+        let r0 = vec![1u64, 2, 3, 4];
+        adv.begin_round(&ctx(&r0, &faulty));
+        let r1 = vec![5u64, 6, 7, 8];
+        adv.begin_round(&ctx(&r1, &faulty));
+        let r2 = vec![9u64, 10, 11, 12];
+        adv.begin_round(&ctx(&r2, &faulty));
+        // History window is 2 rounds: the oldest snapshot is r1.
+        let c = ctx(&r2, &faulty);
+        let sent = adv.message(NodeId::new(0), NodeId::new(2), &c);
+        assert!(r1.contains(&sent));
+    }
+
+    #[test]
+    fn fixed_sends_supplied_state() {
+        let mut adv = fixed([1], 77u64);
+        let honest = vec![0u64; 2];
+        let faulty = vec![NodeId::new(1)];
+        let c = ctx(&honest, &faulty);
+        assert_eq!(adv.message(NodeId::new(1), NodeId::new(0), &c), 77);
+    }
+
+    #[test]
+    #[should_panic(expected = "no faulty nodes")]
+    fn none_never_sends() {
+        let mut adv = none();
+        let honest = vec![0u64; 2];
+        let c = ctx(&honest, &[]);
+        let _ = adv.message(NodeId::new(0), NodeId::new(1), &c);
+    }
+}

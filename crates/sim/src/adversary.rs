@@ -1,0 +1,90 @@
+//! The Byzantine adversary interface.
+
+use sc_protocol::NodeId;
+
+/// Everything the adversary can observe about one round.
+///
+/// The adversary of the paper is *omniscient* (it sees the full state of all
+/// correct nodes), *adaptive* (it may choose messages based on that state)
+/// and *rushing* (it acts after seeing the honest broadcasts of the current
+/// round — which is what `honest` contains).
+#[derive(Debug)]
+pub struct RoundContext<'a, S> {
+    /// Round number, counted from the (arbitrary) initial configuration.
+    /// Only for bookkeeping: protocols never see it.
+    pub round: u64,
+    /// States broadcast by all nodes this round. Entries of faulty nodes are
+    /// stale placeholders and carry no meaning.
+    pub honest: &'a [S],
+    /// Sorted identifiers of the faulty nodes.
+    pub faulty: &'a [NodeId],
+}
+
+impl<'a, S> RoundContext<'a, S> {
+    /// Whether `node` is faulty in this execution.
+    pub fn is_faulty(&self, node: NodeId) -> bool {
+        self.faulty.binary_search(&node).is_ok()
+    }
+
+    /// Iterates over the identifiers of correct nodes.
+    pub fn honest_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.honest.len())
+            .map(NodeId::new)
+            .filter(move |id| !self.is_faulty(*id))
+    }
+}
+
+/// A Byzantine fault strategy: decides, for every round, which state each
+/// faulty node presents to each receiver.
+///
+/// Implementations may keep history (for replay attacks) and use their own
+/// randomness. The simulator calls [`Adversary::begin_round`] once per round
+/// before delivering messages, then [`Adversary::message`] once per
+/// (faulty sender, correct receiver) pair.
+///
+/// The set of faulty nodes is fixed for an execution — the paper's fault
+/// model is static (`F ⊆ [n]`, `|F| ≤ f`), and self-stabilisation covers
+/// "recovery after the last transient fault" by the arbitrary initial state.
+pub trait Adversary<S> {
+    /// The sorted, duplicate-free set of faulty nodes.
+    fn faulty(&self) -> &[NodeId];
+
+    /// Hook invoked once at the start of every round, before any
+    /// [`Adversary::message`] call for that round.
+    fn begin_round(&mut self, ctx: &RoundContext<'_, S>) {
+        let _ = ctx;
+    }
+
+    /// The state that faulty node `from` sends to correct node `to`.
+    fn message(&mut self, from: NodeId, to: NodeId, ctx: &RoundContext<'_, S>) -> S;
+}
+
+impl<S, A: Adversary<S> + ?Sized> Adversary<S> for Box<A> {
+    fn faulty(&self) -> &[NodeId] {
+        (**self).faulty()
+    }
+
+    fn begin_round(&mut self, ctx: &RoundContext<'_, S>) {
+        (**self).begin_round(ctx);
+    }
+
+    fn message(&mut self, from: NodeId, to: NodeId, ctx: &RoundContext<'_, S>) -> S {
+        (**self).message(from, to, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_context_classifies_nodes() {
+        let honest = vec![0u64; 4];
+        let faulty = vec![NodeId::new(2)];
+        let ctx = RoundContext { round: 0, honest: &honest, faulty: &faulty };
+        assert!(ctx.is_faulty(NodeId::new(2)));
+        assert!(!ctx.is_faulty(NodeId::new(0)));
+        let ids: Vec<usize> = ctx.honest_ids().map(NodeId::index).collect();
+        assert_eq!(ids, vec![0, 1, 3]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Simulator error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when analysing an execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The execution did not exhibit a long-enough stable counting suffix
+    /// within the simulated horizon.
+    NotStabilized {
+        /// Rounds simulated (number of recorded transitions).
+        rounds: u64,
+        /// The last round at which the counting specification was violated,
+        /// if any violation was seen at all.
+        last_violation: Option<u64>,
+        /// Length of the violation-free suffix that was observed.
+        confirmed: u64,
+        /// Suffix length that was required for a stabilisation verdict.
+        required: u64,
+    },
+    /// The trace contains no observations to analyse.
+    EmptyTrace,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NotStabilized { rounds, last_violation, confirmed, required } => write!(
+                f,
+                "execution not stabilised after {rounds} rounds \
+                 (last violation {last_violation:?}, stable suffix {confirmed} < required {required})"
+            ),
+            SimError::EmptyTrace => write!(f, "output trace is empty"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_numbers() {
+        let e = SimError::NotStabilized {
+            rounds: 100,
+            last_violation: Some(99),
+            confirmed: 0,
+            required: 8,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("100") && msg.contains("99") && msg.contains('8'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<E: Error + Send + Sync + 'static>(_: E) {}
+        check(SimError::EmptyTrace);
+    }
+}

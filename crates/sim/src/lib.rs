@@ -1,0 +1,68 @@
+//! Synchronous full-information round simulator with Byzantine faults.
+//!
+//! This crate is the executable counterpart of the execution model in §2 of
+//! *Towards Optimal Synchronous Counting*: an infinite sequence of
+//! configurations where each round every correct node broadcasts its state,
+//! receives a state vector, and applies its transition function, while up to
+//! `f` Byzantine nodes send **arbitrary, receiver-specific** states chosen by
+//! an omniscient, adaptive, rushing adversary.
+//!
+//! The pieces:
+//!
+//! * [`Simulation`] — drives any [`sc_protocol::SyncProtocol`] from an
+//!   arbitrary (adversarially sampled) initial configuration.
+//! * [`Adversary`] — the interface Byzantine strategies implement; the
+//!   [`adversaries`] module ships a library of generic strategies (crash,
+//!   fresh-random, two-faced equivocation, replay).
+//! * [`StabilizationReport`] / [`OutputTrace`] — exact detection of the
+//!   stabilisation time of a counter execution: the earliest round after
+//!   which all correct outputs agree *and* increment modulo `c` every round.
+//! * [`broadcast_metrics`] — message/bit accounting in the broadcast model
+//!   (each node sends its `S(A)`-bit state over all `n−1` links per round).
+//!
+//! # Example
+//!
+//! ```
+//! use rand::RngCore;
+//! use sc_protocol::{Counter, MessageView, NodeId, StepContext, SyncProtocol};
+//! use sc_sim::{adversaries, Simulation};
+//!
+//! // A toy 0-resilient 4-counter: follow the minimum received value + 1.
+//! struct FollowMin;
+//! impl SyncProtocol for FollowMin {
+//!     type State = u64;
+//!     fn n(&self) -> usize { 3 }
+//!     fn step(&self, _: NodeId, view: &MessageView<'_, u64>, _: &mut StepContext<'_>) -> u64 {
+//!         (view.iter().min().copied().unwrap() + 1) % 4
+//!     }
+//!     fn output(&self, _: NodeId, s: &u64) -> u64 { *s }
+//!     fn random_state(&self, _: NodeId, rng: &mut dyn RngCore) -> u64 { rng.next_u64() % 4 }
+//! }
+//!
+//! let p = FollowMin;
+//! let mut sim = Simulation::new(&p, adversaries::none(), 1);
+//! sim.run(5);
+//! assert_eq!(sim.round(), 5);
+//! // All correct (= all) nodes have converged to the minimum chain.
+//! let outs = sim.outputs_now();
+//! assert!(outs.iter().all(|&o| o == outs[0]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversaries;
+mod advanced;
+mod adversary;
+mod error;
+mod metrics;
+mod simulation;
+mod stabilization;
+
+pub use advanced::{greedy, sleeper, Greedy, Sleeper};
+pub use adversary::{Adversary, RoundContext};
+pub use error::SimError;
+pub use metrics::{broadcast_metrics, BroadcastMetrics};
+pub use simulation::Simulation;
+pub use stabilization::{detect_stabilization, first_stable_window, violation_rate,
+                        OutputTrace, StabilizationReport};

@@ -1,0 +1,112 @@
+//! Communication-cost accounting for the broadcast model.
+
+use sc_protocol::Counter;
+
+/// Per-round communication cost of a counter in the broadcast model.
+///
+/// In §2 every node broadcasts its whole state each round, so the network
+/// moves `n(n−1)` messages of `S(A)` bits per round — the `Θ(n²·S)` total
+/// the paper quotes at the start of §5 as motivation for the pulling model.
+///
+/// # Example
+///
+/// ```no_run
+/// # fn demo<C: sc_protocol::Counter>(counter: &C) {
+/// let m = sc_sim::broadcast_metrics(counter);
+/// println!("{} messages/round, {} bits/round", m.messages_per_round, m.bits_per_round);
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BroadcastMetrics {
+    /// Network size.
+    pub n: usize,
+    /// Bits per state, `S(A)`.
+    pub state_bits: u32,
+    /// Messages crossing links per round: `n(n−1)`.
+    pub messages_per_round: u64,
+    /// Bits crossing links per round.
+    pub bits_per_round: u64,
+}
+
+impl BroadcastMetrics {
+    /// Total bits communicated over `rounds` rounds.
+    pub fn total_bits(&self, rounds: u64) -> u128 {
+        u128::from(self.bits_per_round) * u128::from(rounds)
+    }
+}
+
+/// Computes the broadcast-model cost profile of `counter`.
+pub fn broadcast_metrics<C: Counter>(counter: &C) -> BroadcastMetrics {
+    let n = counter.n();
+    let state_bits = counter.state_bits();
+    let messages_per_round = (n as u64) * (n as u64 - 1);
+    BroadcastMetrics {
+        n,
+        state_bits,
+        messages_per_round,
+        bits_per_round: messages_per_round * u64::from(state_bits),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+    use sc_protocol::{BitReader, BitVec, CodecError, MessageView, NodeId, StepContext,
+                      SyncProtocol};
+
+    struct Fixed {
+        n: usize,
+        bits: u32,
+    }
+
+    impl SyncProtocol for Fixed {
+        type State = u64;
+        fn n(&self) -> usize {
+            self.n
+        }
+        fn step(&self, _: NodeId, _: &MessageView<'_, u64>, _: &mut StepContext<'_>) -> u64 {
+            0
+        }
+        fn output(&self, _: NodeId, s: &u64) -> u64 {
+            *s
+        }
+        fn random_state(&self, _: NodeId, _: &mut dyn RngCore) -> u64 {
+            0
+        }
+    }
+
+    impl Counter for Fixed {
+        fn modulus(&self) -> u64 {
+            2
+        }
+        fn resilience(&self) -> usize {
+            0
+        }
+        fn state_bits(&self) -> u32 {
+            self.bits
+        }
+        fn stabilization_bound(&self) -> u64 {
+            0
+        }
+        fn encode_state(&self, _: NodeId, _: &u64, _: &mut BitVec) {}
+        fn decode_state(&self, _: NodeId, _: &mut BitReader<'_>) -> Result<u64, CodecError> {
+            Ok(0)
+        }
+    }
+
+    #[test]
+    fn quadratic_message_count() {
+        let m = broadcast_metrics(&Fixed { n: 10, bits: 12 });
+        assert_eq!(m.messages_per_round, 90);
+        assert_eq!(m.bits_per_round, 90 * 12);
+        assert_eq!(m.total_bits(100), 108_000);
+    }
+
+    #[test]
+    fn single_node_network_moves_nothing() {
+        let m = broadcast_metrics(&Fixed { n: 1, bits: 8 });
+        assert_eq!(m.messages_per_round, 0);
+        assert_eq!(m.bits_per_round, 0);
+    }
+}

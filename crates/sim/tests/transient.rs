@@ -1,0 +1,101 @@
+//! Transient-fault recovery: the defining scenario of self-stabilisation.
+//!
+//! A protocol that stabilises from arbitrary initial states also recovers
+//! from arbitrary *mid-run* corruption — the initial configuration is just
+//! the state after "the last transient fault". These tests drive a simple
+//! fault-free counter through repeated corruption bursts.
+
+use rand::RngCore;
+use sc_protocol::{Counter, MessageView, NodeId, StepContext, SyncProtocol};
+use sc_sim::{adversaries, Simulation};
+
+/// Fault-free self-stabilising counter used as the subject.
+#[derive(Clone, Debug)]
+struct FollowMax {
+    n: usize,
+    c: u64,
+}
+
+impl SyncProtocol for FollowMax {
+    type State = u64;
+    fn n(&self) -> usize {
+        self.n
+    }
+    fn step(&self, _: NodeId, view: &MessageView<'_, u64>, _: &mut StepContext<'_>) -> u64 {
+        (view.iter().max().copied().unwrap() + 1) % self.c
+    }
+    fn output(&self, _: NodeId, s: &u64) -> u64 {
+        *s
+    }
+    fn random_state(&self, _: NodeId, rng: &mut dyn RngCore) -> u64 {
+        rng.next_u64() % self.c
+    }
+}
+
+impl Counter for FollowMax {
+    fn modulus(&self) -> u64 {
+        self.c
+    }
+    fn resilience(&self) -> usize {
+        0
+    }
+    fn state_bits(&self) -> u32 {
+        sc_protocol::bits_for(self.c)
+    }
+    fn stabilization_bound(&self) -> u64 {
+        1
+    }
+    fn encode_state(&self, _: NodeId, s: &u64, out: &mut sc_protocol::BitVec) {
+        out.push_bits(*s, self.state_bits());
+    }
+    fn decode_state(
+        &self,
+        _: NodeId,
+        r: &mut sc_protocol::BitReader<'_>,
+    ) -> Result<u64, sc_protocol::CodecError> {
+        r.read_bits(self.state_bits())
+    }
+}
+
+#[test]
+fn recovers_after_total_corruption() {
+    let p = FollowMax { n: 5, c: 8 };
+    let mut sim = Simulation::new(&p, adversaries::none(), 1);
+    sim.run_until_stable(64).unwrap();
+    for burst in 0..5u64 {
+        sim.corrupt_all(1000 + burst);
+        let report = sim.run_until_stable(64).unwrap();
+        assert!(report.stabilization_round <= 2, "burst {burst} not recovered");
+    }
+}
+
+#[test]
+fn partial_corruption_is_no_worse_than_total() {
+    let p = FollowMax { n: 5, c: 8 };
+    let mut sim = Simulation::new(&p, adversaries::none(), 2);
+    sim.run_until_stable(64).unwrap();
+    sim.corrupt([NodeId::new(0), NodeId::new(3)], 7);
+    let report = sim.run_until_stable(64).unwrap();
+    assert!(report.stabilization_round <= 2);
+}
+
+#[test]
+#[should_panic(expected = "outside the network")]
+fn corrupting_unknown_node_panics() {
+    let p = FollowMax { n: 3, c: 4 };
+    let mut sim = Simulation::new(&p, adversaries::none(), 0);
+    sim.corrupt([NodeId::new(9)], 0);
+}
+
+#[test]
+fn corruption_actually_changes_state() {
+    // Guard against a no-op corrupt(): after corruption from a fixed seed,
+    // at least one node differs from the stabilised chain with overwhelming
+    // probability (c = 2^20).
+    let p = FollowMax { n: 4, c: 1 << 20 };
+    let mut sim = Simulation::new(&p, adversaries::none(), 3);
+    sim.run(32);
+    let before = sim.states().to_vec();
+    sim.corrupt_all(42);
+    assert_ne!(before, sim.states());
+}

@@ -1,0 +1,563 @@
+//! The exact configuration-space model checker.
+
+use std::collections::HashMap;
+
+use sc_core::LutCounter;
+use sc_protocol::ParamError;
+
+/// Outcome of exhaustively verifying a candidate counter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every execution, for every fault set and every Byzantine behaviour,
+    /// stabilises within `worst_case_time` rounds.
+    Stabilizes {
+        /// The exact worst-case stabilisation time.
+        worst_case_time: u64,
+    },
+    /// Some adversary prevents stabilisation forever.
+    Fails {
+        /// A fault set witnessing the failure.
+        fault_set: Vec<usize>,
+        /// Number of configurations from which the adversary can avoid
+        /// stabilisation indefinitely.
+        stuck_configs: usize,
+        /// A concrete non-stabilising execution, replayable on the
+        /// simulator.
+        witness: Witness,
+    },
+}
+
+/// A concrete infinite non-stabilising execution in lasso form: a prefix of
+/// configurations followed by a cycle, together with the exact Byzantine
+/// values each correct node received at each step.
+///
+/// `configs[t+1]` is reached from `configs[t]` when faulty node
+/// `fault_set[g]` sends state `byz[t][h][g]` to the `h`-th correct node;
+/// the last configuration equals `configs[cycle_start]`, closing the loop.
+/// The `replayable` test in `tests/witness_replay.rs` drives the simulator
+/// with exactly this script and watches the algorithm fail forever.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Witness {
+    /// Correct nodes, in the order configurations are listed.
+    pub honest: Vec<usize>,
+    /// Faulty nodes, in the order Byzantine values are listed.
+    pub fault_set: Vec<usize>,
+    /// The configurations visited; the last equals `configs[cycle_start]`.
+    pub configs: Vec<Vec<u8>>,
+    /// `byz[t][h][g]`: value faulty node `g` sends to correct node `h` in
+    /// step `t` (one entry per transition, `configs.len() − 1` in total).
+    pub byz: Vec<Vec<Vec<u8>>>,
+    /// Index at which the execution starts repeating.
+    pub cycle_start: usize,
+}
+
+impl Witness {
+    /// The Byzantine values to use at any round `t ≥ 0`, following the
+    /// lasso: the prefix once, then the cycle forever.
+    pub fn script_at(&self, t: u64) -> &Vec<Vec<u8>> {
+        let steps = self.byz.len();
+        let cycle = steps - self.cycle_start;
+        let idx = if (t as usize) < steps {
+            t as usize
+        } else {
+            self.cycle_start + ((t as usize - self.cycle_start) % cycle)
+        };
+        &self.byz[idx]
+    }
+}
+
+/// Hard limits keeping exhaustive exploration tractable.
+const MAX_CONFIGS: usize = 1 << 14;
+const MAX_BYZ_COMBOS: usize = 1 << 10;
+
+/// Exhaustively decides whether `lut` is a self-stabilising synchronous
+/// `c`-counter with the resilience its spec claims, and computes the exact
+/// worst-case stabilisation time (see the crate-level documentation for the
+/// method). On failure, a replayable [`Witness`] execution is extracted.
+///
+/// # Errors
+///
+/// Returns [`ParamError`] when the instance exceeds the exploration limits
+/// (`|X|^{n−|F|}` configurations or `|X|^{|F|}` Byzantine combinations per
+/// node too large).
+pub fn verify(lut: &LutCounter) -> Result<Verdict, ParamError> {
+    let summary = analyze(lut)?;
+    match summary.failure {
+        None => Ok(Verdict::Stabilizes { worst_case_time: summary.worst_time }),
+        Some((fault_set, stuck_configs)) => {
+            let analysis = FaultSetAnalysis::run(lut, &fault_set)?;
+            let witness = analysis
+                .extract_witness(lut, &fault_set)
+                .expect("a failing fault set yields a witness");
+            Ok(Verdict::Fails { fault_set, stuck_configs, witness })
+        }
+    }
+}
+
+/// Aggregate result of checking every fault set, without the (expensive)
+/// witness extraction — this is the synthesiser's scoring function.
+#[derive(Clone, Debug)]
+pub(crate) struct AnalysisSummary {
+    /// Exact worst-case stabilisation time over fully-covered fault sets.
+    pub worst_time: u64,
+    /// Fraction of (fault set, configuration) pairs that stabilise.
+    pub coverage: f64,
+    /// First failing fault set, with its number of stuck configurations.
+    pub failure: Option<(Vec<usize>, usize)>,
+}
+
+pub(crate) fn analyze(lut: &LutCounter) -> Result<AnalysisSummary, ParamError> {
+    let spec = lut.spec();
+    let mut worst = 0u64;
+    let mut covered = 0usize;
+    let mut total = 0usize;
+    let mut failure: Option<(Vec<usize>, usize)> = None;
+    for fault_set in fault_sets(spec.n, spec.f) {
+        let analysis = FaultSetAnalysis::run(lut, &fault_set)?;
+        total += analysis.configs;
+        covered += analysis.covered;
+        if analysis.covered == analysis.configs {
+            worst = worst.max(analysis.worst_time);
+        } else if failure.is_none() {
+            failure = Some((fault_set.clone(), analysis.configs - analysis.covered));
+        }
+    }
+    Ok(AnalysisSummary { worst_time: worst, coverage: covered as f64 / total as f64, failure })
+}
+
+/// All subsets of `[n]` with at most `f` elements.
+fn fault_sets(n: usize, f: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    fn recurse(n: usize, f: usize, start: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        out.push(current.clone());
+        if current.len() == f {
+            return;
+        }
+        for v in start..n {
+            current.push(v);
+            recurse(n, f, v + 1, current, out);
+            current.pop();
+        }
+    }
+    recurse(n, f, 0, &mut current, &mut out);
+    out
+}
+
+/// Verification of one fault set, keeping the exploration data for witness
+/// extraction.
+struct FaultSetAnalysis {
+    honest: Vec<usize>,
+    x: usize,
+    combos: usize,
+    configs: usize,
+    covered: usize,
+    worst_time: u64,
+    successors: Vec<Vec<u32>>,
+    time: Vec<Option<u64>>,
+}
+
+impl FaultSetAnalysis {
+    /// Decodes configuration index `e` into per-honest-node states.
+    fn digits(&self, e: usize) -> Vec<u8> {
+        let mut digits = vec![0u8; self.honest.len()];
+        let mut rest = e;
+        for d in digits.iter_mut() {
+            *d = (rest % self.x) as u8;
+            rest /= self.x;
+        }
+        digits
+    }
+
+    fn run(lut: &LutCounter, faulty: &[usize]) -> Result<Self, ParamError> {
+        let spec = lut.spec();
+        let x = spec.states as usize;
+        let honest: Vec<usize> = (0..spec.n).filter(|v| !faulty.contains(v)).collect();
+        let h = honest.len();
+        let configs = x
+            .checked_pow(h as u32)
+            .filter(|&c| c <= MAX_CONFIGS)
+            .ok_or_else(|| ParamError::overflow(format!("|X|^h = {x}^{h}")))?;
+        let combos = x
+            .checked_pow(faulty.len() as u32)
+            .filter(|&c| c <= MAX_BYZ_COMBOS)
+            .ok_or_else(|| ParamError::overflow(format!("|X|^|F| = {x}^{}", faulty.len())))?;
+
+        let mut analysis = FaultSetAnalysis {
+            honest,
+            x,
+            combos,
+            configs,
+            covered: 0,
+            worst_time: 0,
+            successors: Vec::with_capacity(configs),
+            time: Vec::new(),
+        };
+
+        // Per configuration: the next-state set of every honest node, then
+        // the deduplicated successor-configuration list.
+        let mut agreed: Vec<Option<u64>> = Vec::with_capacity(configs);
+        for e in 0..configs {
+            let digits = analysis.digits(e);
+
+            // Output agreement at e.
+            let first_out = lut.output(analysis.honest[0], digits[0]);
+            let agree = analysis
+                .honest
+                .iter()
+                .zip(&digits)
+                .all(|(&v, &s)| lut.output(v, s) == first_out);
+            agreed.push(agree.then_some(first_out));
+
+            // Next-state sets under all Byzantine combinations.
+            let h = analysis.honest.len();
+            let mut next_sets: Vec<Vec<u8>> = Vec::with_capacity(h);
+            for &i in &analysis.honest {
+                let mut mask = 0u64;
+                for combo in 0..combos {
+                    let received = analysis.received_vector(lut, faulty, &digits, combo);
+                    mask |= 1u64 << lut.next(i, &received);
+                }
+                next_sets.push((0..x as u8).filter(|&s| mask >> s & 1 == 1).collect());
+            }
+
+            // Product of the next-state sets, as configuration indices.
+            let mut succ = Vec::new();
+            let mut choice = vec![0usize; h];
+            loop {
+                let mut index = 0usize;
+                for d in (0..h).rev() {
+                    index = index * x + next_sets[d][choice[d]] as usize;
+                }
+                succ.push(index as u32);
+                let mut d = 0;
+                loop {
+                    if d == h {
+                        break;
+                    }
+                    choice[d] += 1;
+                    if choice[d] < next_sets[d].len() {
+                        break;
+                    }
+                    choice[d] = 0;
+                    d += 1;
+                }
+                if d == h {
+                    break;
+                }
+            }
+            succ.sort_unstable();
+            succ.dedup();
+            analysis.successors.push(succ);
+        }
+
+        // Greatest fixed point: the safe set of configurations from which
+        // counting is guaranteed forever.
+        let c = spec.c;
+        let mut safe: Vec<bool> = agreed.iter().map(Option::is_some).collect();
+        loop {
+            let mut changed = false;
+            for e in 0..configs {
+                if !safe[e] {
+                    continue;
+                }
+                let out = agreed[e].expect("safe ⊆ agreed");
+                let expect = (out + 1) % c;
+                let ok = analysis.successors[e]
+                    .iter()
+                    .all(|&s| safe[s as usize] && agreed[s as usize] == Some(expect));
+                if !ok {
+                    safe[e] = false;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Attractor layering: t(e) = 0 on the safe set, otherwise
+        // 1 + max over successors (the adversary maximises).
+        let mut time: Vec<Option<u64>> =
+            safe.iter().map(|&s| if s { Some(0) } else { None }).collect();
+        loop {
+            let mut changed = false;
+            for e in 0..configs {
+                if time[e].is_some() {
+                    continue;
+                }
+                let mut worst_succ = 0u64;
+                let mut all_known = true;
+                for &s in &analysis.successors[e] {
+                    match time[s as usize] {
+                        Some(t) => worst_succ = worst_succ.max(t),
+                        None => {
+                            all_known = false;
+                            break;
+                        }
+                    }
+                }
+                if all_known {
+                    time[e] = Some(worst_succ + 1);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        analysis.covered = time.iter().filter(|t| t.is_some()).count();
+        analysis.worst_time = time.iter().flatten().copied().max().unwrap_or(0);
+        analysis.time = time;
+        Ok(analysis)
+    }
+
+    /// Builds the full received vector for honest digits + Byzantine combo.
+    fn received_vector(
+        &self,
+        lut: &LutCounter,
+        faulty: &[usize],
+        digits: &[u8],
+        combo: usize,
+    ) -> Vec<u8> {
+        let mut received = vec![0u8; lut.spec().n];
+        for (hi, &hv) in self.honest.iter().enumerate() {
+            received[hv] = digits[hi];
+        }
+        let mut c = combo;
+        for &fv in faulty {
+            received[fv] = (c % self.x) as u8;
+            c /= self.x;
+        }
+        received
+    }
+
+    /// Extracts a lasso-shaped non-stabilising execution from the stuck
+    /// region, including the Byzantine values realising every transition.
+    fn extract_witness(&self, lut: &LutCounter, faulty: &[usize]) -> Option<Witness> {
+        let start = (0..self.configs).find(|&e| self.time[e].is_none())?;
+        let mut configs: Vec<usize> = vec![start];
+        let mut byz: Vec<Vec<Vec<u8>>> = Vec::new();
+        let mut visited: HashMap<usize, usize> = HashMap::new();
+        visited.insert(start, 0);
+        let mut current = start;
+        let cycle_start;
+        loop {
+            // A stuck configuration always has a stuck successor (otherwise
+            // the attractor pass would have assigned it a time).
+            let next = *self.successors[current]
+                .iter()
+                .find(|&&s| self.time[s as usize].is_none())
+                .expect("stuck configuration without stuck successor")
+                as usize;
+            // For every honest node find a Byzantine combo realising its
+            // next state, and record the per-faulty-node values.
+            let digits = self.digits(current);
+            let target = self.digits(next);
+            let mut step: Vec<Vec<u8>> = Vec::with_capacity(self.honest.len());
+            for (hi, &i) in self.honest.iter().enumerate() {
+                let combo = (0..self.combos)
+                    .find(|&combo| {
+                        let received = self.received_vector(lut, faulty, &digits, combo);
+                        lut.next(i, &received) == target[hi]
+                    })
+                    .expect("successor state must be realisable");
+                let mut values = Vec::with_capacity(faulty.len());
+                let mut c = combo;
+                for _ in faulty {
+                    values.push((c % self.x) as u8);
+                    c /= self.x;
+                }
+                step.push(values);
+            }
+            byz.push(step);
+            configs.push(next);
+            if let Some(&at) = visited.get(&next) {
+                cycle_start = at;
+                break;
+            }
+            visited.insert(next, configs.len() - 1);
+            current = next;
+        }
+        Some(Witness {
+            honest: self.honest.clone(),
+            fault_set: faulty.to_vec(),
+            configs: configs.into_iter().map(|e| self.digits(e)).collect(),
+            byz,
+            cycle_start,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_core::LutSpec;
+
+    fn lut(spec: LutSpec) -> LutCounter {
+        LutCounter::new(spec).unwrap()
+    }
+
+    /// Two fault-free nodes both following node 0's value + 1: a correct
+    /// 2-counter stabilising in exactly one round.
+    fn follow_leader() -> LutCounter {
+        // index = x0 + 2·x1; next = (x0 + 1) mod 2.
+        let row = vec![1, 0, 1, 0];
+        lut(LutSpec {
+            n: 2,
+            f: 0,
+            c: 2,
+            states: 2,
+            transition: vec![row.clone(), row],
+            output: vec![vec![0, 1], vec![0, 1]],
+            stabilization_bound: 1,
+        })
+    }
+
+    fn frozen() -> LutCounter {
+        lut(LutSpec {
+            n: 2,
+            f: 0,
+            c: 2,
+            states: 2,
+            transition: vec![vec![0, 1, 0, 1], vec![0, 0, 1, 1]],
+            output: vec![vec![0, 1], vec![0, 1]],
+            stabilization_bound: 0,
+        })
+    }
+
+    #[test]
+    fn fault_sets_enumerates_subsets() {
+        let sets = fault_sets(4, 1);
+        assert_eq!(sets.len(), 5); // ∅ + 4 singletons
+        let sets = fault_sets(4, 2);
+        assert_eq!(sets.len(), 1 + 4 + 6);
+    }
+
+    #[test]
+    fn follow_leader_verifies_with_time_one() {
+        assert_eq!(
+            verify(&follow_leader()).unwrap(),
+            Verdict::Stabilizes { worst_case_time: 1 }
+        );
+    }
+
+    #[test]
+    fn frozen_algorithm_fails_with_witness() {
+        let Verdict::Fails { witness, .. } = verify(&frozen()).unwrap() else {
+            panic!("frozen algorithm must fail");
+        };
+        // The witness is a lasso: last config closes the cycle.
+        assert!(witness.configs.len() >= 2);
+        assert_eq!(
+            witness.configs.last(),
+            witness.configs.get(witness.cycle_start),
+        );
+        assert_eq!(witness.byz.len(), witness.configs.len() - 1);
+        // Fault-free failure: no Byzantine values needed.
+        assert!(witness.byz.iter().all(|step| step.iter().all(Vec::is_empty)));
+    }
+
+    #[test]
+    fn witness_transitions_are_locally_consistent() {
+        // Every recorded transition must satisfy the transition function
+        // when the recorded Byzantine values are substituted.
+        let counter = frozen();
+        let Verdict::Fails { witness, .. } = verify(&counter).unwrap() else {
+            panic!();
+        };
+        for t in 0..witness.byz.len() {
+            for (hi, &node) in witness.honest.iter().enumerate() {
+                let mut received = vec![0u8; counter.spec().n];
+                for (hj, &hv) in witness.honest.iter().enumerate() {
+                    received[hv] = witness.configs[t][hj];
+                }
+                for (g, &fv) in witness.fault_set.iter().enumerate() {
+                    received[fv] = witness.byz[t][hi][g];
+                }
+                assert_eq!(
+                    counter.next(node, &received),
+                    witness.configs[t + 1][hi],
+                    "transition {t} node {node} inconsistent"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_is_one_exactly_for_correct_algorithms() {
+        let summary = analyze(&follow_leader()).unwrap();
+        assert_eq!(summary.coverage, 1.0);
+        assert!(summary.failure.is_none());
+    }
+
+    #[test]
+    fn equivocation_breaks_quorumless_following_with_4_nodes() {
+        // 4 nodes, f = 1: follow max+1. Equivocation splits the honest
+        // nodes, so verification must fail.
+        let x = 2u8;
+        let rows: Vec<u8> = (0..16u32)
+            .map(|index| {
+                let max = (0..4).map(|u| (index >> u & 1) as u8).max().unwrap();
+                (max + 1) % 2
+            })
+            .collect();
+        let follow_max = lut(LutSpec {
+            n: 4,
+            f: 1,
+            c: 2,
+            states: x,
+            transition: vec![rows.clone(), rows.clone(), rows.clone(), rows],
+            output: vec![vec![0, 1]; 4],
+            stabilization_bound: 0,
+        });
+        let Verdict::Fails { fault_set, witness, .. } = verify(&follow_max).unwrap() else {
+            panic!("quorumless following must fail with f = 1");
+        };
+        assert_eq!(witness.fault_set, fault_set);
+        // The extracted attack needs no equivocation here: sending 1 to
+        // everyone freezes all max-followers at 0 — agreement without
+        // counting. Check the witness transitions are all realisable.
+        for t in 0..witness.byz.len() {
+            for (hi, &node) in witness.honest.iter().enumerate() {
+                let mut received = vec![0u8; 4];
+                for (hj, &hv) in witness.honest.iter().enumerate() {
+                    received[hv] = witness.configs[t][hj];
+                }
+                for (g, &fv) in witness.fault_set.iter().enumerate() {
+                    received[fv] = witness.byz[t][hi][g];
+                }
+                assert_eq!(follow_max.next(node, &received), witness.configs[t + 1][hi]);
+            }
+        }
+        // And the lasso closes.
+        assert_eq!(witness.configs.last(), witness.configs.get(witness.cycle_start));
+    }
+
+    #[test]
+    fn size_limits_are_enforced() {
+        // 16 states on 4 nodes: 16^4 = 65536 > MAX_CONFIGS → typed error.
+        let states = 16u8;
+        let rows = vec![0u8; 65536];
+        let spec = LutSpec {
+            n: 4,
+            f: 0,
+            c: 2,
+            states,
+            transition: vec![rows.clone(), rows.clone(), rows.clone(), rows],
+            output: vec![vec![0; 16], vec![0; 16], vec![0; 16], vec![0; 16]]
+                .into_iter()
+                .map(|mut v: Vec<u64>| {
+                    for (i, o) in v.iter_mut().enumerate() {
+                        *o = (i % 2) as u64;
+                    }
+                    v
+                })
+                .collect(),
+            stabilization_bound: 0,
+        };
+        let big = lut(spec);
+        assert!(verify(&big).is_err());
+    }
+}

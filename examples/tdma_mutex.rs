@@ -1,0 +1,94 @@
+//! Fault-tolerant TDMA / mutual exclusion — the motivating application from
+//! the paper's introduction: "synchronous counting is a coordination
+//! primitive that can be used e.g. in large integrated circuits to
+//! synchronise subsystems so that we can easily implement mutual exclusion
+//! and time division multiple access in a fault-tolerant manner".
+//!
+//! Four subsystems share one bus. Each drives the bus exactly when the
+//! shared counter (mod 4) equals its identifier. Before stabilisation the
+//! bus sees collisions; after stabilisation — despite a Byzantine subsystem
+//! and arbitrary power-on states — every correct subsystem owns disjoint
+//! slots forever.
+//!
+//! Run with `cargo run --release --example tdma_mutex`.
+
+use synchronous_counting::core::CounterBuilder;
+use synchronous_counting::protocol::Counter;
+use synchronous_counting::sim::{adversaries, Simulation};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 4usize;
+    let counter = CounterBuilder::corollary1(1, n as u64)?.build()?;
+    let adversary = adversaries::random(&counter, [1], 3); // subsystem 1 is faulty
+    let mut sim = Simulation::new(&counter, adversary, 11);
+
+    let horizon = counter.stabilization_bound() + 64;
+    let mut collisions_before = 0u64;
+    let mut collisions_after = 0u64;
+    let mut stabilized_at: Option<u64> = None;
+
+    // First pass: find the stabilisation round.
+    let mut probe = Simulation::new(
+        &counter,
+        adversaries::random(&counter, [1], 3),
+        11,
+    );
+    let report = probe.run_until_stable(horizon)?;
+    let stab = report.stabilization_round;
+
+    // Second pass: drive the bus.
+    for round in 0..horizon {
+        let outputs = sim.outputs_now();
+        // A correct subsystem v transmits iff its counter says "slot v".
+        let transmitting: Vec<usize> = sim
+            .honest()
+            .iter()
+            .zip(&outputs)
+            .filter(|(v, &slot)| slot == v.index() as u64)
+            .map(|(v, _)| v.index())
+            .collect();
+        if transmitting.len() > 1 {
+            if round < stab {
+                collisions_before += 1;
+            } else {
+                collisions_after += 1;
+            }
+        }
+        if round == stab {
+            stabilized_at = Some(round);
+        }
+        sim.step();
+    }
+
+    println!("bus slots owned by counter value (mod {n}); subsystem 1 Byzantine");
+    println!("stabilised at round {} (bound {})", stab, counter.stabilization_bound());
+    println!("collisions before stabilisation: {collisions_before}");
+    println!("collisions after stabilisation:  {collisions_after}");
+    assert_eq!(collisions_after, 0, "TDMA broke after stabilisation");
+    assert!(stabilized_at.is_some());
+
+    // Show a stabilised schedule excerpt.
+    println!("\nschedule excerpt (rounds {}..{}):", stab, stab + 8);
+    let adversary = adversaries::random(&counter, [1], 3);
+    let mut replay = Simulation::new(&counter, adversary, 11);
+    replay.run(stab);
+    for _ in 0..8 {
+        let outputs = replay.outputs_now();
+        let slot = outputs[0];
+        let owner: Vec<String> = replay
+            .honest()
+            .iter()
+            .map(|v| {
+                if v.index() as u64 == slot {
+                    format!("[{}]", v.index())
+                } else {
+                    format!(" {} ", v.index())
+                }
+            })
+            .collect();
+        println!("  slot {slot}: {}", owner.join(" "));
+        replay.step();
+    }
+    println!("\nexactly one correct subsystem drives the bus per round — mutual exclusion holds");
+    Ok(())
+}

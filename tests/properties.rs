@@ -1,0 +1,91 @@
+//! Property-based tests on whole-system invariants.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use synchronous_counting::consensus::{PkRegisters, INFINITY};
+use synchronous_counting::core::{CounterBuilder, CounterState};
+use synchronous_counting::protocol::{BitVec, Counter, NodeId, SyncProtocol};
+use synchronous_counting::sim::{adversaries, Simulation};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Self-stabilisation quantifies over all initial configurations: the
+    /// A(4,1) counter must stabilise within its bound from proptest-chosen
+    /// states under an equivocating adversary.
+    #[test]
+    fn a4_stabilizes_from_arbitrary_configurations(
+        init_seed in any::<u64>(),
+        faulty in 0usize..4,
+        adv_seed in any::<u64>(),
+    ) {
+        let algo = CounterBuilder::corollary1(1, 4).unwrap().build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(init_seed);
+        let states: Vec<CounterState> =
+            (0..4).map(|i| algo.random_state(NodeId::new(i), &mut rng)).collect();
+        let adv = adversaries::two_faced(&algo, [faulty], adv_seed);
+        let mut sim = Simulation::with_states(&algo, adv, states, 0);
+        let report = sim.run_until_stable(algo.stabilization_bound() + 64).unwrap();
+        prop_assert!(report.stabilization_round <= algo.stabilization_bound());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Codec round-trip + exact width for arbitrary representable states of
+    /// the two-level stack.
+    #[test]
+    fn codec_round_trip_is_lossless(seed in any::<u64>(), node in 0usize..12) {
+        let algo = CounterBuilder::corollary1(1, 2).unwrap().boost(3).unwrap().build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let id = NodeId::new(node);
+        let state = algo.random_state(id, &mut rng);
+        let mut bits = BitVec::new();
+        algo.encode_state(id, &state, &mut bits);
+        prop_assert_eq!(bits.len() as u32, algo.state_bits());
+        let back = algo.decode_state(id, &mut bits.reader()).unwrap();
+        prop_assert_eq!(back, state);
+    }
+
+    /// Lemma 5 as a property: agreeing registers with N−F supporting votes
+    /// survive any slot of the counting phase king, for arbitrary Byzantine
+    /// vote stuffing.
+    #[test]
+    fn phase_king_agreement_persists(
+        x in 0u64..8,
+        slot in 0u64..9,
+        byz in proptest::collection::vec(prop_oneof![0u64..8, Just(INFINITY)], 0..1),
+        king in prop_oneof![0u64..8, Just(INFINITY)],
+    ) {
+        use synchronous_counting::consensus::instructions::{execute_slot, IncrementMode};
+        use synchronous_counting::consensus::PhaseKingParams;
+        use synchronous_counting::protocol::Tally;
+
+        let params = PhaseKingParams::new(4, 1, 8).unwrap();
+        // 3 correct nodes agree on x (d = 1); one Byzantine vote is free.
+        let mut tally: Tally = [x, x, x].into_iter().collect();
+        tally.extend(byz.iter().copied());
+        let regs = PkRegisters::new(x, true);
+        let next = execute_slot(&params, regs, slot, &tally, king, IncrementMode::Counting);
+        prop_assert_eq!(next.a, (x + 1) % 8, "slot {} broke agreement", slot);
+        prop_assert!(next.d);
+    }
+}
+
+/// Determinism: identical initial configurations and adversaries yield
+/// identical executions regardless of the simulator's protocol-RNG seed.
+#[test]
+fn deterministic_counters_are_reproducible() {
+    let algo = CounterBuilder::corollary1(1, 2).unwrap().boost(3).unwrap().build().unwrap();
+    let mut rng = SmallRng::seed_from_u64(1);
+    let states: Vec<CounterState> =
+        (0..12).map(|i| algo.random_state(NodeId::new(i), &mut rng)).collect();
+    let mut a =
+        Simulation::with_states(&algo, adversaries::crash(&algo, [5], 3), states.clone(), 10);
+    let mut b = Simulation::with_states(&algo, adversaries::crash(&algo, [5], 3), states, 99);
+    a.run(200);
+    b.run(200);
+    assert_eq!(a.states(), b.states());
+}

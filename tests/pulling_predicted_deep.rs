@@ -1,0 +1,57 @@
+//! Predictive king pulls on a *nested* recursion: every level predicts its
+//! own next slot and pulls a single king candidate, so the per-level pull
+//! count stays `k·M + M + 1` even as the stack deepens. Requires king slack
+//! at every level (DESIGN.md §2.5).
+
+use rand::rngs::SmallRng;
+use synchronous_counting::core::CounterBuilder;
+use synchronous_counting::protocol::NodeId;
+use synchronous_counting::pulling::{KingPullMode, PullCounter, PullProtocol, PullSimulation,
+                                    Sampling};
+use synchronous_counting::sim::{adversaries, first_stable_window, violation_rate};
+
+#[test]
+fn nested_predicted_kings_stabilize_with_slack() {
+    // Two-level stack with slack 1 everywhere: τ₁ = 3(1+3) = 12 per level.
+    // Inner modulus must be a multiple of the outer requirement
+    // c_req₂ = 3(F+2+1)·4³ = 12·64 = 768.
+    let algo = CounterBuilder::trivial()
+        .with_modulus(768)
+        .with_king_slack(1)
+        .boost_with_resilience(4, 1)
+        .unwrap()
+        .boost_with_resilience(3, 1)
+        .unwrap()
+        .with_modulus(4)
+        .build()
+        .unwrap();
+
+    let sampling =
+        Sampling::Sampled { m: 15, king_mode: KingPullMode::Predicted, fixed_seed: None };
+    let pc = PullCounter::from_algorithm(&algo, sampling).unwrap();
+    // Pull ledger: inner level 4·15+15+1 = 76, outer level 3·15+15+1 = 61.
+    assert_eq!(pc.plan_len(), 76 + 61);
+
+    let bound = pc.stabilization_bound();
+    for seed in [6u64, 41] {
+        let sampler = |node: NodeId, rng: &mut SmallRng| pc.random_state(node, rng);
+        let adv = adversaries::random_from(sampler, [7], seed);
+        let mut sim = PullSimulation::new(&pc, adv, seed);
+        let trace = sim.run_trace(bound + 512);
+        let start = first_stable_window(&trace, pc.modulus(), 64)
+            .unwrap_or_else(|| panic!("seed {seed}: no stable window within {bound}+512"));
+        assert!(start <= bound, "seed {seed}: window at {start} > bound {bound}");
+        let rate = violation_rate(&trace, pc.modulus(), start);
+        assert!(rate < 0.05, "seed {seed}: failure rate {rate}");
+    }
+}
+
+#[test]
+fn predicted_mode_is_rejected_without_slack_at_any_level() {
+    // Slack on the outer level only is not enough: the inner level also
+    // predicts its king, and construction must refuse.
+    let algo = CounterBuilder::corollary1(1, 768).unwrap().build().unwrap();
+    let sampling =
+        Sampling::Sampled { m: 15, king_mode: KingPullMode::Predicted, fixed_seed: None };
+    assert!(PullCounter::from_algorithm(&algo, sampling).is_err());
+}

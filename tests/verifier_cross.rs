@@ -1,0 +1,101 @@
+//! Cross-validation of the model checker against the simulator: an
+//! algorithm the verifier certifies must stabilise in simulation within the
+//! verified exact worst case, from *every* initial configuration; an
+//! algorithm the verifier rejects must exhibit a non-stabilising execution
+//! under some adversary.
+
+use synchronous_counting::core::{Algorithm, CounterState, LutCounter, LutSpec};
+use synchronous_counting::sim::{adversaries, Simulation};
+use synchronous_counting::verifier::{synthesize, verify, SynthesisOutcome, Verdict};
+
+fn follow_leader() -> LutSpec {
+    LutSpec {
+        n: 2,
+        f: 0,
+        c: 2,
+        states: 2,
+        transition: vec![vec![1, 0, 1, 0], vec![1, 0, 1, 0]],
+        output: vec![vec![0, 1], vec![0, 1]],
+        stabilization_bound: 1,
+    }
+}
+
+#[test]
+fn verified_time_is_an_upper_bound_for_every_execution() {
+    let lut = LutCounter::new(follow_leader()).unwrap();
+    let Verdict::Stabilizes { worst_case_time } = verify(&lut).unwrap() else {
+        panic!("follow-leader must verify");
+    };
+    let algo = Algorithm::lut(follow_leader()).unwrap();
+    for s0 in 0..2u8 {
+        for s1 in 0..2u8 {
+            let states = vec![CounterState::Lut(s0), CounterState::Lut(s1)];
+            let mut sim = Simulation::with_states(&algo, adversaries::none(), states, 0);
+            let report = sim.run_until_stable(64).unwrap();
+            assert!(
+                report.stabilization_round <= worst_case_time,
+                "simulation ({s0},{s1}) stabilised at {} > verified {worst_case_time}",
+                report.stabilization_round
+            );
+        }
+    }
+}
+
+#[test]
+fn synthesized_counters_run_correctly_on_the_simulator() {
+    let report = synthesize(2, 0, 2, 2, 11, 5_000).unwrap();
+    let SynthesisOutcome::Found { counter, worst_case_time } = report.outcome else {
+        panic!("trivial instance must synthesise");
+    };
+    let algo = Algorithm::lut(counter.spec().clone()).unwrap();
+    for seed in 0..8 {
+        let mut sim = Simulation::new(&algo, adversaries::none(), seed);
+        let report = sim.run_until_stable(64).unwrap();
+        assert!(report.stabilization_round <= worst_case_time);
+    }
+}
+
+#[test]
+fn rejected_algorithm_fails_in_simulation_too() {
+    // Quorumless max-following with f = 1: the verifier rejects it; the
+    // two-faced equivocator realises the rejection as an actual
+    // non-stabilising (or at least bound-violating) execution.
+    let rows: Vec<u8> = (0..16u32)
+        .map(|index| {
+            let max = (0..4).map(|u| (index >> u & 1) as u8).max().unwrap();
+            (max + 1) % 2
+        })
+        .collect();
+    let spec = LutSpec {
+        n: 4,
+        f: 1,
+        c: 2,
+        states: 2,
+        transition: vec![rows.clone(), rows.clone(), rows.clone(), rows],
+        output: vec![vec![0, 1]; 4],
+        stabilization_bound: 0,
+    };
+    let lut = LutCounter::new(spec.clone()).unwrap();
+    assert!(matches!(verify(&lut).unwrap(), Verdict::Fails { .. }));
+
+    // Per-receiver random states realise the checker's counterexample:
+    // when every correct node holds 0, sending 1 to *some* receivers and 0
+    // to others splits the max-followers permanently. (The two-faced donor
+    // strategy cannot: donor states are honest states, so it cannot inject
+    // a 1 once the correct nodes agree on 0.)
+    let algo = Algorithm::lut(spec).unwrap();
+    let mut any_failure = false;
+    for seed in 0..20 {
+        let adv = adversaries::random(&algo, [0], seed);
+        let mut sim = Simulation::new(&algo, adv, seed);
+        if sim.run_until_stable(512).is_err() {
+            any_failure = true;
+            break;
+        }
+    }
+    assert!(
+        any_failure,
+        "verifier rejected the algorithm but no adversary run broke it — \
+         the two tools disagree"
+    );
+}

@@ -1,0 +1,131 @@
+//! The strongest cross-validation in the workspace: the model checker's
+//! failure **witness** — a lasso-shaped execution with explicit Byzantine
+//! values per (round, receiver) — is replayed on the real simulator via a
+//! scripted adversary, and the live system follows the predicted
+//! configurations exactly, forever failing to stabilise.
+
+use synchronous_counting::core::{Algorithm, CounterState, LutCounter, LutSpec};
+use synchronous_counting::protocol::NodeId;
+use synchronous_counting::sim::{Adversary, RoundContext, Simulation};
+use synchronous_counting::verifier::{verify, Verdict, Witness};
+
+/// Adversary that plays back a witness script.
+struct Scripted {
+    witness: Witness,
+    faulty: Vec<NodeId>,
+}
+
+impl Scripted {
+    fn new(witness: Witness) -> Self {
+        let faulty = witness.fault_set.iter().map(|&v| NodeId::new(v)).collect();
+        Scripted { witness, faulty }
+    }
+}
+
+impl Adversary<CounterState> for Scripted {
+    fn faulty(&self) -> &[NodeId] {
+        &self.faulty
+    }
+
+    fn message(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        ctx: &RoundContext<'_, CounterState>,
+    ) -> CounterState {
+        let step = self.witness.script_at(ctx.round);
+        let h = self
+            .witness
+            .honest
+            .iter()
+            .position(|&v| v == to.index())
+            .expect("script covers every correct receiver");
+        let g = self
+            .witness
+            .fault_set
+            .iter()
+            .position(|&v| v == from.index())
+            .expect("script covers every faulty sender");
+        CounterState::Lut(step[h][g])
+    }
+}
+
+fn follow_max() -> LutSpec {
+    let rows: Vec<u8> = (0..16u32)
+        .map(|index| {
+            let max = (0..4).map(|u| (index >> u & 1) as u8).max().unwrap();
+            (max + 1) % 2
+        })
+        .collect();
+    LutSpec {
+        n: 4,
+        f: 1,
+        c: 2,
+        states: 2,
+        transition: vec![rows.clone(), rows.clone(), rows.clone(), rows],
+        output: vec![vec![0, 1]; 4],
+        stabilization_bound: 0,
+    }
+}
+
+#[test]
+fn checker_witness_replays_exactly_on_the_simulator() {
+    let spec = follow_max();
+    let lut = LutCounter::new(spec.clone()).unwrap();
+    let Verdict::Fails { witness, .. } = verify(&lut).unwrap() else {
+        panic!("follow-max must fail");
+    };
+
+    // Start the simulator in the witness's first configuration.
+    let algo = Algorithm::lut(spec).unwrap();
+    let mut states = vec![CounterState::Lut(0); 4];
+    for (hi, &node) in witness.honest.iter().enumerate() {
+        states[node] = CounterState::Lut(witness.configs[0][hi]);
+    }
+    let adversary = Scripted::new(witness.clone());
+    let mut sim = Simulation::with_states(&algo, adversary, states, 0);
+
+    // Follow the script far beyond the lasso length: the live states must
+    // match the predicted configurations at every single round.
+    let steps = witness.byz.len();
+    let cycle = steps - witness.cycle_start;
+    for t in 0..(steps + 3 * cycle) as u64 {
+        let idx = if (t as usize) < steps {
+            t as usize
+        } else {
+            witness.cycle_start + ((t as usize - witness.cycle_start) % cycle)
+        };
+        for (hi, &node) in witness.honest.iter().enumerate() {
+            assert_eq!(
+                sim.states()[node],
+                CounterState::Lut(witness.configs[idx][hi]),
+                "round {t}: simulator diverged from the witness at node {node}"
+            );
+        }
+        sim.step();
+    }
+
+    // And, of course, the scripted execution never stabilises.
+    let trace = sim.run_trace(64);
+    assert!(
+        synchronous_counting::sim::detect_stabilization(&trace, 2, 8).is_err(),
+        "witness execution must not count correctly"
+    );
+}
+
+#[test]
+fn witness_script_wraps_around_the_lasso() {
+    let lut = LutCounter::new(follow_max()).unwrap();
+    let Verdict::Fails { witness, .. } = verify(&lut).unwrap() else {
+        panic!();
+    };
+    let steps = witness.byz.len() as u64;
+    let cycle = steps - witness.cycle_start as u64;
+    // The script at (steps + k·cycle + j) equals the script at
+    // (cycle_start + j) for any k.
+    for j in 0..cycle {
+        let base = witness.script_at(witness.cycle_start as u64 + j);
+        assert_eq!(witness.script_at(steps + j), base);
+        assert_eq!(witness.script_at(steps + cycle + j), base);
+    }
+}
