@@ -2,8 +2,8 @@
 
 use rand::RngCore;
 use sc_protocol::{
-    bits_for, BitReader, BitVec, CodecError, Counter, MessageView, NodeId, ParamError,
-    StepContext, SyncProtocol, Tally,
+    bits_for, BitReader, BitVec, CodecError, Counter, MessageView, NodeId, ParamError, StepContext,
+    SyncProtocol, Tally,
 };
 
 /// Randomised synchronous `c`-counter in the style of rows [6, 7] of
@@ -55,7 +55,9 @@ impl RandomizedCounter {
             )));
         }
         if c < 2 {
-            return Err(ParamError::constraint(format!("counter modulus must be ≥ 2, got {c}")));
+            return Err(ParamError::constraint(format!(
+                "counter modulus must be ≥ 2, got {c}"
+            )));
         }
         Ok(RandomizedCounter { n, f, c })
     }
@@ -80,12 +82,7 @@ impl SyncProtocol for RandomizedCounter {
         self.n
     }
 
-    fn step(
-        &self,
-        _node: NodeId,
-        view: &MessageView<'_, u64>,
-        ctx: &mut StepContext<'_>,
-    ) -> u64 {
+    fn step(&self, _node: NodeId, view: &MessageView<'_, u64>, ctx: &mut StepContext<'_>) -> u64 {
         let tally: Tally = view.iter().map(|&v| v % self.c).collect();
         match tally.min_value_with_count_over(self.quorum() - 1) {
             Some(w) => (w + 1) % self.c,
@@ -129,7 +126,10 @@ impl Counter for RandomizedCounter {
     fn decode_state(&self, _node: NodeId, input: &mut BitReader<'_>) -> Result<u64, CodecError> {
         let raw = input.read_bits(self.state_bits())?;
         if raw >= self.c {
-            return Err(CodecError::InvalidField { field: "randomised counter value", value: raw });
+            return Err(CodecError::InvalidField {
+                field: "randomised counter value",
+                value: raw,
+            });
         }
         Ok(raw)
     }
@@ -194,7 +194,10 @@ mod tests {
         let mut sim = Simulation::with_states(&r, adv, vec![1; 7], 9);
         let trace = sim.run_trace(200);
         for t in 0..trace.len() {
-            assert!(trace.agreed_value(t).is_some(), "agreement lost at round {t}");
+            assert!(
+                trace.agreed_value(t).is_some(),
+                "agreement lost at round {t}"
+            );
         }
     }
 
@@ -205,6 +208,9 @@ mod tests {
         let mut bits = BitVec::new();
         r.encode_state(NodeId::new(0), &1, &mut bits);
         assert_eq!(bits.len(), 1);
-        assert_eq!(r.decode_state(NodeId::new(0), &mut bits.reader()).unwrap(), 1);
+        assert_eq!(
+            r.decode_state(NodeId::new(0), &mut bits.reader()).unwrap(),
+            1
+        );
     }
 }

@@ -34,8 +34,7 @@ fn bench_figure1(c: &mut Criterion) {
             let mut run = 0u64;
             for t in 0..p.c_req() {
                 let b0 = p.pointer(0, offsets[0] + t).b;
-                let common =
-                    (1..p.k()).all(|i| p.pointer(i, offsets[i] + t).b == b0);
+                let common = (1..p.k()).all(|i| p.pointer(i, offsets[i] + t).b == b0);
                 run = if common { run + 1 } else { 0 };
                 longest = longest.max(run);
             }

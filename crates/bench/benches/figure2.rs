@@ -27,10 +27,14 @@ fn bench_figure2(c: &mut Criterion) {
         })
     });
 
-    let a36 =
-        CounterBuilder::corollary1(1, 2).unwrap().boost(3).unwrap().boost(3).unwrap()
-            .build()
-            .unwrap();
+    let a36 = CounterBuilder::corollary1(1, 2)
+        .unwrap()
+        .boost(3)
+        .unwrap()
+        .boost(3)
+        .unwrap()
+        .build()
+        .unwrap();
     let faulty = [0usize, 1, 2, 3, 4, 12, 24];
     g.bench_function("run_100_rounds_A(36,7)_7_byzantine", |b| {
         let mut seed = 0u64;

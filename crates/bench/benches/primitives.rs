@@ -37,13 +37,21 @@ fn bench_primitives(c: &mut Criterion) {
         })
     });
 
-    let algo = CounterBuilder::corollary1(1, 2).unwrap().boost(3).unwrap().build().unwrap();
+    let algo = CounterBuilder::corollary1(1, 2)
+        .unwrap()
+        .boost(3)
+        .unwrap()
+        .build()
+        .unwrap();
     let state = algo.random_state(NodeId::new(5), &mut rng);
     g.bench_function("codec_round_trip_A(12,3)_state", |b| {
         b.iter(|| {
             let mut bits = BitVec::new();
             algo.encode_state(NodeId::new(5), &state, &mut bits);
-            black_box(algo.decode_state(NodeId::new(5), &mut bits.reader()).unwrap())
+            black_box(
+                algo.decode_state(NodeId::new(5), &mut bits.reader())
+                    .unwrap(),
+            )
         })
     });
 

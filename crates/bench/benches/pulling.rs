@@ -16,11 +16,20 @@ fn bench_pulling(c: &mut Criterion) {
     let mut g = c.benchmark_group("pulling");
     g.sample_size(20).measurement_time(Duration::from_secs(3));
 
-    let algo = CounterBuilder::corollary1(1, 2).unwrap().boost(3).unwrap().build().unwrap();
+    let algo = CounterBuilder::corollary1(1, 2)
+        .unwrap()
+        .boost(3)
+        .unwrap()
+        .build()
+        .unwrap();
     let full = PullCounter::from_algorithm(&algo, Sampling::Full).unwrap();
     let sampled = PullCounter::from_algorithm(
         &algo,
-        Sampling::Sampled { m: 9, king_mode: KingPullMode::All, fixed_seed: None },
+        Sampling::Sampled {
+            m: 9,
+            king_mode: KingPullMode::All,
+            fixed_seed: None,
+        },
     )
     .unwrap();
 

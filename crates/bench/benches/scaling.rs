@@ -14,10 +14,18 @@ fn bench_scaling(c: &mut Criterion) {
 
     let stacks = [
         ("A(4,1)", CounterBuilder::corollary1(1, 2).unwrap()),
-        ("A(12,3)", CounterBuilder::corollary1(1, 2).unwrap().boost(3).unwrap()),
+        (
+            "A(12,3)",
+            CounterBuilder::corollary1(1, 2).unwrap().boost(3).unwrap(),
+        ),
         (
             "A(36,7)",
-            CounterBuilder::corollary1(1, 2).unwrap().boost(3).unwrap().boost(3).unwrap(),
+            CounterBuilder::corollary1(1, 2)
+                .unwrap()
+                .boost(3)
+                .unwrap()
+                .boost(3)
+                .unwrap(),
         ),
     ];
     for (label, builder) in stacks {

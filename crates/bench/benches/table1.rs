@@ -25,14 +25,22 @@ fn bench_table1(c: &mut Criterion) {
         })
     });
 
-    let a12 = CounterBuilder::corollary1(1, 2).unwrap().boost(3).unwrap().build().unwrap();
+    let a12 = CounterBuilder::corollary1(1, 2)
+        .unwrap()
+        .boost(3)
+        .unwrap()
+        .build()
+        .unwrap();
     g.bench_function("stabilize_A(12,3)_random_adversary", |b| {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
             let adv = adversaries::random(&a12, [0, 1, 4], seed);
             let mut sim = Simulation::new(&a12, adv, seed);
-            black_box(sim.run_until_stable(a12.stabilization_bound() + 64).unwrap())
+            black_box(
+                sim.run_until_stable(a12.stabilization_bound() + 64)
+                    .unwrap(),
+            )
         })
     });
 

@@ -1,0 +1,197 @@
+//! Engine throughput: batched zero-copy sweeps vs. looping the
+//! first-generation single-run engine, on the Figure-2 recursion stack
+//! `A(4,1) → A(12,3) → A(36,7)`.
+//!
+//! Two things are measured:
+//!
+//! * criterion micro-benches of a fixed sweep per level, on both engines,
+//!   and
+//! * a summary table of rounds/sec over a 64-scenario sweep per adversary
+//!   regime, with the speedup factor — the perf baseline future PRs are
+//!   judged against.
+//!
+//! The baseline deliberately reproduces the original pipeline end to end:
+//! `reference_step` (clone-heavy round loop, per-receiver `O(n)` vote
+//! recomputation) + materialised `OutputTrace` + offline
+//! `detect_stabilization`. The batched path is `Batch::run_prepared`
+//! (double-buffered zero-copy rounds, hoisted receiver-shared vote tallies,
+//! streaming detection). Both sides execute the same seeds, rounds, and
+//! adversaries, and their verdicts are asserted identical.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, Criterion};
+use sc_core::{Algorithm, CounterBuilder, CounterState};
+use sc_protocol::Counter as _;
+use sc_sim::{
+    adversaries, detect_stabilization, required_confirmation, Adversary, Batch, OutputTrace,
+    Scenario, Simulation, StabilizationReport,
+};
+
+const SCENARIOS: u64 = 64;
+const HORIZON: u64 = 96;
+
+type Verdicts = Vec<Result<StabilizationReport, sc_sim::SimError>>;
+type AdversaryFactory<'a> = Box<dyn Fn(u64) -> Box<dyn Adversary<CounterState> + 'a> + Sync + 'a>;
+
+fn stack() -> Vec<(&'static str, Algorithm, Vec<usize>)> {
+    vec![
+        (
+            "A(4,1)",
+            CounterBuilder::corollary1(1, 2).unwrap().build().unwrap(),
+            vec![1],
+        ),
+        (
+            "A(12,3)",
+            CounterBuilder::corollary1(1, 2)
+                .unwrap()
+                .boost(3)
+                .unwrap()
+                .build()
+                .unwrap(),
+            vec![0, 1, 4],
+        ),
+        (
+            "A(36,7)",
+            CounterBuilder::corollary1(1, 2)
+                .unwrap()
+                .boost(3)
+                .unwrap()
+                .boost(3)
+                .unwrap()
+                .build()
+                .unwrap(),
+            vec![0, 1, 2, 3, 4, 12, 24],
+        ),
+    ]
+}
+
+/// The adversary regimes swept: no faults, frozen (crash) faults, and
+/// fresh-random equivocation. They bracket the message-fabrication cost an
+/// adversary adds on top of the engine.
+fn regimes<'a>(
+    algo: &'a Algorithm,
+    faulty: &'a [usize],
+) -> Vec<(&'static str, AdversaryFactory<'a>)> {
+    vec![
+        ("fault-free", Box::new(|_| Box::new(adversaries::none()))),
+        (
+            "crash",
+            Box::new(move |seed| Box::new(adversaries::crash(algo, faulty.iter().copied(), seed))),
+        ),
+        (
+            "random",
+            Box::new(move |seed| Box::new(adversaries::random(algo, faulty.iter().copied(), seed))),
+        ),
+    ]
+}
+
+/// The original pipeline, looped per scenario: first-generation engine,
+/// materialised trace, offline detection.
+fn sweep_reference(
+    algo: &Algorithm,
+    factory: &AdversaryFactory<'_>,
+    seeds: u64,
+    horizon: u64,
+) -> Verdicts {
+    let confirm = required_confirmation(algo.modulus());
+    (0..seeds)
+        .map(|seed| {
+            let mut sim = Simulation::new(algo, factory(seed), seed);
+            let mut trace = OutputTrace::new(sim.honest().to_vec());
+            trace.push_row(sim.outputs_now());
+            for _ in 0..horizon {
+                sim.reference_step();
+                trace.push_row(sim.outputs_now());
+            }
+            detect_stabilization(&trace, algo.modulus(), confirm)
+        })
+        .collect()
+}
+
+/// The batched zero-copy pipeline for the same sweep.
+fn sweep_batched(
+    algo: &Algorithm,
+    factory: &AdversaryFactory<'_>,
+    seeds: u64,
+    horizon: u64,
+) -> Verdicts {
+    let scenarios = Scenario::seeds(0..seeds);
+    Batch::new(algo, horizon)
+        .run_prepared(&scenarios, |s: &Scenario<CounterState>| factory(s.seed))
+        .outcomes
+        .into_iter()
+        .map(|o| o.result)
+        .collect()
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("throughput");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    for (label, algo, faulty) in stack() {
+        for (regime, factory) in regimes(&algo, &faulty) {
+            g.bench_function(format!("single_run_loop_{label}_{regime}"), |b| {
+                b.iter(|| sweep_reference(&algo, &factory, 8, HORIZON))
+            });
+            g.bench_function(format!("batched_{label}_{regime}"), |b| {
+                b.iter(|| sweep_batched(&algo, &factory, 8, HORIZON))
+            });
+        }
+    }
+    g.finish();
+}
+
+/// One timed full-size sweep per engine per (level, adversary), printed as
+/// the rounds/sec baseline table with the speedup factor.
+fn summary_table() {
+    println!("\n## {SCENARIOS}-scenario sweeps, {HORIZON} rounds each — rounds/sec baseline\n");
+    println!(
+        "| {:<8} | {:<10} | {:>16} | {:>16} | {:>8} |",
+        "counter", "adversary", "loop (rounds/s)", "batch (rounds/s)", "speedup"
+    );
+    println!(
+        "|{}|{}|{}|{}|{}|",
+        "-".repeat(10),
+        "-".repeat(12),
+        "-".repeat(18),
+        "-".repeat(18),
+        "-".repeat(10)
+    );
+    for (label, algo, faulty) in stack() {
+        for (regime, factory) in regimes(&algo, &faulty) {
+            let total_rounds = (SCENARIOS * HORIZON) as f64;
+
+            let start = Instant::now();
+            let reference = sweep_reference(&algo, &factory, SCENARIOS, HORIZON);
+            let reference_time = start.elapsed().as_secs_f64();
+
+            let start = Instant::now();
+            let batched = sweep_batched(&algo, &factory, SCENARIOS, HORIZON);
+            let batched_time = start.elapsed().as_secs_f64();
+
+            // Same protocol, same seeds, same horizon ⇒ identical verdicts;
+            // a throughput number for a divergent engine is meaningless.
+            assert_eq!(
+                reference, batched,
+                "{label}/{regime}: engines disagree — benchmark invalid"
+            );
+
+            println!(
+                "| {:<8} | {:<10} | {:>16.0} | {:>16.0} | {:>7.2}x |",
+                label,
+                regime,
+                total_rounds / reference_time,
+                total_rounds / batched_time,
+                reference_time / batched_time
+            );
+        }
+    }
+    println!();
+}
+
+criterion_group!(benches, bench_throughput);
+
+fn main() {
+    benches();
+    summary_table();
+}

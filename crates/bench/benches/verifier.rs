@@ -44,7 +44,9 @@ fn bench_verifier(c: &mut Criterion) {
     g.sample_size(50).measurement_time(Duration::from_secs(3));
 
     let small = follow_leader();
-    g.bench_function("verify_2_node_f0", |b| b.iter(|| black_box(verify(&small).unwrap())));
+    g.bench_function("verify_2_node_f0", |b| {
+        b.iter(|| black_box(verify(&small).unwrap()))
+    });
 
     let byz = follow_max_4_1();
     g.bench_function("verify_4_node_f1_all_fault_sets", |b| {

@@ -8,8 +8,8 @@
 //! segments plus the detected common windows.
 
 use sc_core::{CounterBuilder, CounterState};
-use sc_protocol::{Interval, NodeId, SyncProtocol as _};
-use sc_sim::{adversaries, Simulation};
+use sc_protocol::{Counter as _, Interval, NodeId, SyncProtocol as _};
+use sc_sim::{adversaries, Batch, Scenario, Simulation};
 
 fn main() {
     // k = 6 blocks ⇒ m = 3 leader candidates and base 2m = 6 as in the
@@ -46,7 +46,9 @@ fn main() {
                 continue;
             }
             let state: &CounterState = &sim.states()[node.index()];
-            let value = boosted.inner().output(NodeId::new(0), state.as_boosted_inner());
+            let value = boosted
+                .inner()
+                .output(NodeId::new(0), state.as_boosted_inner());
             pointers[block].push(p.pointer(block, value).b);
         }
         sim.step();
@@ -68,21 +70,27 @@ fn main() {
                 _ => segments.push((b, 1)),
             }
         }
-        let shown: Vec<String> =
-            segments.iter().take(12).map(|(v, l)| format!("{v}×{l}")).collect();
+        let shown: Vec<String> = segments
+            .iter()
+            .take(12)
+            .map(|(v, l)| format!("{v}×{l}"))
+            .collect();
         println!("  block {block}: {}", shown.join("  "));
     }
 
     // Detect, for every β ∈ [m], the common windows across non-faulty
     // blocks, and verify the Lemma 2 claim: some window of length ≥ τ.
     println!("\nCommon-leader windows (all non-faulty blocks point at β):");
-    let honest_blocks: Vec<usize> =
-        (0..p.k()).filter(|b| pointers[*b][0] != usize::MAX).collect();
+    let honest_blocks: Vec<usize> = (0..p.k())
+        .filter(|b| pointers[*b][0] != usize::MAX)
+        .collect();
     for beta in 0..p.m() {
         let mut windows: Vec<Interval> = Vec::new();
         let mut start: Option<u64> = None;
         for t in 0..horizon {
-            let common = honest_blocks.iter().all(|&b| pointers[b][t as usize] == beta);
+            let common = honest_blocks
+                .iter()
+                .all(|&b| pointers[b][t as usize] == beta);
             match (common, start) {
                 (true, None) => start = Some(t),
                 (false, Some(s)) => {
@@ -102,9 +110,34 @@ fn main() {
             windows.len(),
             longest,
             p.tau(),
-            if ok { "✓ Lemma 2 holds" } else { "✗ VIOLATION" }
+            if ok {
+                "✓ Lemma 2 holds"
+            } else {
+                "✗ VIOLATION"
+            }
         );
         assert!(ok, "Lemma 2 violated for β = {beta}");
     }
     println!("\nAll candidates reached a common window of ≥ τ rounds within one period.");
+
+    // Cross-check: the pointer picture above is one execution; sweep many
+    // seeds of the same topology through the batch engine and confirm that
+    // stabilisation (which Lemmas 1–2 feed into) holds throughout.
+    let scenarios = Scenario::seeds(0..16);
+    let report = Batch::new(&algo, algo.stabilization_bound() + 64)
+        .run(&scenarios, |s: &Scenario<CounterState>| {
+            adversaries::random(&algo, faulty, s.seed)
+        });
+    let summary = report.summary();
+    assert!(
+        report.all_stabilized() && summary.worst <= algo.stabilization_bound(),
+        "stabilisation sweep contradicts the pointer analysis"
+    );
+    println!(
+        "Sweep: {}/{} seeds stabilised, worst round {} ≤ bound {}.",
+        summary.stabilized,
+        summary.runs,
+        summary.worst,
+        algo.stabilization_bound()
+    );
 }

@@ -13,7 +13,12 @@ use sc_protocol::{Counter as _, SyncProtocol as _};
 fn main() {
     println!("# E3 / Figure 2 — recursive application with k = 3 blocks\n");
 
-    let builder = CounterBuilder::corollary1(1, 2).unwrap().boost(3).unwrap().boost(3).unwrap();
+    let builder = CounterBuilder::corollary1(1, 2)
+        .unwrap()
+        .boost(3)
+        .unwrap()
+        .boost(3)
+        .unwrap();
     let plans = builder.plan().unwrap();
     println!("Construction plan (modulus chain derived bottom-up):");
     print_table(
@@ -62,7 +67,12 @@ fn main() {
         ),
         (
             "A(12,3)",
-            CounterBuilder::corollary1(1, 2).unwrap().boost(3).unwrap().build().unwrap(),
+            CounterBuilder::corollary1(1, 2)
+                .unwrap()
+                .boost(3)
+                .unwrap()
+                .build()
+                .unwrap(),
             vec![0, 1, 4],
         ),
         ("A(36,7)", builder.build().unwrap(), faulty.to_vec()),
@@ -82,7 +92,15 @@ fn main() {
         ]);
     }
     print_table(
-        &["counter", "N", "F", "mean stab.", "worst stab.", "bound", "runs"],
+        &[
+            "counter",
+            "N",
+            "F",
+            "mean stab.",
+            "worst stab.",
+            "bound",
+            "runs",
+        ],
         &rows,
     );
     println!("\nEvery run stabilised within the Theorem 1 bound (asserted).");

@@ -67,5 +67,8 @@ fn main() {
         "  with 2 corruptions against an F = 1 protocol, {broken}/{trials} runs \
          lost agreement (expected > 0: N > 3F is necessary [9])"
     );
-    assert!(broken > 0, "over-corruption never broke agreement; thresholds too lax?");
+    assert!(
+        broken > 0,
+        "over-corruption never broke agreement; thresholds too lax?"
+    );
 }

@@ -17,7 +17,10 @@ use sc_pulling::{KingPullMode, PullCounter, PullProtocol, PullSimulation, Sampli
 use sc_sim::{adversaries, first_stable_window, violation_rate};
 
 fn a12_f1() -> Algorithm {
-    CounterBuilder::corollary1(1, 576).unwrap().boost_with_resilience(3, 1).unwrap()
+    CounterBuilder::corollary1(1, 576)
+        .unwrap()
+        .boost_with_resilience(3, 1)
+        .unwrap()
         .build()
         .unwrap()
 }
@@ -29,11 +32,27 @@ fn main() {
     println!("Pulls per correct node per round (message complexity):");
     let m = 9;
     let stacks: Vec<(&str, Algorithm)> = vec![
-        ("A(4,1)", CounterBuilder::corollary1(1, 8).unwrap().build().unwrap()),
-        ("A(12,3)", CounterBuilder::corollary1(1, 2).unwrap().boost(3).unwrap().build().unwrap()),
+        (
+            "A(4,1)",
+            CounterBuilder::corollary1(1, 8).unwrap().build().unwrap(),
+        ),
+        (
+            "A(12,3)",
+            CounterBuilder::corollary1(1, 2)
+                .unwrap()
+                .boost(3)
+                .unwrap()
+                .build()
+                .unwrap(),
+        ),
         (
             "A(36,7)",
-            CounterBuilder::corollary1(1, 2).unwrap().boost(3).unwrap().boost(3).unwrap()
+            CounterBuilder::corollary1(1, 2)
+                .unwrap()
+                .boost(3)
+                .unwrap()
+                .boost(3)
+                .unwrap()
                 .build()
                 .unwrap(),
         ),
@@ -44,7 +63,11 @@ fn main() {
         let full = PullCounter::from_algorithm(algo, Sampling::Full).unwrap();
         let sampled = PullCounter::from_algorithm(
             algo,
-            Sampling::Sampled { m, king_mode: KingPullMode::All, fixed_seed: None },
+            Sampling::Sampled {
+                m,
+                king_mode: KingPullMode::All,
+                fixed_seed: None,
+            },
         )
         .unwrap();
         rows.push(vec![
@@ -52,10 +75,16 @@ fn main() {
             algo.n().to_string(),
             full.plan_len().to_string(),
             sampled.plan_len().to_string(),
-            format!("{:.2}", full.plan_len() as f64 / sampled.plan_len().max(1) as f64),
+            format!(
+                "{:.2}",
+                full.plan_len() as f64 / sampled.plan_len().max(1) as f64
+            ),
         ]);
     }
-    print_table(&["stack", "N", "full pulls", "sampled pulls (M=9)", "ratio"], &rows);
+    print_table(
+        &["stack", "N", "full pulls", "sampled pulls (M=9)", "ratio"],
+        &rows,
+    );
     println!(
         "\nSampled pulls grow with the number of levels and blocks (k·M+M+F+2 \
          per level), not with N — the polylog claim of Corollary 4.\n"
@@ -68,7 +97,11 @@ fn main() {
     for m in [5usize, 9, 15, 27] {
         let pc = PullCounter::from_algorithm(
             &algo,
-            Sampling::Sampled { m, king_mode: KingPullMode::All, fixed_seed: None },
+            Sampling::Sampled {
+                m,
+                king_mode: KingPullMode::All,
+                fixed_seed: None,
+            },
         )
         .unwrap();
         let bound = pc.stabilization_bound();

@@ -56,7 +56,12 @@ fn main() {
     // Larger stacks: analytic rows (simulating N = 108 for ~8k rounds per
     // run across the whole suite is minutes of work; the bound is exact).
     for extra in [1usize, 2] {
-        let mut b = CounterBuilder::corollary1(1, 2).unwrap().boost(3).unwrap().boost(3).unwrap();
+        let mut b = CounterBuilder::corollary1(1, 2)
+            .unwrap()
+            .boost(3)
+            .unwrap()
+            .boost(3)
+            .unwrap();
         for _ in 0..extra {
             b = b.boost(3).unwrap();
         }
@@ -74,7 +79,15 @@ fn main() {
         measured.push((top.f, top.time_bound, top.state_bits));
     }
     print_table(
-        &["f", "n", "mean stab.", "worst stab.", "T bound", "bound/f", "S bits"],
+        &[
+            "f",
+            "n",
+            "mean stab.",
+            "worst stab.",
+            "T bound",
+            "bound/f",
+            "S bits",
+        ],
         &rows,
     );
 
@@ -98,12 +111,30 @@ fn main() {
     println!("\nAblation — schedule choice (analytic plans, top level each):");
     let mut rows = Vec::new();
     for (label, plan) in [
-        ("Theorem 2, k=3 ×4", CounterBuilder::theorem2(3, 4, 2).unwrap().plan().unwrap()),
-        ("Theorem 2, k=4 ×4", CounterBuilder::theorem2(4, 4, 2).unwrap().plan().unwrap()),
-        ("Theorem 2, k=6 ×3", CounterBuilder::theorem2(6, 3, 2).unwrap().plan().unwrap()),
-        ("Theorem 3, P=1", CounterBuilder::theorem3(1, 2).unwrap().plan().unwrap()),
-        ("Corollary 1, f=3", CounterBuilder::corollary1(3, 2).unwrap().plan().unwrap()),
-        ("Corollary 1, f=4", CounterBuilder::corollary1(4, 2).unwrap().plan().unwrap()),
+        (
+            "Theorem 2, k=3 ×4",
+            CounterBuilder::theorem2(3, 4, 2).unwrap().plan().unwrap(),
+        ),
+        (
+            "Theorem 2, k=4 ×4",
+            CounterBuilder::theorem2(4, 4, 2).unwrap().plan().unwrap(),
+        ),
+        (
+            "Theorem 2, k=6 ×3",
+            CounterBuilder::theorem2(6, 3, 2).unwrap().plan().unwrap(),
+        ),
+        (
+            "Theorem 3, P=1",
+            CounterBuilder::theorem3(1, 2).unwrap().plan().unwrap(),
+        ),
+        (
+            "Corollary 1, f=3",
+            CounterBuilder::corollary1(3, 2).unwrap().plan().unwrap(),
+        ),
+        (
+            "Corollary 1, f=4",
+            CounterBuilder::corollary1(4, 2).unwrap().plan().unwrap(),
+        ),
     ] {
         let top = plan.last().unwrap();
         rows.push(vec![

@@ -87,14 +87,20 @@ fn main() {
     ] {
         let report = synthesize(n, f, c, states, 42, budget).unwrap();
         let outcome = match &report.outcome {
-            SynthesisOutcome::Found { worst_case_time, .. } => {
+            SynthesisOutcome::Found {
+                worst_case_time, ..
+            } => {
                 format!("FOUND, verified T = {worst_case_time}")
             }
             SynthesisOutcome::Exhausted { best_coverage } => {
                 format!("exhausted, best coverage {best_coverage:.3}")
             }
         };
-        rows.push(vec![label.to_string(), report.evaluations.to_string(), outcome]);
+        rows.push(vec![
+            label.to_string(),
+            report.evaluations.to_string(),
+            outcome,
+        ]);
     }
     print_table(&["instance", "evaluations", "outcome"], &rows);
     println!(
@@ -108,12 +114,23 @@ fn main() {
 fn describe(label: &str, lut: &LutCounter) -> Vec<String> {
     match verify(lut).unwrap() {
         Verdict::Stabilizes { worst_case_time } => {
-            vec![label.to_string(), "self-stabilising ✓".into(), worst_case_time.to_string()]
+            vec![
+                label.to_string(),
+                "self-stabilising ✓".into(),
+                worst_case_time.to_string(),
+            ]
         }
-        Verdict::Fails { fault_set, stuck_configs, witness } => vec![
+        Verdict::Fails {
+            fault_set,
+            stuck_configs,
+            witness,
+        } => vec![
             label.to_string(),
             format!("FAILS (fault set {fault_set:?})"),
-            format!("{stuck_configs} stuck configs; witness lasso of {} steps", witness.byz.len()),
+            format!(
+                "{stuck_configs} stuck configs; witness lasso of {} steps",
+                witness.byz.len()
+            ),
         ],
     }
 }

@@ -45,14 +45,19 @@ fn main() {
         for seed in 0..runs {
             let adv = adversaries::two_faced(&r, (0..f).collect::<Vec<_>>(), seed);
             let mut sim = Simulation::new(&r, adv, seed);
-            let report = sim.run_until_stable(4096).expect("randomised baseline stabilises");
+            let report = sim
+                .run_until_stable(4096)
+                .expect("randomised baseline stabilises");
             worst = worst.max(report.stabilization_round);
             total += report.stabilization_round;
         }
         rows.push(vec![
             format!("f={f}, n={n} [6,7]-style (measured)"),
-            format!("{:.1} mean / {worst} worst (exp. bound {})",
-                    total as f64 / runs as f64, r.expected_stabilization()),
+            format!(
+                "{:.1} mean / {worst} worst (exp. bound {})",
+                total as f64 / runs as f64,
+                r.expected_stabilization()
+            ),
             format!("{}", r.state_bits()),
             "no".into(),
             "randomised quorum-follow baseline".into(),
@@ -65,7 +70,12 @@ fn main() {
     let s = summarize(&results);
     rows.push(vec![
         format!("f=1, n=4 Cor. 1 (measured)"),
-        format!("{:.0} mean / {} worst ≤ {} bound", s.mean, s.worst, a4.stabilization_bound()),
+        format!(
+            "{:.0} mean / {} worst ≤ {} bound",
+            s.mean,
+            s.worst,
+            a4.stabilization_bound()
+        ),
         format!("{}", a4.state_bits()),
         "yes".into(),
         "optimal resilience, f^O(f) bound".into(),
@@ -73,22 +83,40 @@ fn main() {
 
     // --- This work: boosted recursion, measured. --------------------------
     let stacks: Vec<(String, Vec<usize>)> = vec![
-        ("A(12,3)".into(), vec![0, 1, 4]),   // one faulty block + spread
+        ("A(12,3)".into(), vec![0, 1, 4]), // one faulty block + spread
         ("A(36,7)".into(), vec![0, 1, 2, 3, 4, 12, 24]), // block 0 fully faulty
     ];
-    let mut algos = Vec::new();
-    algos.push(CounterBuilder::corollary1(1, 2).unwrap().boost(3).unwrap().build().unwrap());
-    algos.push(
-        CounterBuilder::corollary1(1, 2).unwrap().boost(3).unwrap().boost(3).unwrap()
+    let algos = vec![
+        CounterBuilder::corollary1(1, 2)
+            .unwrap()
+            .boost(3)
+            .unwrap()
             .build()
             .unwrap(),
-    );
+        CounterBuilder::corollary1(1, 2)
+            .unwrap()
+            .boost(3)
+            .unwrap()
+            .boost(3)
+            .unwrap()
+            .build()
+            .unwrap(),
+    ];
     for ((label, faulty), algo) in stacks.into_iter().zip(&algos) {
         let results = measure_stabilization(algo, &faulty, &seeds, 64);
         let s = summarize(&results);
         rows.push(vec![
-            format!("f={}, n={} this work (measured)", algo.resilience(), algo.n()),
-            format!("{:.0} mean / {} worst ≤ {} bound", s.mean, s.worst, algo.stabilization_bound()),
+            format!(
+                "f={}, n={} this work (measured)",
+                algo.resilience(),
+                algo.n()
+            ),
+            format!(
+                "{:.0} mean / {} worst ≤ {} bound",
+                s.mean,
+                s.worst,
+                algo.stabilization_bound()
+            ),
             format!("{}", algo.state_bits()),
             "yes".into(),
             format!("{label}, {} runs over full adversary suite", s.runs),
@@ -97,7 +125,10 @@ fn main() {
 
     // --- This work, analytic rows for larger f (Theorem 2 plans). --------
     for levels in [3usize, 4] {
-        let plan = CounterBuilder::theorem2(4, levels, 2).unwrap().plan().unwrap();
+        let plan = CounterBuilder::theorem2(4, levels, 2)
+            .unwrap()
+            .plan()
+            .unwrap();
         let top = plan.last().unwrap();
         rows.push(vec![
             format!("f={}, n={} this work (bound)", top.f, top.n),
@@ -109,7 +140,13 @@ fn main() {
     }
 
     print_table(
-        &["algorithm (resilience)", "stabilisation time", "state bits", "det.", "notes"],
+        &[
+            "algorithm (resilience)",
+            "stabilisation time",
+            "state bits",
+            "det.",
+            "notes",
+        ],
         &rows,
     );
 

@@ -11,7 +11,7 @@
 
 use sc_core::{adversaries as core_adv, Algorithm, CounterState};
 use sc_protocol::Counter as _;
-use sc_sim::{adversaries, Adversary, Simulation};
+use sc_sim::{adversaries, Adversary, Batch, Scenario};
 
 /// A constructor producing a fresh adversary instance for a given seed.
 ///
@@ -86,9 +86,9 @@ pub struct Summary {
 }
 
 /// Measures the stabilisation time of `algo` over the whole adversary suite
-/// and all `seeds`, asserting the proven bound on every run. Strategies are
-/// measured on parallel worker threads (the runs are independent
-/// simulations).
+/// and all `seeds`, asserting the proven bound on every run. Each strategy's
+/// seed sweep runs as one [`Batch`] on the zero-copy engine, which fans the
+/// independent scenarios out across worker threads.
 ///
 /// # Panics
 ///
@@ -102,39 +102,29 @@ pub fn measure_stabilization(
 ) -> Vec<RunResult> {
     let bound = algo.stabilization_bound();
     let suite = adversary_suite(algo, faulty);
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = suite
-            .into_iter()
-            .map(|(name, factory)| {
-                scope.spawn(move |_| {
-                    let mut results = Vec::with_capacity(seeds.len());
-                    for &seed in seeds {
-                        let mut sim = Simulation::new(algo, factory(seed), seed);
-                        let report = sim.run_until_stable(bound + margin).unwrap_or_else(|e| {
-                            panic!("{name} (seed {seed}) did not stabilise: {e}")
-                        });
-                        assert!(
-                            report.stabilization_round <= bound,
-                            "{name} (seed {seed}): {} > proven bound {bound}",
-                            report.stabilization_round
-                        );
-                        results.push(RunResult {
-                            strategy: name,
-                            seed,
-                            stabilization: report.stabilization_round,
-                        });
-                    }
-                    results
-                })
-            })
-            .collect();
-        let mut results = Vec::new();
-        for handle in handles {
-            results.extend(handle.join().expect("measurement worker panicked"));
+    let scenarios: Vec<Scenario<CounterState>> = Scenario::seeds(seeds.iter().copied());
+    let batch = Batch::new(algo, bound + margin);
+    let mut results = Vec::with_capacity(suite.len() * seeds.len());
+    for (name, factory) in suite {
+        let report = batch.run_prepared(&scenarios, |scenario| factory(scenario.seed));
+        for outcome in report.outcomes {
+            let seed = outcome.seed;
+            let report = outcome
+                .result
+                .unwrap_or_else(|e| panic!("{name} (seed {seed}) did not stabilise: {e}"));
+            assert!(
+                report.stabilization_round <= bound,
+                "{name} (seed {seed}): {} > proven bound {bound}",
+                report.stabilization_round
+            );
+            results.push(RunResult {
+                strategy: name,
+                seed,
+                stabilization: report.stabilization_round,
+            });
         }
-        results
-    })
-    .expect("measurement scope panicked")
+    }
+    results
 }
 
 /// Summarises a batch of [`RunResult`]s.
@@ -144,7 +134,11 @@ pub fn summarize(results: &[RunResult]) -> Summary {
     }
     let worst = results.iter().map(|r| r.stabilization).max().unwrap_or(0);
     let sum: u64 = results.iter().map(|r| r.stabilization).sum();
-    Summary { worst, mean: sum as f64 / results.len() as f64, runs: results.len() }
+    Summary {
+        worst,
+        mean: sum as f64 / results.len() as f64,
+        runs: results.len(),
+    }
 }
 
 /// Prints a markdown table with aligned columns.

@@ -56,7 +56,7 @@ impl<C: Counter> ClockedConsensus<C> {
     /// `counter.modulus()` is a multiple of `3(f+2)`.
     pub fn new(counter: C, f: usize, c: u64, inputs: Vec<u64>) -> Result<Self, ParamError> {
         let params = PhaseKingParams::with_king_groups(counter.n(), f, c, f as u64 + 2)?;
-        if counter.modulus() % params.slots() != 0 {
+        if !counter.modulus().is_multiple_of(params.slots()) {
             return Err(ParamError::constraint(format!(
                 "counter modulus {} is not a multiple of 3(F+2) = {}",
                 counter.modulus(),
@@ -73,7 +73,11 @@ impl<C: Counter> ClockedConsensus<C> {
         if let Some(bad) = inputs.iter().find(|&&x| x >= c) {
             return Err(ParamError::constraint(format!("input {bad} outside [{c}]")));
         }
-        Ok(ClockedConsensus { counter, params, inputs })
+        Ok(ClockedConsensus {
+            counter,
+            params,
+            inputs,
+        })
     }
 
     /// The underlying counter.
@@ -139,7 +143,10 @@ impl<C: Counter> SyncProtocol for ClockedConsensus<C> {
             )
         };
 
-        ClockedState { counter: next_counter, regs }
+        ClockedState {
+            counter: next_counter,
+            regs,
+        }
     }
 
     fn output(&self, _node: NodeId, state: &Self::State) -> u64 {
@@ -212,8 +219,8 @@ mod tests {
         let cc = ClockedConsensus::new(counter, 0, 2, inputs).unwrap();
         let mut sim = Simulation::new(&cc, adversaries::none(), 5);
         sim.run(8); // well past the counter's stabilisation
-        // Walk two full cycles; at every slot-0 state the decision must be
-        // the (unanimous) input 1.
+                    // Walk two full cycles; at every slot-0 state the decision must be
+                    // the (unanimous) input 1.
         let mut decisions = 0;
         for _ in 0..2 * cc.slots() {
             sim.step();
@@ -224,7 +231,10 @@ mod tests {
                 }
             }
         }
-        assert!(decisions >= 4, "expected at least one full cycle of decisions");
+        assert!(
+            decisions >= 4,
+            "expected at least one full cycle of decisions"
+        );
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! pulling model, which substitutes `⅔M` / `⅓M` for `N−F` / `F+1` (§5.3) via
 //! [`PhaseKingParams::sampled`].
 
-use sc_protocol::{ParamError, Tally};
+use sc_protocol::{ParamError, VoteCounts};
 
 use crate::registers::{PkRegisters, INFINITY};
 
@@ -90,7 +90,9 @@ impl PhaseKingParams {
             )));
         }
         if c < 2 {
-            return Err(ParamError::constraint(format!("counter size C > 1 required, got {c}")));
+            return Err(ParamError::constraint(format!(
+                "counter size C > 1 required, got {c}"
+            )));
         }
         if groups < f as u64 + 1 {
             return Err(ParamError::constraint(format!(
@@ -103,7 +105,14 @@ impl PhaseKingParams {
                 "{groups} king groups need {groups} distinct kings but only {n} nodes exist"
             )));
         }
-        Ok(PhaseKingParams { n, f, c, keep: n - f, beat: f, king_groups: groups })
+        Ok(PhaseKingParams {
+            n,
+            f,
+            c,
+            keep: n - f,
+            beat: f,
+            king_groups: groups,
+        })
     }
 
     /// Sampled-threshold parameters for the pulling model (§5.3): a node
@@ -116,7 +125,9 @@ impl PhaseKingParams {
     pub fn sampled(n: usize, f: usize, c: u64, m: usize, groups: u64) -> Result<Self, ParamError> {
         let mut params = Self::with_king_groups(n, f, c, groups)?;
         if m < 3 {
-            return Err(ParamError::constraint(format!("sample size must be ≥ 3, got {m}")));
+            return Err(ParamError::constraint(format!(
+                "sample size must be ≥ 3, got {m}"
+            )));
         }
         params.keep = m.div_ceil(3) * 2;
         params.beat = m / 3;
@@ -170,16 +181,18 @@ impl PhaseKingParams {
 ///
 /// * `regs` — the node's registers at the start of the round.
 /// * `tally` — the multiset of `a`-values the node received this round
-///   (including its own broadcast).
+///   (including its own broadcast); any [`VoteCounts`] implementation
+///   (a [`sc_protocol::Tally`], or the batch engine's patched
+///   [`sc_protocol::DeltaTally`]) works identically.
 /// * `king_value` — the `a`-value received *from the king of this slot's
 ///   group*; only read in the third slot of a group.
 ///
 /// Returns the updated registers.
-pub fn execute_slot(
+pub fn execute_slot<T: VoteCounts>(
     params: &PhaseKingParams,
     regs: PkRegisters,
     slot: u64,
-    tally: &Tally,
+    tally: &T,
     king_value: u64,
     mode: IncrementMode,
 ) -> PkRegisters {
@@ -197,7 +210,11 @@ pub fn execute_slot(
 
 /// `I_{3ℓ}` without the increment: reset to `∞` unless the node's own value
 /// has at least `N−F` support.
-fn collect(params: &PhaseKingParams, mut regs: PkRegisters, tally: &Tally) -> PkRegisters {
+fn collect<T: VoteCounts>(
+    params: &PhaseKingParams,
+    mut regs: PkRegisters,
+    tally: &T,
+) -> PkRegisters {
     if tally.count(regs.a) < params.keep {
         regs.a = INFINITY;
     }
@@ -206,9 +223,15 @@ fn collect(params: &PhaseKingParams, mut regs: PkRegisters, tally: &Tally) -> Pk
 
 /// `I_{3ℓ+1}` without the increment: set `d` from the `N−F` test and adopt
 /// `min{j : z_j > F}` (or `∞` when no value qualifies).
-fn propose(params: &PhaseKingParams, mut regs: PkRegisters, tally: &Tally) -> PkRegisters {
+fn propose<T: VoteCounts>(
+    params: &PhaseKingParams,
+    mut regs: PkRegisters,
+    tally: &T,
+) -> PkRegisters {
     regs.d = tally.count(regs.a) >= params.keep;
-    regs.a = tally.min_value_with_count_over(params.beat).unwrap_or(INFINITY);
+    regs.a = tally
+        .min_value_with_count_over(params.beat)
+        .unwrap_or(INFINITY);
     regs
 }
 
@@ -225,6 +248,7 @@ fn king_adopt(params: &PhaseKingParams, mut regs: PkRegisters, king_value: u64) 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sc_protocol::Tally;
 
     fn params() -> PhaseKingParams {
         PhaseKingParams::new(7, 2, 10).unwrap()
@@ -238,7 +262,14 @@ mod tests {
     fn collect_keeps_supported_values() {
         let p = params(); // keep threshold 5
         let t = tally_of(&[4, 4, 4, 4, 4, 9, 9]);
-        let r = execute_slot(&p, PkRegisters::new(4, false), 0, &t, 0, IncrementMode::OneShot);
+        let r = execute_slot(
+            &p,
+            PkRegisters::new(4, false),
+            0,
+            &t,
+            0,
+            IncrementMode::OneShot,
+        );
         assert_eq!(r.a, 4);
     }
 
@@ -246,7 +277,14 @@ mod tests {
     fn collect_resets_unsupported_values() {
         let p = params();
         let t = tally_of(&[4, 4, 4, 4, 9, 9, 9]);
-        let r = execute_slot(&p, PkRegisters::new(4, false), 0, &t, 0, IncrementMode::OneShot);
+        let r = execute_slot(
+            &p,
+            PkRegisters::new(4, false),
+            0,
+            &t,
+            0,
+            IncrementMode::OneShot,
+        );
         assert_eq!(r.a, INFINITY);
     }
 
@@ -254,7 +292,14 @@ mod tests {
     fn collect_in_counting_mode_increments() {
         let p = params();
         let t = tally_of(&[4, 4, 4, 4, 4, 9, 9]);
-        let r = execute_slot(&p, PkRegisters::new(4, false), 3, &t, 0, IncrementMode::Counting);
+        let r = execute_slot(
+            &p,
+            PkRegisters::new(4, false),
+            3,
+            &t,
+            0,
+            IncrementMode::Counting,
+        );
         assert_eq!(r.a, 5);
     }
 
@@ -263,7 +308,14 @@ mod tests {
         let p = params(); // beat threshold 2
         let t = tally_of(&[6, 6, 6, 2, 2, 2, 9]);
         // Own value 6 has support 3 < keep 5 so d = 0; min qualifying is 2.
-        let r = execute_slot(&p, PkRegisters::new(6, true), 1, &t, 0, IncrementMode::OneShot);
+        let r = execute_slot(
+            &p,
+            PkRegisters::new(6, true),
+            1,
+            &t,
+            0,
+            IncrementMode::OneShot,
+        );
         assert!(!r.d);
         assert_eq!(r.a, 2);
     }
@@ -272,7 +324,14 @@ mod tests {
     fn propose_without_qualifier_resets() {
         let p = params();
         let t = tally_of(&[0, 1, 2, 3, 4, 5, 6]); // every count = 1 ≤ F = 2
-        let r = execute_slot(&p, PkRegisters::new(0, true), 1, &t, 0, IncrementMode::OneShot);
+        let r = execute_slot(
+            &p,
+            PkRegisters::new(0, true),
+            1,
+            &t,
+            0,
+            IncrementMode::OneShot,
+        );
         assert_eq!(r.a, INFINITY);
         assert!(!r.d);
     }

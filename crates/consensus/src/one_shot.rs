@@ -66,8 +66,15 @@ impl PhaseKing {
     ///
     /// Panics if `value` is outside `[c]`.
     pub fn initial_state(&self, value: u64) -> ConsensusState {
-        assert!(value < self.params.c(), "input {value} outside [{}]", self.params.c());
-        ConsensusState { round: 0, regs: PkRegisters::new(value, true) }
+        assert!(
+            value < self.params.c(),
+            "input {value} outside [{}]",
+            self.params.c()
+        );
+        ConsensusState {
+            round: 0,
+            regs: PkRegisters::new(value, true),
+        }
     }
 }
 
@@ -93,9 +100,18 @@ impl SyncProtocol for PhaseKing {
         let tally: Tally = view.iter().map(|s| s.regs.a).collect();
         let king = self.params.king_of_group(slot / 3);
         let king_value = view.get(king).regs.a;
-        let regs = execute_slot(&self.params, me.regs, slot, &tally, king_value,
-                                IncrementMode::OneShot);
-        ConsensusState { round: me.round + 1, regs }
+        let regs = execute_slot(
+            &self.params,
+            me.regs,
+            slot,
+            &tally,
+            king_value,
+            IncrementMode::OneShot,
+        );
+        ConsensusState {
+            round: me.round + 1,
+            regs,
+        }
     }
 
     fn output(&self, _node: NodeId, state: &ConsensusState) -> u64 {
@@ -107,7 +123,11 @@ impl SyncProtocol for PhaseKing {
         // plausible messages (the round field of *other* nodes is never read,
         // only their registers are).
         let c = self.params.c();
-        let a = if rng.random_bool(0.2) { INFINITY } else { rng.random_range(0..c) };
+        let a = if rng.random_bool(0.2) {
+            INFINITY
+        } else {
+            rng.random_range(0..c)
+        };
         ConsensusState {
             round: rng.random_range(0..=self.params.slots()),
             regs: PkRegisters::new(a, rng.random_bool(0.5)),
@@ -151,7 +171,10 @@ where
         .map(|(v, &input)| {
             if faulty.binary_search(&NodeId::new(v)).is_ok() {
                 // Placeholder; never read.
-                ConsensusState { round: 0, regs: PkRegisters::reset() }
+                ConsensusState {
+                    round: 0,
+                    regs: PkRegisters::reset(),
+                }
             } else {
                 pk.initial_state(input)
             }
@@ -161,9 +184,7 @@ where
     sim.run(pk.rounds());
     sim.honest()
         .iter()
-        .map(|&v| {
-            decide(pk, &sim.states()[v.index()]).expect("protocol ran to termination")
-        })
+        .map(|&v| decide(pk, &sim.states()[v.index()]).expect("protocol ran to termination"))
         .collect()
 }
 
@@ -186,7 +207,10 @@ mod tests {
         for seed in 0..20 {
             let adv = adversaries::two_faced(&pk, [3], seed);
             let decisions = run_consensus(&pk, &[0, 1, 1, 0], adv, seed);
-            assert!(decisions.windows(2).all(|w| w[0] == w[1]), "seed {seed}: {decisions:?}");
+            assert!(
+                decisions.windows(2).all(|w| w[0] == w[1]),
+                "seed {seed}: {decisions:?}"
+            );
         }
     }
 

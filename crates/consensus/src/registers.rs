@@ -39,7 +39,10 @@ impl PkRegisters {
 
     /// Registers in the reset state `(∞, 0)`.
     pub fn reset() -> Self {
-        PkRegisters { a: INFINITY, d: false }
+        PkRegisters {
+            a: INFINITY,
+            d: false,
+        }
     }
 
     /// The paper's `increment a[v]`: adds one modulo `c` unless `a = ∞`.
@@ -79,7 +82,10 @@ impl PkRegisters {
         let width = sc_protocol::bits_for(c + 1);
         let raw = input.read_bits(width)?;
         if raw > c {
-            return Err(CodecError::InvalidField { field: "phase-king register a", value: raw });
+            return Err(CodecError::InvalidField {
+                field: "phase-king register a",
+                value: raw,
+            });
         }
         let a = if raw == c { INFINITY } else { raw };
         let d = input.read_bit()?;

@@ -46,8 +46,14 @@ fn run_group(
                 // Per-receiver equivocation on the king channel.
                 byz[(phase as usize) % byz.len()][i % byz[0].len()].min(byz_king)
             };
-            next.push(execute_slot(params, *reg, slot, &tally, king_value,
-                                   IncrementMode::Counting));
+            next.push(execute_slot(
+                params,
+                *reg,
+                slot,
+                &tally,
+                king_value,
+                IncrementMode::Counting,
+            ));
         }
         regs = next;
     }

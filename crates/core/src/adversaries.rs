@@ -58,7 +58,12 @@ pub fn bad_king(
         .expect("bad_king attacks the boosted construction")
         .params()
         .c_out();
-    BadKing { c_out, faulty: normalize(faulty), rng: SmallRng::seed_from_u64(seed), faces: (0, 0) }
+    BadKing {
+        c_out,
+        faulty: normalize(faulty),
+        rng: SmallRng::seed_from_u64(seed),
+        faces: (0, 0),
+    }
 }
 
 /// Adversary produced by [`bad_king`].
@@ -95,9 +100,16 @@ impl Adversary<CounterState> for BadKing {
     ) -> CounterState {
         let donor = donor_state(ctx, self.rng.random_range(0..usize::MAX));
         let inner = donor.as_boosted().inner.clone();
-        let a = if to.index() % 2 == 0 { self.faces.0 } else { self.faces.1 };
+        let a = if to.index().is_multiple_of(2) {
+            self.faces.0
+        } else {
+            self.faces.1
+        };
         let d = self.rng.random_bool(0.5);
-        CounterState::Boosted(Box::new(BoostedState { inner, regs: PkRegisters::new(a, d) }))
+        CounterState::Boosted(Box::new(BoostedState {
+            inner,
+            regs: PkRegisters::new(a, d),
+        }))
     }
 }
 
@@ -183,7 +195,10 @@ impl Adversary<CounterState> for PointerSplit {
         let y = target_b * two_m.pow(block as u32);
         let v = (r + self.tau * y) % c_inner;
         let regs = donor.as_boosted().regs;
-        CounterState::Boosted(Box::new(BoostedState { inner: CounterState::Trivial(v), regs }))
+        CounterState::Boosted(Box::new(BoostedState {
+            inner: CounterState::Trivial(v),
+            regs,
+        }))
     }
 }
 
@@ -201,13 +216,19 @@ mod tests {
         states: &'a [CounterState],
         faulty: &'a [NodeId],
     ) -> RoundContext<'a, CounterState> {
-        RoundContext { round: 0, honest: states, faulty }
+        RoundContext {
+            round: 0,
+            honest: states,
+            faulty,
+        }
     }
 
     fn random_states(algo: &Algorithm, seed: u64) -> Vec<CounterState> {
         use sc_protocol::SyncProtocol as _;
         let mut rng = SmallRng::seed_from_u64(seed);
-        (0..algo.n()).map(|i| algo.random_state(NodeId::new(i), &mut rng)).collect()
+        (0..algo.n())
+            .map(|i| algo.random_state(NodeId::new(i), &mut rng))
+            .collect()
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use rand::RngCore;
 use sc_protocol::{
-    BitReader, BitVec, CodecError, Counter, MessageView, NodeId, ParamError,
-    StepContext, SyncProtocol,
+    BitReader, BitVec, CodecError, Counter, MessageView, NodeId, ParamError, StepContext,
+    SyncProtocol,
 };
 
 use crate::boosted::{BoostedCounter, BoostedState};
@@ -149,7 +149,9 @@ impl Algorithm {
     ) -> Result<Self, ParamError> {
         let params =
             BoostParams::new(inner.n(), inner.resilience(), k, f_total, c_out, king_slack)?;
-        Ok(Algorithm::Boosted(Box::new(BoostedCounter::new(inner, params)?)))
+        Ok(Algorithm::Boosted(Box::new(BoostedCounter::new(
+            inner, params,
+        )?)))
     }
 
     /// The boosting layer, if this algorithm is a boosted counter.
@@ -189,8 +191,7 @@ impl SyncProtocol for Algorithm {
         match self {
             Algorithm::Trivial(t) => CounterState::Trivial(t.next(view.get(node).as_trivial())),
             Algorithm::Lut(l) => {
-                let received: Vec<u8> =
-                    view.iter().map(|s| l.clamp(s.as_lut())).collect();
+                let received: Vec<u8> = view.iter().map(|s| l.clamp(s.as_lut())).collect();
                 CounterState::Lut(l.next(node.index(), &received))
             }
             Algorithm::Boosted(b) => CounterState::Boosted(Box::new(b.step(node, view, ctx))),
@@ -235,9 +236,7 @@ impl Counter for Algorithm {
         match self {
             Algorithm::Trivial(t) => t.state_bits(),
             Algorithm::Lut(l) => l.state_bits(),
-            Algorithm::Boosted(b) => {
-                b.inner().state_bits() + b.params().state_overhead_bits()
-            }
+            Algorithm::Boosted(b) => b.inner().state_bits() + b.params().state_overhead_bits(),
         }
     }
 
@@ -245,9 +244,7 @@ impl Counter for Algorithm {
         match self {
             Algorithm::Trivial(_) => 0,
             Algorithm::Lut(l) => l.spec().stabilization_bound,
-            Algorithm::Boosted(b) => {
-                b.inner().stabilization_bound() + b.params().time_overhead()
-            }
+            Algorithm::Boosted(b) => b.inner().stabilization_bound() + b.params().time_overhead(),
         }
     }
 
@@ -273,14 +270,20 @@ impl Counter for Algorithm {
             Algorithm::Trivial(t) => {
                 let raw = input.read_bits(t.state_bits())?;
                 if raw >= t.modulus() {
-                    return Err(CodecError::InvalidField { field: "trivial counter", value: raw });
+                    return Err(CodecError::InvalidField {
+                        field: "trivial counter",
+                        value: raw,
+                    });
                 }
                 Ok(CounterState::Trivial(raw))
             }
             Algorithm::Lut(l) => {
                 let raw = input.read_bits(l.state_bits())?;
                 if raw >= u64::from(l.states()) {
-                    return Err(CodecError::InvalidField { field: "LUT state", value: raw });
+                    return Err(CodecError::InvalidField {
+                        field: "LUT state",
+                        value: raw,
+                    });
                 }
                 Ok(CounterState::Lut(raw as u8))
             }
@@ -288,7 +291,10 @@ impl Counter for Algorithm {
                 let (_, local) = b.params().block_of(node);
                 let inner = b.inner().decode_state(NodeId::new(local), input)?;
                 let regs = sc_consensus::PkRegisters::decode(b.params().c_out(), input)?;
-                Ok(CounterState::Boosted(Box::new(BoostedState { inner, regs })))
+                Ok(CounterState::Boosted(Box::new(BoostedState {
+                    inner,
+                    regs,
+                })))
             }
         }
     }

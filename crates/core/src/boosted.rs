@@ -83,7 +83,7 @@ impl BoostedCounter {
                 params.f_inner()
             )));
         }
-        if inner.modulus() % params.c_req() != 0 {
+        if !inner.modulus().is_multiple_of(params.c_req()) {
             return Err(ParamError::constraint(format!(
                 "inner modulus {} is not a multiple of c_req = {}",
                 inner.modulus(),
@@ -104,8 +104,9 @@ impl BoostedCounter {
     }
 
     /// The raw inner counter value a node in `block` announces with `state`,
-    /// i.e. `h(j, state)` before any block-modulus reduction.
-    fn inner_value(&self, local: usize, state: &CounterState) -> u64 {
+    /// i.e. `h(j, state)` before any block-modulus reduction. Also the
+    /// shared definition the prepared fast path votes with.
+    pub(crate) fn inner_value(&self, local: usize, state: &CounterState) -> u64 {
         use sc_protocol::SyncProtocol as _;
         self.inner.output(NodeId::new(local), state)
     }
@@ -144,7 +145,11 @@ impl BoostedCounter {
             p.pointer(leader, value).r
         });
         let slot = majority_or(slots, 0);
-        VoteObservation { block_support, leader, slot }
+        VoteObservation {
+            block_support,
+            leader,
+            slot,
+        }
     }
 
     /// The slot counter `R` this node derives from `view` (§3.3).
@@ -164,11 +169,14 @@ impl BoostedCounter {
         let p = &self.params;
         let (block, local) = p.block_of(node);
 
-        // 1. Advance this block's copy of the inner counter.
-        let block_states: Vec<CounterState> = (0..p.n_inner())
-            .map(|j| view.get(p.member(block, j)).as_boosted_inner().clone())
+        // 1. Advance this block's copy of the inner counter. The block view
+        // is a zero-copy projection of the outer view: it borrows the inner
+        // states in place instead of deep-cloning `n` nested states per
+        // receiver per round (the recursion multiplies those clones).
+        let block_refs: Vec<&CounterState> = (0..p.n_inner())
+            .map(|j| view.get(p.member(block, j)).as_boosted_inner())
             .collect();
-        let block_view = MessageView::new(&block_states, &[]);
+        let block_view = MessageView::from_refs(&block_refs, &[]);
         let next_inner = self.inner.step(NodeId::new(local), &block_view, ctx);
 
         // 2. Majority-vote the current slot R.
@@ -179,10 +187,19 @@ impl BoostedCounter {
         let king = p.pk().king_of_group(slot / 3);
         let king_value = view.get(king).as_boosted().regs.a;
         let me = view.get(node).as_boosted();
-        let regs =
-            execute_slot(p.pk(), me.regs, slot, &tally, king_value, IncrementMode::Counting);
+        let regs = execute_slot(
+            p.pk(),
+            me.regs,
+            slot,
+            &tally,
+            king_value,
+            IncrementMode::Counting,
+        );
 
-        BoostedState { inner: next_inner, regs }
+        BoostedState {
+            inner: next_inner,
+            regs,
+        }
     }
 
     /// Samples an arbitrary representable state (for self-stabilisation
@@ -192,8 +209,15 @@ impl BoostedCounter {
         let (_, local) = self.params.block_of(node);
         let inner = self.inner.random_state(NodeId::new(local), rng);
         let c = self.params.c_out();
-        let a = if rng.random_bool(0.125) { INFINITY } else { rng.random_range(0..c) };
-        BoostedState { inner, regs: PkRegisters::new(a, rng.random_bool(0.5)) }
+        let a = if rng.random_bool(0.125) {
+            INFINITY
+        } else {
+            rng.random_range(0..c)
+        };
+        BoostedState {
+            inner,
+            regs: PkRegisters::new(a, rng.random_bool(0.5)),
+        }
     }
 }
 
@@ -225,7 +249,10 @@ mod tests {
         let a4 = CounterBuilder::corollary1(1, 960).unwrap().build().unwrap();
         let b = Algorithm::boosted(a4.clone(), 3, 3, 16, 0).unwrap();
         // S(B) = S(A) + ⌈log(C+1)⌉ + 1.
-        assert_eq!(b.state_bits(), a4.state_bits() + sc_protocol::bits_for(17) + 1);
+        assert_eq!(
+            b.state_bits(),
+            a4.state_bits() + sc_protocol::bits_for(17) + 1
+        );
         // T(B) = T(A) + 3(F+2)(2m)^k.
         assert_eq!(b.stabilization_bound(), a4.stabilization_bound() + 960);
         assert_eq!(b.n(), 12);

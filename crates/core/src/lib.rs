@@ -53,6 +53,7 @@ mod algorithm;
 mod boosted;
 mod lut;
 mod params;
+mod prepared;
 mod recursion;
 mod trivial;
 
@@ -60,5 +61,6 @@ pub use algorithm::{Algorithm, CounterState};
 pub use boosted::{BoostedCounter, BoostedState, VoteObservation};
 pub use lut::{LutCounter, LutSpec};
 pub use params::{BoostParams, Pointer};
+pub use prepared::{BoostedPrep, RoundPrep};
 pub use recursion::{CounterBuilder, LevelPlan};
 pub use trivial::TrivialCounter;

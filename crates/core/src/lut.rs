@@ -75,7 +75,9 @@ impl LutCounter {
     /// supported size.
     pub fn new(spec: LutSpec) -> Result<Self, ParamError> {
         if spec.n == 0 {
-            return Err(ParamError::constraint("LUT counter needs at least one node"));
+            return Err(ParamError::constraint(
+                "LUT counter needs at least one node",
+            ));
         }
         if spec.n > 1 && 3 * spec.f >= spec.n {
             return Err(ParamError::constraint(format!(
@@ -94,7 +96,9 @@ impl LutCounter {
             .filter(|&r| r <= MAX_TABLE)
             .ok_or_else(|| ParamError::overflow(format!("|X|^n = {}^{}", spec.states, spec.n)))?;
         if spec.transition.len() != spec.n || spec.output.len() != spec.n {
-            return Err(ParamError::constraint("one transition and output table per node"));
+            return Err(ParamError::constraint(
+                "one transition and output table per node",
+            ));
         }
         for v in 0..spec.n {
             if spec.transition[v].len() != rows {
@@ -119,7 +123,9 @@ impl LutCounter {
                 )));
             }
         }
-        let pow = (0..spec.n).map(|u| (spec.states as usize).pow(u as u32)).collect();
+        let pow = (0..spec.n)
+            .map(|u| (spec.states as usize).pow(u as u32))
+            .collect();
         Ok(LutCounter { spec, pow })
     }
 

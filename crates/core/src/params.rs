@@ -62,10 +62,14 @@ impl BoostParams {
         king_slack: u64,
     ) -> Result<Self, ParamError> {
         if k < 3 {
-            return Err(ParamError::constraint(format!("need k ≥ 3 blocks, got {k}")));
+            return Err(ParamError::constraint(format!(
+                "need k ≥ 3 blocks, got {k}"
+            )));
         }
         if n_inner == 0 {
-            return Err(ParamError::constraint("blocks must contain at least one node"));
+            return Err(ParamError::constraint(
+                "blocks must contain at least one node",
+            ));
         }
         if 3 * f_inner >= n_inner {
             return Err(ParamError::constraint(format!(
@@ -79,7 +83,9 @@ impl BoostParams {
                 (f_inner + 1) * m
             )));
         }
-        let n_total = n_inner.checked_mul(k).ok_or_else(|| ParamError::overflow("N = k·n"))?;
+        let n_total = n_inner
+            .checked_mul(k)
+            .ok_or_else(|| ParamError::overflow("N = k·n"))?;
         let king_groups = f_total as u64 + 2 + king_slack;
         let pk = PhaseKingParams::with_king_groups(n_total, f_total, c_out, king_groups)?;
         let tau = pk.slots();
@@ -175,7 +181,11 @@ impl BoostParams {
     ///
     /// Panics if `block ≥ k`.
     pub fn block_modulus(&self, block: usize) -> u64 {
-        assert!(block < self.k, "block {block} out of range (k = {})", self.k);
+        assert!(
+            block < self.k,
+            "block {block} out of range (k = {})",
+            self.k
+        );
         // (2m)^{block+1} divides (2m)^k = c_req/τ, so this cannot overflow.
         self.tau * (2 * self.m as u64).pow(block as u32 + 1)
     }
@@ -201,7 +211,11 @@ impl BoostParams {
     ///
     /// Panics if the node is outside the boosted network.
     pub fn block_of(&self, node: NodeId) -> (usize, usize) {
-        assert!(node.index() < self.n_total, "node {node} outside N = {}", self.n_total);
+        assert!(
+            node.index() < self.n_total,
+            "node {node} outside N = {}",
+            self.n_total
+        );
         (node.index() / self.n_inner, node.index() % self.n_inner)
     }
 
@@ -309,7 +323,7 @@ mod tests {
         assert!(BoostParams::new(3, 1, 4, 1, 8, 0).is_err()); // f ≥ n/3
         assert!(BoostParams::new(1, 0, 4, 2, 8, 0).is_err()); // F ≥ (f+1)m
         assert!(BoostParams::new(1, 0, 4, 1, 1, 0).is_err()); // C ≤ 1
-        // N > 3F can fail even when F < (f+1)m: k = 7, F = 3, N = 7.
+                                                              // N > 3F can fail even when F < (f+1)m: k = 7, F = 3, N = 7.
         assert!(BoostParams::new(1, 0, 7, 3, 8, 0).is_err());
         // Overflow of (2m)^k.
         assert!(BoostParams::new(1, 0, 40, 10, 8, 0).is_err());

@@ -1,0 +1,345 @@
+//! Receiver-shared round preparation for the recursive counters
+//! ([`PreparedProtocol`]).
+//!
+//! One round of the boosting construction (§3.3–§3.5) takes, *per
+//! receiver*, three layers of majority votes over the received vector:
+//! per-block leader support `bᵢ`, the leader block `B` with its slot
+//! counter `R`, and the phase-king tally of `a`-registers. All receivers
+//! see identical honest entries — only the ≤ `F` Byzantine senders differ
+//! per receiver — so the honest part of every one of those tallies is
+//! computed **once per round** here, and each receiver merely patches the
+//! faulty senders' votes in (and back out) via [`DeltaTally`]: `O(F)` vote
+//! work per receiver instead of `O(N)`, recursively at every level of the
+//! construction.
+//!
+//! The contract (bitwise equality with [`SyncProtocol::step`]) is enforced
+//! by the `engine_equivalence` integration tests.
+
+use sc_consensus::instructions::{execute_slot, IncrementMode};
+use sc_protocol::{
+    Broadcast, DeltaTally, MessageView, NodeId, PreparedProtocol, StepContext, SyncProtocol,
+    VoteCounts as _,
+};
+
+use crate::algorithm::{Algorithm, CounterState};
+use crate::boosted::{BoostedCounter, BoostedState};
+
+/// Shared per-round state of an [`Algorithm`]; variants mirror the
+/// algorithm variants.
+#[derive(Clone, Debug)]
+pub enum RoundPrep {
+    /// Trivial and LUT counters have no receiver-shared vote structure
+    /// worth hoisting; their prepared step falls through to the plain one.
+    Passthrough,
+    /// Hoisted vote tallies of a boosting layer.
+    Boosted(Box<BoostedPrep>),
+}
+
+/// The hoisted round state of one boosting layer (and, recursively, of the
+/// inner counters of its blocks).
+#[derive(Clone, Debug)]
+pub struct BoostedPrep {
+    /// Per block `i`: the leader-support votes (`pointer(i, ·).b`) of the
+    /// block's *honest* members.
+    b_votes: Vec<DeltaTally>,
+    /// Per block `i`: the slot votes (`pointer(i, ·).r`) of the block's
+    /// honest members.
+    r_votes: Vec<DeltaTally>,
+    /// `a`-register votes of all honest nodes.
+    a_votes: DeltaTally,
+    /// Faulty members of each block, flat (outer) ids, sorted.
+    faulty_by_block: Vec<Vec<NodeId>>,
+    /// Per block: the inner algorithm's round preparation.
+    inner: Vec<RoundPrep>,
+    /// Scratch for one receiver's patch values (computed once, used for
+    /// both the add and the undo pass).
+    patch: Vec<u64>,
+    /// Scratch for one receiver's per-block leader-support votes `bᵢ`.
+    support: Vec<u64>,
+}
+
+/// Strict majority with a default, over a handful of stack values — the
+/// `B = majority{bᵢ}` vote, allocation-free. Matches
+/// [`sc_protocol::majority_or`] exactly (the strict-majority winner is
+/// unique when it exists).
+fn small_majority_or(values: &[u64], default: u64) -> u64 {
+    let total = values.len();
+    for &candidate in values {
+        let count = values.iter().filter(|&&v| v == candidate).count();
+        if 2 * count > total {
+            return candidate;
+        }
+    }
+    default
+}
+
+impl BoostedCounter {
+    fn prepare(&self, base: Broadcast<'_, CounterState>, faulty: &[NodeId]) -> BoostedPrep {
+        let p = self.params();
+        let (k, n) = (p.k(), p.n_inner());
+
+        let mut faulty_by_block: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+        for &id in faulty {
+            faulty_by_block[p.block_of(id).0].push(id);
+        }
+
+        let mut b_votes = Vec::with_capacity(k);
+        let mut r_votes = Vec::with_capacity(k);
+        let mut inner_preps = Vec::with_capacity(k);
+        let mut a_votes = DeltaTally::new();
+        for i in 0..k {
+            let mut b_tally = DeltaTally::new();
+            let mut r_tally = DeltaTally::new();
+            let mut block_refs: Vec<&CounterState> = Vec::with_capacity(n);
+            let mut local_faulty: Vec<NodeId> = Vec::with_capacity(faulty_by_block[i].len());
+            for j in 0..n {
+                let member = p.member(i, j);
+                let state = base.get(member.index());
+                block_refs.push(state.as_boosted_inner());
+                if faulty_by_block[i].binary_search(&member).is_ok() {
+                    local_faulty.push(NodeId::new(j));
+                    continue;
+                }
+                let pointer = p.pointer(i, self.inner_value(j, state.as_boosted_inner()));
+                b_tally.add(pointer.b as u64);
+                r_tally.add(pointer.r);
+                a_votes.add(state.as_boosted().regs.a);
+            }
+            b_votes.push(b_tally);
+            r_votes.push(r_tally);
+            inner_preps.push(
+                self.inner()
+                    .prepare_round(Broadcast::Refs(&block_refs), &local_faulty),
+            );
+        }
+        BoostedPrep {
+            b_votes,
+            r_votes,
+            a_votes,
+            faulty_by_block,
+            inner: inner_preps,
+            patch: Vec::with_capacity(faulty.len()),
+            support: Vec::with_capacity(k),
+        }
+    }
+
+    /// The transition of §3.5 with the shared votes patched per receiver.
+    /// Must agree bitwise with [`BoostedCounter::step`]; `prep` is restored
+    /// before returning.
+    fn step_with(
+        &self,
+        node: NodeId,
+        view: &MessageView<'_, CounterState>,
+        prep: &mut BoostedPrep,
+        ctx: &mut StepContext<'_>,
+    ) -> BoostedState {
+        let p = self.params();
+        let (block, local) = p.block_of(node);
+        let k = p.k();
+
+        // 1. Advance this block's copy of the inner counter (recursively
+        // prepared). The projection borrows states in place, like `step`.
+        let block_refs: Vec<&CounterState> = (0..p.n_inner())
+            .map(|j| view.get(p.member(block, j)).as_boosted_inner())
+            .collect();
+        let block_view = MessageView::from_refs(&block_refs, &[]);
+        let next_inner = self.inner().step_prepared(
+            NodeId::new(local),
+            &block_view,
+            &mut prep.inner[block],
+            ctx,
+        );
+
+        // 2. The three-stage majority vote, patching only faulty senders.
+        // Each patch's values are computed once into the scratch buffer and
+        // reused for the undo pass. bᵢ per block, then B over them.
+        let mut support = std::mem::take(&mut prep.support);
+        support.clear();
+        for i in 0..k {
+            let mut patch = std::mem::take(&mut prep.patch);
+            patch.clear();
+            for &member in &prep.faulty_by_block[i] {
+                let (_, j) = p.block_of(member);
+                let state = view.get(member).as_boosted_inner();
+                patch.push(p.pointer(i, self.inner_value(j, state)).b as u64);
+            }
+            let tally = &mut prep.b_votes[i];
+            for &vote in &patch {
+                tally.add(vote);
+            }
+            support.push(tally.majority().unwrap_or(0));
+            for &vote in &patch {
+                tally.remove(vote);
+            }
+            prep.patch = patch;
+        }
+        let leader = small_majority_or(&support, 0) as usize;
+        support.clear();
+        prep.support = support;
+
+        // R = majority of the leader block's slot votes.
+        let slot = {
+            let mut patch = std::mem::take(&mut prep.patch);
+            patch.clear();
+            for &member in &prep.faulty_by_block[leader] {
+                let (_, j) = p.block_of(member);
+                let state = view.get(member).as_boosted_inner();
+                patch.push(p.pointer(leader, self.inner_value(j, state)).r);
+            }
+            let tally = &mut prep.r_votes[leader];
+            for &vote in &patch {
+                tally.add(vote);
+            }
+            let slot = tally.majority().unwrap_or(0);
+            for &vote in &patch {
+                tally.remove(vote);
+            }
+            prep.patch = patch;
+            slot
+        };
+
+        // 3. Instruction set I_R on the patched a-register tally.
+        let mut patch = std::mem::take(&mut prep.patch);
+        patch.clear();
+        for faulty in prep.faulty_by_block.iter().flatten() {
+            patch.push(view.get(*faulty).as_boosted().regs.a);
+        }
+        for &vote in &patch {
+            prep.a_votes.add(vote);
+        }
+        let king = p.pk().king_of_group(slot / 3);
+        let king_value = view.get(king).as_boosted().regs.a;
+        let me = view.get(node).as_boosted();
+        let regs = execute_slot(
+            p.pk(),
+            me.regs,
+            slot,
+            &prep.a_votes,
+            king_value,
+            IncrementMode::Counting,
+        );
+        for &vote in &patch {
+            prep.a_votes.remove(vote);
+        }
+        patch.clear();
+        prep.patch = patch;
+
+        BoostedState {
+            inner: next_inner,
+            regs,
+        }
+    }
+}
+
+impl PreparedProtocol for Algorithm {
+    type RoundPrep = RoundPrep;
+
+    fn prepare_round(&self, base: Broadcast<'_, CounterState>, faulty: &[NodeId]) -> RoundPrep {
+        match self {
+            Algorithm::Trivial(_) | Algorithm::Lut(_) => RoundPrep::Passthrough,
+            Algorithm::Boosted(b) => RoundPrep::Boosted(Box::new(b.prepare(base, faulty))),
+        }
+    }
+
+    fn step_prepared(
+        &self,
+        node: NodeId,
+        view: &MessageView<'_, CounterState>,
+        prep: &mut RoundPrep,
+        ctx: &mut StepContext<'_>,
+    ) -> CounterState {
+        match (self, prep) {
+            (Algorithm::Boosted(b), RoundPrep::Boosted(prep)) => {
+                CounterState::Boosted(Box::new(b.step_with(node, view, prep, ctx)))
+            }
+            (algo, RoundPrep::Passthrough) => algo.step(node, view, ctx),
+            (_, RoundPrep::Boosted(_)) => {
+                panic!("round preparation belongs to a different algorithm kind")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CounterBuilder;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_majority_matches_majority_or() {
+        use sc_protocol::majority_or;
+        let cases: &[&[u64]] = &[
+            &[],
+            &[3],
+            &[1, 1, 2],
+            &[1, 2, 3],
+            &[2, 2, 1, 1],
+            &[0, 0, 0, 5, 5],
+        ];
+        for values in cases {
+            assert_eq!(
+                small_majority_or(values, 7),
+                majority_or(values.iter().copied(), 7),
+                "{values:?}"
+            );
+        }
+    }
+
+    /// Fault-free single-round agreement between `step` and `step_prepared`
+    /// on the A(4,1) construction from arbitrary configurations. (The full
+    /// multi-round, multi-adversary gate lives in the `engine_equivalence`
+    /// integration tests.)
+    #[test]
+    fn prepared_step_matches_plain_step() {
+        let algo = CounterBuilder::corollary1(1, 2).unwrap().build().unwrap();
+        for seed in 0..20u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let states: Vec<CounterState> = (0..4)
+                .map(|i| algo.random_state(NodeId::new(i), &mut rng))
+                .collect();
+            let mut prep = algo.prepare_round(Broadcast::States(&states), &[]);
+            for i in 0..4 {
+                let view = MessageView::new(&states, &[]);
+                let mut rng_a = SmallRng::seed_from_u64(0);
+                let mut rng_b = SmallRng::seed_from_u64(0);
+                let plain = algo.step(NodeId::new(i), &view, &mut StepContext::new(&mut rng_a));
+                let prepared = algo.step_prepared(
+                    NodeId::new(i),
+                    &view,
+                    &mut prep,
+                    &mut StepContext::new(&mut rng_b),
+                );
+                assert_eq!(plain, prepared, "node {i} seed {seed}");
+            }
+        }
+    }
+
+    /// The patch-and-undo discipline must leave the preparation unchanged,
+    /// including with faulty senders present.
+    #[test]
+    fn prepared_step_restores_the_preparation() {
+        let algo = CounterBuilder::corollary1(1, 2).unwrap().build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let states: Vec<CounterState> = (0..4)
+            .map(|i| algo.random_state(NodeId::new(i), &mut rng))
+            .collect();
+        let faulty = [NodeId::new(2)];
+        let lie = algo.random_state(NodeId::new(2), &mut rng);
+        let overrides = [(NodeId::new(2), lie)];
+        let mut prep = algo.prepare_round(Broadcast::States(&states), &faulty);
+        let snapshot = format!("{prep:?}");
+        for i in [0usize, 1, 3] {
+            let view = MessageView::new(&states, &overrides);
+            let mut rng = SmallRng::seed_from_u64(0);
+            let _ = algo.step_prepared(
+                NodeId::new(i),
+                &view,
+                &mut prep,
+                &mut StepContext::new(&mut rng),
+            );
+            assert_eq!(format!("{prep:?}"), snapshot, "receiver {i} leaked patches");
+        }
+    }
+}

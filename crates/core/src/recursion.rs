@@ -82,7 +82,11 @@ fn level_c_req(k: usize, f: usize, slack: u64) -> Result<u64, ParamError> {
 impl CounterBuilder {
     /// A builder holding just the trivial one-node counter.
     pub fn trivial() -> Self {
-        CounterBuilder { levels: Vec::new(), modulus: 2, king_slack: 0 }
+        CounterBuilder {
+            levels: Vec::new(),
+            modulus: 2,
+            king_slack: 0,
+        }
     }
 
     /// Corollary 1: an `f`-resilient `c`-counter on `3f+1` nodes, built from
@@ -170,7 +174,9 @@ impl CounterBuilder {
     /// Returns [`ParamError`] if `k < 3` or the level overflows.
     pub fn boost(self, k: usize) -> Result<Self, ParamError> {
         if k < 3 {
-            return Err(ParamError::constraint(format!("need k ≥ 3 blocks, got {k}")));
+            return Err(ParamError::constraint(format!(
+                "need k ≥ 3 blocks, got {k}"
+            )));
         }
         let (n, f) = (self.n(), self.f());
         let n_next = n
@@ -190,11 +196,7 @@ impl CounterBuilder {
     ///
     /// Returns [`ParamError`] when the Theorem 1 preconditions fail for the
     /// current `(n, f)`.
-    pub fn boost_with_resilience(
-        mut self,
-        k: usize,
-        f_total: usize,
-    ) -> Result<Self, ParamError> {
+    pub fn boost_with_resilience(mut self, k: usize, f_total: usize) -> Result<Self, ParamError> {
         let (n, f) = (self.n(), self.f());
         // Validate now with a placeholder modulus (the real one is derived
         // at build time and cannot make validation stricter).
@@ -221,7 +223,11 @@ impl CounterBuilder {
             .collect::<Result<_, _>>()?;
         let mut algo = Algorithm::trivial(c_req[0])?;
         for (i, lv) in self.levels.iter().enumerate() {
-            let c_out = if i + 1 < self.levels.len() { c_req[i + 1] } else { self.modulus };
+            let c_out = if i + 1 < self.levels.len() {
+                c_req[i + 1]
+            } else {
+                self.modulus
+            };
             algo = Algorithm::boosted(algo, lv.k, lv.f, c_out, self.king_slack)?;
         }
         Ok(algo)
@@ -285,7 +291,12 @@ mod tests {
 
     #[test]
     fn figure2_stack_dimensions() {
-        let b = CounterBuilder::corollary1(1, 2).unwrap().boost(3).unwrap().boost(3).unwrap();
+        let b = CounterBuilder::corollary1(1, 2)
+            .unwrap()
+            .boost(3)
+            .unwrap()
+            .boost(3)
+            .unwrap();
         assert_eq!((b.n(), b.f()), (36, 7));
         let plans = b.plan().unwrap();
         let dims: Vec<(usize, usize)> = plans.iter().map(|p| (p.n, p.f)).collect();
@@ -324,7 +335,11 @@ mod tests {
         // Space grows additively by Θ(log c_req) per level, far below n.
         let top = plans.last().unwrap();
         assert!(top.n >= 262_144);
-        assert!(top.state_bits < 200, "space stays polylogarithmic: {}", top.state_bits);
+        assert!(
+            top.state_bits < 200,
+            "space stays polylogarithmic: {}",
+            top.state_bits
+        );
     }
 
     #[test]
@@ -342,9 +357,13 @@ mod tests {
     #[test]
     fn king_slack_flows_into_the_plan() {
         let plain = CounterBuilder::corollary1(1, 8).unwrap().build().unwrap();
-        let slack =
-            CounterBuilder::trivial().with_modulus(8).with_king_slack(1)
-                .boost_with_resilience(4, 1).unwrap().build().unwrap();
+        let slack = CounterBuilder::trivial()
+            .with_modulus(8)
+            .with_king_slack(1)
+            .boost_with_resilience(4, 1)
+            .unwrap()
+            .build()
+            .unwrap();
         // τ grows 9 → 12, so the time bound grows 2304 → 3072.
         assert_eq!(plain.stabilization_bound(), 2304);
         assert_eq!(slack.stabilization_bound(), 3072);

@@ -32,7 +32,9 @@ impl TrivialCounter {
     /// Returns [`ParamError`] when `c < 2`.
     pub fn new(c: u64) -> Result<Self, ParamError> {
         if c < 2 {
-            return Err(ParamError::constraint(format!("counter modulus must be ≥ 2, got {c}")));
+            return Err(ParamError::constraint(format!(
+                "counter modulus must be ≥ 2, got {c}"
+            )));
         }
         Ok(TrivialCounter { c })
     }

@@ -88,7 +88,12 @@ fn a4_stabilizes_under_every_fault_position_and_strategy() {
 #[test]
 fn a12_stabilizes_with_three_byzantine_nodes() {
     // A(12, 3): one boosting level over A(4, 1).
-    let algo = CounterBuilder::corollary1(1, 2).unwrap().boost(3).unwrap().build().unwrap();
+    let algo = CounterBuilder::corollary1(1, 2)
+        .unwrap()
+        .boost(3)
+        .unwrap()
+        .build()
+        .unwrap();
     assert_eq!(algo.resilience(), 3);
     // Worst placement: make one whole block faulty (4 > f = 1 would need 2;
     // we place 2 in block 0 to make it faulty, 1 spread).
@@ -118,12 +123,21 @@ fn agreement_persists_once_reached() {
     let algo = a4();
     let adv = core_adv::bad_king(&algo, [2], 5);
     let mut sim = Simulation::new(&algo, adv, 11);
-    sim.run_until_stable(algo.stabilization_bound() + 64).unwrap();
+    sim.run_until_stable(algo.stabilization_bound() + 64)
+        .unwrap();
     let trace = sim.run_trace(500);
     for r in 0..trace.len() - 1 {
-        let now = trace.agreed_value(r).expect("agreement lost after stabilisation");
-        let next = trace.agreed_value(r + 1).expect("agreement lost after stabilisation");
-        assert_eq!(next, (now + 1) % algo.modulus(), "counting broke at offset {r}");
+        let now = trace
+            .agreed_value(r)
+            .expect("agreement lost after stabilisation");
+        let next = trace
+            .agreed_value(r + 1)
+            .expect("agreement lost after stabilisation");
+        assert_eq!(
+            next,
+            (now + 1) % algo.modulus(),
+            "counting broke at offset {r}"
+        );
     }
 }
 
@@ -134,9 +148,11 @@ fn deterministic_counter_ignores_protocol_rng() {
     use rand::SeedableRng as _;
     let mut init_rng = rand::rngs::SmallRng::seed_from_u64(400);
     use sc_protocol::{NodeId, SyncProtocol as _};
-    let states: Vec<_> =
-        (0..4).map(|i| algo.random_state(NodeId::new(i), &mut init_rng)).collect();
-    let mut a = Simulation::with_states(&algo, adversaries::crash(&algo, [1], 9), states.clone(), 1);
+    let states: Vec<_> = (0..4)
+        .map(|i| algo.random_state(NodeId::new(i), &mut init_rng))
+        .collect();
+    let mut a =
+        Simulation::with_states(&algo, adversaries::crash(&algo, [1], 9), states.clone(), 1);
     let mut b = Simulation::with_states(&algo, adversaries::crash(&algo, [1], 9), states, 2);
     a.run(300);
     b.run(300);
@@ -168,7 +184,8 @@ fn recovers_from_transient_corruption_bursts() {
     let algo = a4();
     let adv = adversaries::two_faced(&algo, [3], 13);
     let mut sim = Simulation::new(&algo, adv, 13);
-    sim.run_until_stable(algo.stabilization_bound() + 64).unwrap();
+    sim.run_until_stable(algo.stabilization_bound() + 64)
+        .unwrap();
     for burst in 0..3u64 {
         sim.corrupt_all(500 + burst);
         let report = sim
@@ -184,14 +201,22 @@ fn recovers_from_transient_corruption_bursts() {
 
 #[test]
 fn partial_corruption_of_one_block_recovers() {
-    let algo = CounterBuilder::corollary1(1, 2).unwrap().boost(3).unwrap().build().unwrap();
+    let algo = CounterBuilder::corollary1(1, 2)
+        .unwrap()
+        .boost(3)
+        .unwrap()
+        .build()
+        .unwrap();
     let adv = adversaries::random(&algo, [5], 4);
     let mut sim = Simulation::new(&algo, adv, 4);
-    sim.run_until_stable(algo.stabilization_bound() + 64).unwrap();
+    sim.run_until_stable(algo.stabilization_bound() + 64)
+        .unwrap();
     // Wipe block 0 (nodes 0..4) — fewer than a majority of blocks.
     use sc_protocol::NodeId;
     sim.corrupt((0..4).map(NodeId::new), 77);
-    let report = sim.run_until_stable(algo.stabilization_bound() + 64).unwrap();
+    let report = sim
+        .run_until_stable(algo.stabilization_bound() + 64)
+        .unwrap();
     assert!(report.stabilization_round <= algo.stabilization_bound());
 }
 
@@ -208,9 +233,17 @@ fn sleeper_attack_cannot_break_agreement_after_onset() {
     sim.run(wake); // stabilised long ago (fault-free behaviour)
     let trace = sim.run_trace(400);
     for r in 0..trace.len() - 1 {
-        let now = trace.agreed_value(r).expect("agreement lost after attack onset");
-        let next = trace.agreed_value(r + 1).expect("agreement lost after attack onset");
-        assert_eq!(next, (now + 1) % algo.modulus(), "counting broke at offset {r}");
+        let now = trace
+            .agreed_value(r)
+            .expect("agreement lost after attack onset");
+        let next = trace
+            .agreed_value(r + 1)
+            .expect("agreement lost after attack onset");
+        assert_eq!(
+            next,
+            (now + 1) % algo.modulus(),
+            "counting broke at offset {r}"
+        );
     }
 }
 

@@ -8,9 +8,8 @@ use sc_protocol::Counter as _;
 fn params_strategy() -> impl Strategy<Value = BoostParams> {
     // Blocks of single nodes (Corollary 1 topology) with k ∈ 4..8 (F = 1
     // needs N = k > 3F) and a handful of king-slack choices.
-    (4usize..8, 0u64..2).prop_map(|(k, slack)| {
-        BoostParams::new(1, 0, k, 1, 8, slack).expect("valid parameters")
-    })
+    (4usize..8, 0u64..2)
+        .prop_map(|(k, slack)| BoostParams::new(1, 0, k, 1, 8, slack).expect("valid parameters"))
 }
 
 proptest! {

@@ -172,7 +172,10 @@ impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CodecError::OutOfBits { wanted, remaining } => {
-                write!(f, "bit string exhausted: wanted {wanted} bits, {remaining} remain")
+                write!(
+                    f,
+                    "bit string exhausted: wanted {wanted} bits, {remaining} remain"
+                )
             }
             CodecError::InvalidField { field, value } => {
                 write!(f, "decoded value {value} is outside the domain of {field}")
@@ -235,13 +238,22 @@ mod tests {
         bits.push_bits(1, 2);
         let mut r = bits.reader();
         let err = r.read_bits(5).unwrap_err();
-        assert_eq!(err, CodecError::OutOfBits { wanted: 5, remaining: 2 });
+        assert_eq!(
+            err,
+            CodecError::OutOfBits {
+                wanted: 5,
+                remaining: 2
+            }
+        );
         assert!(err.to_string().contains("wanted 5"));
     }
 
     #[test]
     fn display_for_invalid_field() {
-        let err = CodecError::InvalidField { field: "register", value: 9 };
+        let err = CodecError::InvalidField {
+            field: "register",
+            value: 9,
+        };
         assert!(err.to_string().contains("register"));
     }
 }

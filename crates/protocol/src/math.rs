@@ -69,7 +69,10 @@ pub fn checked_pow_u64(base: u64, exp: u32, what: &str) -> Result<u64, ParamErro
 /// Panics if `modulus == 0` or `value >= modulus`.
 pub fn inc_mod(value: u64, modulus: u64) -> u64 {
     assert!(modulus > 0, "modulus must be positive");
-    assert!(value < modulus, "value {value} out of range for modulus {modulus}");
+    assert!(
+        value < modulus,
+        "value {value} out of range for modulus {modulus}"
+    );
     if value + 1 == modulus {
         0
     } else {

@@ -4,7 +4,7 @@ use std::fmt;
 
 use rand::RngCore;
 
-use crate::{BitReader, BitVec, CodecError, MessageView, NodeId};
+use crate::{BitReader, BitVec, Broadcast, CodecError, MessageView, NodeId};
 
 /// Per-step execution context handed to a protocol by the simulator.
 ///
@@ -139,6 +139,48 @@ pub trait Counter: SyncProtocol {
         node: NodeId,
         input: &mut BitReader<'_>,
     ) -> Result<Self::State, CodecError>;
+}
+
+/// A protocol whose transition factors into a **receiver-independent
+/// per-round precomputation** plus a cheap per-receiver step.
+///
+/// In the broadcast model all receivers observe the *same* honest states;
+/// only the ≤ `f` Byzantine entries differ per receiver. Protocols built
+/// from majority votes (the boosting construction of §3) therefore repeat
+/// almost identical tallies `n` times per round. This trait lets a batched
+/// execution engine hoist that shared work: it calls
+/// [`prepare_round`](PreparedProtocol::prepare_round) once per round on the
+/// honest broadcast and then
+/// [`step_prepared`](PreparedProtocol::step_prepared) per receiver, which
+/// only patches the faulty senders' contributions in.
+///
+/// # Contract
+///
+/// For every round, `step_prepared(v, view, prep, ctx)` must return exactly
+/// what `step(v, view, ctx)` returns, consume the same amount of
+/// randomness, and leave `prep` logically unchanged (patch-and-undo). The
+/// `engine_equivalence` tests enforce this bitwise on the paper's counters.
+pub trait PreparedProtocol: SyncProtocol {
+    /// The shared per-round precomputation.
+    type RoundPrep;
+
+    /// Builds the round's shared state from the broadcast vector `base`
+    /// (faulty entries are placeholders and must be ignored) and the sorted
+    /// fault set. [`Broadcast`] carries either the engine's contiguous
+    /// buffer or a ref projection, so neither engines nor recursive
+    /// constructions clone or reallocate states to call this.
+    fn prepare_round(&self, base: Broadcast<'_, Self::State>, faulty: &[NodeId])
+        -> Self::RoundPrep;
+
+    /// The transition of `node`, using — and restoring — the shared
+    /// precomputation.
+    fn step_prepared(
+        &self,
+        node: NodeId,
+        view: &MessageView<'_, Self::State>,
+        prep: &mut Self::RoundPrep,
+        ctx: &mut StepContext<'_>,
+    ) -> Self::State;
 }
 
 #[cfg(test)]

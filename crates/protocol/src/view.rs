@@ -2,6 +2,65 @@
 
 use crate::NodeId;
 
+/// The receiver-specific override slot of a [`MessageView`].
+///
+/// Overrides produced fresh by an adversary are owned; overrides that merely
+/// point at states the caller already holds (sleeper adversaries replaying
+/// their own honestly-maintained states, lookahead scoring) borrow them
+/// instead of cloning.
+#[derive(Clone, Copy, Debug)]
+enum OverrideSlot<'a, S> {
+    /// Adversary-materialised states, owned by the scratch buffer.
+    Owned(&'a [(NodeId, S)]),
+    /// Borrowed states, no clone required.
+    Borrowed(&'a [(NodeId, &'a S)]),
+}
+
+/// A borrowed, receiver-independent vector of one round's broadcast states:
+/// the base layer of a [`MessageView`], and what
+/// [`PreparedProtocol::prepare_round`] receives.
+///
+/// Either the engine's contiguous state buffer or a recursive
+/// construction's zero-copy ref projection; neither form clones or
+/// reallocates states.
+///
+/// [`PreparedProtocol::prepare_round`]: crate::PreparedProtocol::prepare_round
+#[derive(Clone, Copy, Debug)]
+pub enum Broadcast<'a, S> {
+    /// Contiguous states (the engine's round buffer).
+    States(&'a [S]),
+    /// Individually referenced states (a projection).
+    Refs(&'a [&'a S]),
+}
+
+impl<'a, S> Broadcast<'a, S> {
+    /// The state broadcast by node `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is outside the network.
+    pub fn get(&self, index: usize) -> &'a S {
+        match self {
+            Broadcast::States(s) => &s[index],
+            Broadcast::Refs(r) => r[index],
+        }
+    }
+
+    /// Number of states in the broadcast vector (the network size `n`).
+    pub fn len(&self) -> usize {
+        match self {
+            Broadcast::States(s) => s.len(),
+            Broadcast::Refs(r) => r.len(),
+        }
+    }
+
+    /// Whether the vector is empty (only for degenerate zero-node
+    /// networks).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// The vector of states received by one node in one synchronous round.
 ///
 /// In the model of §2, every node broadcasts its state and receives a vector
@@ -9,14 +68,17 @@ use crate::NodeId;
 /// Byzantine nodes may send a different state to every receiver. A
 /// `MessageView` therefore consists of
 ///
-/// * `base` — the honest broadcast vector (entries of faulty senders are
+/// * a *base* — the honest broadcast vector (entries of faulty senders are
 ///   placeholders), shared by all receivers in a round, and
-/// * `overrides` — the receiver-specific states chosen by the adversary for
+/// * *overrides* — the receiver-specific states chosen by the adversary for
 ///   the faulty senders.
 ///
 /// This layering avoids cloning the `n` honest states once per receiver
 /// (`O(n²)` clones per round) while still modelling full per-receiver
-/// equivocation.
+/// equivocation. Both layers are zero-copy: the base may be a contiguous
+/// slice ([`MessageView::new`]) or a projection of borrowed states
+/// ([`MessageView::from_refs`]), and the override slot may borrow states the
+/// caller already owns ([`MessageView::with_borrowed`]).
 ///
 /// # Example
 ///
@@ -29,16 +91,27 @@ use crate::NodeId;
 /// assert_eq!(*view.get(NodeId::new(0)), 10);
 /// assert_eq!(*view.get(NodeId::new(1)), 99);
 /// assert_eq!(view.iter().copied().collect::<Vec<_>>(), vec![10, 99, 30]);
+///
+/// // Zero-copy: the same view built from scattered references and borrowed
+/// // overrides, without cloning a single state.
+/// let (a, b, c) = (10u64, 20, 30);
+/// let refs = [&a, &b, &c];
+/// let lie = 99u64;
+/// let borrowed = [(NodeId::new(1), &lie)];
+/// let view = MessageView::from_refs(&refs, &[]);
+/// assert_eq!(*view.get(NodeId::new(2)), 30);
+/// let view = MessageView::with_borrowed(&[10u64, 20, 30], &borrowed);
+/// assert_eq!(*view.get(NodeId::new(1)), 99);
 /// ```
 #[derive(Debug)]
 pub struct MessageView<'a, S> {
-    base: &'a [S],
-    overrides: &'a [(NodeId, S)],
+    base: Broadcast<'a, S>,
+    overrides: OverrideSlot<'a, S>,
 }
 
 impl<'a, S> MessageView<'a, S> {
     /// Creates a view over the honest broadcast `base` with receiver-specific
-    /// `overrides` for faulty senders.
+    /// owned `overrides` for faulty senders.
     ///
     /// Each override index must be in range; duplicate overrides resolve to
     /// the first entry.
@@ -47,7 +120,43 @@ impl<'a, S> MessageView<'a, S> {
             overrides.iter().all(|(id, _)| id.index() < base.len()),
             "override for node outside the network"
         );
-        MessageView { base, overrides }
+        MessageView {
+            base: Broadcast::States(base),
+            overrides: OverrideSlot::Owned(overrides),
+        }
+    }
+
+    /// Creates a view whose base is a projection of individually referenced
+    /// states — no clone of the underlying states is made.
+    ///
+    /// This is how the boosting construction of §3 derives each block's
+    /// inner-counter view from the outer view.
+    pub fn from_refs(base: &'a [&'a S], overrides: &'a [(NodeId, S)]) -> Self {
+        debug_assert!(
+            overrides.iter().all(|(id, _)| id.index() < base.len()),
+            "override for node outside the network"
+        );
+        MessageView {
+            base: Broadcast::Refs(base),
+            overrides: OverrideSlot::Owned(overrides),
+        }
+    }
+
+    /// Creates a view whose override slot *borrows* the faulty senders'
+    /// states instead of owning clones.
+    ///
+    /// Use when the overriding states already live somewhere stable for the
+    /// duration of the view — e.g. an adversary replaying states it already
+    /// maintains.
+    pub fn with_borrowed(base: &'a [S], overrides: &'a [(NodeId, &'a S)]) -> Self {
+        debug_assert!(
+            overrides.iter().all(|(id, _)| id.index() < base.len()),
+            "override for node outside the network"
+        );
+        MessageView {
+            base: Broadcast::States(base),
+            overrides: OverrideSlot::Borrowed(overrides),
+        }
     }
 
     /// Number of states in the received vector (the network size `n`).
@@ -57,7 +166,7 @@ impl<'a, S> MessageView<'a, S> {
 
     /// Whether the vector is empty (only for degenerate zero-node networks).
     pub fn is_empty(&self) -> bool {
-        self.base.is_empty()
+        self.len() == 0
     }
 
     /// The state received from `sender` this round.
@@ -65,29 +174,43 @@ impl<'a, S> MessageView<'a, S> {
     /// # Panics
     ///
     /// Panics if `sender` is outside the network.
-    pub fn get(&self, sender: NodeId) -> &S {
-        for (id, state) in self.overrides {
-            if *id == sender {
-                return state;
+    pub fn get(&self, sender: NodeId) -> &'a S {
+        match self.overrides {
+            OverrideSlot::Owned(overrides) => {
+                for (id, state) in overrides {
+                    if *id == sender {
+                        return state;
+                    }
+                }
+            }
+            OverrideSlot::Borrowed(overrides) => {
+                for (id, state) in overrides {
+                    if *id == sender {
+                        return state;
+                    }
+                }
             }
         }
-        &self.base[sender.index()]
+        self.base.get(sender.index())
     }
 
     /// Iterates over the received states in sender-id order.
-    pub fn iter(&self) -> Iter<'_, S> {
-        Iter { view: self, next: 0 }
+    pub fn iter(&self) -> Iter<'a, '_, S> {
+        Iter {
+            view: self,
+            next: 0,
+        }
     }
 }
 
 /// Iterator over the states of a [`MessageView`] in sender-id order.
 #[derive(Debug)]
-pub struct Iter<'a, S> {
-    view: &'a MessageView<'a, S>,
+pub struct Iter<'a, 'v, S> {
+    view: &'v MessageView<'a, S>,
     next: usize,
 }
 
-impl<'a, S> Iterator for Iter<'a, S> {
+impl<'a, 'v, S> Iterator for Iter<'a, 'v, S> {
     type Item = &'a S;
 
     fn next(&mut self) -> Option<&'a S> {
@@ -105,7 +228,7 @@ impl<'a, S> Iterator for Iter<'a, S> {
     }
 }
 
-impl<'a, S> ExactSizeIterator for Iter<'a, S> {}
+impl<'a, 'v, S> ExactSizeIterator for Iter<'a, 'v, S> {}
 
 #[cfg(test)]
 mod tests {
@@ -156,5 +279,51 @@ mod tests {
         let view = MessageView::new(&base, &[]);
         assert!(view.is_empty());
         assert_eq!(view.iter().count(), 0);
+    }
+
+    #[test]
+    fn refs_base_projects_scattered_states() {
+        let (a, b, c) = (5u32, 6, 7);
+        let refs = [&b, &c, &a]; // arbitrary projection order
+        let view = MessageView::from_refs(&refs, &[]);
+        assert_eq!(view.len(), 3);
+        assert_eq!(*view.get(NodeId::new(0)), 6);
+        assert_eq!(*view.get(NodeId::new(2)), 5);
+        assert_eq!(view.iter().copied().collect::<Vec<_>>(), vec![6, 7, 5]);
+    }
+
+    #[test]
+    fn refs_base_respects_owned_overrides() {
+        let (a, b) = (1u32, 2);
+        let refs = [&a, &b];
+        let overrides = [(NodeId::new(0), 9u32)];
+        let view = MessageView::from_refs(&refs, &overrides);
+        assert_eq!(*view.get(NodeId::new(0)), 9);
+        assert_eq!(*view.get(NodeId::new(1)), 2);
+    }
+
+    #[test]
+    fn borrowed_overrides_shadow_without_cloning() {
+        let base = vec![0u32; 3];
+        let lie_a = 7u32;
+        let lie_b = 9u32;
+        let overrides = [(NodeId::new(2), &lie_a), (NodeId::new(0), &lie_b)];
+        let view = MessageView::with_borrowed(&base, &overrides);
+        assert_eq!(*view.get(NodeId::new(0)), 9);
+        assert_eq!(*view.get(NodeId::new(1)), 0);
+        assert_eq!(*view.get(NodeId::new(2)), 7);
+        assert_eq!(view.iter().copied().collect::<Vec<_>>(), vec![9, 0, 7]);
+    }
+
+    #[test]
+    fn get_outlives_the_view_value() {
+        // `get` returns references with the *underlying* lifetime, so a
+        // projection can be built from a temporary view.
+        let base = vec![1u32, 2];
+        let first = {
+            let view = MessageView::new(&base, &[]);
+            view.get(NodeId::new(0))
+        };
+        assert_eq!(*first, 1);
     }
 }

@@ -159,6 +159,151 @@ impl Extend<u64> for Tally {
     }
 }
 
+/// The vote-count queries the phase-king instruction sets consume.
+///
+/// Abstracting the queries lets the instruction executor run off either a
+/// freshly built [`Tally`] (the reference path) or a shared-and-patched
+/// [`DeltaTally`] (the prepared batch path) with identical semantics.
+pub trait VoteCounts {
+    /// Number of occurrences of `value` (the paper's `z_value`).
+    fn count(&self, value: u64) -> usize;
+    /// Total number of recorded values.
+    fn total(&self) -> usize;
+    /// `min{j : z_j > threshold}`.
+    fn min_value_with_count_over(&self, threshold: usize) -> Option<u64>;
+    /// The strict-majority value, if any.
+    fn majority(&self) -> Option<u64> {
+        self.min_value_with_count_over(self.total() / 2)
+    }
+}
+
+impl VoteCounts for Tally {
+    fn count(&self, value: u64) -> usize {
+        Tally::count(self, value)
+    }
+    fn total(&self) -> usize {
+        Tally::total(self)
+    }
+    fn min_value_with_count_over(&self, threshold: usize) -> Option<u64> {
+        Tally::min_value_with_count_over(self, threshold)
+    }
+    fn majority(&self) -> Option<u64> {
+        Tally::majority(self)
+    }
+}
+
+/// A tally supporting cheap *add → query → undo* patching.
+///
+/// The boosting construction's majority votes are taken per receiver, but
+/// the votes of honest senders are identical for every receiver — only the
+/// ≤ `f` Byzantine overrides differ. A `DeltaTally` holds the shared honest
+/// part, and each receiver temporarily [`add`](DeltaTally::add)s the faulty
+/// votes, queries, then [`remove`](DeltaTally::remove)s them: `O(f)` work
+/// per receiver instead of `O(n)`, with no allocation in the steady state.
+///
+/// Backed by a sorted `Vec` — for the tally sizes of a round (≤ `n`
+/// entries) this is far faster than a tree map, and `min` queries are the
+/// same ascending scan.
+///
+/// # Example
+///
+/// ```
+/// use sc_protocol::{DeltaTally, VoteCounts as _};
+///
+/// let mut z = DeltaTally::from_values([4u64, 4, 9, 1]);
+/// assert_eq!(z.majority(), None); // 2 of 4 is not strict
+/// z.add(4);
+/// assert_eq!(z.count(4), 3);
+/// assert_eq!(z.majority(), Some(4)); // 3 of 5
+/// z.remove(4); // undo: back to the shared honest part
+/// assert_eq!(z.count(4), 2);
+/// assert_eq!(z.majority(), None);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeltaTally {
+    /// `(value, count)`, sorted by value, counts ≥ 1.
+    counts: Vec<(u64, u32)>,
+    total: usize,
+}
+
+impl DeltaTally {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        DeltaTally::default()
+    }
+
+    /// Builds a tally from an iterator of values.
+    pub fn from_values<I: IntoIterator<Item = u64>>(values: I) -> Self {
+        let mut tally = DeltaTally::new();
+        for v in values {
+            tally.add(v);
+        }
+        tally
+    }
+
+    /// Records one occurrence of `value`.
+    pub fn add(&mut self, value: u64) {
+        match self.counts.binary_search_by_key(&value, |&(v, _)| v) {
+            Ok(i) => self.counts[i].1 += 1,
+            Err(i) => self.counts.insert(i, (value, 1)),
+        }
+        self.total += 1;
+    }
+
+    /// Removes one occurrence of `value` previously recorded with
+    /// [`add`](DeltaTally::add).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not currently in the tally — an unmatched undo
+    /// is always a caller bug.
+    pub fn remove(&mut self, value: u64) {
+        let i = self
+            .counts
+            .binary_search_by_key(&value, |&(v, _)| v)
+            .unwrap_or_else(|_| panic!("removing value {value} not in tally"));
+        if self.counts[i].1 == 1 {
+            self.counts.remove(i);
+        } else {
+            self.counts[i].1 -= 1;
+        }
+        self.total -= 1;
+    }
+}
+
+impl VoteCounts for DeltaTally {
+    fn count(&self, value: u64) -> usize {
+        match self.counts.binary_search_by_key(&value, |&(v, _)| v) {
+            Ok(i) => self.counts[i].1 as usize,
+            Err(_) => 0,
+        }
+    }
+
+    fn total(&self) -> usize {
+        self.total
+    }
+
+    fn min_value_with_count_over(&self, threshold: usize) -> Option<u64> {
+        self.counts
+            .iter()
+            .find(|&&(_, count)| count as usize > threshold)
+            .map(|&(value, _)| value)
+    }
+
+    fn majority(&self) -> Option<u64> {
+        self.counts
+            .iter()
+            .find(|&&(_, count)| 2 * count as usize > self.total)
+            .map(|&(value, _)| value)
+    }
+}
+
+impl FromIterator<u64> for DeltaTally {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        DeltaTally::from_values(iter)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,5 +364,61 @@ mod tests {
         z.extend([2u64]);
         assert_eq!(z.total(), 3);
         assert_eq!(z.iter().collect::<Vec<_>>(), vec![(1, 2), (2, 1)]);
+    }
+
+    /// Every `VoteCounts` query must agree between `Tally` and `DeltaTally`
+    /// for identical multisets, including after add/remove patching.
+    #[test]
+    fn delta_tally_agrees_with_tally() {
+        let multisets: &[&[u64]] = &[
+            &[],
+            &[7],
+            &[4, 4, 9, u64::MAX],
+            &[5, 5, 5, 8, 8, u64::MAX],
+            &[0, 1, 2, 3, 4, 5, 6],
+            &[2, 2, 1, 1],
+        ];
+        for values in multisets {
+            let tree: Tally = values.iter().copied().collect();
+            let flat: DeltaTally = values.iter().copied().collect();
+            for probe in [0u64, 1, 2, 4, 5, 8, 9, u64::MAX] {
+                assert_eq!(
+                    VoteCounts::count(&tree, probe),
+                    VoteCounts::count(&flat, probe)
+                );
+            }
+            assert_eq!(VoteCounts::total(&tree), VoteCounts::total(&flat));
+            for threshold in 0..values.len() + 1 {
+                assert_eq!(
+                    VoteCounts::min_value_with_count_over(&tree, threshold),
+                    VoteCounts::min_value_with_count_over(&flat, threshold),
+                    "{values:?} over {threshold}"
+                );
+            }
+            assert_eq!(VoteCounts::majority(&tree), VoteCounts::majority(&flat));
+        }
+    }
+
+    #[test]
+    fn delta_tally_add_remove_round_trips() {
+        let base = [3u64, 3, 7, u64::MAX];
+        let mut t = DeltaTally::from_values(base);
+        let snapshot = t.clone();
+        for patch in [[1u64, 3], [9, 9], [u64::MAX, 0]] {
+            for v in patch {
+                t.add(v);
+            }
+            for v in patch {
+                t.remove(v);
+            }
+            assert_eq!(t, snapshot, "patch {patch:?} did not undo cleanly");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not in tally")]
+    fn delta_tally_rejects_unmatched_remove() {
+        let mut t = DeltaTally::from_values([1u64]);
+        t.remove(2);
     }
 }

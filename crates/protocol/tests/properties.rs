@@ -14,7 +14,7 @@ proptest! {
         let mut expect_len = 0usize;
         let mut written = Vec::new();
         for (value, width) in &fields {
-            let masked = if *width == 64 { *value } else { value & ((1u64 << width) - 1).max(0) };
+            let masked = if *width == 64 { *value } else { value & ((1u64 << width) - 1) };
             bits.push_bits(masked, *width);
             written.push((masked, *width));
             expect_len += *width as usize;

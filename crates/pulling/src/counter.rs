@@ -175,7 +175,7 @@ impl PullCounter {
                 let params = b.params().clone();
                 let sampling = chooser(&params);
                 let pk = match sampling {
-                    Sampling::Full => params.pk().clone(),
+                    Sampling::Full => *params.pk(),
                     Sampling::Sampled { m, king_mode, .. } => {
                         if king_mode == KingPullMode::Predicted && params.king_slack() < 1 {
                             return Err(ParamError::constraint(
@@ -192,7 +192,12 @@ impl PullCounter {
                         )?
                     }
                 };
-                Ok(PullCounter::Boosted(Box::new(PullBoosted { inner, params, sampling, pk })))
+                Ok(PullCounter::Boosted(Box::new(PullBoosted {
+                    inner,
+                    params,
+                    sampling,
+                    pk,
+                })))
             }
         }
     }
@@ -229,9 +234,7 @@ impl PullCounter {
         match self {
             PullCounter::Trivial(t) => t.state_bits(),
             PullCounter::Boosted(b) => {
-                b.inner.state_bits()
-                    + b.params.state_overhead_bits()
-                    + bits_for(b.params.tau())
+                b.inner.state_bits() + b.params.state_overhead_bits() + bits_for(b.params.tau())
             }
         }
     }
@@ -260,9 +263,12 @@ impl PullBoosted {
     /// of the pseudo-random variant.
     fn plan_rng(&self, node: NodeId, rng: &mut dyn RngCore) -> SmallRng {
         match self.sampling {
-            Sampling::Sampled { fixed_seed: Some(seed), .. } => {
-                SmallRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64).wrapping_mul(node.index() as u64 + 1))
-            }
+            Sampling::Sampled {
+                fixed_seed: Some(seed),
+                ..
+            } => SmallRng::seed_from_u64(
+                seed ^ (0x9E37_79B9_7F4A_7C15u64).wrapping_mul(node.index() as u64 + 1),
+            ),
             _ => SmallRng::seed_from_u64(rng.next_u64()),
         }
     }
@@ -270,10 +276,14 @@ impl PullBoosted {
     fn king_pull_count(&self) -> usize {
         match self.sampling {
             Sampling::Full => 0, // kings are covered by the full pull
-            Sampling::Sampled { king_mode: KingPullMode::All, .. } => {
-                self.params.pk().king_groups() as usize
-            }
-            Sampling::Sampled { king_mode: KingPullMode::Predicted, .. } => 1,
+            Sampling::Sampled {
+                king_mode: KingPullMode::All,
+                ..
+            } => self.params.pk().king_groups() as usize,
+            Sampling::Sampled {
+                king_mode: KingPullMode::Predicted,
+                ..
+            } => 1,
         }
     }
 }
@@ -363,9 +373,12 @@ impl PullProtocol for PullCounter {
     ) -> Self::State {
         match self {
             PullCounter::Trivial(t) => PullState::Trivial(t.next(state.as_trivial())),
-            PullCounter::Boosted(b) => {
-                PullState::Boosted(Box::new(b.pull_step(node, state.as_boosted(), responses, ctx)))
-            }
+            PullCounter::Boosted(b) => PullState::Boosted(Box::new(b.pull_step(
+                node,
+                state.as_boosted(),
+                responses,
+                ctx,
+            ))),
         }
     }
 
@@ -383,7 +396,11 @@ impl PullProtocol for PullCounter {
                 let (_, local) = b.params.block_of(node);
                 let inner = b.inner.random_state(NodeId::new(local), rng);
                 let c = b.params.c_out();
-                let a = if rng.random_bool(0.125) { INFINITY } else { rng.random_range(0..c) };
+                let a = if rng.random_bool(0.125) {
+                    INFINITY
+                } else {
+                    rng.random_range(0..c)
+                };
                 PullState::Boosted(Box::new(PullBoostedState {
                     inner,
                     regs: PkRegisters::new(a, rng.random_bool(0.5)),
@@ -449,7 +466,10 @@ impl PullBoosted {
         };
         let mut block_support = Vec::with_capacity(p.k());
         for i in 0..p.k() {
-            block_support.push(majority_or((0..p.n_inner()).map(|j| b_of(i, j).b as u64), 0));
+            block_support.push(majority_or(
+                (0..p.n_inner()).map(|j| b_of(i, j).b as u64),
+                0,
+            ));
         }
         let leader = majority_or(block_support.iter().copied(), 0) as usize;
         let slot = majority_or((0..p.n_inner()).map(|j| b_of(leader, j).r), 0);
@@ -458,10 +478,20 @@ impl PullBoosted {
         let tally: Tally = all.iter().map(|s| s.regs.a).collect();
         let king = p.pk().king_of_group(slot / 3);
         let king_value = all[king.index()].regs.a;
-        let regs =
-            execute_slot(&self.pk, me.regs, slot, &tally, king_value, IncrementMode::Counting);
+        let regs = execute_slot(
+            &self.pk,
+            me.regs,
+            slot,
+            &tally,
+            king_value,
+            IncrementMode::Counting,
+        );
 
-        PullBoostedState { inner: next_inner, regs, prev_slot: slot }
+        PullBoostedState {
+            inner: next_inner,
+            regs,
+            prev_slot: slot,
+        }
     }
 
     /// Inner update in full mode: the inner protocol also runs in full mode,
@@ -515,7 +545,12 @@ impl PullBoosted {
         //    full state at *this* level).
         let inner_responses: Vec<(NodeId, PullState)> = inner_part
             .iter()
-            .map(|(id, s)| (NodeId::new(id.index() - start), s.as_boosted().inner.clone()))
+            .map(|(id, s)| {
+                (
+                    NodeId::new(id.index() - start),
+                    s.as_boosted().inner.clone(),
+                )
+            })
             .collect();
         let next_inner = self.inner.pull_step(
             NodeId::new(node.index() - start),
@@ -534,7 +569,10 @@ impl PullBoosted {
         let mut block_support = Vec::with_capacity(p.k());
         for i in 0..p.k() {
             let samples = &block_part[i * m..(i + 1) * m];
-            block_support.push(majority_or(samples.iter().map(|r| pointer_of(r).b as u64), 0));
+            block_support.push(majority_or(
+                samples.iter().map(|r| pointer_of(r).b as u64),
+                0,
+            ));
         }
         let leader = majority_or(block_support.iter().copied(), 0) as usize;
         let leader_samples = &block_part[leader * m..(leader + 1) * m];
@@ -554,10 +592,20 @@ impl PullBoosted {
                 .find(|(id, _)| *id == king)
                 .map_or(INFINITY, |(_, s)| s.as_boosted().regs.a),
         };
-        let regs =
-            execute_slot(&self.pk, me.regs, slot, &tally, king_value, IncrementMode::Counting);
+        let regs = execute_slot(
+            &self.pk,
+            me.regs,
+            slot,
+            &tally,
+            king_value,
+            IncrementMode::Counting,
+        );
 
-        PullBoostedState { inner: next_inner, regs, prev_slot: slot }
+        PullBoostedState {
+            inner: next_inner,
+            regs,
+            prev_slot: slot,
+        }
     }
 }
 
@@ -583,8 +631,11 @@ mod tests {
 
     #[test]
     fn sampled_plan_has_the_declared_structure() {
-        let sampling =
-            Sampling::Sampled { m: 6, king_mode: KingPullMode::All, fixed_seed: None };
+        let sampling = Sampling::Sampled {
+            m: 6,
+            king_mode: KingPullMode::All,
+            fixed_seed: None,
+        };
         let pc = PullCounter::from_algorithm(&a4(), sampling).unwrap();
         let mut rng = SmallRng::seed_from_u64(1);
         let state = pc.random_state(NodeId::new(2), &mut rng);
@@ -596,8 +647,11 @@ mod tests {
 
     #[test]
     fn predicted_kings_require_slack() {
-        let sampling =
-            Sampling::Sampled { m: 6, king_mode: KingPullMode::Predicted, fixed_seed: None };
+        let sampling = Sampling::Sampled {
+            m: 6,
+            king_mode: KingPullMode::Predicted,
+            fixed_seed: None,
+        };
         assert!(PullCounter::from_algorithm(&a4(), sampling).is_err());
         let slack = CounterBuilder::trivial()
             .with_modulus(8)
@@ -613,8 +667,11 @@ mod tests {
 
     #[test]
     fn fixed_seed_plans_repeat_every_round() {
-        let sampling =
-            Sampling::Sampled { m: 5, king_mode: KingPullMode::All, fixed_seed: Some(99) };
+        let sampling = Sampling::Sampled {
+            m: 5,
+            king_mode: KingPullMode::All,
+            fixed_seed: Some(99),
+        };
         let pc = PullCounter::from_algorithm(&a4(), sampling).unwrap();
         let mut rng = SmallRng::seed_from_u64(7);
         let state = pc.random_state(NodeId::new(0), &mut rng);

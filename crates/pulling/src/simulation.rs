@@ -3,8 +3,9 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sc_protocol::{NodeId, StepContext};
-use sc_sim::{detect_stabilization, Adversary, OutputTrace, RoundContext, SimError,
-             StabilizationReport};
+use sc_sim::{
+    detect_stabilization, Adversary, OutputTrace, RoundContext, SimError, StabilizationReport,
+};
 
 use crate::protocol::PullProtocol;
 
@@ -54,10 +55,20 @@ where
     ///
     /// Same conditions as [`PullSimulation::new`], plus a width mismatch.
     pub fn with_states(protocol: &'a P, adversary: A, states: Vec<P::State>, seed: u64) -> Self {
-        assert_eq!(states.len(), protocol.n(), "initial configuration width mismatch");
+        assert_eq!(
+            states.len(),
+            protocol.n(),
+            "initial configuration width mismatch"
+        );
         let faulty: Vec<NodeId> = adversary.faulty().to_vec();
-        assert!(faulty.iter().all(|id| id.index() < protocol.n()), "fault outside network");
-        assert!(faulty.len() < protocol.n(), "at least one node must stay correct");
+        assert!(
+            faulty.iter().all(|id| id.index() < protocol.n()),
+            "fault outside network"
+        );
+        assert!(
+            faulty.len() < protocol.n(),
+            "at least one node must stay correct"
+        );
         let honest = (0..protocol.n())
             .map(NodeId::new)
             .filter(|id| faulty.binary_search(id).is_err())
@@ -120,7 +131,11 @@ where
                 continue;
             }
             let plan = self.protocol.plan(puller, &self.states[i], &mut self.rng);
-            debug_assert_eq!(plan.len(), self.protocol.plan_len(), "plan length must be static");
+            debug_assert_eq!(
+                plan.len(),
+                self.protocol.plan_len(),
+                "plan length must be static"
+            );
             self.max_pulls = self.max_pulls.max(plan.len());
             let responses: Vec<(NodeId, P::State)> = plan
                 .into_iter()
@@ -134,7 +149,10 @@ where
                 })
                 .collect();
             let mut step_ctx = StepContext::new(&mut self.rng);
-            next.push(self.protocol.pull_step(puller, &self.states[i], &responses, &mut step_ctx));
+            next.push(
+                self.protocol
+                    .pull_step(puller, &self.states[i], &responses, &mut step_ctx),
+            );
         }
         self.states = next;
         self.round += 1;
@@ -161,17 +179,30 @@ where
     /// Runs for `horizon` rounds and checks stabilisation against `modulus`
     /// (pull protocols do not carry their modulus in the trait).
     ///
+    /// The required violation-free suffix is
+    /// [`sc_sim::required_confirmation`] — like the broadcast engine, the
+    /// horizon must accommodate it in full rather than the requirement
+    /// silently shrinking.
+    ///
     /// # Errors
     ///
-    /// [`SimError::NotStabilized`] when no adequate stable suffix exists.
+    /// * [`SimError::HorizonTooShort`] when `horizon` cannot fit the
+    ///   required confirmation suffix — the run is not even attempted.
+    /// * [`SimError::NotStabilized`] when no adequate stable suffix exists.
     pub fn run_until_stable(
         &mut self,
         horizon: u64,
         modulus: u64,
     ) -> Result<StabilizationReport, SimError> {
-        let confirm = (2 * modulus).clamp(8, 128);
+        let confirm = sc_sim::required_confirmation(modulus);
+        if horizon < confirm {
+            return Err(SimError::HorizonTooShort {
+                horizon,
+                required: confirm,
+            });
+        }
         let trace = self.run_trace(horizon);
-        detect_stabilization(&trace, modulus, confirm.min(horizon / 2).max(1))
+        detect_stabilization(&trace, modulus, confirm)
     }
 }
 

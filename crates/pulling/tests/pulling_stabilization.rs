@@ -31,8 +31,9 @@ fn full_pulling_equals_broadcast_execution() {
     let pc = PullCounter::from_algorithm(&algo, Sampling::Full).unwrap();
 
     let mut rng = SmallRng::seed_from_u64(5);
-    let det_states: Vec<_> =
-        (0..4).map(|i| algo.random_state(NodeId::new(i), &mut rng)).collect();
+    let det_states: Vec<_> = (0..4)
+        .map(|i| algo.random_state(NodeId::new(i), &mut rng))
+        .collect();
     // Mirror the same configuration in the pulling state space.
     let pull_states: Vec<_> = det_states.iter().map(mirror_state).collect();
 
@@ -40,7 +41,11 @@ fn full_pulling_equals_broadcast_execution() {
     let mut pull = PullSimulation::with_states(&pc, adversaries::none(), pull_states, 2);
 
     for round in 0..600 {
-        assert_eq!(det.outputs_now(), pull.outputs_now(), "diverged at round {round}");
+        assert_eq!(
+            det.outputs_now(),
+            pull.outputs_now(),
+            "diverged at round {round}"
+        );
         det.step();
         pull.step();
     }
@@ -82,7 +87,11 @@ fn sampled_counter_stabilizes_with_all_kings() {
     // Fault-free: sampled thresholds are then deterministically satisfied
     // and stabilisation must be strict and within the bound.
     let algo = a4();
-    let sampling = Sampling::Sampled { m: 9, king_mode: KingPullMode::All, fixed_seed: None };
+    let sampling = Sampling::Sampled {
+        m: 9,
+        king_mode: KingPullMode::All,
+        fixed_seed: None,
+    };
     let pc = PullCounter::from_algorithm(&algo, sampling).unwrap();
     for seed in 0..3 {
         let mut sim = PullSimulation::new(&pc, adversaries::none(), seed);
@@ -102,7 +111,11 @@ fn sampled_counter_stabilizes_whp_under_byzantine_faults() {
     // suffix.
     let pc = PullCounter::from_algorithm(
         &a12_f1(),
-        Sampling::Sampled { m: 15, king_mode: KingPullMode::All, fixed_seed: None },
+        Sampling::Sampled {
+            m: 15,
+            king_mode: KingPullMode::All,
+            fixed_seed: None,
+        },
     )
     .unwrap();
     let bound = pc.stabilization_bound();
@@ -113,17 +126,26 @@ fn sampled_counter_stabilizes_whp_under_byzantine_faults() {
         let trace = sim.run_trace(bound + 512);
         let start = first_stable_window(&trace, pc.modulus(), 64)
             .unwrap_or_else(|| panic!("seed {seed}: no stable window found"));
-        assert!(start <= bound, "seed {seed}: window starts at {start} > bound {bound}");
+        assert!(
+            start <= bound,
+            "seed {seed}: window starts at {start} > bound {bound}"
+        );
         let rate = violation_rate(&trace, pc.modulus(), start);
-        assert!(rate < 0.05, "seed {seed}: post-stabilisation failure rate {rate}");
+        assert!(
+            rate < 0.05,
+            "seed {seed}: post-stabilisation failure rate {rate}"
+        );
     }
 }
 
 #[test]
 fn sampled_counter_stabilizes_with_predicted_kings() {
     let algo = a4_slack();
-    let sampling =
-        Sampling::Sampled { m: 9, king_mode: KingPullMode::Predicted, fixed_seed: None };
+    let sampling = Sampling::Sampled {
+        m: 9,
+        king_mode: KingPullMode::Predicted,
+        fixed_seed: None,
+    };
     let pc = PullCounter::from_algorithm(&algo, sampling).unwrap();
     for seed in 0..3 {
         let mut sim = PullSimulation::new(&pc, adversaries::none(), seed);
@@ -142,8 +164,11 @@ fn pseudo_random_variant_stabilizes_under_oblivious_faults() {
     // counting *deterministically*.
     let algo = a12_f1();
     for fault in [0usize, 7] {
-        let sampling =
-            Sampling::Sampled { m: 15, king_mode: KingPullMode::All, fixed_seed: Some(1234) };
+        let sampling = Sampling::Sampled {
+            m: 15,
+            king_mode: KingPullMode::All,
+            fixed_seed: Some(1234),
+        };
         let pc = PullCounter::from_algorithm(&algo, sampling).unwrap();
         let sampler = |node: NodeId, rng: &mut SmallRng| pc.random_state(node, rng);
         let adv = adversaries::random_from(sampler, [fault], 7);
@@ -156,7 +181,10 @@ fn pseudo_random_variant_stabilizes_under_oblivious_faults() {
         // Once the fixed good samples have stabilised the system, counting
         // continues without any further failures at all.
         let rate = violation_rate(&trace, pc.modulus(), start);
-        assert_eq!(rate, 0.0, "fault {fault}: pseudo-random run glitched after stabilising");
+        assert_eq!(
+            rate, 0.0,
+            "fault {fault}: pseudo-random run glitched after stabilising"
+        );
     }
 }
 
@@ -165,8 +193,17 @@ fn sampled_pull_count_is_sublinear_for_larger_networks() {
     // A(12, 3) with sampling: pulls per round ≪ deterministic N−1 = 11…
     // sampling shines asymptotically; here we simply check the ledger:
     // k·m + m + kings, independent of N's block contents.
-    let algo = CounterBuilder::corollary1(1, 2).unwrap().boost(3).unwrap().build().unwrap();
-    let sampling = Sampling::Sampled { m: 5, king_mode: KingPullMode::All, fixed_seed: None };
+    let algo = CounterBuilder::corollary1(1, 2)
+        .unwrap()
+        .boost(3)
+        .unwrap()
+        .build()
+        .unwrap();
+    let sampling = Sampling::Sampled {
+        m: 5,
+        king_mode: KingPullMode::All,
+        fixed_seed: None,
+    };
     let pc = PullCounter::from_algorithm(&algo, sampling).unwrap();
     // Level 2: k=3 blocks ⇒ 3·5 + 5 + (F+2 = 5) = 25 pulls, plus the inner
     // A(4,1) level: 4·5 + 5 + 3 = 28 pulls. Total 53 regardless of N.
@@ -180,7 +217,11 @@ fn per_level_sampling_policy_mixes_full_and_sampled() {
     let algo = a12_f1();
     let pc = PullCounter::from_algorithm_with(&algo, &mut |p| {
         if p.n_total() > 8 {
-            Sampling::Sampled { m: 9, king_mode: KingPullMode::All, fixed_seed: None }
+            Sampling::Sampled {
+                m: 9,
+                king_mode: KingPullMode::All,
+                fixed_seed: None,
+            }
         } else {
             Sampling::Full
         }

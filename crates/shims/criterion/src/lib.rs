@@ -1,0 +1,294 @@
+//! Vendored, dependency-free subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no network access to crates.io, so this shim
+//! provides the surface the workspace's benches use: [`Criterion`],
+//! [`BenchmarkGroup`] with `sample_size` / `measurement_time`,
+//! `bench_function` / `bench_with_input`, [`BenchmarkId`], [`black_box`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is a plain timed loop: per sample the closure body is run
+//! repeatedly for ~1/`sample_size` of the measurement budget, and the
+//! median, minimum and maximum per-iteration times are printed. No HTML
+//! reports, statistics engine, or regression baseline — just honest numbers
+//! on stdout.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First positional CLI argument acts as a substring filter, like
+        // upstream `cargo bench -- <filter>`.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Accepted for source compatibility with upstream.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let label = id.to_string();
+        if self.matches(&label) {
+            run_benchmark(&label, 10, Duration::from_secs(3), f);
+        }
+        self
+    }
+
+    fn matches(&self, label: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| label.contains(f))
+    }
+}
+
+/// A named group of benchmarks sharing sampling configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for source compatibility; this shim has no warm-up phase.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        if self.criterion.matches(&label) {
+            run_benchmark(&label, self.sample_size, self.measurement_time, f);
+        }
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (upstream emits summary reports here; the shim's
+    /// output is already printed per benchmark).
+    pub fn finish(self) {}
+}
+
+/// A benchmark name with a parameter, rendered `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id for `function` at `parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the body.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Iterations the body should run this sample.
+    iters: u64,
+    /// Measured duration of the whole sample.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` runs of `body`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(body());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: F,
+) {
+    // Calibrate: time one iteration to size the samples.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    let budget = measurement_time.as_secs_f64() / sample_size as f64;
+    let iters_per_sample = (budget / per_iter.as_secs_f64()).clamp(1.0, 1e9) as u64;
+
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut bencher = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        samples.push(bencher.elapsed.as_secs_f64() / iters_per_sample as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    println!(
+        "{label:<50} time: [{} {} {}] ({} samples × {} iters)",
+        format_time(min),
+        format_time(median),
+        format_time(max),
+        sample_size,
+        iters_per_sample,
+    );
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_prints() {
+        let mut c = Criterion { filter: None };
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2).measurement_time(Duration::from_millis(10));
+        let mut runs = 0u64;
+        g.bench_function("noop", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("other".into()),
+        };
+        let mut ran = false;
+        c.bench_function("this_one", |b| {
+            ran = true;
+            b.iter(|| ());
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

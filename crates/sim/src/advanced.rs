@@ -46,7 +46,15 @@ where
         .iter()
         .map(|&id| protocol.random_state(id, &mut rng))
         .collect();
-    Sleeper { protocol, faulty, wake_round, attack, states, next: None, rng }
+    Sleeper {
+        protocol,
+        faulty,
+        wake_round,
+        attack,
+        states,
+        next: None,
+        rng,
+    }
 }
 
 /// Adversary produced by [`sleeper`].
@@ -93,14 +101,15 @@ where
         }
         // Execute the protocol honestly for every sleeping node: its view
         // is the honest broadcast with the sleepers' entries replaced by
-        // their own (honestly maintained) start-of-round states.
-        let overrides: Vec<(NodeId, P::State)> = self
+        // their own (honestly maintained) start-of-round states — borrowed
+        // straight out of `self.states`, no clone per round.
+        let overrides: Vec<(NodeId, &P::State)> = self
             .faulty
             .iter()
             .zip(&self.states)
-            .map(|(&id, s)| (id, s.clone()))
+            .map(|(&id, s)| (id, s))
             .collect();
-        let view = MessageView::new(ctx.honest, &overrides);
+        let view = MessageView::with_borrowed(ctx.honest, &overrides);
         let mut next = Vec::with_capacity(self.states.len());
         for &id in &self.faulty {
             let mut step_ctx = StepContext::new(&mut self.rng);
@@ -113,7 +122,10 @@ where
         if ctx.round >= self.wake_round {
             return self.attack.message(from, to, ctx);
         }
-        let idx = self.faulty.binary_search(&from).expect("message from non-faulty node");
+        let idx = self
+            .faulty
+            .binary_search(&from)
+            .expect("message from non-faulty node");
         self.states[idx].clone()
     }
 }
@@ -141,6 +153,10 @@ pub fn greedy<'a, P: SyncProtocol>(
     }
 }
 
+/// A candidate equivocation script (the two faces) with its lookahead
+/// score.
+type ScoredFaces<S> = ((S, S), usize);
+
 /// Adversary produced by [`greedy`].
 pub struct Greedy<'a, P: SyncProtocol> {
     protocol: &'a P,
@@ -165,17 +181,16 @@ impl<'a, P: SyncProtocol> Greedy<'a, P> {
     /// breaking ties towards *non-incrementing* behaviour.
     fn score(&mut self, ctx: &RoundContext<'_, P::State>, faces: &(P::State, P::State)) -> usize {
         let mut outputs = Vec::new();
+        let mut overrides: Vec<(NodeId, &P::State)> = Vec::with_capacity(self.faulty.len());
         for id in ctx.honest_ids() {
-            let overrides: Vec<(NodeId, P::State)> = self
-                .faulty
-                .iter()
-                .map(|&from| {
-                    let face =
-                        if id.index() % 2 == 0 { faces.0.clone() } else { faces.1.clone() };
-                    (from, face)
-                })
-                .collect();
-            let view = MessageView::new(ctx.honest, &overrides);
+            let face = if id.index() % 2 == 0 {
+                &faces.0
+            } else {
+                &faces.1
+            };
+            overrides.clear();
+            overrides.extend(self.faulty.iter().map(|&from| (from, face)));
+            let view = MessageView::with_borrowed(ctx.honest, &overrides);
             let mut step_ctx = StepContext::new(&mut self.rng);
             let next = self.protocol.step(id, &view, &mut step_ctx);
             outputs.push(self.protocol.output(id, &next));
@@ -193,7 +208,7 @@ impl<'a, P: SyncProtocol> Adversary<P::State> for Greedy<'a, P> {
 
     fn begin_round(&mut self, ctx: &RoundContext<'_, P::State>) {
         let honest: Vec<NodeId> = ctx.honest_ids().collect();
-        let mut best: Option<((P::State, P::State), usize)> = None;
+        let mut best: Option<ScoredFaces<P::State>> = None;
         for _ in 0..self.candidates {
             // Candidate faces: a mix of honest donors and random states.
             let pick = |rng: &mut SmallRng, protocol: &P| -> P::State {
@@ -204,7 +219,10 @@ impl<'a, P: SyncProtocol> Adversary<P::State> for Greedy<'a, P> {
                     protocol.random_state(NodeId::new(0), rng)
                 }
             };
-            let faces = (pick(&mut self.rng, self.protocol), pick(&mut self.rng, self.protocol));
+            let faces = (
+                pick(&mut self.rng, self.protocol),
+                pick(&mut self.rng, self.protocol),
+            );
             let score = self.score(ctx, &faces);
             if best.as_ref().is_none_or(|(_, s)| score > *s) {
                 best = Some((faces, score));
@@ -213,9 +231,14 @@ impl<'a, P: SyncProtocol> Adversary<P::State> for Greedy<'a, P> {
         self.faces = best.map(|(f, _)| f);
     }
 
-    fn message(&mut self, _from: NodeId, to: NodeId, _ctx: &RoundContext<'_, P::State>) -> P::State {
+    fn message(
+        &mut self,
+        _from: NodeId,
+        to: NodeId,
+        _ctx: &RoundContext<'_, P::State>,
+    ) -> P::State {
         let (a, b) = self.faces.as_ref().expect("begin_round not called");
-        if to.index() % 2 == 0 {
+        if to.index().is_multiple_of(2) {
             a.clone()
         } else {
             b.clone()
@@ -300,8 +323,13 @@ mod tests {
         let mut sim = crate::Simulation::new(&p, adv, 9);
         sim.run(20);
         let trace = sim.run_trace(30);
-        let frozen = (0..trace.len()).filter(|&r| trace.agreed_value(r) == Some(1)).count();
-        assert!(frozen >= 25, "attack after waking should pin the counter near 1");
+        let frozen = (0..trace.len())
+            .filter(|&r| trace.agreed_value(r) == Some(1))
+            .count();
+        assert!(
+            frozen >= 25,
+            "attack after waking should pin the counter near 1"
+        );
     }
 
     /// Zero-resilience max-follower: splittable by sending different large
@@ -339,9 +367,13 @@ mod tests {
         let adv = greedy(&p, [1], 8, 3);
         let mut sim = crate::Simulation::new(&p, adv, 11);
         let trace = sim.run_trace(80);
-        let disagreements =
-            (0..trace.len()).filter(|&r| trace.agreed_value(r).is_none()).count();
-        assert!(disagreements > 15, "greedy adversary failed to split: {disagreements}");
+        let disagreements = (0..trace.len())
+            .filter(|&r| trace.agreed_value(r).is_none())
+            .count();
+        assert!(
+            disagreements > 15,
+            "greedy adversary failed to split: {disagreements}"
+        );
 
         // Sanity: the same protocol with no faults counts from round 1 on.
         let mut clean = crate::Simulation::new(&p, adversaries::none(), 11);

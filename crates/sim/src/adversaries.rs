@@ -83,7 +83,10 @@ pub fn crash<P: SyncProtocol>(
         .iter()
         .map(|&id| protocol.random_state(id, &mut rng))
         .collect();
-    Crash { faulty: ids, frozen }
+    Crash {
+        faulty: ids,
+        frozen,
+    }
 }
 
 /// Adversary produced by [`crash`].
@@ -118,9 +121,12 @@ pub fn random<P: SyncProtocol>(
     faulty: impl IntoIterator<Item = usize>,
     seed: u64,
 ) -> FreshRandom<'_, P::State> {
-    let sample: Sampler<'_, P::State> =
-        Box::new(move |node, rng| protocol.random_state(node, rng));
-    FreshRandom { faulty: normalize(faulty), rng: SmallRng::seed_from_u64(seed), sample }
+    let sample: Sampler<'_, P::State> = Box::new(move |node, rng| protocol.random_state(node, rng));
+    FreshRandom {
+        faulty: normalize(faulty),
+        rng: SmallRng::seed_from_u64(seed),
+        sample,
+    }
 }
 
 type Sampler<'a, S> = Box<dyn Fn(NodeId, &mut SmallRng) -> S + 'a>;
@@ -164,7 +170,9 @@ pub struct FreshRandom<'a, S> {
 
 impl<S> std::fmt::Debug for FreshRandom<'_, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FreshRandom").field("faulty", &self.faulty).finish_non_exhaustive()
+        f.debug_struct("FreshRandom")
+            .field("faulty", &self.faulty)
+            .finish_non_exhaustive()
     }
 }
 
@@ -190,8 +198,7 @@ pub fn two_faced<P: SyncProtocol>(
     faulty: impl IntoIterator<Item = usize>,
     seed: u64,
 ) -> TwoFaced<'_, P::State> {
-    let sample: Sampler<'_, P::State> =
-        Box::new(move |node, rng| protocol.random_state(node, rng));
+    let sample: Sampler<'_, P::State> = Box::new(move |node, rng| protocol.random_state(node, rng));
     TwoFaced {
         faulty: normalize(faulty),
         rng: SmallRng::seed_from_u64(seed),
@@ -210,7 +217,9 @@ pub struct TwoFaced<'a, S> {
 
 impl<S> std::fmt::Debug for TwoFaced<'_, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TwoFaced").field("faulty", &self.faulty).finish_non_exhaustive()
+        f.debug_struct("TwoFaced")
+            .field("faulty", &self.faulty)
+            .finish_non_exhaustive()
     }
 }
 
@@ -241,7 +250,7 @@ impl<S: Clone + std::fmt::Debug> Adversary<S> for TwoFaced<'_, S> {
 
     fn message(&mut self, _from: NodeId, to: NodeId, _ctx: &RoundContext<'_, S>) -> S {
         let (a, b) = self.faces.as_ref().expect("begin_round not called");
-        if to.index() % 2 == 0 {
+        if to.index().is_multiple_of(2) {
             a.clone()
         } else {
             b.clone()
@@ -254,7 +263,11 @@ impl<S: Clone + std::fmt::Debug> Adversary<S> for TwoFaced<'_, S> {
 /// Stale counter states are plausible counter states, so this specifically
 /// attacks the *increment* part of the counting specification.
 pub fn replay<S: Clone>(faulty: impl IntoIterator<Item = usize>, delay: usize) -> Replay<S> {
-    Replay { faulty: normalize(faulty), delay: delay.max(1), history: VecDeque::new() }
+    Replay {
+        faulty: normalize(faulty),
+        delay: delay.max(1),
+        history: VecDeque::new(),
+    }
 }
 
 /// Adversary produced by [`replay`].
@@ -299,7 +312,10 @@ impl<S: Clone + std::fmt::Debug> Adversary<S> for Replay<S> {
 /// let adv = adversaries::fixed([1usize, 3], 99u64);
 /// ```
 pub fn fixed<S: Clone>(faulty: impl IntoIterator<Item = usize>, state: S) -> Fixed<S> {
-    Fixed { faulty: normalize(faulty), state }
+    Fixed {
+        faulty: normalize(faulty),
+        state,
+    }
 }
 
 /// Adversary produced by [`fixed`].
@@ -343,12 +359,19 @@ mod tests {
     }
 
     fn ctx<'a>(honest: &'a [u64], faulty: &'a [NodeId]) -> RoundContext<'a, u64> {
-        RoundContext { round: 0, honest, faulty }
+        RoundContext {
+            round: 0,
+            honest,
+            faulty,
+        }
     }
 
     #[test]
     fn normalize_sorts_and_dedups() {
-        assert_eq!(normalize([3, 1, 3, 0]), vec![NodeId::new(0), NodeId::new(1), NodeId::new(3)]);
+        assert_eq!(
+            normalize([3, 1, 3, 0]),
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(3)]
+        );
     }
 
     #[test]

@@ -81,7 +81,11 @@ mod tests {
     fn round_context_classifies_nodes() {
         let honest = vec![0u64; 4];
         let faulty = vec![NodeId::new(2)];
-        let ctx = RoundContext { round: 0, honest: &honest, faulty: &faulty };
+        let ctx = RoundContext {
+            round: 0,
+            honest: &honest,
+            faulty: &faulty,
+        };
         assert!(ctx.is_faulty(NodeId::new(2)));
         assert!(!ctx.is_faulty(NodeId::new(0)));
         let ids: Vec<usize> = ctx.honest_ids().map(NodeId::index).collect();

@@ -21,6 +21,15 @@ pub enum SimError {
     },
     /// The trace contains no observations to analyse.
     EmptyTrace,
+    /// The requested horizon cannot accommodate the confirmation suffix a
+    /// stabilisation verdict needs, so a run would be inconclusive no
+    /// matter what it observed.
+    HorizonTooShort {
+        /// Rounds the caller asked to simulate.
+        horizon: u64,
+        /// Violation-free suffix length a verdict requires.
+        required: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -32,6 +41,11 @@ impl fmt::Display for SimError {
                  (last violation {last_violation:?}, stable suffix {confirmed} < required {required})"
             ),
             SimError::EmptyTrace => write!(f, "output trace is empty"),
+            SimError::HorizonTooShort { horizon, required } => write!(
+                f,
+                "horizon {horizon} cannot accommodate the required \
+                 confirmation suffix of {required} transitions"
+            ),
         }
     }
 }

@@ -10,7 +10,12 @@
 //! The pieces:
 //!
 //! * [`Simulation`] — drives any [`sc_protocol::SyncProtocol`] from an
-//!   arbitrary (adversarially sampled) initial configuration.
+//!   arbitrary (adversarially sampled) initial configuration, on a
+//!   zero-copy double-buffered round engine ([`RoundWorkspace`],
+//!   [`FaultMask`]).
+//! * [`Batch`] — sweeps of many `(seed, adversary, initial-configuration)`
+//!   [`Scenario`]s through one protocol, with streaming stabilisation
+//!   detection ([`OnlineDetector`]) and optional thread fan-out.
 //! * [`Adversary`] — the interface Byzantine strategies implement; the
 //!   [`adversaries`] module ships a library of generic strategies (crash,
 //!   fresh-random, two-faced equivocation, replay).
@@ -51,18 +56,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod adversaries;
 mod advanced;
+pub mod adversaries;
 mod adversary;
+mod batch;
 mod error;
 mod metrics;
 mod simulation;
 mod stabilization;
+#[doc(hidden)]
+pub mod testing;
+mod workspace;
 
 pub use advanced::{greedy, sleeper, Greedy, Sleeper};
 pub use adversary::{Adversary, RoundContext};
+pub use batch::{Batch, BatchReport, BatchSummary, Scenario, ScenarioOutcome};
 pub use error::SimError;
 pub use metrics::{broadcast_metrics, BroadcastMetrics};
-pub use simulation::Simulation;
-pub use stabilization::{detect_stabilization, first_stable_window, violation_rate,
-                        OutputTrace, StabilizationReport};
+pub use simulation::{required_confirmation, Simulation};
+pub use stabilization::{
+    detect_stabilization, first_stable_window, violation_rate, OnlineDetector, OutputTrace,
+    StabilizationReport,
+};
+pub use workspace::{FaultMask, RoundWorkspace};

@@ -52,8 +52,9 @@ pub fn broadcast_metrics<C: Counter>(counter: &C) -> BroadcastMetrics {
 mod tests {
     use super::*;
     use rand::RngCore;
-    use sc_protocol::{BitReader, BitVec, CodecError, MessageView, NodeId, StepContext,
-                      SyncProtocol};
+    use sc_protocol::{
+        BitReader, BitVec, CodecError, MessageView, NodeId, StepContext, SyncProtocol,
+    };
 
     struct Fixed {
         n: usize,

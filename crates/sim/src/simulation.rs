@@ -2,10 +2,11 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use sc_protocol::{Counter, MessageView, NodeId, StepContext, SyncProtocol};
+use sc_protocol::{Counter, MessageView, NodeId, PreparedProtocol, StepContext, SyncProtocol};
 
 use crate::adversary::{Adversary, RoundContext};
 use crate::stabilization::{detect_stabilization, OutputTrace, StabilizationReport};
+use crate::workspace::{FaultMask, RoundWorkspace};
 use crate::SimError;
 
 /// A synchronous execution of a protocol under a Byzantine adversary.
@@ -23,13 +24,32 @@ use crate::SimError;
 /// space by [`SyncProtocol::random_state`], or supplied explicitly via
 /// [`Simulation::with_states`].
 ///
+/// # Engine
+///
+/// The round loop is zero-copy: states live in a double buffer whose halves
+/// are swapped after each round (no `Vec<State>` is rebuilt), faultiness is
+/// looked up in a precomputed [`FaultMask`] bitmap, and adversary overrides
+/// go through the reusable scratch of a [`RoundWorkspace`]. The first,
+/// clone-heavy engine is retained as [`reference_step`] solely to gate this
+/// one: fixed-seed executions of both must agree bitwise (see the
+/// `engine_equivalence` integration tests), after which the reference path
+/// will be deleted.
+///
+/// [`reference_step`]: Simulation::reference_step
+///
 /// See the crate-level documentation for an end-to-end example.
 pub struct Simulation<'a, P: SyncProtocol, A> {
     protocol: &'a P,
     adversary: A,
     states: Vec<P::State>,
+    /// The second half of the double buffer. Holds the previous round's
+    /// honest states (overwritten before being read) and, invariantly, the
+    /// same placeholder states as `states` at faulty indices.
+    back: Vec<P::State>,
     faulty: Vec<NodeId>,
+    mask: FaultMask,
     honest: Vec<NodeId>,
+    workspace: RoundWorkspace<P::State>,
     round: u64,
     rng: SmallRng,
 }
@@ -63,13 +83,12 @@ where
     ///
     /// Panics if `states.len() != protocol.n()`, if the adversary names a
     /// node outside the network, or if it corrupts every node.
-    pub fn with_states(
-        protocol: &'a P,
-        adversary: A,
-        states: Vec<P::State>,
-        seed: u64,
-    ) -> Self {
-        assert_eq!(states.len(), protocol.n(), "initial configuration width mismatch");
+    pub fn with_states(protocol: &'a P, adversary: A, states: Vec<P::State>, seed: u64) -> Self {
+        assert_eq!(
+            states.len(),
+            protocol.n(),
+            "initial configuration width mismatch"
+        );
         let faulty: Vec<NodeId> = adversary.faulty().to_vec();
         assert!(
             faulty.windows(2).all(|w| w[0] < w[1]),
@@ -79,17 +98,26 @@ where
             faulty.iter().all(|id| id.index() < protocol.n()),
             "adversary corrupts a node outside the network"
         );
-        assert!(faulty.len() < protocol.n(), "at least one node must stay correct");
+        assert!(
+            faulty.len() < protocol.n(),
+            "at least one node must stay correct"
+        );
+        let mask = FaultMask::from_sorted(&faulty, protocol.n());
         let honest = (0..protocol.n())
             .map(NodeId::new)
-            .filter(|id| faulty.binary_search(id).is_err())
+            .filter(|id| !mask.contains(id.index()))
             .collect();
+        let back = states.clone();
+        let workspace = RoundWorkspace::with_capacity(faulty.len(), protocol.n());
         Simulation {
             protocol,
             adversary,
             states,
+            back,
             faulty,
+            mask,
             honest,
+            workspace,
             round: 0,
             rng: SmallRng::seed_from_u64(seed),
         }
@@ -129,8 +157,57 @@ where
             .collect()
     }
 
-    /// Executes one synchronous round.
+    /// The common output of all correct nodes right now, if they agree —
+    /// computed without allocating a row vector.
+    pub fn agreed_output_now(&self) -> Option<u64> {
+        let mut iter = self.honest.iter();
+        let first = iter.next().expect("at least one correct node");
+        let value = self.protocol.output(*first, &self.states[first.index()]);
+        iter.all(|&id| self.protocol.output(id, &self.states[id.index()]) == value)
+            .then_some(value)
+    }
+
+    /// Executes one synchronous round on the zero-copy engine.
     pub fn step(&mut self) {
+        let ctx = RoundContext {
+            round: self.round,
+            honest: &self.states,
+            faulty: &self.faulty,
+        };
+        self.adversary.begin_round(&ctx);
+
+        for i in 0..self.states.len() {
+            if self.mask.contains(i) {
+                // Faulty nodes keep their placeholder state; both buffer
+                // halves already hold it, so there is nothing to write.
+                continue;
+            }
+            let receiver = NodeId::new(i);
+            self.workspace.overrides.clear();
+            for &from in &self.faulty {
+                self.workspace
+                    .overrides
+                    .push((from, self.adversary.message(from, receiver, &ctx)));
+            }
+            let view = MessageView::new(&self.states, &self.workspace.overrides);
+            let mut step_ctx = StepContext::new(&mut self.rng);
+            self.back[i] = self.protocol.step(receiver, &view, &mut step_ctx);
+        }
+        std::mem::swap(&mut self.states, &mut self.back);
+        self.round += 1;
+    }
+
+    /// Executes one synchronous round on the **first-generation engine**:
+    /// rebuilds the full state vector and the override vector every round.
+    ///
+    /// Kept temporarily as the bitwise-equivalence oracle for [`step`] (the
+    /// `engine_equivalence` tests replay both engines under fixed seeds and
+    /// demand identical states and RNG streams) and as the baseline of the
+    /// `throughput` bench. Scheduled for deletion once a release has shipped
+    /// with the equivalence gate green.
+    ///
+    /// [`step`]: Simulation::step
+    pub fn reference_step(&mut self) {
         let ctx = RoundContext {
             round: self.round,
             honest: &self.states,
@@ -166,6 +243,47 @@ where
         }
     }
 
+    /// Executes one synchronous round using the protocol's
+    /// [`PreparedProtocol`] fast path: the receiver-independent share of the
+    /// transition (majority-vote tallies over honest senders) is computed
+    /// once, and each receiver only patches the ≤ `f` Byzantine overrides
+    /// in. Bitwise-equivalent to [`step`](Simulation::step) — the
+    /// `engine_equivalence` tests enforce it.
+    pub fn step_prepared(&mut self)
+    where
+        P: PreparedProtocol,
+    {
+        let ctx = RoundContext {
+            round: self.round,
+            honest: &self.states,
+            faulty: &self.faulty,
+        };
+        self.adversary.begin_round(&ctx);
+
+        let mut prep = self
+            .protocol
+            .prepare_round(sc_protocol::Broadcast::States(&self.states), &self.faulty);
+        for i in 0..self.states.len() {
+            if self.mask.contains(i) {
+                continue;
+            }
+            let receiver = NodeId::new(i);
+            self.workspace.overrides.clear();
+            for &from in &self.faulty {
+                self.workspace
+                    .overrides
+                    .push((from, self.adversary.message(from, receiver, &ctx)));
+            }
+            let view = MessageView::new(&self.states, &self.workspace.overrides);
+            let mut step_ctx = StepContext::new(&mut self.rng);
+            self.back[i] = self
+                .protocol
+                .step_prepared(receiver, &view, &mut prep, &mut step_ctx);
+        }
+        std::mem::swap(&mut self.states, &mut self.back);
+        self.round += 1;
+    }
+
     /// Executes `rounds` rounds, recording the correct nodes' outputs before
     /// the first round and after every round (`rounds + 1` rows).
     pub fn run_trace(&mut self, rounds: u64) -> OutputTrace {
@@ -188,8 +306,15 @@ where
     pub fn corrupt<I: IntoIterator<Item = NodeId>>(&mut self, nodes: I, seed: u64) {
         let mut rng = SmallRng::seed_from_u64(seed);
         for node in nodes {
-            assert!(node.index() < self.states.len(), "corrupting node outside the network");
+            assert!(
+                node.index() < self.states.len(),
+                "corrupting node outside the network"
+            );
             self.states[node.index()] = self.protocol.random_state(node, &mut rng);
+            // Keep the double-buffer invariant: faulty placeholders must be
+            // identical in both halves (honest entries are overwritten
+            // before being read, but syncing unconditionally is cheapest).
+            self.back[node.index()] = self.states[node.index()].clone();
         }
     }
 
@@ -198,6 +323,13 @@ where
         let all: Vec<NodeId> = (0..self.states.len()).map(NodeId::new).collect();
         self.corrupt(all, seed);
     }
+}
+
+/// The violation-free suffix a counter execution must exhibit before
+/// [`Simulation::run_until_stable`] accepts it: `2·modulus` transitions,
+/// clamped to `[8, 128]`.
+pub fn required_confirmation(modulus: u64) -> u64 {
+    (2 * modulus).clamp(8, 128)
 }
 
 impl<'a, P, A> Simulation<'a, P, A>
@@ -209,18 +341,28 @@ where
     /// from some round `t ≤ horizon` on, all correct outputs agree and count
     /// modulo [`Counter::modulus`].
     ///
-    /// A violation-free suffix of `min(2c, 128)`, at least 8, transitions is
-    /// required as confirmation.
+    /// A violation-free suffix of [`required_confirmation`] transitions is
+    /// demanded as confirmation — the horizon must accommodate it in full;
+    /// silently shrinking the requirement would let a 1-transition tail pass
+    /// as "stable".
     ///
     /// # Errors
     ///
-    /// [`SimError::NotStabilized`] when the confirmation suffix is missing —
-    /// either the algorithm failed or `horizon` was too small.
+    /// * [`SimError::HorizonTooShort`] when `horizon` cannot fit the
+    ///   required confirmation suffix — the run is not even attempted.
+    /// * [`SimError::NotStabilized`] when the confirmation suffix is missing
+    ///   — either the algorithm failed or `horizon` was too small.
     pub fn run_until_stable(&mut self, horizon: u64) -> Result<StabilizationReport, SimError> {
         let modulus = self.protocol.modulus();
-        let confirm = (2 * modulus).clamp(8, 128);
+        let confirm = required_confirmation(modulus);
+        if horizon < confirm {
+            return Err(SimError::HorizonTooShort {
+                horizon,
+                required: confirm,
+            });
+        }
         let trace = self.run_trace(horizon);
-        detect_stabilization(&trace, modulus, confirm.min(horizon / 2).max(1))
+        detect_stabilization(&trace, modulus, confirm)
     }
 }
 
@@ -238,56 +380,8 @@ impl<'a, P: SyncProtocol, A> std::fmt::Debug for Simulation<'a, P, A> {
 mod tests {
     use super::*;
     use crate::adversaries;
-    use rand::RngCore;
 
-    /// All correct nodes adopt `max(received) + 1 mod c`: converges in one
-    /// round without faults because everyone sees the same vector.
-    struct FollowMax {
-        n: usize,
-        c: u64,
-    }
-
-    impl SyncProtocol for FollowMax {
-        type State = u64;
-        fn n(&self) -> usize {
-            self.n
-        }
-        fn step(&self, _: NodeId, view: &MessageView<'_, u64>, _: &mut StepContext<'_>) -> u64 {
-            let max = view.iter().max().copied().unwrap();
-            (max + 1) % self.c
-        }
-        fn output(&self, _: NodeId, s: &u64) -> u64 {
-            *s
-        }
-        fn random_state(&self, _: NodeId, rng: &mut dyn RngCore) -> u64 {
-            rng.next_u64() % self.c
-        }
-    }
-
-    impl Counter for FollowMax {
-        fn modulus(&self) -> u64 {
-            self.c
-        }
-        fn resilience(&self) -> usize {
-            0
-        }
-        fn state_bits(&self) -> u32 {
-            sc_protocol::bits_for(self.c)
-        }
-        fn stabilization_bound(&self) -> u64 {
-            1
-        }
-        fn encode_state(&self, _: NodeId, s: &u64, out: &mut sc_protocol::BitVec) {
-            out.push_bits(*s, self.state_bits());
-        }
-        fn decode_state(
-            &self,
-            _: NodeId,
-            input: &mut sc_protocol::BitReader<'_>,
-        ) -> Result<u64, sc_protocol::CodecError> {
-            input.read_bits(self.state_bits())
-        }
-    }
+    use crate::testing::FollowMax;
 
     #[test]
     fn fault_free_followmax_stabilises_immediately() {
@@ -307,6 +401,24 @@ mod tests {
         a.run(20);
         b.run(20);
         assert_eq!(a.states(), b.states());
+    }
+
+    #[test]
+    fn both_engines_agree_under_equivocation() {
+        let p = FollowMax { n: 5, c: 1 << 20 };
+        let states: Vec<u64> = vec![7, 99, 3, 12_345, 0];
+        let mut fast =
+            Simulation::with_states(&p, adversaries::random(&p, [1], 5), states.clone(), 9);
+        let mut reference = Simulation::with_states(&p, adversaries::random(&p, [1], 5), states, 9);
+        for round in 0..50 {
+            fast.step();
+            reference.reference_step();
+            assert_eq!(
+                fast.states(),
+                reference.states(),
+                "divergence at round {round}"
+            );
+        }
     }
 
     #[test]
@@ -348,6 +460,52 @@ mod tests {
         let sim = Simulation::with_states(&p, adv, vec![1, 2, 3], 0);
         assert_eq!(sim.honest().len(), 2);
         assert_eq!(sim.outputs_now().len(), 2);
+    }
+
+    #[test]
+    fn agreed_output_matches_outputs_now() {
+        let p = FollowMax { n: 3, c: 4 };
+        let sim = Simulation::with_states(&p, adversaries::none(), vec![2, 2, 2], 0);
+        assert_eq!(sim.agreed_output_now(), Some(2));
+        let sim = Simulation::with_states(&p, adversaries::none(), vec![2, 3, 2], 0);
+        assert_eq!(sim.agreed_output_now(), None);
+    }
+
+    #[test]
+    fn corrupt_keeps_both_buffers_consistent() {
+        let p = FollowMax { n: 4, c: 16 };
+        let adv = adversaries::crash(&p, [2], 1);
+        let mut sim = Simulation::new(&p, adv, 3);
+        sim.run(3);
+        sim.corrupt_all(99);
+        // The faulty placeholder must survive identically through further
+        // stepping on either engine (it is broadcast via RoundContext).
+        let placeholder = sim.states()[2];
+        sim.run(2);
+        assert_eq!(sim.states()[2], placeholder);
+    }
+
+    #[test]
+    fn short_horizon_is_rejected_up_front() {
+        let p = FollowMax { n: 5, c: 4 };
+        let mut sim = Simulation::new(&p, adversaries::none(), 3);
+        // required_confirmation(4) = 8 > horizon 5.
+        match sim.run_until_stable(5) {
+            Err(SimError::HorizonTooShort {
+                horizon: 5,
+                required: 8,
+            }) => {}
+            other => panic!("expected HorizonTooShort, got {other:?}"),
+        }
+        // The rejected run must not have consumed any rounds.
+        assert_eq!(sim.round(), 0);
+    }
+
+    #[test]
+    fn confirmation_requirement_is_clamped() {
+        assert_eq!(required_confirmation(2), 8);
+        assert_eq!(required_confirmation(6), 12);
+        assert_eq!(required_confirmation(1_000), 128);
     }
 
     #[test]

@@ -44,8 +44,14 @@ impl OutputTrace {
     ///
     /// Panics if `honest` is empty — a trace of no nodes is meaningless.
     pub fn new(honest: Vec<NodeId>) -> Self {
-        assert!(!honest.is_empty(), "output trace needs at least one correct node");
-        OutputTrace { honest, rows: Vec::new() }
+        assert!(
+            !honest.is_empty(),
+            "output trace needs at least one correct node"
+        );
+        OutputTrace {
+            honest,
+            rows: Vec::new(),
+        }
     }
 
     /// Identifiers of the correct nodes, in row order.
@@ -99,6 +105,102 @@ pub struct StabilizationReport {
     pub modulus: u64,
 }
 
+/// Streaming stabilisation detection: consumes one *agreed output* per
+/// round (computed without materialising a row vector, see
+/// [`Simulation::agreed_output_now`]) and maintains the exact same verdict
+/// state as [`detect_stabilization`] — but with zero allocation and without
+/// retaining the trace.
+///
+/// This is the detector the batch engine runs behind every scenario; the
+/// trace-based path remains for callers that want the full trace.
+///
+/// [`Simulation::agreed_output_now`]: crate::Simulation::agreed_output_now
+///
+/// # Example
+///
+/// ```
+/// use sc_sim::OnlineDetector;
+///
+/// let mut d = OnlineDetector::new(3);
+/// d.observe(None); // initial disagreement
+/// for r in 0..6 {
+///     d.observe(Some(r % 3));
+/// }
+/// let report = d.finish(4)?;
+/// assert_eq!(report.stabilization_round, 1);
+/// # Ok::<(), sc_sim::SimError>(())
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct OnlineDetector {
+    modulus: u64,
+    /// Agreed output at the previously observed round, `None` before any
+    /// observation; the inner `Option` is the row's agreement.
+    prev: Option<Option<u64>>,
+    transitions: u64,
+    last_violation: Option<u64>,
+}
+
+impl OnlineDetector {
+    /// A detector for a `modulus`-counter with no observations yet.
+    pub fn new(modulus: u64) -> Self {
+        OnlineDetector {
+            modulus,
+            prev: None,
+            transitions: 0,
+            last_violation: None,
+        }
+    }
+
+    /// Records the agreed output of the next round (`None` = the correct
+    /// nodes disagreed).
+    pub fn observe(&mut self, agreed: Option<u64>) {
+        if let Some(prev) = self.prev {
+            let good = match (prev, agreed) {
+                (Some(now), Some(next)) => next == inc_mod(now % self.modulus, self.modulus),
+                _ => false,
+            };
+            if !good {
+                self.last_violation = Some(self.transitions);
+            }
+            self.transitions += 1;
+        }
+        self.prev = Some(agreed);
+    }
+
+    /// Transitions observed so far.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// The verdict over everything observed, requiring `min_confirm` good
+    /// transitions at the tail.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`detect_stabilization`].
+    pub fn finish(&self, min_confirm: u64) -> Result<StabilizationReport, SimError> {
+        if self.transitions == 0 {
+            return Err(SimError::EmptyTrace);
+        }
+        let stabilization_round = self.last_violation.map_or(0, |r| r + 1);
+        let confirmed = self.transitions - stabilization_round;
+        if confirmed < min_confirm {
+            return Err(SimError::NotStabilized {
+                rounds: self.transitions,
+                last_violation: self.last_violation,
+                confirmed,
+                required: min_confirm,
+            });
+        }
+        Ok(StabilizationReport {
+            stabilization_round,
+            rounds_recorded: self.transitions,
+            confirmed_rounds: confirmed,
+            modulus: self.modulus,
+        })
+    }
+}
+
 /// Computes the exact stabilisation round of a recorded execution.
 ///
 /// Scans every transition `r → r+1`; a transition is *good* when the outputs
@@ -117,36 +219,11 @@ pub fn detect_stabilization(
     modulus: u64,
     min_confirm: u64,
 ) -> Result<StabilizationReport, SimError> {
-    if trace.len() < 2 {
-        return Err(SimError::EmptyTrace);
+    let mut detector = OnlineDetector::new(modulus);
+    for r in 0..trace.len() {
+        detector.observe(trace.agreed_value(r));
     }
-    let transitions = trace.len() - 1;
-    let mut last_violation: Option<u64> = None;
-    for r in 0..transitions {
-        let good = match (trace.agreed_value(r), trace.agreed_value(r + 1)) {
-            (Some(now), Some(next)) => next == inc_mod(now % modulus, modulus),
-            _ => false,
-        };
-        if !good {
-            last_violation = Some(r as u64);
-        }
-    }
-    let stabilization_round = last_violation.map_or(0, |r| r + 1);
-    let confirmed = transitions as u64 - stabilization_round;
-    if confirmed < min_confirm {
-        return Err(SimError::NotStabilized {
-            rounds: transitions as u64,
-            last_violation,
-            confirmed,
-            required: min_confirm,
-        });
-    }
-    Ok(StabilizationReport {
-        stabilization_round,
-        rounds_recorded: transitions as u64,
-        confirmed_rounds: confirmed,
-        modulus,
-    })
+    detector.finish(min_confirm)
 }
 
 /// Earliest round `t` such that transitions `t, …, t+window−1` all satisfy
@@ -185,7 +262,10 @@ pub fn violation_rate(trace: &OutputTrace, modulus: u64, from: u64) -> f64 {
     }
     let mut bad = 0u64;
     for r in from..transitions {
-        let good = match (trace.agreed_value(r as usize), trace.agreed_value(r as usize + 1)) {
+        let good = match (
+            trace.agreed_value(r as usize),
+            trace.agreed_value(r as usize + 1),
+        ) {
             (Some(now), Some(next)) => next == inc_mod(now % modulus, modulus),
             _ => false,
         };
@@ -240,7 +320,11 @@ mod tests {
         let t = trace_of(&[&[0, 1], &[1, 1], &[2, 2]]);
         let err = detect_stabilization(&t, 3, 4).unwrap_err();
         match err {
-            SimError::NotStabilized { confirmed, required, .. } => {
+            SimError::NotStabilized {
+                confirmed,
+                required,
+                ..
+            } => {
                 assert_eq!(confirmed, 1);
                 assert_eq!(required, 4);
             }
@@ -252,13 +336,22 @@ mod tests {
     fn never_stabilising_trace_reports_violation() {
         let t = trace_of(&[&[0, 1], &[0, 1], &[0, 1]]);
         let err = detect_stabilization(&t, 2, 1).unwrap_err();
-        assert!(matches!(err, SimError::NotStabilized { last_violation: Some(1), .. }));
+        assert!(matches!(
+            err,
+            SimError::NotStabilized {
+                last_violation: Some(1),
+                ..
+            }
+        ));
     }
 
     #[test]
     fn empty_trace_is_an_error() {
         let t = OutputTrace::new(vec![NodeId::new(0)]);
-        assert_eq!(detect_stabilization(&t, 2, 1).unwrap_err(), SimError::EmptyTrace);
+        assert_eq!(
+            detect_stabilization(&t, 2, 1).unwrap_err(),
+            SimError::EmptyTrace
+        );
     }
 
     #[test]
@@ -299,6 +392,43 @@ mod tests {
         assert_eq!(first_stable_window(&t, 3, 2), Some(0));
         assert_eq!(first_stable_window(&t, 3, 3), Some(4));
         assert_eq!(first_stable_window(&t, 3, 4), None);
+    }
+
+    #[test]
+    fn online_detector_matches_trace_detection() {
+        // Exhaustive small cases: every 4-round agreement pattern over
+        // modulus 3, compared transition-for-transition.
+        for pattern in 0u32..(4u32.pow(5)) {
+            let rows: Vec<Option<u64>> = (0..5)
+                .map(|i| {
+                    let digit = pattern / 4u32.pow(i) % 4;
+                    (digit < 3).then_some(u64::from(digit))
+                })
+                .collect();
+            let mut trace = OutputTrace::new(vec![NodeId::new(0), NodeId::new(1)]);
+            let mut online = OnlineDetector::new(3);
+            for row in &rows {
+                match row {
+                    Some(v) => trace.push_row(vec![*v, *v]),
+                    None => trace.push_row(vec![0, 1]),
+                }
+                online.observe(*row);
+            }
+            assert_eq!(
+                detect_stabilization(&trace, 3, 2),
+                online.finish(2),
+                "pattern {pattern} rows {rows:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn online_detector_empty_and_single_row() {
+        let d = OnlineDetector::new(2);
+        assert_eq!(d.finish(1).unwrap_err(), SimError::EmptyTrace);
+        let mut d = OnlineDetector::new(2);
+        d.observe(Some(0));
+        assert_eq!(d.finish(1).unwrap_err(), SimError::EmptyTrace);
     }
 
     #[test]

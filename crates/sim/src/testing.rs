@@ -1,0 +1,70 @@
+//! Shared test fixtures (not part of the public API; see `#[doc(hidden)]`
+//! on the module re-export).
+
+use rand::RngCore;
+use sc_protocol::{
+    bits_for, BitReader, BitVec, CodecError, Counter, MessageView, NodeId, StepContext,
+    SyncProtocol,
+};
+
+/// Zero-resilience max-follower counter: every correct node adopts
+/// `max(received) + 1 mod c`.
+///
+/// The workhorse fixture of the engine test suites — every received value
+/// influences the next state, so any divergence in message delivery,
+/// override handling, or buffer management shows up in the states
+/// immediately; and with an equivocating fault it *must* be breakable,
+/// guarding against vacuously-strong simulators.
+pub struct FollowMax {
+    /// Network size.
+    pub n: usize,
+    /// Counter modulus.
+    pub c: u64,
+}
+
+impl SyncProtocol for FollowMax {
+    type State = u64;
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn step(&self, _: NodeId, view: &MessageView<'_, u64>, _: &mut StepContext<'_>) -> u64 {
+        let max = view.iter().max().copied().unwrap();
+        (max + 1) % self.c
+    }
+
+    fn output(&self, _: NodeId, s: &u64) -> u64 {
+        *s
+    }
+
+    fn random_state(&self, _: NodeId, rng: &mut dyn RngCore) -> u64 {
+        rng.next_u64() % self.c
+    }
+}
+
+impl Counter for FollowMax {
+    fn modulus(&self) -> u64 {
+        self.c
+    }
+
+    fn resilience(&self) -> usize {
+        0
+    }
+
+    fn state_bits(&self) -> u32 {
+        bits_for(self.c)
+    }
+
+    fn stabilization_bound(&self) -> u64 {
+        1
+    }
+
+    fn encode_state(&self, _: NodeId, s: &u64, out: &mut BitVec) {
+        out.push_bits(*s, self.state_bits());
+    }
+
+    fn decode_state(&self, _: NodeId, input: &mut BitReader<'_>) -> Result<u64, CodecError> {
+        input.read_bits(self.state_bits())
+    }
+}

@@ -1,0 +1,121 @@
+//! Reusable per-round scratch storage for execution engines.
+//!
+//! The hot loop of a synchronous round needs two short-lived buffers per
+//! correct receiver: the adversary's override vector and (for layered or
+//! exhaustive engines) a dense received-state vector. Allocating them per
+//! receiver — as the first engine did — dominates the round cost for small
+//! protocols; a [`RoundWorkspace`] owns both buffers once and is reused
+//! round after round, scenario after scenario. The simulator, the batch
+//! engine, and `sc-verifier`'s exhaustive checker all share this type.
+
+use sc_protocol::NodeId;
+
+/// Reusable scratch buffers for one executing engine.
+///
+/// The buffers are plain `Vec`s left public on purpose: a workspace is
+/// *scratch*, with no invariants of its own — engines clear and refill the
+/// parts they use. Capacity is retained across uses, which is the point.
+#[derive(Clone, Debug, Default)]
+pub struct RoundWorkspace<S> {
+    /// Per-receiver adversary overrides `(faulty sender, fabricated state)`,
+    /// cleared and refilled for every correct receiver.
+    pub overrides: Vec<(NodeId, S)>,
+    /// Dense received-state scratch for engines that materialise whole
+    /// vectors (the exhaustive checker's Byzantine-combination sweep).
+    pub scratch: Vec<S>,
+}
+
+impl<S> RoundWorkspace<S> {
+    /// An empty workspace; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        RoundWorkspace {
+            overrides: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// A workspace pre-sized for `f` faulty senders and `n` nodes.
+    pub fn with_capacity(f: usize, n: usize) -> Self {
+        RoundWorkspace {
+            overrides: Vec::with_capacity(f),
+            scratch: Vec::with_capacity(n),
+        }
+    }
+
+    /// Clears both buffers, keeping their capacity.
+    pub fn clear(&mut self) {
+        self.overrides.clear();
+        self.scratch.clear();
+    }
+}
+
+/// A precomputed fault bitmap: O(1) "is this node faulty?" in the round
+/// loop, replacing the per-node `binary_search` of the first engine.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultMask {
+    words: Vec<u64>,
+}
+
+impl FaultMask {
+    /// Builds the mask for a network of `n` nodes from the sorted fault set.
+    pub fn from_sorted(faulty: &[NodeId], n: usize) -> Self {
+        let mut words = vec![0u64; n.div_ceil(64)];
+        for id in faulty {
+            debug_assert!(id.index() < n, "faulty node outside the network");
+            words[id.index() / 64] |= 1 << (id.index() % 64);
+        }
+        FaultMask { words }
+    }
+
+    /// Whether node `index` is faulty.
+    #[inline]
+    pub fn contains(&self, index: usize) -> bool {
+        self.words[index / 64] >> (index % 64) & 1 == 1
+    }
+
+    /// Number of faulty nodes in the mask.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_matches_binary_search() {
+        let faulty: Vec<NodeId> = [3usize, 64, 65, 129]
+            .iter()
+            .map(|&i| NodeId::new(i))
+            .collect();
+        let mask = FaultMask::from_sorted(&faulty, 130);
+        for i in 0..130 {
+            assert_eq!(
+                mask.contains(i),
+                faulty.binary_search(&NodeId::new(i)).is_ok(),
+                "{i}"
+            );
+        }
+        assert_eq!(mask.count(), 4);
+    }
+
+    #[test]
+    fn empty_mask_contains_nothing() {
+        let mask = FaultMask::from_sorted(&[], 10);
+        assert!((0..10).all(|i| !mask.contains(i)));
+        assert_eq!(mask.count(), 0);
+    }
+
+    #[test]
+    fn workspace_retains_capacity_across_clears() {
+        let mut ws: RoundWorkspace<u64> = RoundWorkspace::with_capacity(4, 16);
+        ws.overrides
+            .extend((0..4).map(|i| (NodeId::new(i), i as u64)));
+        ws.scratch.extend(0..16u64);
+        let (oc, sc) = (ws.overrides.capacity(), ws.scratch.capacity());
+        ws.clear();
+        assert!(ws.overrides.is_empty() && ws.scratch.is_empty());
+        assert!(ws.overrides.capacity() >= oc && ws.scratch.capacity() >= sc);
+    }
+}

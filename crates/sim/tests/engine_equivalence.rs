@@ -1,0 +1,184 @@
+//! The gate for the zero-copy engine: fixed-seed executions of
+//! [`Simulation::step`] must be **bitwise identical** to the
+//! first-generation engine kept as [`Simulation::reference_step`], across
+//! qualitatively different adversaries — and per-receiver overrides must
+//! never leak between receivers or rounds.
+
+use rand::RngCore;
+use sc_protocol::{BitVec, Counter, MessageView, NodeId, StepContext, SyncProtocol};
+use sc_sim::{adversaries, Adversary, Batch, RoundContext, Scenario, Simulation};
+
+use sc_sim::testing::FollowMax;
+
+/// Runs both engines under identical seeds and compares states round by
+/// round — bitwise, via the counter's exact codec, not just `PartialEq`.
+fn assert_replay_identical<A, F>(p: &FollowMax, make_adversary: F, rounds: u64)
+where
+    A: Adversary<u64>,
+    F: Fn() -> A,
+{
+    for seed in 0..5u64 {
+        let mut fast = Simulation::new(p, make_adversary(), seed);
+        let mut reference = Simulation::new(p, make_adversary(), seed);
+        assert_eq!(
+            fast.states(),
+            reference.states(),
+            "initial configurations differ"
+        );
+        for round in 0..rounds {
+            fast.step();
+            reference.reference_step();
+            assert_eq!(
+                fast.states(),
+                reference.states(),
+                "state divergence at round {round} (seed {seed})"
+            );
+            let mut fast_bits = BitVec::new();
+            let mut reference_bits = BitVec::new();
+            for &id in fast.honest() {
+                p.encode_state(id, &fast.states()[id.index()], &mut fast_bits);
+                p.encode_state(id, &reference.states()[id.index()], &mut reference_bits);
+            }
+            assert_eq!(
+                fast_bits, reference_bits,
+                "encoded-state divergence at round {round} (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn crash_adversary_replays_bitwise() {
+    let p = FollowMax { n: 6, c: 1 << 16 };
+    assert_replay_identical(&p, || adversaries::crash(&p, [1, 4], 99), 60);
+}
+
+#[test]
+fn random_adversary_replays_bitwise() {
+    let p = FollowMax { n: 6, c: 1 << 16 };
+    assert_replay_identical(&p, || adversaries::random(&p, [0, 3], 7), 60);
+}
+
+#[test]
+fn two_faced_adversary_replays_bitwise() {
+    let p = FollowMax { n: 7, c: 1 << 16 };
+    assert_replay_identical(&p, || adversaries::two_faced(&p, [2], 13), 60);
+}
+
+#[test]
+fn fault_free_replays_bitwise() {
+    let p = FollowMax { n: 5, c: 64 };
+    assert_replay_identical(&p, adversaries::none, 40);
+}
+
+#[test]
+fn batch_engine_matches_reference_engine_verdicts() {
+    // End-to-end: the batched sweep must reproduce, scenario for scenario,
+    // what the reference engine concludes about the same executions.
+    let p = FollowMax { n: 5, c: 8 };
+    let scenarios = Scenario::seeds(0..10);
+    let report = Batch::new(&p, 64).run(&scenarios, |s: &Scenario<u64>| {
+        adversaries::crash(&p, [1], s.seed)
+    });
+    for scenario in &scenarios {
+        let mut sim = Simulation::new(
+            &p,
+            adversaries::crash(&p, [1], scenario.seed),
+            scenario.seed,
+        );
+        let mut rows = Vec::new();
+        rows.push(sim.outputs_now());
+        for _ in 0..64 {
+            sim.reference_step();
+            rows.push(sim.outputs_now());
+        }
+        let mut trace = sc_sim::OutputTrace::new(sim.honest().to_vec());
+        for row in rows {
+            trace.push_row(row);
+        }
+        let expect = sc_sim::detect_stabilization(&trace, 8, sc_sim::required_confirmation(8));
+        assert_eq!(
+            report.outcomes[scenario.seed as usize].result, expect,
+            "verdict divergence at seed {}",
+            scenario.seed
+        );
+    }
+}
+
+/// An adversary that equivocates a *distinct* value to every receiver, so
+/// any override leaking from one receiver's view into another's is visible
+/// in the next states.
+struct PerReceiverTagger {
+    faulty: Vec<NodeId>,
+}
+
+impl Adversary<u64> for PerReceiverTagger {
+    fn faulty(&self) -> &[NodeId] {
+        &self.faulty
+    }
+    fn message(&mut self, from: NodeId, to: NodeId, ctx: &RoundContext<'_, u64>) -> u64 {
+        // Tag = round, sender and receiver identity, in disjoint digit
+        // ranges; every (round, from, to) triple is unique.
+        1_000_000 + ctx.round * 10_000 + (from.index() as u64) * 100 + to.index() as u64
+    }
+}
+
+/// Echoes the value received from the faulty sender: the next state of node
+/// `i` *is* what node 0 sent it, making delivery fully observable.
+struct EchoFaulty {
+    n: usize,
+}
+
+impl SyncProtocol for EchoFaulty {
+    type State = u64;
+    fn n(&self) -> usize {
+        self.n
+    }
+    fn step(&self, _: NodeId, view: &MessageView<'_, u64>, _: &mut StepContext<'_>) -> u64 {
+        *view.get(NodeId::new(0))
+    }
+    fn output(&self, _: NodeId, s: &u64) -> u64 {
+        *s
+    }
+    fn random_state(&self, _: NodeId, rng: &mut dyn RngCore) -> u64 {
+        rng.next_u64() % 1_000
+    }
+}
+
+#[test]
+fn overrides_never_leak_between_receivers() {
+    let p = EchoFaulty { n: 5 };
+    let adv = PerReceiverTagger {
+        faulty: vec![NodeId::new(0)],
+    };
+    let mut sim = Simulation::new(&p, adv, 3);
+    for round in 0..10u64 {
+        sim.step();
+        for &id in sim.honest() {
+            let got = sim.states()[id.index()];
+            let expect = 1_000_000 + round * 10_000 + id.index() as u64;
+            assert_eq!(
+                got, expect,
+                "receiver {id} observed a foreign override at round {round}"
+            );
+        }
+    }
+}
+
+#[test]
+fn overrides_never_leak_between_receivers_on_reference_engine() {
+    // The oracle engine must satisfy the same isolation property, or the
+    // equivalence gate would be comparing two broken engines.
+    let p = EchoFaulty { n: 5 };
+    let adv = PerReceiverTagger {
+        faulty: vec![NodeId::new(0)],
+    };
+    let mut sim = Simulation::new(&p, adv, 3);
+    for round in 0..10u64 {
+        sim.reference_step();
+        for &id in sim.honest() {
+            let expect = 1_000_000 + round * 10_000 + id.index() as u64;
+            assert_eq!(sim.states()[id.index()], expect);
+        }
+    }
+}

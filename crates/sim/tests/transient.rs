@@ -65,7 +65,10 @@ fn recovers_after_total_corruption() {
     for burst in 0..5u64 {
         sim.corrupt_all(1000 + burst);
         let report = sim.run_until_stable(64).unwrap();
-        assert!(report.stabilization_round <= 2, "burst {burst} not recovered");
+        assert!(
+            report.stabilization_round <= 2,
+            "burst {burst} not recovered"
+        );
     }
 }
 

@@ -4,6 +4,7 @@ use std::collections::HashMap;
 
 use sc_core::LutCounter;
 use sc_protocol::ParamError;
+use sc_sim::RoundWorkspace;
 
 /// Outcome of exhaustively verifying a candidate counter.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -83,13 +84,19 @@ const MAX_BYZ_COMBOS: usize = 1 << 10;
 pub fn verify(lut: &LutCounter) -> Result<Verdict, ParamError> {
     let summary = analyze(lut)?;
     match summary.failure {
-        None => Ok(Verdict::Stabilizes { worst_case_time: summary.worst_time }),
+        None => Ok(Verdict::Stabilizes {
+            worst_case_time: summary.worst_time,
+        }),
         Some((fault_set, stuck_configs)) => {
             let analysis = FaultSetAnalysis::run(lut, &fault_set)?;
             let witness = analysis
                 .extract_witness(lut, &fault_set)
                 .expect("a failing fault set yields a witness");
-            Ok(Verdict::Fails { fault_set, stuck_configs, witness })
+            Ok(Verdict::Fails {
+                fault_set,
+                stuck_configs,
+                witness,
+            })
         }
     }
 }
@@ -122,14 +129,24 @@ pub(crate) fn analyze(lut: &LutCounter) -> Result<AnalysisSummary, ParamError> {
             failure = Some((fault_set.clone(), analysis.configs - analysis.covered));
         }
     }
-    Ok(AnalysisSummary { worst_time: worst, coverage: covered as f64 / total as f64, failure })
+    Ok(AnalysisSummary {
+        worst_time: worst,
+        coverage: covered as f64 / total as f64,
+        failure,
+    })
 }
 
 /// All subsets of `[n]` with at most `f` elements.
 fn fault_sets(n: usize, f: usize) -> Vec<Vec<usize>> {
     let mut out = Vec::new();
     let mut current = Vec::new();
-    fn recurse(n: usize, f: usize, start: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    fn recurse(
+        n: usize,
+        f: usize,
+        start: usize,
+        current: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
         out.push(current.clone());
         if current.len() == f {
             return;
@@ -196,6 +213,7 @@ impl FaultSetAnalysis {
 
         // Per configuration: the next-state set of every honest node, then
         // the deduplicated successor-configuration list.
+        let mut workspace: RoundWorkspace<u8> = RoundWorkspace::with_capacity(0, spec.n);
         let mut agreed: Vec<Option<u64>> = Vec::with_capacity(configs);
         for e in 0..configs {
             let digits = analysis.digits(e);
@@ -209,14 +227,17 @@ impl FaultSetAnalysis {
                 .all(|(&v, &s)| lut.output(v, s) == first_out);
             agreed.push(agree.then_some(first_out));
 
-            // Next-state sets under all Byzantine combinations.
+            // Next-state sets under all Byzantine combinations. The
+            // received vector is materialised in the shared round
+            // workspace's scratch buffer — one allocation for the whole
+            // exploration instead of one per (node, combination).
             let h = analysis.honest.len();
             let mut next_sets: Vec<Vec<u8>> = Vec::with_capacity(h);
             for &i in &analysis.honest {
                 let mut mask = 0u64;
                 for combo in 0..combos {
-                    let received = analysis.received_vector(lut, faulty, &digits, combo);
-                    mask |= 1u64 << lut.next(i, &received);
+                    analysis.fill_received(lut, faulty, &digits, combo, &mut workspace);
+                    mask |= 1u64 << lut.next(i, &workspace.scratch);
                 }
                 next_sets.push((0..x as u8).filter(|&s| mask >> s & 1 == 1).collect());
             }
@@ -278,8 +299,10 @@ impl FaultSetAnalysis {
 
         // Attractor layering: t(e) = 0 on the safe set, otherwise
         // 1 + max over successors (the adversary maximises).
-        let mut time: Vec<Option<u64>> =
-            safe.iter().map(|&s| if s { Some(0) } else { None }).collect();
+        let mut time: Vec<Option<u64>> = safe
+            .iter()
+            .map(|&s| if s { Some(0) } else { None })
+            .collect();
         loop {
             let mut changed = false;
             for e in 0..configs {
@@ -313,15 +336,19 @@ impl FaultSetAnalysis {
         Ok(analysis)
     }
 
-    /// Builds the full received vector for honest digits + Byzantine combo.
-    fn received_vector(
+    /// Builds the full received vector for honest digits + Byzantine combo
+    /// in the workspace's scratch buffer (no allocation after first use).
+    fn fill_received(
         &self,
         lut: &LutCounter,
         faulty: &[usize],
         digits: &[u8],
         combo: usize,
-    ) -> Vec<u8> {
-        let mut received = vec![0u8; lut.spec().n];
+        workspace: &mut RoundWorkspace<u8>,
+    ) {
+        let received = &mut workspace.scratch;
+        received.clear();
+        received.resize(lut.spec().n, 0);
         for (hi, &hv) in self.honest.iter().enumerate() {
             received[hv] = digits[hi];
         }
@@ -330,12 +357,12 @@ impl FaultSetAnalysis {
             received[fv] = (c % self.x) as u8;
             c /= self.x;
         }
-        received
     }
 
     /// Extracts a lasso-shaped non-stabilising execution from the stuck
     /// region, including the Byzantine values realising every transition.
     fn extract_witness(&self, lut: &LutCounter, faulty: &[usize]) -> Option<Witness> {
+        let mut workspace: RoundWorkspace<u8> = RoundWorkspace::with_capacity(0, lut.spec().n);
         let start = (0..self.configs).find(|&e| self.time[e].is_none())?;
         let mut configs: Vec<usize> = vec![start];
         let mut byz: Vec<Vec<Vec<u8>>> = Vec::new();
@@ -359,8 +386,8 @@ impl FaultSetAnalysis {
             for (hi, &i) in self.honest.iter().enumerate() {
                 let combo = (0..self.combos)
                     .find(|&combo| {
-                        let received = self.received_vector(lut, faulty, &digits, combo);
-                        lut.next(i, &received) == target[hi]
+                        self.fill_received(lut, faulty, &digits, combo, &mut workspace);
+                        lut.next(i, &workspace.scratch) == target[hi]
                     })
                     .expect("successor state must be realisable");
                 let mut values = Vec::with_capacity(faulty.len());
@@ -456,7 +483,10 @@ mod tests {
         );
         assert_eq!(witness.byz.len(), witness.configs.len() - 1);
         // Fault-free failure: no Byzantine values needed.
-        assert!(witness.byz.iter().all(|step| step.iter().all(Vec::is_empty)));
+        assert!(witness
+            .byz
+            .iter()
+            .all(|step| step.iter().all(Vec::is_empty)));
     }
 
     #[test]
@@ -512,7 +542,10 @@ mod tests {
             output: vec![vec![0, 1]; 4],
             stabilization_bound: 0,
         });
-        let Verdict::Fails { fault_set, witness, .. } = verify(&follow_max).unwrap() else {
+        let Verdict::Fails {
+            fault_set, witness, ..
+        } = verify(&follow_max).unwrap()
+        else {
             panic!("quorumless following must fail with f = 1");
         };
         assert_eq!(witness.fault_set, fault_set);
@@ -532,7 +565,10 @@ mod tests {
             }
         }
         // And the lasso closes.
-        assert_eq!(witness.configs.last(), witness.configs.get(witness.cycle_start));
+        assert_eq!(
+            witness.configs.last(),
+            witness.configs.get(witness.cycle_start)
+        );
     }
 
     #[test]

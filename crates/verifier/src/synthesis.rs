@@ -67,15 +67,16 @@ pub fn synthesize(
     let rows = (states as usize)
         .checked_pow(n as u32)
         .ok_or_else(|| ParamError::overflow("|X|^n"))?;
-    let output: Vec<Vec<u64>> =
-        vec![(0..states).map(|s| u64::from(s) % c).collect(); n];
+    let output: Vec<Vec<u64>> = vec![(0..states).map(|s| u64::from(s) % c).collect(); n];
     let mut rng = SmallRng::seed_from_u64(seed);
 
     let mut evaluations = 0u64;
     let mut best_coverage = 0.0f64;
 
     let random_tables = |rng: &mut SmallRng| -> Vec<Vec<u8>> {
-        (0..n).map(|_| (0..rows).map(|_| rng.random_range(0..states)).collect()).collect()
+        (0..n)
+            .map(|_| (0..rows).map(|_| rng.random_range(0..states)).collect())
+            .collect()
     };
 
     let mut current = random_tables(&mut rng);
@@ -118,7 +119,10 @@ pub fn synthesize(
             spec.stabilization_bound = worst_case_time;
             let counter = LutCounter::new(spec)?;
             return Ok(SynthesisReport {
-                outcome: SynthesisOutcome::Found { counter, worst_case_time },
+                outcome: SynthesisOutcome::Found {
+                    counter,
+                    worst_case_time,
+                },
                 evaluations,
             });
         }
@@ -150,7 +154,10 @@ mod tests {
     fn synthesises_a_fault_free_two_node_counter() {
         let report = synthesize(2, 0, 2, 2, 7, 5000).unwrap();
         match report.outcome {
-            SynthesisOutcome::Found { counter, worst_case_time } => {
+            SynthesisOutcome::Found {
+                counter,
+                worst_case_time,
+            } => {
                 assert_eq!(
                     verify(&counter).unwrap(),
                     Verdict::Stabilizes { worst_case_time }

@@ -11,19 +11,26 @@
 use rand::rngs::SmallRng;
 use synchronous_counting::core::CounterBuilder;
 use synchronous_counting::protocol::NodeId;
-use synchronous_counting::pulling::{KingPullMode, PullCounter, PullProtocol, PullSimulation,
-                                    Sampling};
+use synchronous_counting::pulling::{
+    KingPullMode, PullCounter, PullProtocol, PullSimulation, Sampling,
+};
 use synchronous_counting::sim::{adversaries, first_stable_window, violation_rate};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A(12, 1): 3 blocks of A(4, 1); fault ratio 1/12 keeps the sampled
     // thresholds well concentrated (Lemma 8).
-    let algo = CounterBuilder::corollary1(1, 576)?.boost_with_resilience(3, 1)?.build()?;
+    let algo = CounterBuilder::corollary1(1, 576)?
+        .boost_with_resilience(3, 1)?
+        .build()?;
 
     let full = PullCounter::from_algorithm(&algo, Sampling::Full)?;
     let sampled = PullCounter::from_algorithm(
         &algo,
-        Sampling::Sampled { m: 15, king_mode: KingPullMode::All, fixed_seed: None },
+        Sampling::Sampled {
+            m: 15,
+            king_mode: KingPullMode::All,
+            fixed_seed: None,
+        },
     )?;
     println!("per-node energy budget (pulls per round):");
     println!("  full pulling (deterministic): {}", full.plan_len());
@@ -43,12 +50,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("sampled run with one Byzantine node:");
     println!("  stabilised at round {start} (bound {bound})");
     println!("  post-stabilisation failure rate: {rate:.4} per round");
-    println!("  max pulls by a correct node:     {}", sim.max_pulls_per_round());
+    println!(
+        "  max pulls by a correct node:     {}",
+        sim.max_pulls_per_round()
+    );
 
     // The pseudo-random variant (Corollary 5): fix the samples once.
     let fixed = PullCounter::from_algorithm(
         &algo,
-        Sampling::Sampled { m: 15, king_mode: KingPullMode::All, fixed_seed: Some(7) },
+        Sampling::Sampled {
+            m: 15,
+            king_mode: KingPullMode::All,
+            fixed_seed: Some(7),
+        },
     )?;
     let sampler = |node: NodeId, rng: &mut SmallRng| fixed.random_state(node, rng);
     let adversary = adversaries::random_from(sampler, [5], 9);

@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Synthesise a 2-node 2-counter from scratch.
     let report = synthesize(2, 0, 2, 2, 1, 5_000)?;
-    let SynthesisOutcome::Found { counter, worst_case_time } = report.outcome else {
+    let SynthesisOutcome::Found {
+        counter,
+        worst_case_time,
+    } = report.outcome
+    else {
         panic!("the fault-free instance is easily synthesisable");
     };
     println!(
@@ -65,7 +69,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    how close the search got.
     let report = synthesize(4, 1, 2, 3, 7, 10_000)?;
     match report.outcome {
-        SynthesisOutcome::Found { worst_case_time, .. } => {
+        SynthesisOutcome::Found {
+            worst_case_time, ..
+        } => {
             println!("n=4, f=1, |X|=3: FOUND a counter with T = {worst_case_time}!");
         }
         SynthesisOutcome::Exhausted { best_coverage } => {

@@ -28,11 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut stabilized_at: Option<u64> = None;
 
     // First pass: find the stabilisation round.
-    let mut probe = Simulation::new(
-        &counter,
-        adversaries::random(&counter, [1], 3),
-        11,
-    );
+    let mut probe = Simulation::new(&counter, adversaries::random(&counter, [1], 3), 11);
     let report = probe.run_until_stable(horizon)?;
     let stab = report.stabilization_round;
 
@@ -61,7 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("bus slots owned by counter value (mod {n}); subsystem 1 Byzantine");
-    println!("stabilised at round {} (bound {})", stab, counter.stabilization_bound());
+    println!(
+        "stabilised at round {} (bound {})",
+        stab,
+        counter.stabilization_bound()
+    );
     println!("collisions before stabilisation: {collisions_before}");
     println!("collisions after stabilisation:  {collisions_after}");
     assert_eq!(collisions_after, 0, "TDMA broke after stabilisation");

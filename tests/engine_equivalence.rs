@@ -1,0 +1,148 @@
+//! Equivalence gate on the real constructions: the zero-copy engine must
+//! reproduce the first-generation engine bitwise on the paper's recursive
+//! counters, and the batched sweep must agree with looped single runs.
+
+use synchronous_counting::core::{Algorithm, CounterBuilder, CounterState};
+use synchronous_counting::protocol::{BitVec, Counter};
+use synchronous_counting::sim::{adversaries, Adversary, Batch, Scenario, Simulation};
+
+fn encode_honest(
+    algo: &Algorithm,
+    sim: &Simulation<'_, Algorithm, impl Adversary<CounterState>>,
+) -> BitVec {
+    let mut bits = BitVec::new();
+    for &id in sim.honest() {
+        algo.encode_state(id, &sim.states()[id.index()], &mut bits);
+    }
+    bits
+}
+
+fn assert_engines_agree<A, F>(algo: &Algorithm, make_adversary: F, rounds: u64, seed: u64)
+where
+    A: Adversary<CounterState>,
+    F: Fn() -> A,
+{
+    let mut fast = Simulation::new(algo, make_adversary(), seed);
+    let mut reference = Simulation::new(algo, make_adversary(), seed);
+    for round in 0..rounds {
+        fast.step();
+        reference.reference_step();
+        assert_eq!(
+            fast.states(),
+            reference.states(),
+            "state divergence at round {round} (seed {seed})"
+        );
+        assert_eq!(
+            encode_honest(algo, &fast),
+            encode_honest(algo, &reference),
+            "bitwise divergence at round {round} (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn a4_replays_bitwise_across_adversaries() {
+    let algo = CounterBuilder::corollary1(1, 2).unwrap().build().unwrap();
+    for seed in [0u64, 1, 17] {
+        assert_engines_agree(&algo, || adversaries::crash(&algo, [1], seed), 80, seed);
+        assert_engines_agree(&algo, || adversaries::random(&algo, [2], seed), 80, seed);
+        assert_engines_agree(&algo, || adversaries::two_faced(&algo, [0], seed), 80, seed);
+    }
+}
+
+#[test]
+fn a12_replays_bitwise_under_equivocation() {
+    let algo = CounterBuilder::corollary1(1, 2)
+        .unwrap()
+        .boost(3)
+        .unwrap()
+        .build()
+        .unwrap();
+    assert_engines_agree(
+        &algo,
+        || adversaries::two_faced(&algo, [0, 1, 4], 5),
+        60,
+        11,
+    );
+    assert_engines_agree(&algo, || adversaries::random(&algo, [0, 1, 4], 5), 60, 11);
+}
+
+fn assert_prepared_engine_agrees<A, F>(algo: &Algorithm, make_adversary: F, rounds: u64, seed: u64)
+where
+    A: Adversary<CounterState>,
+    F: Fn() -> A,
+{
+    let mut prepared = Simulation::new(algo, make_adversary(), seed);
+    let mut reference = Simulation::new(algo, make_adversary(), seed);
+    for round in 0..rounds {
+        prepared.step_prepared();
+        reference.reference_step();
+        assert_eq!(
+            prepared.states(),
+            reference.states(),
+            "prepared-path divergence at round {round} (seed {seed})"
+        );
+        assert_eq!(
+            encode_honest(algo, &prepared),
+            encode_honest(algo, &reference),
+            "prepared-path bitwise divergence at round {round} (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn prepared_path_replays_bitwise_on_the_stack() {
+    // The hoisted-vote fast path must agree with the seed engine at every
+    // level of the Figure-2 recursion, under equivocation.
+    let a4 = CounterBuilder::corollary1(1, 2).unwrap().build().unwrap();
+    for seed in [0u64, 5, 23] {
+        assert_prepared_engine_agrees(&a4, || adversaries::two_faced(&a4, [1], seed), 80, seed);
+        assert_prepared_engine_agrees(&a4, || adversaries::random(&a4, [3], seed), 80, seed);
+    }
+    let a12 = CounterBuilder::corollary1(1, 2)
+        .unwrap()
+        .boost(3)
+        .unwrap()
+        .build()
+        .unwrap();
+    assert_prepared_engine_agrees(&a12, || adversaries::random(&a12, [0, 1, 4], 2), 50, 7);
+    assert_prepared_engine_agrees(&a12, || adversaries::two_faced(&a12, [0, 1, 4], 2), 50, 7);
+    let a36 = CounterBuilder::corollary1(1, 2)
+        .unwrap()
+        .boost(3)
+        .unwrap()
+        .boost(3)
+        .unwrap()
+        .build()
+        .unwrap();
+    let faulty = [0usize, 1, 2, 3, 4, 12, 24];
+    assert_prepared_engine_agrees(&a36, || adversaries::random(&a36, faulty, 9), 30, 13);
+}
+
+#[test]
+fn batched_sweep_matches_looped_runs_on_a4() {
+    let algo = CounterBuilder::corollary1(1, 4).unwrap().build().unwrap();
+    let horizon = algo.stabilization_bound() + 64;
+    let scenarios = Scenario::seeds(0..8);
+    let report = Batch::new(&algo, horizon).run(&scenarios, |s: &Scenario<CounterState>| {
+        adversaries::two_faced(&algo, [2], s.seed)
+    });
+    assert_eq!(report.outcomes.len(), 8);
+    for scenario in &scenarios {
+        let mut sim = Simulation::new(
+            &algo,
+            adversaries::two_faced(&algo, [2], scenario.seed),
+            scenario.seed,
+        );
+        let expect = sim.run_until_stable(horizon);
+        assert_eq!(
+            report.outcomes[scenario.seed as usize].result, expect,
+            "verdict divergence at seed {}",
+            scenario.seed
+        );
+    }
+    // And the sweep must confirm Theorem 1 wholesale.
+    let summary = report.summary();
+    assert_eq!(summary.stabilized, 8);
+    assert!(summary.worst <= algo.stabilization_bound());
+}

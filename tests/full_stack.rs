@@ -20,7 +20,9 @@ fn figure2_stack_stabilizes_through_the_facade() {
     for seed in [1u64, 2] {
         let adv = adversaries::two_faced(&a36, faulty, seed);
         let mut sim = Simulation::new(&a36, adv, seed);
-        let report = sim.run_until_stable(a36.stabilization_bound() + 64).unwrap();
+        let report = sim
+            .run_until_stable(a36.stabilization_bound() + 64)
+            .unwrap();
         assert!(report.stabilization_round <= a36.stabilization_bound());
     }
 }
@@ -70,7 +72,12 @@ fn encoded_state_width_matches_claimed_space_at_every_level() {
 
 #[test]
 fn broadcast_metrics_are_quadratic_in_n() {
-    let a12 = CounterBuilder::corollary1(1, 2).unwrap().boost(3).unwrap().build().unwrap();
+    let a12 = CounterBuilder::corollary1(1, 2)
+        .unwrap()
+        .boost(3)
+        .unwrap()
+        .build()
+        .unwrap();
     let m = broadcast_metrics(&a12);
     assert_eq!(m.messages_per_round, 12 * 11);
     assert_eq!(m.bits_per_round, 12 * 11 * u64::from(a12.state_bits()));
@@ -86,7 +93,9 @@ fn corollary1_f2_stabilizes_within_bound() {
     assert_eq!(a7.resilience(), 2);
     let adv = adversaries::random(&a7, [1, 4], 5);
     let mut sim = Simulation::new(&a7, adv, 5);
-    let report = sim.run_until_stable(60_000).expect("A(7,2) stabilises in practice");
+    let report = sim
+        .run_until_stable(60_000)
+        .expect("A(7,2) stabilises in practice");
     assert!(report.stabilization_round <= a7.stabilization_bound());
 }
 

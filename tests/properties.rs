@@ -78,10 +78,16 @@ proptest! {
 /// identical executions regardless of the simulator's protocol-RNG seed.
 #[test]
 fn deterministic_counters_are_reproducible() {
-    let algo = CounterBuilder::corollary1(1, 2).unwrap().boost(3).unwrap().build().unwrap();
+    let algo = CounterBuilder::corollary1(1, 2)
+        .unwrap()
+        .boost(3)
+        .unwrap()
+        .build()
+        .unwrap();
     let mut rng = SmallRng::seed_from_u64(1);
-    let states: Vec<CounterState> =
-        (0..12).map(|i| algo.random_state(NodeId::new(i), &mut rng)).collect();
+    let states: Vec<CounterState> = (0..12)
+        .map(|i| algo.random_state(NodeId::new(i), &mut rng))
+        .collect();
     let mut a =
         Simulation::with_states(&algo, adversaries::crash(&algo, [5], 3), states.clone(), 10);
     let mut b = Simulation::with_states(&algo, adversaries::crash(&algo, [5], 3), states, 99);

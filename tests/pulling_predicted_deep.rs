@@ -6,8 +6,9 @@
 use rand::rngs::SmallRng;
 use synchronous_counting::core::CounterBuilder;
 use synchronous_counting::protocol::NodeId;
-use synchronous_counting::pulling::{KingPullMode, PullCounter, PullProtocol, PullSimulation,
-                                    Sampling};
+use synchronous_counting::pulling::{
+    KingPullMode, PullCounter, PullProtocol, PullSimulation, Sampling,
+};
 use synchronous_counting::sim::{adversaries, first_stable_window, violation_rate};
 
 #[test]
@@ -26,8 +27,11 @@ fn nested_predicted_kings_stabilize_with_slack() {
         .build()
         .unwrap();
 
-    let sampling =
-        Sampling::Sampled { m: 15, king_mode: KingPullMode::Predicted, fixed_seed: None };
+    let sampling = Sampling::Sampled {
+        m: 15,
+        king_mode: KingPullMode::Predicted,
+        fixed_seed: None,
+    };
     let pc = PullCounter::from_algorithm(&algo, sampling).unwrap();
     // Pull ledger: inner level 4·15+15+1 = 76, outer level 3·15+15+1 = 61.
     assert_eq!(pc.plan_len(), 76 + 61);
@@ -40,7 +44,10 @@ fn nested_predicted_kings_stabilize_with_slack() {
         let trace = sim.run_trace(bound + 512);
         let start = first_stable_window(&trace, pc.modulus(), 64)
             .unwrap_or_else(|| panic!("seed {seed}: no stable window within {bound}+512"));
-        assert!(start <= bound, "seed {seed}: window at {start} > bound {bound}");
+        assert!(
+            start <= bound,
+            "seed {seed}: window at {start} > bound {bound}"
+        );
         let rate = violation_rate(&trace, pc.modulus(), start);
         assert!(rate < 0.05, "seed {seed}: failure rate {rate}");
     }
@@ -51,7 +58,10 @@ fn predicted_mode_is_rejected_without_slack_at_any_level() {
     // Slack on the outer level only is not enough: the inner level also
     // predicts its king, and construction must refuse.
     let algo = CounterBuilder::corollary1(1, 768).unwrap().build().unwrap();
-    let sampling =
-        Sampling::Sampled { m: 15, king_mode: KingPullMode::Predicted, fixed_seed: None };
+    let sampling = Sampling::Sampled {
+        m: 15,
+        king_mode: KingPullMode::Predicted,
+        fixed_seed: None,
+    };
     assert!(PullCounter::from_algorithm(&algo, sampling).is_err());
 }

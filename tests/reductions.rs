@@ -34,7 +34,10 @@ fn clocked_consensus_satisfies_validity_after_stabilisation() {
             }
         }
     }
-    assert!(decisions >= 6, "expected decisions from at least two full cycles");
+    assert!(
+        decisions >= 6,
+        "expected decisions from at least two full cycles"
+    );
 }
 
 #[test]
@@ -78,7 +81,10 @@ fn clocked_consensus_slots_follow_the_counter() {
             .iter()
             .map(|&v| cc.slot(v, &sim.states()[v.index()]))
             .collect();
-        assert!(slots.windows(2).all(|w| w[0] == w[1]), "slot split: {slots:?}");
+        assert!(
+            slots.windows(2).all(|w| w[0] == w[1]),
+            "slot split: {slots:?}"
+        );
         if let Some(prev) = last {
             assert_eq!(slots[0], (prev + 1) % cc.slots());
         }

@@ -44,7 +44,11 @@ fn verified_time_is_an_upper_bound_for_every_execution() {
 #[test]
 fn synthesized_counters_run_correctly_on_the_simulator() {
     let report = synthesize(2, 0, 2, 2, 11, 5_000).unwrap();
-    let SynthesisOutcome::Found { counter, worst_case_time } = report.outcome else {
+    let SynthesisOutcome::Found {
+        counter,
+        worst_case_time,
+    } = report.outcome
+    else {
         panic!("trivial instance must synthesise");
     };
     let algo = Algorithm::lut(counter.spec().clone()).unwrap();
