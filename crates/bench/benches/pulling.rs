@@ -9,8 +9,8 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sc_core::CounterBuilder;
 use sc_protocol::NodeId;
-use sc_pulling::{KingPullMode, PullCounter, PullProtocol, PullSimulation, Sampling};
-use sc_sim::adversaries;
+use sc_pulling::{KingPullMode, PullCounter, PullProtocol, Pulled, Sampling};
+use sc_sim::{adversaries, Simulation};
 
 fn bench_pulling(c: &mut Criterion) {
     let mut g = c.benchmark_group("pulling");
@@ -33,16 +33,18 @@ fn bench_pulling(c: &mut Criterion) {
     )
     .unwrap();
 
+    let full_pulled = Pulled::new(&full);
     g.bench_function("full_rounds_x10_A(12,3)", |b| {
-        let mut sim = PullSimulation::new(&full, adversaries::none(), 3);
+        let mut sim = Simulation::new(&full_pulled, adversaries::none(), 3);
         b.iter(|| {
             sim.run(10);
             black_box(sim.round())
         })
     });
 
+    let sampled_pulled = Pulled::new(&sampled);
     g.bench_function("sampled_rounds_x10_A(12,3)_M9", |b| {
-        let mut sim = PullSimulation::new(&sampled, adversaries::none(), 3);
+        let mut sim = Simulation::new(&sampled_pulled, adversaries::none(), 3);
         b.iter(|| {
             sim.run(10);
             black_box(sim.round())

@@ -13,8 +13,8 @@ use rand::rngs::SmallRng;
 use sc_bench::print_table;
 use sc_core::{Algorithm, CounterBuilder};
 use sc_protocol::NodeId;
-use sc_pulling::{KingPullMode, PullCounter, PullProtocol, PullSimulation, Sampling};
-use sc_sim::{adversaries, first_stable_window, violation_rate};
+use sc_pulling::{KingPullMode, PullCounter, PullProtocol, Pulled, Sampling};
+use sc_sim::{adversaries, first_stable_window, violation_rate, Simulation};
 
 fn a12_f1() -> Algorithm {
     CounterBuilder::corollary1(1, 576)
@@ -111,7 +111,8 @@ fn main() {
         for seed in 0..runs {
             let sampler = |node: NodeId, rng: &mut SmallRng| pc.random_state(node, rng);
             let adv = adversaries::random_from(sampler, [5], seed);
-            let mut sim = PullSimulation::new(&pc, adv, seed);
+            let pulled = Pulled::new(&pc);
+            let mut sim = Simulation::new(&pulled, adv, seed);
             let trace = sim.run_trace(bound + 768);
             if let Some(start) = first_stable_window(&trace, pc.modulus(), 32) {
                 stabilized += 1;
@@ -150,7 +151,8 @@ fn main() {
         .unwrap();
         let sampler = |node: NodeId, rng: &mut SmallRng| pc.random_state(node, rng);
         let adv = adversaries::random_from(sampler, [5], 7);
-        let mut sim = PullSimulation::new(&pc, adv, 100 + sampling_seed);
+        let pulled = Pulled::new(&pc);
+        let mut sim = Simulation::new(&pulled, adv, 100 + sampling_seed);
         let bound = pc.stabilization_bound();
         let trace = sim.run_trace(bound + 512);
         if let Some(start) = first_stable_window(&trace, pc.modulus(), 32) {

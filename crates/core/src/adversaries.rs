@@ -12,30 +12,22 @@
 //!   fabricate inner counter values so that different receivers attribute
 //!   different leader pointers `b[i,j]` to them, attacking the majority
 //!   votes of §3.3.
+//!
+//! Both speak the borrowed message plane and reuse the shared strategy
+//! building blocks ([`normalize_faults`], [`donor_id`], [`FacePair`]) so the
+//! equivocation pattern has exactly one implementation in the workspace.
+//! `bad_king` fabricates its two faces once per round; only
+//! `pointer_split`'s per-receiver pointer forgery is inherently per-pair.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sc_consensus::{PkRegisters, INFINITY};
 use sc_protocol::NodeId;
-use sc_sim::{Adversary, RoundContext};
+use sc_sim::adversaries::{donor_id, normalize_faults, FacePair};
+use sc_sim::{Adversary, MessageSource, RoundContext, StatePool};
 
 use crate::algorithm::{Algorithm, CounterState};
 use crate::boosted::BoostedState;
-
-fn normalize(faulty: impl IntoIterator<Item = usize>) -> Vec<NodeId> {
-    let mut ids: Vec<NodeId> = faulty.into_iter().map(NodeId::new).collect();
-    ids.sort_unstable();
-    ids.dedup();
-    ids
-}
-
-/// Clones the state of some correct node (rotating through them by `salt`),
-/// so fabricated messages stay maximally plausible.
-fn donor_state(ctx: &RoundContext<'_, CounterState>, salt: usize) -> CounterState {
-    let honest: Vec<NodeId> = ctx.honest_ids().collect();
-    let donor = honest[salt % honest.len()];
-    ctx.honest[donor.index()].clone()
-}
 
 /// King equivocation against a [`BoostedCounter`](crate::BoostedCounter).
 ///
@@ -60,9 +52,10 @@ pub fn bad_king(
         .c_out();
     BadKing {
         c_out,
-        faulty: normalize(faulty),
+        faulty: normalize_faults(faulty),
         rng: SmallRng::seed_from_u64(seed),
         faces: (0, 0),
+        leases: None,
     }
 }
 
@@ -73,6 +66,7 @@ pub struct BadKing {
     faulty: Vec<NodeId>,
     rng: SmallRng,
     faces: (u64, u64),
+    leases: Option<FacePair>,
 }
 
 impl Adversary<CounterState> for BadKing {
@@ -80,7 +74,11 @@ impl Adversary<CounterState> for BadKing {
         &self.faulty
     }
 
-    fn begin_round(&mut self, _ctx: &RoundContext<'_, CounterState>) {
+    fn begin_round(
+        &mut self,
+        ctx: &RoundContext<'_, CounterState>,
+        pool: &mut StatePool<CounterState>,
+    ) {
         let x = self.rng.random_range(0..self.c_out);
         // A maximally confusing pair: a real value against a nearby value or
         // the reset state ∞.
@@ -90,26 +88,34 @@ impl Adversary<CounterState> for BadKing {
             _ => self.rng.random_range(0..self.c_out),
         };
         self.faces = (x, y);
+        // Materialise both faces once for the whole round: every receiver of
+        // the same parity leases the same fabricated state.
+        let mut face = |a: u64, rng: &mut SmallRng| {
+            let donor = donor_id(ctx, rng.random_range(0..usize::MAX));
+            let inner = ctx.honest[donor.index()].as_boosted().inner.clone();
+            let d = rng.random_bool(0.5);
+            pool.fabricate(CounterState::Boosted(Box::new(BoostedState {
+                inner,
+                regs: PkRegisters::new(a, d),
+            })))
+        };
+        self.leases = Some(FacePair {
+            even: face(x, &mut self.rng),
+            odd: face(y, &mut self.rng),
+        });
     }
 
     fn message(
         &mut self,
         _from: NodeId,
         to: NodeId,
-        ctx: &RoundContext<'_, CounterState>,
-    ) -> CounterState {
-        let donor = donor_state(ctx, self.rng.random_range(0..usize::MAX));
-        let inner = donor.as_boosted().inner.clone();
-        let a = if to.index().is_multiple_of(2) {
-            self.faces.0
-        } else {
-            self.faces.1
-        };
-        let d = self.rng.random_bool(0.5);
-        CounterState::Boosted(Box::new(BoostedState {
-            inner,
-            regs: PkRegisters::new(a, d),
-        }))
+        _ctx: &RoundContext<'_, CounterState>,
+        _pool: &mut StatePool<CounterState>,
+    ) -> MessageSource {
+        self.leases
+            .as_ref()
+            .expect("begin_round not called")
+            .for_receiver(to)
     }
 }
 
@@ -146,7 +152,7 @@ pub fn pointer_split(
         n_inner: p.n_inner(),
         c_out: p.c_out(),
         trivial_inner_modulus,
-        faulty: normalize(faulty),
+        faulty: normalize_faults(faulty),
         rng: SmallRng::seed_from_u64(seed),
     }
 }
@@ -173,32 +179,34 @@ impl Adversary<CounterState> for PointerSplit {
         from: NodeId,
         to: NodeId,
         ctx: &RoundContext<'_, CounterState>,
-    ) -> CounterState {
-        let donor = donor_state(ctx, to.index());
+        pool: &mut StatePool<CounterState>,
+    ) -> MessageSource {
+        let donor = donor_id(ctx, to.index());
+        let donor_state = &ctx.honest[donor.index()];
         let Some(c_inner) = self.trivial_inner_modulus else {
             // Deep inner counters: donor mirroring with scrambled registers.
-            let inner = donor.as_boosted().inner.clone();
+            let inner = donor_state.as_boosted().inner.clone();
             let a = self.rng.random_range(0..self.c_out);
-            return CounterState::Boosted(Box::new(BoostedState {
+            return pool.fabricate(CounterState::Boosted(Box::new(BoostedState {
                 inner,
                 regs: PkRegisters::new(a, true),
-            }));
+            })));
         };
         // Corollary 1 topology: fabricate a counter value that keeps the
         // donor's slot phase r but points receiver `to` at leader block
         // `to mod m`, i.e. v = r + τ·(b·(2m)^i) for this node's block i.
-        let donor_value = donor.as_boosted().inner.as_trivial();
+        let donor_value = donor_state.as_boosted().inner.as_trivial();
         let r = donor_value % self.tau;
         let block = from.index() / self.n_inner;
         let two_m = 2 * self.m as u64;
         let target_b = (to.index() % self.m) as u64;
         let y = target_b * two_m.pow(block as u32);
         let v = (r + self.tau * y) % c_inner;
-        let regs = donor.as_boosted().regs;
-        CounterState::Boosted(Box::new(BoostedState {
+        let regs = donor_state.as_boosted().regs;
+        pool.fabricate(CounterState::Boosted(Box::new(BoostedState {
             inner: CounterState::Trivial(v),
             regs,
-        }))
+        })))
     }
 }
 
@@ -207,40 +215,33 @@ mod tests {
     use super::*;
     use crate::CounterBuilder;
     use sc_protocol::Counter as _;
+    use sc_sim::testing::TestRound;
 
     fn a4() -> Algorithm {
         CounterBuilder::corollary1(1, 8).unwrap().build().unwrap()
     }
 
-    fn ctx_of<'a>(
-        states: &'a [CounterState],
-        faulty: &'a [NodeId],
-    ) -> RoundContext<'a, CounterState> {
-        RoundContext {
-            round: 0,
-            honest: states,
-            faulty,
-        }
-    }
-
-    fn random_states(algo: &Algorithm, seed: u64) -> Vec<CounterState> {
+    fn round_of(algo: &Algorithm, seed: u64, faulty: usize) -> TestRound<CounterState> {
         use sc_protocol::SyncProtocol as _;
         let mut rng = SmallRng::seed_from_u64(seed);
-        (0..algo.n())
+        let states = (0..algo.n())
             .map(|i| algo.random_state(NodeId::new(i), &mut rng))
-            .collect()
+            .collect();
+        TestRound::new(states, [faulty])
     }
 
     #[test]
     fn bad_king_splits_registers_by_parity() {
         let algo = a4();
         let mut adv = bad_king(&algo, [0], 7);
-        let states = random_states(&algo, 1);
-        let faulty = vec![NodeId::new(0)];
-        let ctx = ctx_of(&states, &faulty);
-        adv.begin_round(&ctx);
-        let even = adv.message(NodeId::new(0), NodeId::new(2), &ctx);
-        let odd = adv.message(NodeId::new(0), NodeId::new(3), &ctx);
+        let round = round_of(&algo, 1, 0);
+        let mut pool = StatePool::new();
+        let ctx = round.ctx(0);
+        adv.begin_round(&ctx, &mut pool);
+        let even_src = adv.message(NodeId::new(0), NodeId::new(2), &ctx, &mut pool);
+        let odd_src = adv.message(NodeId::new(0), NodeId::new(3), &ctx, &mut pool);
+        let even = pool.resolve(round.honest(), even_src);
+        let odd = pool.resolve(round.honest(), odd_src);
         let (ea, oa) = (even.as_boosted().regs.a, odd.as_boosted().regs.a);
         // Faces are fixed per round and assigned by receiver parity.
         assert_eq!(ea, adv.faces.0);
@@ -248,6 +249,11 @@ mod tests {
         // Values stay in the register domain.
         assert!(ea == INFINITY || ea < algo.modulus());
         assert!(oa == INFINITY || oa < algo.modulus());
+        // Exactly the two faces were materialised, not one per receiver.
+        assert_eq!(pool.fabricated_total(), 2);
+        let even_again = adv.message(NodeId::new(0), NodeId::new(2), &ctx, &mut pool);
+        assert_eq!(even_again, even_src);
+        assert_eq!(pool.fabricated_total(), 2);
     }
 
     #[test]
@@ -255,13 +261,15 @@ mod tests {
         let algo = a4();
         let b = algo.as_boosted_counter().unwrap();
         let mut adv = pointer_split(&algo, [1], 3);
-        let states = random_states(&algo, 2);
-        let faulty = vec![NodeId::new(1)];
-        let ctx = ctx_of(&states, &faulty);
-        adv.begin_round(&ctx);
+        let round = round_of(&algo, 2, 1);
+        let mut pool = StatePool::new();
+        let ctx = round.ctx(0);
+        adv.begin_round(&ctx, &mut pool);
         let p = b.params();
-        let to0 = adv.message(NodeId::new(1), NodeId::new(0), &ctx);
-        let to3 = adv.message(NodeId::new(1), NodeId::new(3), &ctx);
+        let to0 = adv.message(NodeId::new(1), NodeId::new(0), &ctx, &mut pool);
+        let to3 = adv.message(NodeId::new(1), NodeId::new(3), &ctx, &mut pool);
+        let to0 = pool.resolve(round.honest(), to0);
+        let to3 = pool.resolve(round.honest(), to3);
         let b0 = p.pointer(1, to0.as_boosted().inner.as_trivial()).b;
         let b3 = p.pointer(1, to3.as_boosted().inner.as_trivial()).b;
         assert_eq!(b0, 0); // receiver 0 mod m=2

@@ -2,18 +2,54 @@
 
 use crate::NodeId;
 
+/// Where the state a faulty sender presents to one receiver comes from — the
+/// lease an adversary hands the engine instead of an owned state.
+///
+/// The borrow-based message plane works in two steps: per (faulty sender,
+/// receiver) pair the adversary returns one of these cheap `Copy` tokens,
+/// and the engine resolves them zero-copy when it builds the receiver's
+/// [`MessageView`] (via [`MessageView::from_sources`]). Only genuinely
+/// fabricated states are ever materialised — once, into the engine's state
+/// pool — while echo/replay/permutation attacks resolve to references into
+/// states that already exist.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MessageSource {
+    /// Echo the state node `NodeId` broadcasts *this round* (an honest
+    /// donor, or the faulty sender's own placeholder). Resolves into the
+    /// round's base vector; never clones.
+    Broadcast(NodeId),
+    /// A state the adversary pinned into the pool once for the whole
+    /// execution (e.g. a crash adversary's frozen states). Stable across
+    /// rounds; materialised exactly once.
+    Pinned(u32),
+    /// A state fabricated into the pool *this round*; the slot is recycled
+    /// when the next round begins.
+    Fabricated(u32),
+}
+
 /// The receiver-specific override slot of a [`MessageView`].
 ///
 /// Overrides produced fresh by an adversary are owned; overrides that merely
 /// point at states the caller already holds (sleeper adversaries replaying
 /// their own honestly-maintained states, lookahead scoring) borrow them
-/// instead of cloning.
+/// instead of cloning; and the engine's hot path resolves adversary
+/// [`MessageSource`] leases against the round base and the state pool.
 #[derive(Clone, Copy, Debug)]
 enum OverrideSlot<'a, S> {
     /// Adversary-materialised states, owned by the scratch buffer.
     Owned(&'a [(NodeId, S)]),
     /// Borrowed states, no clone required.
     Borrowed(&'a [(NodeId, &'a S)]),
+    /// [`MessageSource`] leases, resolved against the base vector and the
+    /// pinned/fabricated halves of the adversary state pool.
+    Sourced {
+        /// States pinned for the whole execution ([`MessageSource::Pinned`]).
+        pinned: &'a [S],
+        /// States fabricated this round ([`MessageSource::Fabricated`]).
+        fabricated: &'a [S],
+        /// The per-receiver `(faulty sender, lease)` vector.
+        sources: &'a [(NodeId, MessageSource)],
+    },
 }
 
 /// A borrowed, receiver-independent vector of one round's broadcast states:
@@ -159,6 +195,34 @@ impl<'a, S> MessageView<'a, S> {
         }
     }
 
+    /// Creates a view whose override slot holds [`MessageSource`] leases:
+    /// each faulty sender's entry names either a state of the broadcast
+    /// `base` itself or a slot of the adversary state pool (split into its
+    /// execution-`pinned` and per-round `fabricated` halves).
+    ///
+    /// This is the hot-path constructor of the borrow-based message plane —
+    /// the lease vector is plain `Copy` data living in reusable engine
+    /// scratch, so building a receiver's view allocates and clones nothing.
+    pub fn from_sources(
+        base: &'a [S],
+        pinned: &'a [S],
+        fabricated: &'a [S],
+        sources: &'a [(NodeId, MessageSource)],
+    ) -> Self {
+        debug_assert!(
+            sources.iter().all(|(id, _)| id.index() < base.len()),
+            "override for node outside the network"
+        );
+        MessageView {
+            base: Broadcast::States(base),
+            overrides: OverrideSlot::Sourced {
+                pinned,
+                fabricated,
+                sources,
+            },
+        }
+    }
+
     /// Number of states in the received vector (the network size `n`).
     pub fn len(&self) -> usize {
         self.base.len()
@@ -187,6 +251,21 @@ impl<'a, S> MessageView<'a, S> {
                 for (id, state) in overrides {
                     if *id == sender {
                         return state;
+                    }
+                }
+            }
+            OverrideSlot::Sourced {
+                pinned,
+                fabricated,
+                sources,
+            } => {
+                for (id, source) in sources {
+                    if *id == sender {
+                        return match *source {
+                            MessageSource::Broadcast(donor) => self.base.get(donor.index()),
+                            MessageSource::Pinned(slot) => &pinned[slot as usize],
+                            MessageSource::Fabricated(slot) => &fabricated[slot as usize],
+                        };
                     }
                 }
             }
@@ -313,6 +392,27 @@ mod tests {
         assert_eq!(*view.get(NodeId::new(1)), 0);
         assert_eq!(*view.get(NodeId::new(2)), 7);
         assert_eq!(view.iter().copied().collect::<Vec<_>>(), vec![9, 0, 7]);
+    }
+
+    #[test]
+    fn sourced_overrides_resolve_all_three_lease_kinds() {
+        let base = vec![10u32, 20, 30, 40];
+        let pinned = vec![77u32];
+        let fabricated = vec![88u32, 99];
+        let sources = [
+            (NodeId::new(0), MessageSource::Broadcast(NodeId::new(2))),
+            (NodeId::new(1), MessageSource::Pinned(0)),
+            (NodeId::new(3), MessageSource::Fabricated(1)),
+        ];
+        let view = MessageView::from_sources(&base, &pinned, &fabricated, &sources);
+        assert_eq!(*view.get(NodeId::new(0)), 30); // echoes node 2's broadcast
+        assert_eq!(*view.get(NodeId::new(1)), 77); // pinned slot 0
+        assert_eq!(*view.get(NodeId::new(2)), 30); // honest, from base
+        assert_eq!(*view.get(NodeId::new(3)), 99); // round slot 1
+        assert_eq!(
+            view.iter().copied().collect::<Vec<_>>(),
+            vec![30, 77, 30, 99]
+        );
     }
 
     #[test]

@@ -5,7 +5,9 @@ use rand::{Rng, RngCore, SeedableRng};
 use sc_consensus::instructions::{execute_slot, IncrementMode};
 use sc_consensus::{PhaseKingParams, PkRegisters, INFINITY};
 use sc_core::{Algorithm, BoostParams, TrivialCounter};
-use sc_protocol::{bits_for, majority_or, NodeId, ParamError, StepContext, Tally};
+use sc_protocol::{
+    bits_for, majority_or, BitReader, BitVec, CodecError, NodeId, ParamError, StepContext, Tally,
+};
 
 use crate::protocol::PullProtocol;
 
@@ -246,6 +248,63 @@ impl PullCounter {
             PullCounter::Trivial(_) => None,
         }
     }
+
+    /// Encodes `state` into exactly [`PullCounter::state_bits`] bits —
+    /// inner state, phase-king registers, then the previous-slot field.
+    pub fn encode_state(&self, node: NodeId, state: &PullState, out: &mut BitVec) {
+        match self {
+            PullCounter::Trivial(t) => out.push_bits(state.as_trivial(), t.state_bits()),
+            PullCounter::Boosted(b) => {
+                let s = state.as_boosted();
+                let (_, local) = b.params.block_of(node);
+                b.inner.encode_state(NodeId::new(local), &s.inner, out);
+                s.regs.encode(b.params.c_out(), out);
+                out.push_bits(s.prev_slot, bits_for(b.params.tau()));
+            }
+        }
+    }
+
+    /// Decodes a state previously produced by [`PullCounter::encode_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] when the bit string is too short or a field
+    /// is outside its domain.
+    pub fn decode_state(
+        &self,
+        node: NodeId,
+        input: &mut BitReader<'_>,
+    ) -> Result<PullState, CodecError> {
+        match self {
+            PullCounter::Trivial(t) => {
+                let raw = input.read_bits(t.state_bits())?;
+                if raw >= t.modulus() {
+                    return Err(CodecError::InvalidField {
+                        field: "trivial pull counter",
+                        value: raw,
+                    });
+                }
+                Ok(PullState::Trivial(raw))
+            }
+            PullCounter::Boosted(b) => {
+                let (_, local) = b.params.block_of(node);
+                let inner = b.inner.decode_state(NodeId::new(local), input)?;
+                let regs = PkRegisters::decode(b.params.c_out(), input)?;
+                let prev_slot = input.read_bits(bits_for(b.params.tau()))?;
+                if prev_slot >= b.params.tau() {
+                    return Err(CodecError::InvalidField {
+                        field: "previous slot",
+                        value: prev_slot,
+                    });
+                }
+                Ok(PullState::Boosted(Box::new(PullBoostedState {
+                    inner,
+                    regs,
+                    prev_slot,
+                })))
+            }
+        }
+    }
 }
 
 impl PullBoosted {
@@ -368,7 +427,7 @@ impl PullProtocol for PullCounter {
         &self,
         node: NodeId,
         state: &Self::State,
-        responses: &[(NodeId, Self::State)],
+        responses: &[(NodeId, &Self::State)],
         ctx: &mut StepContext<'_>,
     ) -> Self::State {
         match self {
@@ -417,7 +476,7 @@ impl PullBoosted {
         &self,
         node: NodeId,
         me: &PullBoostedState,
-        responses: &[(NodeId, PullState)],
+        responses: &[(NodeId, &PullState)],
         ctx: &mut StepContext<'_>,
     ) -> PullBoostedState {
         match self.sampling {
@@ -434,7 +493,7 @@ impl PullBoosted {
         &self,
         node: NodeId,
         me: &PullBoostedState,
-        responses: &[(NodeId, PullState)],
+        responses: &[(NodeId, &PullState)],
         ctx: &mut StepContext<'_>,
     ) -> PullBoostedState {
         let p = &self.params;
@@ -495,18 +554,19 @@ impl PullBoosted {
     }
 
     /// Inner update in full mode: the inner protocol also runs in full mode,
-    /// so its "responses" are the block-mates' states.
+    /// so its "responses" are the block-mates' states — projected by
+    /// reference, never cloned.
     fn full_inner_step(
         &self,
         local: usize,
         block_states: &[&PullBoostedState],
         ctx: &mut StepContext<'_>,
     ) -> PullState {
-        let inner_responses: Vec<(NodeId, PullState)> = block_states
+        let inner_responses: Vec<(NodeId, &PullState)> = block_states
             .iter()
             .enumerate()
             .filter(|(j, _)| *j != local)
-            .map(|(j, s)| (NodeId::new(j), s.inner.clone()))
+            .map(|(j, s)| (NodeId::new(j), &s.inner))
             .collect();
         self.inner.pull_step(
             NodeId::new(local),
@@ -525,7 +585,7 @@ impl PullBoosted {
         &self,
         node: NodeId,
         me: &PullBoostedState,
-        responses: &[(NodeId, PullState)],
+        responses: &[(NodeId, &PullState)],
         ctx: &mut StepContext<'_>,
         m: usize,
         king_mode: KingPullMode,
@@ -541,16 +601,11 @@ impl PullBoosted {
         let (pk_part, king_part) = rest.split_at(m);
 
         // 1. Inner update on the inner counter's own samples, projected to
-        //    the inner state space (the pulled nodes answered with their
-        //    full state at *this* level).
-        let inner_responses: Vec<(NodeId, PullState)> = inner_part
+        //    the inner state space by reference (the pulled nodes answered
+        //    with their full state at *this* level).
+        let inner_responses: Vec<(NodeId, &PullState)> = inner_part
             .iter()
-            .map(|(id, s)| {
-                (
-                    NodeId::new(id.index() - start),
-                    s.as_boosted().inner.clone(),
-                )
-            })
+            .map(|(id, s)| (NodeId::new(id.index() - start), &s.as_boosted().inner))
             .collect();
         let next_inner = self.inner.pull_step(
             NodeId::new(node.index() - start),
@@ -561,7 +616,7 @@ impl PullBoosted {
 
         // 2. Sampled leader votes (Lemma 9): per-block majorities over the m
         //    samples, then the leader block, then its slot counter.
-        let pointer_of = |(id, s): &(NodeId, PullState)| {
+        let pointer_of = |(id, s): &(NodeId, &PullState)| {
             let (i, j) = p.block_of(*id);
             let value = self.inner_output(j, &s.as_boosted().inner);
             p.pointer(i, value)

@@ -19,8 +19,14 @@
 //!
 //! This crate provides:
 //!
-//! * [`PullProtocol`] / [`PullSimulation`] — the execution model, with
-//!   per-request adversarial responses and pull accounting;
+//! * [`PullProtocol`] — the execution model's protocol interface, with
+//!   borrowed responses;
+//! * [`Pulled`] — the bridge onto the shared zero-copy engine: any pull
+//!   protocol becomes a broadcast-model
+//!   [`SyncProtocol`](sc_protocol::SyncProtocol) whose transition reads only
+//!   the planned entries of its view, so pulling executions run on
+//!   [`sc_sim::Simulation`] / [`sc_sim::Batch`] with streaming stabilisation
+//!   detection (there is no private pulling simulator any more);
 //! * [`PullCounter`] — the Theorem 4 counter, built from any deterministic
 //!   [`Algorithm`](sc_core::Algorithm) via [`PullCounter::from_algorithm`],
 //!   with per-level [`Sampling`] choices;
@@ -32,15 +38,16 @@
 //!
 //! ```
 //! use sc_core::CounterBuilder;
-//! use sc_pulling::{KingPullMode, PullCounter, PullSimulation, Sampling};
-//! use sc_sim::adversaries;
+//! use sc_pulling::{KingPullMode, PullCounter, Pulled, Sampling};
+//! use sc_sim::{adversaries, Simulation};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let algo = CounterBuilder::corollary1(1, 8)?.build()?;
 //! let pc = PullCounter::from_algorithm(&algo, Sampling::Full)?;
-//! let mut sim = PullSimulation::new(&pc, adversaries::none(), 3);
+//! let pulled = Pulled::new(&pc);
+//! let mut sim = Simulation::new(&pulled, adversaries::none(), 3);
 //! sim.run(16);
-//! assert!(sim.max_pulls_per_round() <= 4 + 2); // N − 1 targets + kings
+//! assert!(pulled.pulls_per_round() <= 4 + 2); // N − 1 targets + kings
 //! # Ok(())
 //! # }
 //! ```
@@ -50,8 +57,8 @@
 
 mod counter;
 mod protocol;
-mod simulation;
+mod pulled;
 
 pub use counter::{KingPullMode, PullBoosted, PullBoostedState, PullCounter, PullState, Sampling};
 pub use protocol::PullProtocol;
-pub use simulation::PullSimulation;
+pub use pulled::Pulled;

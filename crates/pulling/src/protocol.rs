@@ -13,6 +13,13 @@ use sc_protocol::{NodeId, StepContext};
 /// fixed (pseudo-random variant, Corollary 5); its **length** must be a
 /// deterministic function of the protocol parameters, so that implementations
 /// can split the response vector structurally.
+///
+/// Responses are **borrowed**: on the shared zero-copy engine a pull is a
+/// receiver-selected projection of the round's message plane, so
+/// `pull_step` receives references into the engine's state buffers (and, for
+/// faulty targets, into the adversary state pool) — no response is cloned to
+/// be delivered, and recursive constructions project inner-level responses
+/// by reference too.
 pub trait PullProtocol {
     /// Local node state.
     type State: Clone + std::fmt::Debug;
@@ -28,13 +35,13 @@ pub trait PullProtocol {
     /// depend on the state or randomness.
     fn plan_len(&self) -> usize;
 
-    /// Computes the next state from the node's own state and the responses,
-    /// where `responses[i]` answers `plan[i]`.
+    /// Computes the next state from the node's own state and the borrowed
+    /// responses, where `responses[i]` answers `plan[i]`.
     fn pull_step(
         &self,
         node: NodeId,
         state: &Self::State,
-        responses: &[(NodeId, Self::State)],
+        responses: &[(NodeId, &Self::State)],
         ctx: &mut StepContext<'_>,
     ) -> Self::State;
 

@@ -1,12 +1,17 @@
 //! End-to-end behaviour of the pulling-model counters (§5, Theorem 4,
-//! Corollaries 4–5).
+//! Corollaries 4–5), running on the **shared zero-copy engine**: every
+//! execution here drives [`Pulled`] through `sc_sim::Simulation` / `Batch`
+//! — the pulling model no longer has a private simulator.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sc_core::{Algorithm, CounterBuilder};
-use sc_protocol::NodeId;
-use sc_pulling::{KingPullMode, PullCounter, PullProtocol, PullSimulation, Sampling};
-use sc_sim::{adversaries, first_stable_window, violation_rate, Simulation};
+use sc_protocol::{Counter as _, NodeId};
+use sc_pulling::{KingPullMode, PullCounter, PullProtocol, Pulled, Sampling};
+use sc_sim::{
+    adversaries, first_stable_window, required_confirmation, violation_rate, Batch, Scenario,
+    SimError, Simulation,
+};
 
 fn a4() -> Algorithm {
     CounterBuilder::corollary1(1, 8).unwrap().build().unwrap()
@@ -29,6 +34,7 @@ fn full_pulling_equals_broadcast_execution() {
     use sc_protocol::SyncProtocol as _;
     let algo = a4();
     let pc = PullCounter::from_algorithm(&algo, Sampling::Full).unwrap();
+    let pulled = Pulled::new(&pc);
 
     let mut rng = SmallRng::seed_from_u64(5);
     let det_states: Vec<_> = (0..4)
@@ -38,7 +44,7 @@ fn full_pulling_equals_broadcast_execution() {
     let pull_states: Vec<_> = det_states.iter().map(mirror_state).collect();
 
     let mut det = Simulation::with_states(&algo, adversaries::none(), det_states, 1);
-    let mut pull = PullSimulation::with_states(&pc, adversaries::none(), pull_states, 2);
+    let mut pull = Simulation::with_states(&pulled, adversaries::none(), pull_states, 2);
 
     for round in 0..600 {
         assert_eq!(
@@ -93,13 +99,70 @@ fn sampled_counter_stabilizes_with_all_kings() {
         fixed_seed: None,
     };
     let pc = PullCounter::from_algorithm(&algo, sampling).unwrap();
+    let pulled = Pulled::new(&pc);
     for seed in 0..3 {
-        let mut sim = PullSimulation::new(&pc, adversaries::none(), seed);
+        let mut sim = Simulation::new(&pulled, adversaries::none(), seed);
         let report = sim
-            .run_until_stable(pc.stabilization_bound() + 64, pc.modulus())
+            .run_until_stable(pc.stabilization_bound() + 64)
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         assert!(report.stabilization_round <= pc.stabilization_bound());
-        assert_eq!(sim.max_pulls_per_round(), pc.plan_len());
+    }
+    // The declared message complexity is honoured by actual plans: every
+    // node's drawn plan has exactly `plan_len` requests.
+    let mut rng = SmallRng::seed_from_u64(7);
+    for i in 0..pc.n() {
+        let node = NodeId::new(i);
+        let state = pc.random_state(node, &mut rng);
+        assert_eq!(pc.plan(node, &state, &mut rng).len(), pc.plan_len());
+    }
+}
+
+#[test]
+fn batch_sweeps_drive_the_pulled_counter() {
+    // The whole point of the port: pulling scenarios sweep through the
+    // shared Batch engine with its streaming OnlineDetector.
+    let algo = a4();
+    let pc = PullCounter::from_algorithm(&algo, Sampling::Full).unwrap();
+    let pulled = Pulled::new(&pc);
+    let horizon = pc.stabilization_bound() + 64;
+    let scenarios = Scenario::seeds(0..8);
+    let report = Batch::new(&pulled, horizon).run(&scenarios, |_| adversaries::none());
+    let summary = report.summary();
+    assert_eq!(summary.stabilized, 8);
+    assert!(summary.worst <= pc.stabilization_bound());
+    // Batch verdicts must match looped single runs on the same engine.
+    for scenario in &scenarios {
+        let mut sim = Simulation::new(&pulled, adversaries::none(), scenario.seed);
+        let expect = sim.run_until_stable(horizon);
+        assert_eq!(report.outcomes[scenario.seed as usize].result, expect);
+    }
+}
+
+#[test]
+fn short_horizons_fail_fast_on_the_pulled_engine() {
+    // HorizonTooShort must fire *before* any round is executed — also for
+    // pulling executions on the shared engine (modulus 8 ⇒ confirmation 16).
+    let algo = a4();
+    let pc = PullCounter::from_algorithm(&algo, Sampling::Full).unwrap();
+    let pulled = Pulled::new(&pc);
+    let confirm = required_confirmation(pc.modulus());
+    let mut sim = Simulation::new(&pulled, adversaries::none(), 1);
+    match sim.run_until_stable(confirm - 1) {
+        Err(SimError::HorizonTooShort { horizon, required }) => {
+            assert_eq!(horizon, confirm - 1);
+            assert_eq!(required, confirm);
+        }
+        other => panic!("expected HorizonTooShort, got {other:?}"),
+    }
+    assert_eq!(sim.round(), 0, "rejected run must not execute rounds");
+    // The batched path rejects every scenario the same way.
+    let report =
+        Batch::new(&pulled, confirm - 1).run(&Scenario::seeds(0..3), |_| adversaries::none());
+    for outcome in &report.outcomes {
+        assert!(matches!(
+            outcome.result,
+            Err(SimError::HorizonTooShort { .. })
+        ));
     }
 }
 
@@ -118,11 +181,12 @@ fn sampled_counter_stabilizes_whp_under_byzantine_faults() {
         },
     )
     .unwrap();
+    let pulled = Pulled::new(&pc);
     let bound = pc.stabilization_bound();
     for seed in [2u64, 33] {
         let sampler = |node: NodeId, rng: &mut SmallRng| pc.random_state(node, rng);
         let adv = adversaries::random_from(sampler, [5], seed);
-        let mut sim = PullSimulation::new(&pc, adv, seed);
+        let mut sim = Simulation::new(&pulled, adv, seed);
         let trace = sim.run_trace(bound + 512);
         let start = first_stable_window(&trace, pc.modulus(), 64)
             .unwrap_or_else(|| panic!("seed {seed}: no stable window found"));
@@ -147,10 +211,11 @@ fn sampled_counter_stabilizes_with_predicted_kings() {
         fixed_seed: None,
     };
     let pc = PullCounter::from_algorithm(&algo, sampling).unwrap();
+    let pulled = Pulled::new(&pc);
     for seed in 0..3 {
-        let mut sim = PullSimulation::new(&pc, adversaries::none(), seed);
+        let mut sim = Simulation::new(&pulled, adversaries::none(), seed);
         let report = sim
-            .run_until_stable(pc.stabilization_bound() + 64, pc.modulus())
+            .run_until_stable(pc.stabilization_bound() + 64)
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         assert!(report.stabilization_round <= pc.stabilization_bound());
     }
@@ -170,9 +235,10 @@ fn pseudo_random_variant_stabilizes_under_oblivious_faults() {
             fixed_seed: Some(1234),
         };
         let pc = PullCounter::from_algorithm(&algo, sampling).unwrap();
+        let pulled = Pulled::new(&pc);
         let sampler = |node: NodeId, rng: &mut SmallRng| pc.random_state(node, rng);
         let adv = adversaries::random_from(sampler, [fault], 7);
-        let mut sim = PullSimulation::new(&pc, adv, 21);
+        let mut sim = Simulation::new(&pulled, adv, 21);
         let bound = pc.stabilization_bound();
         let trace = sim.run_trace(bound + 256);
         let start = first_stable_window(&trace, pc.modulus(), 64)
@@ -208,11 +274,14 @@ fn sampled_pull_count_is_sublinear_for_larger_networks() {
     // Level 2: k=3 blocks ⇒ 3·5 + 5 + (F+2 = 5) = 25 pulls, plus the inner
     // A(4,1) level: 4·5 + 5 + 3 = 28 pulls. Total 53 regardless of N.
     assert_eq!(pc.plan_len(), 53);
+    // And a drawn plan really issues that many requests.
+    let mut rng = SmallRng::seed_from_u64(3);
+    let state = pc.random_state(NodeId::new(4), &mut rng);
+    assert_eq!(pc.plan(NodeId::new(4), &state, &mut rng).len(), 53);
 }
 
 #[test]
 fn per_level_sampling_policy_mixes_full_and_sampled() {
-    use sc_protocol::Counter as _;
     // §5.4: sample where the level is large, pull everything where small.
     let algo = a12_f1();
     let pc = PullCounter::from_algorithm_with(&algo, &mut |p| {
@@ -231,12 +300,41 @@ fn per_level_sampling_policy_mixes_full_and_sampled() {
     // 3·9 + 9 + (F+2 = 3) = 39. Total 42.
     assert_eq!(pc.plan_len(), 3 + 39);
     // The mixed counter still stabilises under a Byzantine node.
+    let pulled = Pulled::new(&pc);
     let sampler = |node: NodeId, rng: &mut SmallRng| pc.random_state(node, rng);
     let adv = adversaries::random_from(sampler, [5], 4);
-    let mut sim = PullSimulation::new(&pc, adv, 4);
+    let mut sim = Simulation::new(&pulled, adv, 4);
     let bound = pc.stabilization_bound();
     let trace = sim.run_trace(bound + 512);
     let start = first_stable_window(&trace, pc.modulus(), 64).expect("no stable window");
     assert!(start <= bound);
     let _ = algo.modulus();
+}
+
+#[test]
+fn pull_state_codec_roundtrips_at_declared_width() {
+    // The shared engine's Counter impl carries a bit-exact codec; it must
+    // roundtrip every sampled state at exactly `state_bits` width.
+    use sc_protocol::{BitVec, SyncProtocol as _};
+    let algo = a12_f1();
+    let pc = PullCounter::from_algorithm(
+        &algo,
+        Sampling::Sampled {
+            m: 9,
+            king_mode: KingPullMode::All,
+            fixed_seed: None,
+        },
+    )
+    .unwrap();
+    let pulled = Pulled::new(&pc);
+    let mut rng = SmallRng::seed_from_u64(11);
+    for i in 0..pc.n() {
+        let node = NodeId::new(i);
+        let state = pulled.random_state(node, &mut rng);
+        let mut bits = BitVec::new();
+        pulled.encode_state(node, &state, &mut bits);
+        assert_eq!(bits.len() as u32, pulled.state_bits(), "node {i}");
+        let back = pulled.decode_state(node, &mut bits.reader()).unwrap();
+        assert_eq!(back, state, "node {i}");
+    }
 }

@@ -7,20 +7,17 @@
 //! faults invisible, and the attack starts *after* agreement — the exact
 //! scenario of Lemma 5), and the [`greedy`] attacker simulates every correct
 //! node one round ahead under a set of candidate scripts and plays whichever
-//! maximises disagreement.
+//! maximises disagreement. Both speak the borrowed message plane: donor
+//! faces are leased as broadcast echoes, and only protocol-simulated or
+//! freshly sampled states are fabricated — once per round, not per receiver.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use sc_protocol::{MessageView, NodeId, StepContext, SyncProtocol};
+use sc_protocol::{MessageSource, MessageView, NodeId, StepContext, SyncProtocol};
 
+use crate::adversaries::{normalize_faults, FacePair};
 use crate::adversary::{Adversary, RoundContext};
-
-fn normalize(faulty: impl IntoIterator<Item = usize>) -> Vec<NodeId> {
-    let mut ids: Vec<NodeId> = faulty.into_iter().map(NodeId::new).collect();
-    ids.sort_unstable();
-    ids.dedup();
-    ids
-}
+use crate::workspace::StatePool;
 
 /// Faulty nodes execute the protocol *honestly* until `wake_round`, then
 /// switch to the strategy produced by `attack`.
@@ -40,7 +37,7 @@ where
     P: SyncProtocol,
     A: Adversary<P::State>,
 {
-    let faulty = normalize(faulty);
+    let faulty = normalize_faults(faulty);
     let mut rng = SmallRng::seed_from_u64(seed);
     let states = faulty
         .iter()
@@ -53,6 +50,7 @@ where
         attack,
         states,
         next: None,
+        leases: Vec::new(),
         rng,
     }
 }
@@ -69,6 +67,8 @@ pub struct Sleeper<'a, P: SyncProtocol, A> {
     /// following round so the sleeper is never a round ahead of the network.
     states: Vec<P::State>,
     next: Option<Vec<P::State>>,
+    /// This round's pool leases for `states`, parallel to `faulty`.
+    leases: Vec<MessageSource>,
     rng: SmallRng,
 }
 
@@ -90,15 +90,20 @@ where
         &self.faulty
     }
 
-    fn begin_round(&mut self, ctx: &RoundContext<'_, P::State>) {
+    fn begin_round(&mut self, ctx: &RoundContext<'_, P::State>, pool: &mut StatePool<P::State>) {
         // Promote last round's staged step to the broadcast state.
         if let Some(next) = self.next.take() {
             self.states = next;
         }
         if ctx.round >= self.wake_round {
-            self.attack.begin_round(ctx);
+            self.attack.begin_round(ctx, pool);
             return;
         }
+        // Lease this round's honestly-maintained states: one fabrication per
+        // sleeping node per round, shared by every receiver.
+        self.leases.clear();
+        self.leases
+            .extend(self.states.iter().map(|s| pool.fabricate(s.clone())));
         // Execute the protocol honestly for every sleeping node: its view
         // is the honest broadcast with the sleepers' entries replaced by
         // their own (honestly maintained) start-of-round states — borrowed
@@ -118,15 +123,21 @@ where
         self.next = Some(next);
     }
 
-    fn message(&mut self, from: NodeId, to: NodeId, ctx: &RoundContext<'_, P::State>) -> P::State {
+    fn message(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        ctx: &RoundContext<'_, P::State>,
+        pool: &mut StatePool<P::State>,
+    ) -> MessageSource {
         if ctx.round >= self.wake_round {
-            return self.attack.message(from, to, ctx);
+            return self.attack.message(from, to, ctx, pool);
         }
         let idx = self
             .faulty
             .binary_search(&from)
             .expect("message from non-faulty node");
-        self.states[idx].clone()
+        self.leases[idx]
     }
 }
 
@@ -146,16 +157,41 @@ pub fn greedy<'a, P: SyncProtocol>(
 ) -> Greedy<'a, P> {
     Greedy {
         protocol,
-        faulty: normalize(faulty),
+        faulty: normalize_faults(faulty),
         candidates: candidates.max(1),
         rng: SmallRng::seed_from_u64(seed),
         faces: None,
     }
 }
 
+/// A candidate face: an honest donor (leased as a broadcast echo when it
+/// wins) or a freshly sampled state (fabricated into the pool when it wins).
+enum Candidate<S> {
+    Donor(NodeId),
+    Fresh(S),
+}
+
+impl<S> Candidate<S> {
+    /// The concrete state this face shows, for lookahead scoring.
+    fn state<'a>(&'a self, honest: &'a [S]) -> &'a S {
+        match self {
+            Candidate::Donor(id) => &honest[id.index()],
+            Candidate::Fresh(s) => s,
+        }
+    }
+
+    /// Commits the winning face to the pool as a lease.
+    fn lease(self, pool: &mut StatePool<S>) -> MessageSource {
+        match self {
+            Candidate::Donor(id) => MessageSource::Broadcast(id),
+            Candidate::Fresh(s) => pool.fabricate(s),
+        }
+    }
+}
+
 /// A candidate equivocation script (the two faces) with its lookahead
 /// score.
-type ScoredFaces<S> = ((S, S), usize);
+type ScoredFaces<S> = ((Candidate<S>, Candidate<S>), usize);
 
 /// Adversary produced by [`greedy`].
 pub struct Greedy<'a, P: SyncProtocol> {
@@ -163,7 +199,7 @@ pub struct Greedy<'a, P: SyncProtocol> {
     faulty: Vec<NodeId>,
     candidates: usize,
     rng: SmallRng,
-    faces: Option<(P::State, P::State)>,
+    faces: Option<FacePair>,
 }
 
 impl<'a, P: SyncProtocol> std::fmt::Debug for Greedy<'a, P> {
@@ -179,14 +215,18 @@ impl<'a, P: SyncProtocol> Greedy<'a, P> {
     /// Scores a candidate script: simulate every correct node one round
     /// ahead and count distinct outputs (more = better for the adversary),
     /// breaking ties towards *non-incrementing* behaviour.
-    fn score(&mut self, ctx: &RoundContext<'_, P::State>, faces: &(P::State, P::State)) -> usize {
+    fn score(
+        &mut self,
+        ctx: &RoundContext<'_, P::State>,
+        faces: &(Candidate<P::State>, Candidate<P::State>),
+    ) -> usize {
         let mut outputs = Vec::new();
         let mut overrides: Vec<(NodeId, &P::State)> = Vec::with_capacity(self.faulty.len());
         for id in ctx.honest_ids() {
             let face = if id.index() % 2 == 0 {
-                &faces.0
+                faces.0.state(ctx.honest)
             } else {
-                &faces.1
+                faces.1.state(ctx.honest)
             };
             overrides.clear();
             overrides.extend(self.faulty.iter().map(|&from| (from, face)));
@@ -206,17 +246,16 @@ impl<'a, P: SyncProtocol> Adversary<P::State> for Greedy<'a, P> {
         &self.faulty
     }
 
-    fn begin_round(&mut self, ctx: &RoundContext<'_, P::State>) {
+    fn begin_round(&mut self, ctx: &RoundContext<'_, P::State>, pool: &mut StatePool<P::State>) {
         let honest: Vec<NodeId> = ctx.honest_ids().collect();
         let mut best: Option<ScoredFaces<P::State>> = None;
         for _ in 0..self.candidates {
             // Candidate faces: a mix of honest donors and random states.
-            let pick = |rng: &mut SmallRng, protocol: &P| -> P::State {
+            let pick = |rng: &mut SmallRng, protocol: &P| -> Candidate<P::State> {
                 if rng.random_bool(0.5) && !honest.is_empty() {
-                    let donor = honest[rng.random_range(0..honest.len())];
-                    ctx.honest[donor.index()].clone()
+                    Candidate::Donor(honest[rng.random_range(0..honest.len())])
                 } else {
-                    protocol.random_state(NodeId::new(0), rng)
+                    Candidate::Fresh(protocol.random_state(NodeId::new(0), rng))
                 }
             };
             let faces = (
@@ -228,7 +267,10 @@ impl<'a, P: SyncProtocol> Adversary<P::State> for Greedy<'a, P> {
                 best = Some((faces, score));
             }
         }
-        self.faces = best.map(|(f, _)| f);
+        self.faces = best.map(|((even, odd), _)| FacePair {
+            even: even.lease(pool),
+            odd: odd.lease(pool),
+        });
     }
 
     fn message(
@@ -236,13 +278,12 @@ impl<'a, P: SyncProtocol> Adversary<P::State> for Greedy<'a, P> {
         _from: NodeId,
         to: NodeId,
         _ctx: &RoundContext<'_, P::State>,
-    ) -> P::State {
-        let (a, b) = self.faces.as_ref().expect("begin_round not called");
-        if to.index().is_multiple_of(2) {
-            a.clone()
-        } else {
-            b.clone()
-        }
+        _pool: &mut StatePool<P::State>,
+    ) -> MessageSource {
+        self.faces
+            .as_ref()
+            .expect("begin_round not called")
+            .for_receiver(to)
     }
 }
 

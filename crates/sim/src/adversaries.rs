@@ -17,6 +17,16 @@
 //!   specifically (stale counter values are plausible values),
 //! * [`fixed`] — a caller-chosen constant state (building block for tests).
 //!
+//! All strategies speak the borrow-based message plane: they return
+//! [`MessageSource`] leases, so echo/equivocation attacks deliver without a
+//! single clone and fabricated states are materialised once per round (or
+//! once per execution, for frozen values) into the engine's [`StatePool`].
+//! The module also exports the strategy building blocks shared with the
+//! advanced strategies ([`crate::sleeper`], [`crate::greedy`]) and
+//! `sc-core::adversaries` — [`normalize_faults`], [`donor_id`] and the
+//! parity-equivocation [`FacePair`] — so each pattern has exactly one
+//! implementation in the workspace.
+//!
 //! Counter-*structure-aware* attacks (king impersonation, pointer splitting)
 //! live in `sc-core::adversaries`, next to the state types they inspect.
 
@@ -24,16 +34,55 @@ use std::collections::VecDeque;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use sc_protocol::{NodeId, SyncProtocol};
+use sc_protocol::{MessageSource, NodeId, SyncProtocol};
 
 use crate::adversary::{Adversary, RoundContext};
+use crate::workspace::StatePool;
 
-/// Sorts, deduplicates and wraps raw faulty indices.
-fn normalize(faulty: impl IntoIterator<Item = usize>) -> Vec<NodeId> {
+/// Sorts, deduplicates and wraps raw faulty indices — the canonical
+/// constructor-side normalisation every strategy in the workspace shares.
+pub fn normalize_faults(faulty: impl IntoIterator<Item = usize>) -> Vec<NodeId> {
     let mut ids: Vec<NodeId> = faulty.into_iter().map(NodeId::new).collect();
     ids.sort_unstable();
     ids.dedup();
     ids
+}
+
+/// The `salt`-th correct node (rotating through the honest set) — the shared
+/// donor-selection rule of echo, replay and structure-aware mirroring
+/// strategies.
+///
+/// # Panics
+///
+/// Panics if no node is correct.
+pub fn donor_id<S>(ctx: &RoundContext<'_, S>, salt: usize) -> NodeId {
+    let count = ctx.honest_count().max(1);
+    ctx.honest_ids()
+        .nth(salt % count)
+        .expect("at least one correct node")
+}
+
+/// A pair of per-round message leases assigned to receivers by index parity
+/// — the shared core of every equivocation strategy ([`two_faced`],
+/// [`crate::greedy`], `sc-core`'s `bad_king`).
+#[derive(Clone, Copy, Debug)]
+pub struct FacePair {
+    /// Lease shown to even-indexed receivers.
+    pub even: MessageSource,
+    /// Lease shown to odd-indexed receivers.
+    pub odd: MessageSource,
+}
+
+impl FacePair {
+    /// The lease receiver `to` gets.
+    #[inline]
+    pub fn for_receiver(&self, to: NodeId) -> MessageSource {
+        if to.index().is_multiple_of(2) {
+            self.even
+        } else {
+            self.odd
+        }
+    }
 }
 
 /// The empty adversary: no faulty nodes at all.
@@ -61,7 +110,13 @@ impl<S> Adversary<S> for NoFaults {
         &[]
     }
 
-    fn message(&mut self, from: NodeId, _to: NodeId, _ctx: &RoundContext<'_, S>) -> S {
+    fn message(
+        &mut self,
+        from: NodeId,
+        _to: NodeId,
+        _ctx: &RoundContext<'_, S>,
+        _pool: &mut StatePool<S>,
+    ) -> MessageSource {
         unreachable!("no faulty nodes, but a message was requested from {from}")
     }
 }
@@ -71,13 +126,15 @@ impl<S> Adversary<S> for NoFaults {
 ///
 /// This is the *weakest* Byzantine behaviour — it cannot equivocate — and is
 /// mainly useful to check that algorithms do not rely on faulty nodes
-/// participating.
+/// participating. On the borrowed message plane the frozen states are
+/// pinned into the pool at the first round and leased from then on: the
+/// whole execution materialises each of them exactly once.
 pub fn crash<P: SyncProtocol>(
     protocol: &P,
     faulty: impl IntoIterator<Item = usize>,
     seed: u64,
 ) -> Crash<P::State> {
-    let ids = normalize(faulty);
+    let ids = normalize_faults(faulty);
     let mut rng = SmallRng::seed_from_u64(seed);
     let frozen = ids
         .iter()
@@ -86,14 +143,23 @@ pub fn crash<P: SyncProtocol>(
     Crash {
         faulty: ids,
         frozen,
+        leases: Vec::new(),
     }
 }
 
 /// Adversary produced by [`crash`].
-#[derive(Clone, Debug)]
+///
+/// Deliberately not `Clone`: after the first round the frozen states have
+/// been drained into one execution's pool, and a copy would hand out leases
+/// against a pool that never issued them. Construct a fresh instance per
+/// execution.
+#[derive(Debug)]
 pub struct Crash<S> {
     faulty: Vec<NodeId>,
+    /// Frozen states, moved into the pool at the first `begin_round`.
     frozen: Vec<S>,
+    /// Pinned leases, parallel to `faulty`, once issued.
+    leases: Vec<MessageSource>,
 }
 
 impl<S: Clone + std::fmt::Debug> Adversary<S> for Crash<S> {
@@ -101,12 +167,24 @@ impl<S: Clone + std::fmt::Debug> Adversary<S> for Crash<S> {
         &self.faulty
     }
 
-    fn message(&mut self, from: NodeId, _to: NodeId, _ctx: &RoundContext<'_, S>) -> S {
+    fn begin_round(&mut self, _ctx: &RoundContext<'_, S>, pool: &mut StatePool<S>) {
+        if !self.frozen.is_empty() {
+            self.leases = self.frozen.drain(..).map(|s| pool.pin(s)).collect();
+        }
+    }
+
+    fn message(
+        &mut self,
+        from: NodeId,
+        _to: NodeId,
+        _ctx: &RoundContext<'_, S>,
+        _pool: &mut StatePool<S>,
+    ) -> MessageSource {
         let idx = self
             .faulty
             .binary_search(&from)
             .expect("message requested from a non-faulty node");
-        self.frozen[idx].clone()
+        self.leases[idx]
     }
 }
 
@@ -115,7 +193,9 @@ impl<S: Clone + std::fmt::Debug> Adversary<S> for Crash<S> {
 ///
 /// Because states are drawn from the protocol's own state space they are
 /// always *well-formed*, unlike bit-level garbage; this exercises every
-/// decoding path without tripping validation.
+/// decoding path without tripping validation. Fresh-per-pair fabrication is
+/// the one behaviour the borrowed plane cannot amortise — this strategy is
+/// the upper bound of the fabrication ledger.
 pub fn random<P: SyncProtocol>(
     protocol: &P,
     faulty: impl IntoIterator<Item = usize>,
@@ -123,7 +203,7 @@ pub fn random<P: SyncProtocol>(
 ) -> FreshRandom<'_, P::State> {
     let sample: Sampler<'_, P::State> = Box::new(move |node, rng| protocol.random_state(node, rng));
     FreshRandom {
-        faulty: normalize(faulty),
+        faulty: normalize_faults(faulty),
         rng: SmallRng::seed_from_u64(seed),
         sample,
     }
@@ -140,7 +220,7 @@ pub fn random_from<'a, S>(
     seed: u64,
 ) -> FreshRandom<'a, S> {
     FreshRandom {
-        faulty: normalize(faulty),
+        faulty: normalize_faults(faulty),
         rng: SmallRng::seed_from_u64(seed),
         sample: Box::new(sampler),
     }
@@ -154,7 +234,7 @@ pub fn two_faced_from<'a, S>(
     seed: u64,
 ) -> TwoFaced<'a, S> {
     TwoFaced {
-        faulty: normalize(faulty),
+        faulty: normalize_faults(faulty),
         rng: SmallRng::seed_from_u64(seed),
         sample: Box::new(sampler),
         faces: None,
@@ -181,8 +261,14 @@ impl<S: Clone + std::fmt::Debug> Adversary<S> for FreshRandom<'_, S> {
         &self.faulty
     }
 
-    fn message(&mut self, from: NodeId, _to: NodeId, _ctx: &RoundContext<'_, S>) -> S {
-        (self.sample)(from, &mut self.rng)
+    fn message(
+        &mut self,
+        from: NodeId,
+        _to: NodeId,
+        _ctx: &RoundContext<'_, S>,
+        pool: &mut StatePool<S>,
+    ) -> MessageSource {
+        pool.fabricate((self.sample)(from, &mut self.rng))
     }
 }
 
@@ -192,7 +278,10 @@ impl<S: Clone + std::fmt::Debug> Adversary<S> for FreshRandom<'_, S> {
 ///
 /// Donor states are plausible in-protocol states, which is the strongest way
 /// to attack majority votes: the faulty nodes appear to be correct members of
-/// two different "camps", keeping the camps from converging.
+/// two different "camps", keeping the camps from converging. On the borrowed
+/// plane both faces are [`MessageSource::Broadcast`] echoes of the donors —
+/// the attack delivers `f × (n − f)` messages per round without cloning a
+/// single state.
 pub fn two_faced<P: SyncProtocol>(
     protocol: &P,
     faulty: impl IntoIterator<Item = usize>,
@@ -200,7 +289,7 @@ pub fn two_faced<P: SyncProtocol>(
 ) -> TwoFaced<'_, P::State> {
     let sample: Sampler<'_, P::State> = Box::new(move |node, rng| protocol.random_state(node, rng));
     TwoFaced {
-        faulty: normalize(faulty),
+        faulty: normalize_faults(faulty),
         rng: SmallRng::seed_from_u64(seed),
         sample,
         faces: None,
@@ -212,7 +301,7 @@ pub struct TwoFaced<'a, S> {
     faulty: Vec<NodeId>,
     rng: SmallRng,
     sample: Sampler<'a, S>,
-    faces: Option<(S, S)>,
+    faces: Option<FacePair>,
 }
 
 impl<S> std::fmt::Debug for TwoFaced<'_, S> {
@@ -228,33 +317,36 @@ impl<S: Clone + std::fmt::Debug> Adversary<S> for TwoFaced<'_, S> {
         &self.faulty
     }
 
-    fn begin_round(&mut self, ctx: &RoundContext<'_, S>) {
-        let honest: Vec<NodeId> = ctx.honest_ids().collect();
-        let pick = |rng: &mut SmallRng| -> usize { rng.random_range(0..honest.len().max(1)) };
-        let (a, b) = if honest.is_empty() {
+    fn begin_round(&mut self, ctx: &RoundContext<'_, S>, pool: &mut StatePool<S>) {
+        let count = ctx.honest_count();
+        let faces = if count == 0 {
             // Degenerate all-faulty network: fall back to sampled states.
-            (
-                (self.sample)(NodeId::new(0), &mut self.rng),
-                (self.sample)(NodeId::new(0), &mut self.rng),
-            )
+            FacePair {
+                even: pool.fabricate((self.sample)(NodeId::new(0), &mut self.rng)),
+                odd: pool.fabricate((self.sample)(NodeId::new(0), &mut self.rng)),
+            }
         } else {
-            let ia = pick(&mut self.rng);
-            let ib = pick(&mut self.rng);
-            (
-                ctx.honest[honest[ia].index()].clone(),
-                ctx.honest[honest[ib].index()].clone(),
-            )
+            let ia = self.rng.random_range(0..count);
+            let ib = self.rng.random_range(0..count);
+            FacePair {
+                even: MessageSource::Broadcast(donor_id(ctx, ia)),
+                odd: MessageSource::Broadcast(donor_id(ctx, ib)),
+            }
         };
-        self.faces = Some((a, b));
+        self.faces = Some(faces);
     }
 
-    fn message(&mut self, _from: NodeId, to: NodeId, _ctx: &RoundContext<'_, S>) -> S {
-        let (a, b) = self.faces.as_ref().expect("begin_round not called");
-        if to.index().is_multiple_of(2) {
-            a.clone()
-        } else {
-            b.clone()
-        }
+    fn message(
+        &mut self,
+        _from: NodeId,
+        to: NodeId,
+        _ctx: &RoundContext<'_, S>,
+        _pool: &mut StatePool<S>,
+    ) -> MessageSource {
+        self.faces
+            .as_ref()
+            .expect("begin_round not called")
+            .for_receiver(to)
     }
 }
 
@@ -262,12 +354,37 @@ impl<S: Clone + std::fmt::Debug> Adversary<S> for TwoFaced<'_, S> {
 ///
 /// Stale counter states are plausible counter states, so this specifically
 /// attacks the *increment* part of the counting specification.
+///
+/// The donor mapping (`to ↦ honest[to mod |honest|]`) is static for the
+/// execution, so only the ~`|honest|` states that will actually be replayed
+/// are snapshotted each round — one clone per donor — and when a snapshot
+/// falls `delay − 1` rounds behind it is **moved** into the round pool and
+/// leased, not cloned again. While the window is still warming up the
+/// serving snapshot is the current broadcast (pure echo, no clone at all)
+/// or the oldest ring entry (cloned at most once per donor per round).
 pub fn replay<S: Clone>(faulty: impl IntoIterator<Item = usize>, delay: usize) -> Replay<S> {
     Replay {
-        faulty: normalize(faulty),
+        faulty: normalize_faults(faulty),
         delay: delay.max(1),
-        history: VecDeque::new(),
+        ring: VecDeque::new(),
+        spare: Vec::new(),
+        honest: Vec::new(),
+        donors: Vec::new(),
+        slot_of: Vec::new(),
+        leases: Vec::new(),
+        serve: Serve::Current,
     }
+}
+
+/// Where this round's replayed states come from.
+#[derive(Clone, Copy, Debug)]
+enum Serve {
+    /// The current broadcast (warm-up round 0, or `delay == 1`): echo.
+    Current,
+    /// The oldest ring snapshot, still warming up: clone per donor, once.
+    Front,
+    /// The retired snapshot, moved into the pool by `begin_round`.
+    Retired,
 }
 
 /// Adversary produced by [`replay`].
@@ -275,7 +392,20 @@ pub fn replay<S: Clone>(faulty: impl IntoIterator<Item = usize>, delay: usize) -
 pub struct Replay<S> {
     faulty: Vec<NodeId>,
     delay: usize,
-    history: VecDeque<Vec<S>>,
+    /// The last `delay − 1` rounds' donor snapshots (each parallel to
+    /// `donors`), oldest first.
+    ring: VecDeque<Vec<S>>,
+    /// Recycled snapshot buffers.
+    spare: Vec<Vec<S>>,
+    /// Correct node ids — static per execution, cached at the first round.
+    honest: Vec<NodeId>,
+    /// The distinct donor nodes, in slot order.
+    donors: Vec<NodeId>,
+    /// Node index → donor slot (`usize::MAX` for non-donors).
+    slot_of: Vec<usize>,
+    /// Per-donor-slot leases for the current round.
+    leases: Vec<Option<MessageSource>>,
+    serve: Serve,
 }
 
 impl<S: Clone + std::fmt::Debug> Adversary<S> for Replay<S> {
@@ -283,22 +413,73 @@ impl<S: Clone + std::fmt::Debug> Adversary<S> for Replay<S> {
         &self.faulty
     }
 
-    fn begin_round(&mut self, ctx: &RoundContext<'_, S>) {
-        self.history.push_back(ctx.honest.to_vec());
-        while self.history.len() > self.delay {
-            self.history.pop_front();
+    fn begin_round(&mut self, ctx: &RoundContext<'_, S>, pool: &mut StatePool<S>) {
+        if self.honest.is_empty() {
+            // First round: the fault set is static, so the donor mapping is
+            // computed once.
+            self.honest.extend(ctx.honest_ids());
+            self.slot_of = vec![usize::MAX; ctx.honest.len()];
+            for &to in &self.honest {
+                let donor = self.honest[to.index() % self.honest.len()];
+                if self.slot_of[donor.index()] == usize::MAX {
+                    self.slot_of[donor.index()] = self.donors.len();
+                    self.donors.push(donor);
+                }
+            }
+        }
+        self.leases.clear();
+        self.leases.resize(self.donors.len(), None);
+
+        self.serve = if self.delay == 1 || self.ring.is_empty() {
+            Serve::Current
+        } else if self.ring.len() < self.delay - 1 {
+            Serve::Front
+        } else {
+            // Steady state: the oldest snapshot is exactly `delay − 1`
+            // rounds behind — move its states into the pool, no clones.
+            let mut retired = self.ring.pop_front().expect("ring is non-empty");
+            for (slot, state) in retired.drain(..).enumerate() {
+                self.leases[slot] = Some(pool.fabricate(state));
+            }
+            self.spare.push(retired);
+            Serve::Retired
+        };
+
+        if self.delay > 1 {
+            // Snapshot this round's donor states for use `delay − 1` rounds
+            // from now: one clone per donor, nothing else.
+            let mut snapshot = self.spare.pop().unwrap_or_default();
+            snapshot.clear();
+            snapshot.extend(self.donors.iter().map(|d| ctx.honest[d.index()].clone()));
+            self.ring.push_back(snapshot);
         }
     }
 
-    fn message(&mut self, _from: NodeId, to: NodeId, ctx: &RoundContext<'_, S>) -> S {
-        let snapshot = self.history.front().expect("begin_round not called");
+    fn message(
+        &mut self,
+        _from: NodeId,
+        to: NodeId,
+        _ctx: &RoundContext<'_, S>,
+        pool: &mut StatePool<S>,
+    ) -> MessageSource {
         // Echo a (possibly stale) honest state back at the receiver; pick the
         // donor deterministically so different receivers see different lags.
-        let donor = ctx
-            .honest_ids()
-            .nth(to.index() % ctx.honest_ids().count().max(1))
-            .unwrap_or(to);
-        snapshot[donor.index()].clone()
+        assert!(
+            !self.honest.is_empty(),
+            "begin_round not called (or no correct nodes)"
+        );
+        let donor = self.honest[to.index() % self.honest.len()];
+        match self.serve {
+            Serve::Current => MessageSource::Broadcast(donor),
+            Serve::Retired => {
+                self.leases[self.slot_of[donor.index()]].expect("retired snapshot leased")
+            }
+            Serve::Front => {
+                let slot = self.slot_of[donor.index()];
+                let front = self.ring.front().expect("warm-up ring is non-empty");
+                *self.leases[slot].get_or_insert_with(|| pool.fabricate(front[slot].clone()))
+            }
+        }
     }
 }
 
@@ -313,16 +494,22 @@ impl<S: Clone + std::fmt::Debug> Adversary<S> for Replay<S> {
 /// ```
 pub fn fixed<S: Clone>(faulty: impl IntoIterator<Item = usize>, state: S) -> Fixed<S> {
     Fixed {
-        faulty: normalize(faulty),
-        state,
+        faulty: normalize_faults(faulty),
+        state: Some(state),
+        lease: None,
     }
 }
 
 /// Adversary produced by [`fixed`].
-#[derive(Clone, Debug)]
+///
+/// Deliberately not `Clone` for the same reason as [`Crash`]: once pinned,
+/// the lease belongs to one execution's pool.
+#[derive(Debug)]
 pub struct Fixed<S> {
     faulty: Vec<NodeId>,
-    state: S,
+    /// The constant state, moved into the pool at the first `begin_round`.
+    state: Option<S>,
+    lease: Option<MessageSource>,
 }
 
 impl<S: Clone + std::fmt::Debug> Adversary<S> for Fixed<S> {
@@ -330,14 +517,27 @@ impl<S: Clone + std::fmt::Debug> Adversary<S> for Fixed<S> {
         &self.faulty
     }
 
-    fn message(&mut self, _from: NodeId, _to: NodeId, _ctx: &RoundContext<'_, S>) -> S {
-        self.state.clone()
+    fn begin_round(&mut self, _ctx: &RoundContext<'_, S>, pool: &mut StatePool<S>) {
+        if let Some(state) = self.state.take() {
+            self.lease = Some(pool.pin(state));
+        }
+    }
+
+    fn message(
+        &mut self,
+        _from: NodeId,
+        _to: NodeId,
+        _ctx: &RoundContext<'_, S>,
+        _pool: &mut StatePool<S>,
+    ) -> MessageSource {
+        self.lease.expect("begin_round not called")
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testing::TestRound;
     use rand::RngCore;
     use sc_protocol::{MessageView, StepContext, SyncProtocol};
 
@@ -358,81 +558,120 @@ mod tests {
         }
     }
 
-    fn ctx<'a>(honest: &'a [u64], faulty: &'a [NodeId]) -> RoundContext<'a, u64> {
-        RoundContext {
-            round: 0,
-            honest,
-            faulty,
-        }
-    }
-
     #[test]
     fn normalize_sorts_and_dedups() {
         assert_eq!(
-            normalize([3, 1, 3, 0]),
+            normalize_faults([3, 1, 3, 0]),
             vec![NodeId::new(0), NodeId::new(1), NodeId::new(3)]
         );
     }
 
     #[test]
-    fn crash_always_sends_the_same_state() {
+    fn face_pair_splits_by_parity() {
+        let faces = FacePair {
+            even: MessageSource::Pinned(0),
+            odd: MessageSource::Pinned(1),
+        };
+        assert_eq!(faces.for_receiver(NodeId::new(0)), MessageSource::Pinned(0));
+        assert_eq!(faces.for_receiver(NodeId::new(2)), MessageSource::Pinned(0));
+        assert_eq!(faces.for_receiver(NodeId::new(3)), MessageSource::Pinned(1));
+    }
+
+    #[test]
+    fn crash_always_sends_the_same_pinned_state() {
         let mut adv = crash(&Toy, [2], 9);
-        let honest = vec![0u64; 4];
-        let faulty = vec![NodeId::new(2)];
-        let c = ctx(&honest, &faulty);
-        let first = adv.message(NodeId::new(2), NodeId::new(0), &c);
+        let round = TestRound::new(vec![0u64; 4], [2]);
+        let mut pool = StatePool::new();
+        let ctx = round.ctx(0);
+        adv.begin_round(&ctx, &mut pool);
+        let first = adv.message(NodeId::new(2), NodeId::new(0), &ctx, &mut pool);
+        assert!(matches!(first, MessageSource::Pinned(_)));
+        let value = *pool.resolve(round.honest(), first);
         for to in [0usize, 1, 3] {
-            assert_eq!(adv.message(NodeId::new(2), NodeId::new(to), &c), first);
+            let src = adv.message(NodeId::new(2), NodeId::new(to), &ctx, &mut pool);
+            assert_eq!(src, first);
+            assert_eq!(*pool.resolve(round.honest(), src), value);
         }
+        // Nothing was fabricated: the frozen state is pinned exactly once.
+        assert_eq!(pool.fabricated_total(), 0);
+        // Later rounds reuse the same pin.
+        pool.begin_round();
+        adv.begin_round(&round.ctx(1), &mut pool);
+        let again = adv.message(NodeId::new(2), NodeId::new(1), &ctx, &mut pool);
+        assert_eq!(again, first);
     }
 
     #[test]
-    fn two_faced_splits_receivers_by_parity() {
+    fn two_faced_splits_receivers_by_parity_without_fabricating() {
         let mut adv = two_faced(&Toy, [3], 5);
-        let honest = vec![10u64, 20, 30, 40];
-        let faulty = vec![NodeId::new(3)];
-        let c = ctx(&honest, &faulty);
-        adv.begin_round(&c);
-        let to_even = adv.message(NodeId::new(3), NodeId::new(0), &c);
-        let to_even2 = adv.message(NodeId::new(3), NodeId::new(2), &c);
-        let to_odd = adv.message(NodeId::new(3), NodeId::new(1), &c);
+        let round = TestRound::new(vec![10u64, 20, 30, 40], [3]);
+        let mut pool = StatePool::new();
+        let ctx = round.ctx(0);
+        adv.begin_round(&ctx, &mut pool);
+        let to_even = adv.message(NodeId::new(3), NodeId::new(0), &ctx, &mut pool);
+        let to_even2 = adv.message(NodeId::new(3), NodeId::new(2), &ctx, &mut pool);
+        let to_odd = adv.message(NodeId::new(3), NodeId::new(1), &ctx, &mut pool);
         assert_eq!(to_even, to_even2);
-        // Faces are honest donor states.
-        assert!(honest.contains(&to_even));
-        assert!(honest.contains(&to_odd));
+        // Faces are broadcast echoes of honest donors: zero fabrications.
+        assert!(matches!(to_even, MessageSource::Broadcast(_)));
+        assert!(matches!(to_odd, MessageSource::Broadcast(_)));
+        assert_eq!(pool.fabricated_total(), 0);
+        assert!(round
+            .honest()
+            .contains(pool.resolve(round.honest(), to_even)));
+        assert!(round
+            .honest()
+            .contains(pool.resolve(round.honest(), to_odd)));
     }
 
     #[test]
-    fn replay_serves_stale_states() {
+    fn replay_serves_stale_states_fabricated_once_per_donor() {
         let mut adv = replay::<u64>([0], 2);
-        let faulty = vec![NodeId::new(0)];
-        let r0 = vec![1u64, 2, 3, 4];
-        adv.begin_round(&ctx(&r0, &faulty));
-        let r1 = vec![5u64, 6, 7, 8];
-        adv.begin_round(&ctx(&r1, &faulty));
-        let r2 = vec![9u64, 10, 11, 12];
-        adv.begin_round(&ctx(&r2, &faulty));
-        // History window is 2 rounds: the oldest snapshot is r1.
-        let c = ctx(&r2, &faulty);
-        let sent = adv.message(NodeId::new(0), NodeId::new(2), &c);
-        assert!(r1.contains(&sent));
+        let mut pool = StatePool::new();
+        let r0 = TestRound::new(vec![1u64, 2, 3, 4], [0]);
+        adv.begin_round(&r0.ctx(0), &mut pool);
+        // Warm-up: the serving snapshot is the current broadcast — pure echo.
+        let src = adv.message(NodeId::new(0), NodeId::new(2), &r0.ctx(0), &mut pool);
+        assert!(matches!(src, MessageSource::Broadcast(_)));
+        assert_eq!(pool.fabricated_total(), 0);
+
+        let r1 = TestRound::new(vec![5u64, 6, 7, 8], [0]);
+        pool.begin_round();
+        adv.begin_round(&r1.ctx(1), &mut pool);
+        let r2 = TestRound::new(vec![9u64, 10, 11, 12], [0]);
+        pool.begin_round();
+        adv.begin_round(&r2.ctx(2), &mut pool);
+        // Window is 2 rounds: at round 2 the retiring snapshot is r1.
+        let ctx = r2.ctx(2);
+        let sent = adv.message(NodeId::new(0), NodeId::new(2), &ctx, &mut pool);
+        assert!(r1.honest().contains(pool.resolve(r2.honest(), sent)));
+        // Re-asking for the same receiver reuses the leased slot.
+        let again = adv.message(NodeId::new(0), NodeId::new(2), &ctx, &mut pool);
+        assert_eq!(sent, again);
+        // Exactly one materialisation per donor per steady round — all of
+        // them moves out of the retired snapshot, not clones (3 donors for
+        // the 3 correct nodes here: rounds 1 and 2 each lease a snapshot).
+        assert_eq!(pool.fabricated_total(), 3 + 3);
     }
 
     #[test]
     fn fixed_sends_supplied_state() {
         let mut adv = fixed([1], 77u64);
-        let honest = vec![0u64; 2];
-        let faulty = vec![NodeId::new(1)];
-        let c = ctx(&honest, &faulty);
-        assert_eq!(adv.message(NodeId::new(1), NodeId::new(0), &c), 77);
+        let round = TestRound::new(vec![0u64; 2], [1]);
+        let mut pool = StatePool::new();
+        let ctx = round.ctx(0);
+        adv.begin_round(&ctx, &mut pool);
+        let src = adv.message(NodeId::new(1), NodeId::new(0), &ctx, &mut pool);
+        assert_eq!(*pool.resolve(round.honest(), src), 77);
+        assert_eq!(pool.fabricated_total(), 0);
     }
 
     #[test]
     #[should_panic(expected = "no faulty nodes")]
     fn none_never_sends() {
         let mut adv = none();
-        let honest = vec![0u64; 2];
-        let c = ctx(&honest, &[]);
-        let _ = adv.message(NodeId::new(0), NodeId::new(1), &c);
+        let round = TestRound::new(vec![0u64; 2], []);
+        let mut pool = StatePool::new();
+        let _ = adv.message(NodeId::new(0), NodeId::new(1), &round.ctx(0), &mut pool);
     }
 }

@@ -1,6 +1,8 @@
-//! The Byzantine adversary interface.
+//! The Byzantine adversary interface: the borrow-based message plane.
 
-use sc_protocol::NodeId;
+use sc_protocol::{MessageSource, NodeId};
+
+use crate::workspace::{FaultMask, StatePool};
 
 /// Everything the adversary can observe about one round.
 ///
@@ -18,19 +20,31 @@ pub struct RoundContext<'a, S> {
     pub honest: &'a [S],
     /// Sorted identifiers of the faulty nodes.
     pub faulty: &'a [NodeId],
+    /// Bitmap over the network with exactly the nodes of `faulty` set —
+    /// engines precompute it once per execution so
+    /// [`RoundContext::is_faulty`] is an O(1) word lookup instead of a
+    /// per-call `binary_search`.
+    pub mask: &'a FaultMask,
 }
 
 impl<'a, S> RoundContext<'a, S> {
-    /// Whether `node` is faulty in this execution.
+    /// Whether `node` is faulty in this execution (O(1) bitmap lookup).
+    #[inline]
     pub fn is_faulty(&self, node: NodeId) -> bool {
-        self.faulty.binary_search(&node).is_ok()
+        self.mask.contains(node.index())
     }
 
-    /// Iterates over the identifiers of correct nodes.
+    /// Iterates over the identifiers of correct nodes, filtering through the
+    /// precomputed fault bitmap — no per-item search.
     pub fn honest_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
         (0..self.honest.len())
             .map(NodeId::new)
-            .filter(move |id| !self.is_faulty(*id))
+            .filter(move |id| !self.mask.contains(id.index()))
+    }
+
+    /// Number of correct nodes this round.
+    pub fn honest_count(&self) -> usize {
+        self.honest.len() - self.faulty.len()
     }
 }
 
@@ -42,6 +56,23 @@ impl<'a, S> RoundContext<'a, S> {
 /// before delivering messages, then [`Adversary::message`] once per
 /// (faulty sender, correct receiver) pair.
 ///
+/// # The borrow-based message plane
+///
+/// [`Adversary::message`] does **not** return an owned state; it returns a
+/// [`MessageSource`] lease the engine resolves zero-copy when building the
+/// receiver's view:
+///
+/// * [`MessageSource::Broadcast`] echoes a state broadcast this round —
+///   equivocation and echo attacks permute *existing* honest states without
+///   a single clone;
+/// * [`MessageSource::Pinned`] / [`MessageSource::Fabricated`] name slots of
+///   the engine's [`StatePool`], where genuinely fabricated states are
+///   materialised once per execution ([`StatePool::pin`]) or once per round
+///   ([`StatePool::fabricate`]) — never once per receiver.
+///
+/// Leases are pool-specific: an adversary instance drives exactly one
+/// execution, and tokens must not be carried across executions.
+///
 /// The set of faulty nodes is fixed for an execution — the paper's fault
 /// model is static (`F ⊆ [n]`, `|F| ≤ f`), and self-stabilisation covers
 /// "recovery after the last transient fault" by the arbitrary initial state.
@@ -50,13 +81,22 @@ pub trait Adversary<S> {
     fn faulty(&self) -> &[NodeId];
 
     /// Hook invoked once at the start of every round, before any
-    /// [`Adversary::message`] call for that round.
-    fn begin_round(&mut self, ctx: &RoundContext<'_, S>) {
-        let _ = ctx;
+    /// [`Adversary::message`] call for that round. The engine has already
+    /// recycled the round half of `pool`; states this round's messages
+    /// share should be fabricated here, once.
+    fn begin_round(&mut self, ctx: &RoundContext<'_, S>, pool: &mut StatePool<S>) {
+        let _ = (ctx, pool);
     }
 
-    /// The state that faulty node `from` sends to correct node `to`.
-    fn message(&mut self, from: NodeId, to: NodeId, ctx: &RoundContext<'_, S>) -> S;
+    /// The lease for the state faulty node `from` sends to correct node
+    /// `to` this round.
+    fn message(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        ctx: &RoundContext<'_, S>,
+        pool: &mut StatePool<S>,
+    ) -> MessageSource;
 }
 
 impl<S, A: Adversary<S> + ?Sized> Adversary<S> for Box<A> {
@@ -64,12 +104,18 @@ impl<S, A: Adversary<S> + ?Sized> Adversary<S> for Box<A> {
         (**self).faulty()
     }
 
-    fn begin_round(&mut self, ctx: &RoundContext<'_, S>) {
-        (**self).begin_round(ctx);
+    fn begin_round(&mut self, ctx: &RoundContext<'_, S>, pool: &mut StatePool<S>) {
+        (**self).begin_round(ctx, pool);
     }
 
-    fn message(&mut self, from: NodeId, to: NodeId, ctx: &RoundContext<'_, S>) -> S {
-        (**self).message(from, to, ctx)
+    fn message(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        ctx: &RoundContext<'_, S>,
+        pool: &mut StatePool<S>,
+    ) -> MessageSource {
+        (**self).message(from, to, ctx, pool)
     }
 }
 
@@ -81,13 +127,16 @@ mod tests {
     fn round_context_classifies_nodes() {
         let honest = vec![0u64; 4];
         let faulty = vec![NodeId::new(2)];
+        let mask = FaultMask::from_sorted(&faulty, honest.len());
         let ctx = RoundContext {
             round: 0,
             honest: &honest,
             faulty: &faulty,
+            mask: &mask,
         };
         assert!(ctx.is_faulty(NodeId::new(2)));
         assert!(!ctx.is_faulty(NodeId::new(0)));
+        assert_eq!(ctx.honest_count(), 3);
         let ids: Vec<usize> = ctx.honest_ids().map(NodeId::index).collect();
         assert_eq!(ids, vec![0, 1, 3]);
     }

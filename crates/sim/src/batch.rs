@@ -103,6 +103,10 @@ pub struct ScenarioOutcome {
     pub seed: u64,
     /// Stabilisation verdict of the execution.
     pub result: Result<StabilizationReport, SimError>,
+    /// States the adversary materialised through the message plane's pool
+    /// over this execution (see [`Simulation::fabricated_states`]) — the
+    /// fabrication-cost ledger Byzantine sweeps are benchmarked on.
+    pub fabricated_states: u64,
 }
 
 /// Aggregate statistics over a [`BatchReport`].
@@ -160,6 +164,12 @@ impl BatchReport {
     pub fn first_failure(&self) -> Option<&ScenarioOutcome> {
         self.outcomes.iter().find(|o| o.result.is_err())
     }
+
+    /// Total adversary-fabricated states across all scenarios — the sweep's
+    /// message-plane cost ledger.
+    pub fn fabricated_states(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.fabricated_states).sum()
+    }
 }
 
 /// A batched sweep runner for one counter protocol.
@@ -215,6 +225,7 @@ impl<'a, P: Counter> Batch<'a, P> {
                     horizon: self.horizon,
                     required: confirm,
                 }),
+                fabricated_states: 0,
             };
         }
         let adversary = factory(scenario);
@@ -233,6 +244,7 @@ impl<'a, P: Counter> Batch<'a, P> {
         ScenarioOutcome {
             seed: scenario.seed,
             result: detector.finish(confirm),
+            fabricated_states: sim.fabricated_states(),
         }
     }
 
@@ -399,6 +411,26 @@ mod tests {
         if summary.stabilized < 4 {
             assert!(report.first_failure().is_some());
         }
+    }
+
+    #[test]
+    fn fabrication_ledger_distinguishes_echo_from_fresh_attacks() {
+        let p = FollowMax { n: 5, c: 8 };
+        let scenarios = Scenario::seeds(0..4);
+        let echo = Batch::new(&p, 64).run(&scenarios, |s: &Scenario<u64>| {
+            adversaries::two_faced(&p, [2], s.seed)
+        });
+        assert_eq!(
+            echo.fabricated_states(),
+            0,
+            "two-faced equivocation echoes honest donors, fabricating nothing"
+        );
+        let fresh = Batch::new(&p, 64).run(&scenarios, |s: &Scenario<u64>| {
+            adversaries::random(&p, [2], s.seed)
+        });
+        // One fresh state per (faulty sender, correct receiver, round):
+        // 1 × 4 × 64 per scenario, 4 scenarios.
+        assert_eq!(fresh.fabricated_states(), 4 * 4 * 64);
     }
 
     #[test]

@@ -16,9 +16,13 @@
 //! * [`Batch`] — sweeps of many `(seed, adversary, initial-configuration)`
 //!   [`Scenario`]s through one protocol, with streaming stabilisation
 //!   detection ([`OnlineDetector`]) and optional thread fan-out.
-//! * [`Adversary`] — the interface Byzantine strategies implement; the
-//!   [`adversaries`] module ships a library of generic strategies (crash,
-//!   fresh-random, two-faced equivocation, replay).
+//! * [`Adversary`] — the interface Byzantine strategies implement, built on
+//!   the **borrow-based message plane**: strategies return [`MessageSource`]
+//!   leases (echo a broadcast state, or name a slot of the engine's
+//!   [`StatePool`]) instead of owned states, so equivocation and replay
+//!   attacks deliver without per-receiver clones; the [`adversaries`] module
+//!   ships a library of generic strategies (crash, fresh-random, two-faced
+//!   equivocation, replay).
 //! * [`StabilizationReport`] / [`OutputTrace`] — exact detection of the
 //!   stabilisation time of a counter execution: the earliest round after
 //!   which all correct outputs agree *and* increment modulo `c` every round.
@@ -78,4 +82,8 @@ pub use stabilization::{
     detect_stabilization, first_stable_window, violation_rate, OnlineDetector, OutputTrace,
     StabilizationReport,
 };
-pub use workspace::{FaultMask, RoundWorkspace};
+pub use workspace::{FaultMask, RoundWorkspace, StatePool};
+
+// The lease type of the borrowed message plane lives in `sc-protocol` (the
+// view resolves it); re-exported here because adversaries mint the tokens.
+pub use sc_protocol::MessageSource;

@@ -28,8 +28,13 @@ use crate::SimError;
 ///
 /// The round loop is zero-copy: states live in a double buffer whose halves
 /// are swapped after each round (no `Vec<State>` is rebuilt), faultiness is
-/// looked up in a precomputed [`FaultMask`] bitmap, and adversary overrides
-/// go through the reusable scratch of a [`RoundWorkspace`]. The first,
+/// looked up in a precomputed [`FaultMask`] bitmap, and adversary messages
+/// travel the borrow-based plane — per (faulty sender, receiver) pair the
+/// adversary returns a [`MessageSource`](sc_protocol::MessageSource) lease,
+/// the lease vector lives in
+/// the reusable scratch of a [`RoundWorkspace`], and genuinely fabricated
+/// states are materialised at most once per round (or once per execution)
+/// into the workspace's [`StatePool`](crate::StatePool). The first,
 /// clone-heavy engine is retained as [`reference_step`] solely to gate this
 /// one: fixed-seed executions of both must agree bitwise (see the
 /// `engine_equivalence` integration tests), after which the reference path
@@ -173,8 +178,10 @@ where
             round: self.round,
             honest: &self.states,
             faulty: &self.faulty,
+            mask: &self.mask,
         };
-        self.adversary.begin_round(&ctx);
+        self.workspace.pool.begin_round();
+        self.adversary.begin_round(&ctx, &mut self.workspace.pool);
 
         for i in 0..self.states.len() {
             if self.mask.contains(i) {
@@ -183,18 +190,31 @@ where
                 continue;
             }
             let receiver = NodeId::new(i);
-            self.workspace.overrides.clear();
+            self.workspace.sources.clear();
             for &from in &self.faulty {
-                self.workspace
-                    .overrides
-                    .push((from, self.adversary.message(from, receiver, &ctx)));
+                let source = self
+                    .adversary
+                    .message(from, receiver, &ctx, &mut self.workspace.pool);
+                self.workspace.sources.push((from, source));
             }
-            let view = MessageView::new(&self.states, &self.workspace.overrides);
+            let view = MessageView::from_sources(
+                &self.states,
+                self.workspace.pool.pinned(),
+                self.workspace.pool.round(),
+                &self.workspace.sources,
+            );
             let mut step_ctx = StepContext::new(&mut self.rng);
             self.back[i] = self.protocol.step(receiver, &view, &mut step_ctx);
         }
         std::mem::swap(&mut self.states, &mut self.back);
         self.round += 1;
+    }
+
+    /// Cumulative number of states the adversary has materialised through
+    /// the message plane's pool — the fabrication-cost ledger of Byzantine
+    /// sweeps (echoed broadcasts and pinned states do not count).
+    pub fn fabricated_states(&self) -> u64 {
+        self.workspace.pool.fabricated_total()
     }
 
     /// Executes one synchronous round on the **first-generation engine**:
@@ -212,8 +232,10 @@ where
             round: self.round,
             honest: &self.states,
             faulty: &self.faulty,
+            mask: &self.mask,
         };
-        self.adversary.begin_round(&ctx);
+        self.workspace.pool.begin_round();
+        self.adversary.begin_round(&ctx, &mut self.workspace.pool);
 
         let mut next: Vec<P::State> = Vec::with_capacity(self.states.len());
         let mut overrides: Vec<(NodeId, P::State)> = Vec::with_capacity(self.faulty.len());
@@ -226,7 +248,15 @@ where
             }
             overrides.clear();
             for &from in &self.faulty {
-                overrides.push((from, self.adversary.message(from, receiver, &ctx)));
+                // The first-generation cost model: every lease is resolved
+                // into an owned clone per (faulty, receiver) pair.
+                let source = self
+                    .adversary
+                    .message(from, receiver, &ctx, &mut self.workspace.pool);
+                overrides.push((
+                    from,
+                    self.workspace.pool.resolve(&self.states, source).clone(),
+                ));
             }
             let view = MessageView::new(&self.states, &overrides);
             let mut step_ctx = StepContext::new(&mut self.rng);
@@ -257,8 +287,10 @@ where
             round: self.round,
             honest: &self.states,
             faulty: &self.faulty,
+            mask: &self.mask,
         };
-        self.adversary.begin_round(&ctx);
+        self.workspace.pool.begin_round();
+        self.adversary.begin_round(&ctx, &mut self.workspace.pool);
 
         let mut prep = self
             .protocol
@@ -268,13 +300,19 @@ where
                 continue;
             }
             let receiver = NodeId::new(i);
-            self.workspace.overrides.clear();
+            self.workspace.sources.clear();
             for &from in &self.faulty {
-                self.workspace
-                    .overrides
-                    .push((from, self.adversary.message(from, receiver, &ctx)));
+                let source = self
+                    .adversary
+                    .message(from, receiver, &ctx, &mut self.workspace.pool);
+                self.workspace.sources.push((from, source));
             }
-            let view = MessageView::new(&self.states, &self.workspace.overrides);
+            let view = MessageView::from_sources(
+                &self.states,
+                self.workspace.pool.pinned(),
+                self.workspace.pool.round(),
+                &self.workspace.sources,
+            );
             let mut step_ctx = StepContext::new(&mut self.rng);
             self.back[i] = self
                 .protocol

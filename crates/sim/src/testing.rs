@@ -7,6 +7,50 @@ use sc_protocol::{
     SyncProtocol,
 };
 
+use crate::adversary::RoundContext;
+use crate::workspace::FaultMask;
+
+/// Owns everything a [`RoundContext`] borrows — broadcast states, the sorted
+/// fault set and its [`FaultMask`] — so adversary unit tests can mint
+/// contexts without hand-wiring the bitmap. The [`StatePool`] deliberately
+/// stays outside (tests hold it mutably while a context is alive).
+///
+/// [`StatePool`]: crate::StatePool
+#[derive(Clone, Debug)]
+pub struct TestRound<S> {
+    honest: Vec<S>,
+    faulty: Vec<NodeId>,
+    mask: FaultMask,
+}
+
+impl<S> TestRound<S> {
+    /// A round broadcasting `honest` with the given faulty indices.
+    pub fn new(honest: Vec<S>, faulty: impl IntoIterator<Item = usize>) -> Self {
+        let faulty = crate::adversaries::normalize_faults(faulty);
+        let mask = FaultMask::from_sorted(&faulty, honest.len());
+        TestRound {
+            honest,
+            faulty,
+            mask,
+        }
+    }
+
+    /// The broadcast state vector.
+    pub fn honest(&self) -> &[S] {
+        &self.honest
+    }
+
+    /// A context for round number `round`.
+    pub fn ctx(&self, round: u64) -> RoundContext<'_, S> {
+        RoundContext {
+            round,
+            honest: &self.honest,
+            faulty: &self.faulty,
+            mask: &self.mask,
+        }
+    }
+}
+
 /// Zero-resilience max-follower counter: every correct node adopts
 /// `max(received) + 1 mod c`.
 ///

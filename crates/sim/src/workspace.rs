@@ -1,14 +1,116 @@
 //! Reusable per-round scratch storage for execution engines.
 //!
-//! The hot loop of a synchronous round needs two short-lived buffers per
-//! correct receiver: the adversary's override vector and (for layered or
+//! The hot loop of a synchronous round needs short-lived buffers per correct
+//! receiver: the adversary's per-receiver lease vector and (for layered or
 //! exhaustive engines) a dense received-state vector. Allocating them per
 //! receiver — as the first engine did — dominates the round cost for small
-//! protocols; a [`RoundWorkspace`] owns both buffers once and is reused
-//! round after round, scenario after scenario. The simulator, the batch
-//! engine, and `sc-verifier`'s exhaustive checker all share this type.
+//! protocols; a [`RoundWorkspace`] owns the buffers once and is reused round
+//! after round, scenario after scenario. The simulator, the batch engine,
+//! and `sc-verifier`'s exhaustive checker all share this type.
+//!
+//! The workspace also hosts the [`StatePool`] of the borrow-based adversary
+//! message plane: adversaries materialise fabricated states into the pool
+//! (pinned once per execution or fresh per round) and hand the engine cheap
+//! [`MessageSource`] leases instead of owned clones per receiver.
 
-use sc_protocol::NodeId;
+use sc_protocol::{MessageSource, NodeId};
+
+/// The backing store of the borrow-based adversary message plane.
+///
+/// An [`Adversary`](crate::Adversary) never returns an owned state; it
+/// returns a [`MessageSource`] lease that either echoes a broadcast state or
+/// names a slot of this pool. The pool has two halves:
+///
+/// * **pinned** states live for the whole execution ([`StatePool::pin`]) —
+///   a crash adversary's frozen states are materialised exactly once;
+/// * **fabricated** states live for one round ([`StatePool::fabricate`]) —
+///   the engine recycles their slots via [`StatePool::begin_round`], so a
+///   two-faced adversary materialises each face once per round instead of
+///   once per receiver.
+///
+/// The cumulative fabrication count is the message plane's cost ledger:
+/// [`StatePool::fabricated_total`] is what the `throughput` bench reports as
+/// the fabricated-state clone count of a sweep.
+///
+/// Leases are only meaningful for the execution whose pool produced them;
+/// adversaries must not carry tokens from one simulation into another.
+#[derive(Clone, Debug, Default)]
+pub struct StatePool<S> {
+    pinned: Vec<S>,
+    round: Vec<S>,
+    fabricated: u64,
+}
+
+impl<S> StatePool<S> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        StatePool {
+            pinned: Vec::new(),
+            round: Vec::new(),
+            fabricated: 0,
+        }
+    }
+
+    /// Stores `state` for the rest of the execution and leases it.
+    ///
+    /// The returned token stays valid across rounds — pin states that never
+    /// change (frozen crash values, fixed attack states) and reuse the
+    /// token forever.
+    pub fn pin(&mut self, state: S) -> MessageSource {
+        self.pinned.push(state);
+        MessageSource::Pinned((self.pinned.len() - 1) as u32)
+    }
+
+    /// Stores `state` for the current round and leases it.
+    ///
+    /// The token is recycled when the next round begins; fabricate at most
+    /// once per distinct state per round (e.g. in
+    /// [`Adversary::begin_round`](crate::Adversary::begin_round)) and hand
+    /// the same token to every receiver that should see it.
+    pub fn fabricate(&mut self, state: S) -> MessageSource {
+        self.fabricated += 1;
+        self.round.push(state);
+        MessageSource::Fabricated((self.round.len() - 1) as u32)
+    }
+
+    /// Engine hook: recycles the round half of the pool. Pinned states and
+    /// the cumulative fabrication count survive.
+    pub fn begin_round(&mut self) {
+        self.round.clear();
+    }
+
+    /// The execution-pinned states, indexed by [`MessageSource::Pinned`].
+    pub fn pinned(&self) -> &[S] {
+        &self.pinned
+    }
+
+    /// This round's fabricated states, indexed by
+    /// [`MessageSource::Fabricated`].
+    pub fn round(&self) -> &[S] {
+        &self.round
+    }
+
+    /// Total states fabricated over the execution so far (pinned states are
+    /// not counted — they are materialised once, which is the point).
+    pub fn fabricated_total(&self) -> u64 {
+        self.fabricated
+    }
+
+    /// Resolves a lease against the round's broadcast `base` — the
+    /// reference-engine path and the test helper; the hot path resolves
+    /// through [`MessageView::from_sources`](sc_protocol::MessageView).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lease names a slot this pool never issued.
+    pub fn resolve<'a>(&'a self, base: &'a [S], source: MessageSource) -> &'a S {
+        match source {
+            MessageSource::Broadcast(donor) => &base[donor.index()],
+            MessageSource::Pinned(slot) => &self.pinned[slot as usize],
+            MessageSource::Fabricated(slot) => &self.round[slot as usize],
+        }
+    }
+}
 
 /// Reusable scratch buffers for one executing engine.
 ///
@@ -17,9 +119,12 @@ use sc_protocol::NodeId;
 /// parts they use. Capacity is retained across uses, which is the point.
 #[derive(Clone, Debug, Default)]
 pub struct RoundWorkspace<S> {
-    /// Per-receiver adversary overrides `(faulty sender, fabricated state)`,
-    /// cleared and refilled for every correct receiver.
-    pub overrides: Vec<(NodeId, S)>,
+    /// Per-receiver adversary leases `(faulty sender, message source)`,
+    /// cleared and refilled for every correct receiver. Plain `Copy` tokens
+    /// — resolving them against `pool` is the zero-copy part of the plane.
+    pub sources: Vec<(NodeId, MessageSource)>,
+    /// The adversary state pool the leases in `sources` point into.
+    pub pool: StatePool<S>,
     /// Dense received-state scratch for engines that materialise whole
     /// vectors (the exhaustive checker's Byzantine-combination sweep).
     pub scratch: Vec<S>,
@@ -29,7 +134,8 @@ impl<S> RoundWorkspace<S> {
     /// An empty workspace; buffers grow on first use and are then reused.
     pub fn new() -> Self {
         RoundWorkspace {
-            overrides: Vec::new(),
+            sources: Vec::new(),
+            pool: StatePool::new(),
             scratch: Vec::new(),
         }
     }
@@ -37,14 +143,17 @@ impl<S> RoundWorkspace<S> {
     /// A workspace pre-sized for `f` faulty senders and `n` nodes.
     pub fn with_capacity(f: usize, n: usize) -> Self {
         RoundWorkspace {
-            overrides: Vec::with_capacity(f),
+            sources: Vec::with_capacity(f),
+            pool: StatePool::new(),
             scratch: Vec::with_capacity(n),
         }
     }
 
-    /// Clears both buffers, keeping their capacity.
+    /// Clears the lease and scratch buffers, keeping their capacity, and
+    /// recycles the round half of the pool.
     pub fn clear(&mut self) {
-        self.overrides.clear();
+        self.sources.clear();
+        self.pool.begin_round();
         self.scratch.clear();
     }
 }
@@ -110,12 +219,38 @@ mod tests {
     #[test]
     fn workspace_retains_capacity_across_clears() {
         let mut ws: RoundWorkspace<u64> = RoundWorkspace::with_capacity(4, 16);
-        ws.overrides
-            .extend((0..4).map(|i| (NodeId::new(i), i as u64)));
+        ws.sources
+            .extend((0..4).map(|i| (NodeId::new(i), MessageSource::Broadcast(NodeId::new(i)))));
         ws.scratch.extend(0..16u64);
-        let (oc, sc) = (ws.overrides.capacity(), ws.scratch.capacity());
+        let (oc, sc) = (ws.sources.capacity(), ws.scratch.capacity());
         ws.clear();
-        assert!(ws.overrides.is_empty() && ws.scratch.is_empty());
-        assert!(ws.overrides.capacity() >= oc && ws.scratch.capacity() >= sc);
+        assert!(ws.sources.is_empty() && ws.scratch.is_empty());
+        assert!(ws.sources.capacity() >= oc && ws.scratch.capacity() >= sc);
+    }
+
+    #[test]
+    fn pool_recycles_round_slots_but_keeps_pins_and_ledger() {
+        let mut pool: StatePool<u64> = StatePool::new();
+        let frozen = pool.pin(7);
+        let face = pool.fabricate(40);
+        assert_eq!(pool.resolve(&[], frozen), &7);
+        assert_eq!(pool.resolve(&[], face), &40);
+        assert_eq!(pool.fabricated_total(), 1);
+
+        pool.begin_round();
+        assert!(pool.round().is_empty(), "round slots must be recycled");
+        assert_eq!(pool.pinned(), &[7], "pins must survive rounds");
+        assert_eq!(pool.fabricated_total(), 1, "ledger is cumulative");
+        let face2 = pool.fabricate(41);
+        assert_eq!(face2, MessageSource::Fabricated(0), "slot 0 is reused");
+        assert_eq!(pool.fabricated_total(), 2);
+    }
+
+    #[test]
+    fn pool_resolves_broadcast_leases_against_the_base() {
+        let pool: StatePool<u64> = StatePool::new();
+        let base = vec![5u64, 6, 7];
+        let lease = MessageSource::Broadcast(NodeId::new(2));
+        assert_eq!(pool.resolve(&base, lease), &7);
     }
 }

@@ -5,8 +5,8 @@
 //! never leak between receivers or rounds.
 
 use rand::RngCore;
-use sc_protocol::{BitVec, Counter, MessageView, NodeId, StepContext, SyncProtocol};
-use sc_sim::{adversaries, Adversary, Batch, RoundContext, Scenario, Simulation};
+use sc_protocol::{BitVec, Counter, MessageSource, MessageView, NodeId, StepContext, SyncProtocol};
+use sc_sim::{adversaries, Adversary, Batch, RoundContext, Scenario, Simulation, StatePool};
 
 use sc_sim::testing::FollowMax;
 
@@ -116,10 +116,18 @@ impl Adversary<u64> for PerReceiverTagger {
     fn faulty(&self) -> &[NodeId] {
         &self.faulty
     }
-    fn message(&mut self, from: NodeId, to: NodeId, ctx: &RoundContext<'_, u64>) -> u64 {
+    fn message(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        ctx: &RoundContext<'_, u64>,
+        pool: &mut StatePool<u64>,
+    ) -> MessageSource {
         // Tag = round, sender and receiver identity, in disjoint digit
         // ranges; every (round, from, to) triple is unique.
-        1_000_000 + ctx.round * 10_000 + (from.index() as u64) * 100 + to.index() as u64
+        pool.fabricate(
+            1_000_000 + ctx.round * 10_000 + (from.index() as u64) * 100 + to.index() as u64,
+        )
     }
 }
 

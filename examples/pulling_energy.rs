@@ -11,10 +11,8 @@
 use rand::rngs::SmallRng;
 use synchronous_counting::core::CounterBuilder;
 use synchronous_counting::protocol::NodeId;
-use synchronous_counting::pulling::{
-    KingPullMode, PullCounter, PullProtocol, PullSimulation, Sampling,
-};
-use synchronous_counting::sim::{adversaries, first_stable_window, violation_rate};
+use synchronous_counting::pulling::{KingPullMode, PullCounter, PullProtocol, Pulled, Sampling};
+use synchronous_counting::sim::{adversaries, first_stable_window, violation_rate, Simulation};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A(12, 1): 3 blocks of A(4, 1); fault ratio 1/12 keeps the sampled
@@ -41,7 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // stabilisation point and the residual per-round failure rate.
     let sampler = |node: NodeId, rng: &mut SmallRng| sampled.random_state(node, rng);
     let adversary = adversaries::random_from(sampler, [5], 9);
-    let mut sim = PullSimulation::new(&sampled, adversary, 17);
+    let pulled = Pulled::new(&sampled);
+    let mut sim = Simulation::new(&pulled, adversary, 17);
     let bound = sampled.stabilization_bound();
     let trace = sim.run_trace(bound + 512);
     let start = first_stable_window(&trace, sampled.modulus(), 64)
@@ -52,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  post-stabilisation failure rate: {rate:.4} per round");
     println!(
         "  max pulls by a correct node:     {}",
-        sim.max_pulls_per_round()
+        pulled.pulls_per_round()
     );
 
     // The pseudo-random variant (Corollary 5): fix the samples once.
@@ -66,7 +65,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let sampler = |node: NodeId, rng: &mut SmallRng| fixed.random_state(node, rng);
     let adversary = adversaries::random_from(sampler, [5], 9);
-    let mut sim = PullSimulation::new(&fixed, adversary, 23);
+    let pulled = Pulled::new(&fixed);
+    let mut sim = Simulation::new(&pulled, adversary, 23);
     let trace = sim.run_trace(bound + 512);
     let start = first_stable_window(&trace, fixed.modulus(), 64)
         .expect("pseudo-random counter should stabilise (whp over the seed)");

@@ -6,10 +6,8 @@
 use rand::rngs::SmallRng;
 use synchronous_counting::core::CounterBuilder;
 use synchronous_counting::protocol::NodeId;
-use synchronous_counting::pulling::{
-    KingPullMode, PullCounter, PullProtocol, PullSimulation, Sampling,
-};
-use synchronous_counting::sim::{adversaries, first_stable_window, violation_rate};
+use synchronous_counting::pulling::{KingPullMode, PullCounter, PullProtocol, Pulled, Sampling};
+use synchronous_counting::sim::{adversaries, first_stable_window, violation_rate, Simulation};
 
 #[test]
 fn nested_predicted_kings_stabilize_with_slack() {
@@ -40,7 +38,8 @@ fn nested_predicted_kings_stabilize_with_slack() {
     for seed in [6u64, 41] {
         let sampler = |node: NodeId, rng: &mut SmallRng| pc.random_state(node, rng);
         let adv = adversaries::random_from(sampler, [7], seed);
-        let mut sim = PullSimulation::new(&pc, adv, seed);
+        let pulled = Pulled::new(&pc);
+        let mut sim = Simulation::new(&pulled, adv, seed);
         let trace = sim.run_trace(bound + 512);
         let start = first_stable_window(&trace, pc.modulus(), 64)
             .unwrap_or_else(|| panic!("seed {seed}: no stable window within {bound}+512"));

@@ -6,7 +6,7 @@
 
 use synchronous_counting::core::{Algorithm, CounterState, LutCounter, LutSpec};
 use synchronous_counting::protocol::NodeId;
-use synchronous_counting::sim::{Adversary, RoundContext, Simulation};
+use synchronous_counting::sim::{Adversary, MessageSource, RoundContext, Simulation, StatePool};
 use synchronous_counting::verifier::{verify, Verdict, Witness};
 
 /// Adversary that plays back a witness script.
@@ -32,7 +32,8 @@ impl Adversary<CounterState> for Scripted {
         from: NodeId,
         to: NodeId,
         ctx: &RoundContext<'_, CounterState>,
-    ) -> CounterState {
+        pool: &mut StatePool<CounterState>,
+    ) -> MessageSource {
         let step = self.witness.script_at(ctx.round);
         let h = self
             .witness
@@ -46,7 +47,7 @@ impl Adversary<CounterState> for Scripted {
             .iter()
             .position(|&v| v == from.index())
             .expect("script covers every faulty sender");
-        CounterState::Lut(step[h][g])
+        pool.fabricate(CounterState::Lut(step[h][g]))
     }
 }
 
