@@ -1,40 +1,25 @@
-//! Engine throughput: batched zero-copy sweeps vs. looping the
-//! first-generation single-run engine, on the Figure-2 recursion stack
-//! `A(4,1) → A(12,3) → A(36,7)`.
+//! Engine throughput and early-decision sweeps on the Figure-2 recursion
+//! stack `A(4,1) → A(12,3) → A(36,7)`.
 //!
-//! Two things are measured:
+//! Three things are measured:
 //!
-//! * criterion micro-benches of a fixed sweep per level, on both engines,
-//!   and
+//! * criterion micro-benches of a fixed sweep per level, on the looped
+//!   single-run pipeline and the batched pipeline,
 //! * a summary table of rounds/sec over a 64-scenario sweep per adversary
 //!   regime, with the speedup factor and the **state-materialisation
-//!   ledger** — the perf baseline future PRs are judged against.
+//!   ledger** — the engine baseline future PRs are judged against, and
+//! * the **early-decision table**: E1/E3-style long-horizon sweeps run
+//!   full-horizon vs. cycle-detecting ([`Batch::run_prepared_early`]), with
+//!   decided-at and rounds-saved columns per regime. Verdicts of the two
+//!   modes are asserted **identical scenario for scenario** — running this
+//!   bench (e.g. `THROUGHPUT_SUMMARY_ONLY=1` in CI) is the divergence gate.
 //!
-//! The baseline deliberately reproduces the original pipeline end to end:
-//! `reference_step` (clone-heavy round loop, one owned state per
-//! (faulty, receiver, round) message, per-receiver `O(n)` vote
-//! recomputation) + materialised `OutputTrace` + offline
-//! `detect_stabilization`. The batched path is `Batch::run_prepared`
-//! (double-buffered zero-copy rounds, hoisted receiver-shared vote tallies,
-//! borrow-based adversary message plane, streaming detection). Both sides
-//! execute the same seeds, rounds, and adversaries, and their verdicts are
-//! asserted identical.
-//!
-//! The adversary regimes include the **Byzantine-heavy mix** this plane was
-//! built for — two-faced equivocation and replay on top of crash and
-//! fresh-random — and the table reports, per regime, the owned-state clone
-//! count of the loop pipeline next to the pool fabrications of the borrowed
-//! plane (0 for pure-echo attacks): the regression guard for the message
-//! plane.
-//!
-//! Baseline caveat: for echo-style strategies the loop pipeline's cost
-//! model (one owned clone per delivered Byzantine message) matches the
-//! original engine exactly. For strategies that fabricate *fresh per pair*
-//! (the `random` regime) the loop side pays the fabrication **plus** the
-//! per-message clone, where the original returned the fabricated state
-//! directly — its speedup column therefore mildly overstates the plane's
-//! win; read the echo regimes (two-faced, replay, crash) as the honest
-//! measure of this refactor.
+//! The first-generation `reference_step` engine and its clone-cost baseline
+//! are gone (the bitwise equivalence gate stayed green from PR 1 through
+//! PR 2); the loop pipeline now measures the *architecture* difference that
+//! remains — per-scenario stepping with a materialised `OutputTrace` and
+//! offline detection versus batched prepared rounds with streaming
+//! detection — on the same zero-copy core.
 
 use std::time::{Duration, Instant};
 
@@ -42,12 +27,20 @@ use criterion::{criterion_group, Criterion};
 use sc_core::{Algorithm, CounterBuilder, CounterState};
 use sc_protocol::Counter as _;
 use sc_sim::{
-    adversaries, detect_stabilization, required_confirmation, Adversary, Batch, OutputTrace,
-    Scenario, Simulation, StabilizationReport,
+    adversaries, detect_stabilization, required_confirmation, sleeper, Adversary, Batch,
+    BatchReport, ExitReason, OutputTrace, Scenario, Simulation, StabilizationReport,
 };
 
 const SCENARIOS: u64 = 64;
 const HORIZON: u64 = 96;
+
+/// Scenarios per regime of the early-decision table.
+const EARLY_SCENARIOS: u64 = 16;
+/// E1/E3-style soak horizon for the early-decision table: A(4,1)'s joint
+/// configuration is periodic with the base modulus 2304 once stabilised, so
+/// 32 wraps is a long-run counting confirmation the cycle exit collapses to
+/// little more than one wrap.
+const EARLY_HORIZON: u64 = 32 * 2304;
 
 type Verdicts = Vec<Result<StabilizationReport, sc_sim::SimError>>;
 type AdversaryFactory<'a> = Box<dyn Fn(u64) -> Box<dyn Adversary<CounterState> + 'a> + Sync + 'a>;
@@ -85,10 +78,11 @@ fn stack() -> Vec<(&'static str, Algorithm, Vec<usize>)> {
 }
 
 /// The adversary regimes swept: no faults, frozen (crash) faults,
-/// fresh-random equivocation, and the Byzantine-heavy echo attacks
-/// (two-faced, replay) whose fabrication cost the borrowed message plane
-/// eliminates. Together they bracket the message cost an adversary adds on
-/// top of the engine.
+/// fresh-random equivocation, the Byzantine echo attacks (two-faced,
+/// replay), and a sleeper that turns into a crash mid-run. Together they
+/// bracket the message cost an adversary adds on top of the engine and
+/// split into snapshot-capable (fault-free, crash, replay, sleeper) and
+/// RNG-driven (random, two-faced) halves for the early-decision table.
 fn regimes<'a>(
     algo: &'a Algorithm,
     faulty: &'a [usize],
@@ -113,40 +107,50 @@ fn regimes<'a>(
             "replay",
             Box::new(move |_| Box::new(adversaries::replay(faulty.iter().copied(), 3))),
         ),
+        (
+            "sleeper",
+            Box::new(move |seed| {
+                Box::new(sleeper(
+                    algo,
+                    faulty.iter().copied(),
+                    64,
+                    adversaries::crash(algo, faulty.iter().copied(), seed),
+                    seed,
+                ))
+            }),
+        ),
     ]
 }
 
-/// The original pipeline, looped per scenario: first-generation engine,
-/// materialised trace, offline detection. Returns the verdicts and the
-/// owned-state materialisation count (the loop engine clones one owned
-/// state per delivered Byzantine message).
-fn sweep_reference(
+/// The per-scenario loop pipeline: single-stepped engine, materialised
+/// trace, offline detection. Returns the verdicts and the pool-fabrication
+/// ledger.
+fn sweep_loop(
     algo: &Algorithm,
     factory: &AdversaryFactory<'_>,
     seeds: u64,
     horizon: u64,
 ) -> (Verdicts, u64) {
     let confirm = required_confirmation(algo.modulus());
-    let mut owned_clones = 0u64;
+    let mut fabricated = 0u64;
     let verdicts = (0..seeds)
         .map(|seed| {
             let mut sim = Simulation::new(algo, factory(seed), seed);
-            let messages_per_round = (sim.faulty().len() * sim.honest().len()) as u64;
             let mut trace = OutputTrace::new(sim.honest().to_vec());
             trace.push_row(sim.outputs_now());
             for _ in 0..horizon {
-                sim.reference_step();
+                sim.step();
                 trace.push_row(sim.outputs_now());
             }
-            owned_clones += messages_per_round * horizon;
+            fabricated += sim.fabricated_states();
             detect_stabilization(&trace, algo.modulus(), confirm)
         })
         .collect();
-    (verdicts, owned_clones)
+    (verdicts, fabricated)
 }
 
 /// The batched zero-copy pipeline for the same sweep. Returns the verdicts
-/// and the pool-fabrication count of the borrowed message plane.
+/// and the pool-fabrication ledger.
 fn sweep_batched(
     algo: &Algorithm,
     factory: &AdversaryFactory<'_>,
@@ -161,13 +165,26 @@ fn sweep_batched(
     (verdicts, fabricated)
 }
 
+/// The early-decision pipeline: batched prepared rounds with the cycle
+/// detector armed.
+fn sweep_early(
+    algo: &Algorithm,
+    factory: &AdversaryFactory<'_>,
+    seeds: u64,
+    horizon: u64,
+) -> BatchReport {
+    let scenarios = Scenario::seeds(0..seeds);
+    Batch::new(algo, horizon)
+        .run_prepared_early(&scenarios, |s: &Scenario<CounterState>| factory(s.seed))
+}
+
 fn bench_throughput(c: &mut Criterion) {
     let mut g = c.benchmark_group("throughput");
     g.sample_size(10).measurement_time(Duration::from_secs(4));
     for (label, algo, faulty) in stack() {
         for (regime, factory) in regimes(&algo, &faulty) {
             g.bench_function(format!("single_run_loop_{label}_{regime}"), |b| {
-                b.iter(|| sweep_reference(&algo, &factory, 8, HORIZON))
+                b.iter(|| sweep_loop(&algo, &factory, 8, HORIZON))
             });
             g.bench_function(format!("batched_{label}_{regime}"), |b| {
                 b.iter(|| sweep_batched(&algo, &factory, 8, HORIZON))
@@ -189,7 +206,7 @@ fn summary_table() {
         "loop (rounds/s)",
         "batch (rounds/s)",
         "speedup",
-        "loop clones",
+        "loop fabric",
         "batch fabric"
     );
     println!(
@@ -207,37 +224,94 @@ fn summary_table() {
             let total_rounds = (SCENARIOS * HORIZON) as f64;
 
             let start = Instant::now();
-            let (reference, owned_clones) = sweep_reference(&algo, &factory, SCENARIOS, HORIZON);
-            let reference_time = start.elapsed().as_secs_f64();
+            let (looped, loop_fabricated) = sweep_loop(&algo, &factory, SCENARIOS, HORIZON);
+            let loop_time = start.elapsed().as_secs_f64();
 
             let start = Instant::now();
-            let (batched, fabricated) = sweep_batched(&algo, &factory, SCENARIOS, HORIZON);
+            let (batched, batch_fabricated) = sweep_batched(&algo, &factory, SCENARIOS, HORIZON);
             let batched_time = start.elapsed().as_secs_f64();
 
             // Same protocol, same seeds, same horizon ⇒ identical verdicts;
             // a throughput number for a divergent engine is meaningless.
             assert_eq!(
-                reference, batched,
+                looped, batched,
                 "{label}/{regime}: engines disagree — benchmark invalid"
-            );
-            // The borrowed plane can only ever fabricate *less* than the
-            // loop pipeline's one-owned-state-per-message model.
-            assert!(
-                fabricated <= owned_clones,
-                "{label}/{regime}: plane fabricated more states than messages"
             );
 
             println!(
                 "| {:<8} | {:<10} | {:>16.0} | {:>16.0} | {:>7.2}x | {:>12} | {:>12} |",
                 label,
                 regime,
-                total_rounds / reference_time,
+                total_rounds / loop_time,
                 total_rounds / batched_time,
-                reference_time / batched_time,
-                owned_clones,
-                fabricated
+                loop_time / batched_time,
+                loop_fabricated,
+                batch_fabricated
             );
         }
+    }
+    println!();
+}
+
+/// The early-decision table: E1/E3-style soak sweeps on A(4,1), full
+/// horizon vs. cycle-detecting, with the decided-at / rounds-saved ledger.
+/// Divergence between the two modes aborts the bench — this is the verdict
+/// gate CI runs in `THROUGHPUT_SUMMARY_ONLY=1` mode.
+fn early_decision_table() {
+    let (label, algo, faulty) = stack().remove(0);
+    println!(
+        "## early-decision sweeps — {label}, {EARLY_SCENARIOS} scenarios × {EARLY_HORIZON} rounds\n"
+    );
+    println!(
+        "| {:<10} | {:>6} | {:>14} | {:>14} | {:>12} | {:>14} | {:>8} |",
+        "adversary", "exits", "decided (max)", "rounds saved", "full (s)", "early (s)", "speedup"
+    );
+    println!(
+        "|{}|{}|{}|{}|{}|{}|{}|",
+        "-".repeat(12),
+        "-".repeat(8),
+        "-".repeat(16),
+        "-".repeat(16),
+        "-".repeat(14),
+        "-".repeat(16),
+        "-".repeat(10)
+    );
+    for (regime, factory) in regimes(&algo, &faulty) {
+        let start = Instant::now();
+        let full = sweep_batched(&algo, &factory, EARLY_SCENARIOS, EARLY_HORIZON);
+        let full_time = start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let early = sweep_early(&algo, &factory, EARLY_SCENARIOS, EARLY_HORIZON);
+        let early_time = start.elapsed().as_secs_f64();
+
+        // The whole point: early-exit verdicts must be bitwise identical to
+        // full-horizon verdicts, scenario for scenario.
+        let early_verdicts: Verdicts = early.outcomes.iter().map(|o| o.result.clone()).collect();
+        assert_eq!(
+            full.0, early_verdicts,
+            "{label}/{regime}: early-exit verdict diverges from full horizon"
+        );
+
+        let decided_max = early
+            .outcomes
+            .iter()
+            .filter_map(|o| match o.exit_reason {
+                ExitReason::Cycle { decided_at, .. } => Some(decided_at),
+                _ => None,
+            })
+            .max();
+        println!(
+            "| {:<10} | {:>2}/{:<3} | {:>14} | {:>14} | {:>12.2} | {:>14.2} | {:>7.1}x |",
+            regime,
+            early.early_exits(),
+            EARLY_SCENARIOS,
+            decided_max.map_or_else(|| "-".into(), |d| d.to_string()),
+            early.rounds_saved(EARLY_HORIZON),
+            full_time,
+            early_time,
+            full_time / early_time
+        );
     }
     println!();
 }
@@ -246,9 +320,11 @@ criterion_group!(benches, bench_throughput);
 
 fn main() {
     // Set THROUGHPUT_SUMMARY_ONLY=1 to skip the criterion micro-benches and
-    // print just the baseline table — the quick regression check.
+    // print just the two summary tables — the quick regression check and
+    // the early-vs-full verdict gate.
     if std::env::var_os("THROUGHPUT_SUMMARY_ONLY").is_none() {
         benches();
     }
     summary_table();
+    early_decision_table();
 }

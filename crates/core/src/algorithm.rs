@@ -2,8 +2,8 @@
 
 use rand::RngCore;
 use sc_protocol::{
-    BitReader, BitVec, CodecError, Counter, MessageView, NodeId, ParamError, StepContext,
-    SyncProtocol,
+    BitReader, BitVec, CodecError, Counter, Fingerprint, MessageView, NodeId, ParamError,
+    StepContext, SyncProtocol,
 };
 
 use crate::boosted::{BoostedCounter, BoostedState};
@@ -297,6 +297,17 @@ impl Counter for Algorithm {
                 })))
             }
         }
+    }
+}
+
+impl Fingerprint for Algorithm {
+    fn deterministic_transition(&self) -> bool {
+        // Every counter of the §3–§4 constructions is deterministic: the
+        // trivial counter increments, LUT counters index tables, and the
+        // boosted transition is majority votes + phase-king instructions —
+        // none touches the `StepContext` entropy source (the
+        // `deterministic_protocols_replay_identically` tests enforce this).
+        true
     }
 }
 

@@ -49,6 +49,10 @@ impl BitVec {
 
     /// Appends the low `width` bits of `value`, most significant first.
     ///
+    /// Word-level: a field is appended in at most two masked word writes,
+    /// not bit by bit — state codecs run in every round of a fingerprinted
+    /// sweep, so this is hot-path code.
+    ///
     /// # Panics
     ///
     /// Panics if `width > 64` or if `value` does not fit in `width` bits —
@@ -59,8 +63,23 @@ impl BitVec {
             width == 64 || value < (1u64 << width),
             "value {value} does not fit in {width} bits"
         );
-        for i in (0..width).rev() {
-            self.push_bit((value >> i) & 1 == 1);
+        let mut remaining = width;
+        while remaining > 0 {
+            let offset = (self.len % 64) as u32;
+            if offset == 0 {
+                self.words.push(0);
+            }
+            let take = remaining.min(64 - offset);
+            let mask = if take == 64 {
+                u64::MAX
+            } else {
+                (1u64 << take) - 1
+            };
+            let chunk = (value >> (remaining - take)) & mask;
+            *self.words.last_mut().expect("word pushed above or partial") |=
+                chunk << (64 - offset - take);
+            self.len += take as usize;
+            remaining -= take;
         }
     }
 
@@ -85,6 +104,22 @@ impl BitVec {
     pub fn bit(&self, index: usize) -> bool {
         assert!(index < self.len, "bit index {index} out of range");
         (self.words[index / 64] >> (63 - (index % 64))) & 1 == 1
+    }
+
+    /// Clears the bit string, retaining the allocated capacity — the reuse
+    /// hook for per-round encoding scratch (configuration fingerprinting
+    /// re-encodes every round into the same buffer).
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.len = 0;
+    }
+
+    /// The backing 64-bit words, MSB-first within each word; bits past
+    /// [`BitVec::len`] in the last word are zero. Two bit strings are equal
+    /// exactly when their lengths and word slices are equal, which makes
+    /// this the fast path for hashing and comparing whole encodings.
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 
     /// Creates a cursor reading from the first bit.

@@ -61,6 +61,6 @@ pub use bits::{BitReader, BitVec, CodecError};
 pub use error::ParamError;
 pub use ids::{BlockId, NodeId};
 pub use math::{bits_for, checked_pow_u64, inc_mod, Interval};
-pub use traits::{Counter, PreparedProtocol, StepContext, SyncProtocol};
+pub use traits::{Counter, Fingerprint, PreparedProtocol, StepContext, SyncProtocol};
 pub use view::{Broadcast, MessageSource, MessageView};
 pub use vote::{majority, majority_or, DeltaTally, Tally, VoteCounts};

@@ -9,7 +9,7 @@ use sc_protocol::{
     bits_for, majority_or, BitReader, BitVec, CodecError, NodeId, ParamError, StepContext, Tally,
 };
 
-use crate::protocol::PullProtocol;
+use crate::protocol::{PullProtocol, PullResponses};
 
 /// How a level of the pulling counter gathers information.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -249,6 +249,25 @@ impl PullCounter {
         }
     }
 
+    /// Whether every level's pull plan is a deterministic function of the
+    /// node and its state: [`Sampling::Full`] everywhere, or sampled levels
+    /// running the pseudo-random variant (`fixed_seed`). This is the typed
+    /// soundness marker gating early-decision sweeps — fresh-sampling
+    /// levels (Theorem 4) draw from the step RNG and must never take a
+    /// cycle-based early exit.
+    pub fn deterministic_plans(&self) -> bool {
+        match self {
+            PullCounter::Trivial(_) => true,
+            PullCounter::Boosted(b) => {
+                let level = match b.sampling {
+                    Sampling::Full => true,
+                    Sampling::Sampled { fixed_seed, .. } => fixed_seed.is_some(),
+                };
+                level && b.inner.deterministic_plans()
+            }
+        }
+    }
+
     /// Encodes `state` into exactly [`PullCounter::state_bits`] bits —
     /// inner state, phase-king registers, then the previous-slot field.
     pub fn encode_state(&self, node: NodeId, state: &PullState, out: &mut BitVec) {
@@ -369,54 +388,61 @@ impl PullProtocol for PullCounter {
         }
     }
 
-    fn plan(&self, node: NodeId, state: &Self::State, rng: &mut dyn RngCore) -> Vec<NodeId> {
+    fn plan_into(
+        &self,
+        node: NodeId,
+        state: &Self::State,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<NodeId>,
+    ) {
         match self {
-            PullCounter::Trivial(_) => Vec::new(),
+            PullCounter::Trivial(_) => {}
             PullCounter::Boosted(b) => {
                 let p = &b.params;
                 match b.sampling {
-                    Sampling::Full => (0..p.n_total())
-                        .map(NodeId::new)
-                        .filter(|&u| u != node)
-                        .collect(),
+                    Sampling::Full => {
+                        out.extend((0..p.n_total()).map(NodeId::new).filter(|&u| u != node));
+                    }
                     Sampling::Sampled { m, king_mode, .. } => {
                         let mut plan_rng = b.plan_rng(node, rng);
                         let (block, _local) = p.block_of(node);
                         let start = block * p.n_inner();
                         let me = state.as_boosted();
-                        let mut plan = Vec::with_capacity(self.plan_len());
-                        // 1. The inner counter's own pulls, block-offset.
-                        for target in b.inner.plan(
+                        // 1. The inner counter's own pulls, appended in
+                        //    place and then block-offset — no inner vector.
+                        let inner_from = out.len();
+                        b.inner.plan_into(
                             NodeId::new(node.index() - start),
                             &me.inner,
                             &mut plan_rng,
-                        ) {
-                            plan.push(NodeId::new(start + target.index()));
+                            out,
+                        );
+                        for target in &mut out[inner_from..] {
+                            *target = NodeId::new(start + target.index());
                         }
                         // 2. m samples per block for the leader votes.
                         for i in 0..p.k() {
                             for _ in 0..m {
                                 let j = plan_rng.random_range(0..p.n_inner());
-                                plan.push(p.member(i, j));
+                                out.push(p.member(i, j));
                             }
                         }
                         // 3. m samples over all nodes for the phase-king tally.
                         for _ in 0..m {
-                            plan.push(NodeId::new(plan_rng.random_range(0..p.n_total())));
+                            out.push(NodeId::new(plan_rng.random_range(0..p.n_total())));
                         }
                         // 4. King candidates.
                         match king_mode {
                             KingPullMode::All => {
                                 for g in 0..p.pk().king_groups() {
-                                    plan.push(p.pk().king_of_group(g));
+                                    out.push(p.pk().king_of_group(g));
                                 }
                             }
                             KingPullMode::Predicted => {
                                 let next_slot = (me.prev_slot + 1) % p.tau();
-                                plan.push(p.pk().king_of_group(next_slot / 3));
+                                out.push(p.pk().king_of_group(next_slot / 3));
                             }
                         }
-                        plan
                     }
                 }
             }
@@ -427,7 +453,7 @@ impl PullProtocol for PullCounter {
         &self,
         node: NodeId,
         state: &Self::State,
-        responses: &[(NodeId, &Self::State)],
+        responses: &dyn PullResponses<Self::State>,
         ctx: &mut StepContext<'_>,
     ) -> Self::State {
         match self {
@@ -470,13 +496,67 @@ impl PullProtocol for PullCounter {
     }
 }
 
+/// Zero-allocation projection of a contiguous response range onto an inner
+/// level: ids are rebased to block-local, states project to the inner field.
+struct ProjectedInner<'a> {
+    base: &'a dyn PullResponses<PullState>,
+    offset: usize,
+    len: usize,
+    id_base: usize,
+}
+
+impl PullResponses<PullState> for ProjectedInner<'_> {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn target(&self, i: usize) -> NodeId {
+        NodeId::new(self.base.target(self.offset + i).index() - self.id_base)
+    }
+
+    fn state(&self, i: usize) -> &PullState {
+        &self.base.state(self.offset + i).as_boosted().inner
+    }
+}
+
+/// Zero-allocation inner responses of a full-mode block: the block mates'
+/// states in id order, skipping the node itself.
+struct BlockResponses<'a> {
+    states: &'a [&'a PullBoostedState],
+    skip: usize,
+}
+
+impl BlockResponses<'_> {
+    fn slot(&self, i: usize) -> usize {
+        if i < self.skip {
+            i
+        } else {
+            i + 1
+        }
+    }
+}
+
+impl PullResponses<PullState> for BlockResponses<'_> {
+    fn len(&self) -> usize {
+        self.states.len() - 1
+    }
+
+    fn target(&self, i: usize) -> NodeId {
+        NodeId::new(self.slot(i))
+    }
+
+    fn state(&self, i: usize) -> &PullState {
+        &self.states[self.slot(i)].inner
+    }
+}
+
 impl PullBoosted {
     /// The transition of one node at this level.
     fn pull_step(
         &self,
         node: NodeId,
         me: &PullBoostedState,
-        responses: &[(NodeId, &PullState)],
+        responses: &dyn PullResponses<PullState>,
         ctx: &mut StepContext<'_>,
     ) -> PullBoostedState {
         match self.sampling {
@@ -493,7 +573,7 @@ impl PullBoosted {
         &self,
         node: NodeId,
         me: &PullBoostedState,
-        responses: &[(NodeId, &PullState)],
+        responses: &dyn PullResponses<PullState>,
         ctx: &mut StepContext<'_>,
     ) -> PullBoostedState {
         let p = &self.params;
@@ -501,14 +581,15 @@ impl PullBoosted {
         // Rebuild the full state vector: responses are (all others, in id
         // order); own state fills the gap.
         let mut all: Vec<&PullBoostedState> = Vec::with_capacity(n_total);
-        let mut it = responses.iter();
+        let mut next_response = 0;
         for v in 0..n_total {
             if v == node.index() {
                 all.push(me);
             } else {
-                let (id, s) = it.next().expect("full plan covers all other nodes");
-                debug_assert_eq!(id.index(), v);
-                all.push(s.as_boosted());
+                debug_assert!(next_response < responses.len(), "full plan covers all");
+                debug_assert_eq!(responses.target(next_response).index(), v);
+                all.push(responses.state(next_response).as_boosted());
+                next_response += 1;
             }
         }
 
@@ -555,19 +636,17 @@ impl PullBoosted {
 
     /// Inner update in full mode: the inner protocol also runs in full mode,
     /// so its "responses" are the block-mates' states — projected by
-    /// reference, never cloned.
+    /// reference through a positional adapter, never cloned or collected.
     fn full_inner_step(
         &self,
         local: usize,
         block_states: &[&PullBoostedState],
         ctx: &mut StepContext<'_>,
     ) -> PullState {
-        let inner_responses: Vec<(NodeId, &PullState)> = block_states
-            .iter()
-            .enumerate()
-            .filter(|(j, _)| *j != local)
-            .map(|(j, s)| (NodeId::new(j), &s.inner))
-            .collect();
+        let inner_responses = BlockResponses {
+            states: block_states,
+            skip: local,
+        };
         self.inner.pull_step(
             NodeId::new(local),
             &block_states[local].inner,
@@ -585,7 +664,7 @@ impl PullBoosted {
         &self,
         node: NodeId,
         me: &PullBoostedState,
-        responses: &[(NodeId, &PullState)],
+        responses: &dyn PullResponses<PullState>,
         ctx: &mut StepContext<'_>,
         m: usize,
         king_mode: KingPullMode,
@@ -594,19 +673,22 @@ impl PullBoosted {
         let (block, _) = p.block_of(node);
         let start = block * p.n_inner();
 
-        // Split the response vector structurally.
+        // Split the response vector structurally, by position.
         let inner_len = self.inner.plan_len();
-        let (inner_part, rest) = responses.split_at(inner_len);
-        let (block_part, rest) = rest.split_at(p.k() * m);
-        let (pk_part, king_part) = rest.split_at(m);
+        let block_off = inner_len;
+        let pk_off = block_off + p.k() * m;
+        let king_off = pk_off + m;
+        let king_len = responses.len() - king_off;
 
         // 1. Inner update on the inner counter's own samples, projected to
         //    the inner state space by reference (the pulled nodes answered
         //    with their full state at *this* level).
-        let inner_responses: Vec<(NodeId, &PullState)> = inner_part
-            .iter()
-            .map(|(id, s)| (NodeId::new(id.index() - start), &s.as_boosted().inner))
-            .collect();
+        let inner_responses = ProjectedInner {
+            base: responses,
+            offset: 0,
+            len: inner_len,
+            id_base: start,
+        };
         let next_inner = self.inner.pull_step(
             NodeId::new(node.index() - start),
             &me.inner,
@@ -616,36 +698,36 @@ impl PullBoosted {
 
         // 2. Sampled leader votes (Lemma 9): per-block majorities over the m
         //    samples, then the leader block, then its slot counter.
-        let pointer_of = |(id, s): &(NodeId, &PullState)| {
-            let (i, j) = p.block_of(*id);
-            let value = self.inner_output(j, &s.as_boosted().inner);
+        let pointer_of = |sample: usize| {
+            let (i, j) = p.block_of(responses.target(block_off + sample));
+            let value =
+                self.inner_output(j, &responses.state(block_off + sample).as_boosted().inner);
             p.pointer(i, value)
         };
         let mut block_support = Vec::with_capacity(p.k());
         for i in 0..p.k() {
-            let samples = &block_part[i * m..(i + 1) * m];
             block_support.push(majority_or(
-                samples.iter().map(|r| pointer_of(r).b as u64),
+                (i * m..(i + 1) * m).map(|s| pointer_of(s).b as u64),
                 0,
             ));
         }
         let leader = majority_or(block_support.iter().copied(), 0) as usize;
-        let leader_samples = &block_part[leader * m..(leader + 1) * m];
-        let slot = majority_or(leader_samples.iter().map(|r| pointer_of(r).r), 0);
+        let slot = majority_or((leader * m..(leader + 1) * m).map(|s| pointer_of(s).r), 0);
 
         // 3. Sampled phase king (Lemma 8): thresholds ⅔m / ⅓m.
-        let tally: Tally = pk_part.iter().map(|(_, s)| s.as_boosted().regs.a).collect();
+        let tally: Tally = (0..m)
+            .map(|i| responses.state(pk_off + i).as_boosted().regs.a)
+            .collect();
         let king = p.pk().king_of_group(slot / 3);
+        let king_pull = (0..king_len).find(|&i| responses.target(king_off + i) == king);
         let king_value = match king_mode {
-            KingPullMode::All => king_part
-                .iter()
-                .find(|(id, _)| *id == king)
-                .map(|(_, s)| s.as_boosted().regs.a)
-                .expect("all king candidates pulled"),
-            KingPullMode::Predicted => king_part
-                .iter()
-                .find(|(id, _)| *id == king)
-                .map_or(INFINITY, |(_, s)| s.as_boosted().regs.a),
+            KingPullMode::All => {
+                let i = king_pull.expect("all king candidates pulled");
+                responses.state(king_off + i).as_boosted().regs.a
+            }
+            KingPullMode::Predicted => king_pull.map_or(INFINITY, |i| {
+                responses.state(king_off + i).as_boosted().regs.a
+            }),
         };
         let regs = execute_slot(
             &self.pk,

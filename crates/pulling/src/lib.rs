@@ -60,5 +60,5 @@ mod protocol;
 mod pulled;
 
 pub use counter::{KingPullMode, PullBoosted, PullBoostedState, PullCounter, PullState, Sampling};
-pub use protocol::PullProtocol;
+pub use protocol::{PullProtocol, PullResponses};
 pub use pulled::Pulled;

@@ -3,23 +3,66 @@
 use rand::RngCore;
 use sc_protocol::{NodeId, StepContext};
 
+/// Positional, borrowed responses to a pull plan: entry `i` answers request
+/// `i` of the plan, in request order (duplicates allowed).
+///
+/// The responses are an *accessor*, not a materialised vector: on the shared
+/// zero-copy engine they project straight out of the round's
+/// [`MessageView`](sc_protocol::MessageView) (and, for faulty targets, the
+/// adversary state pool), and recursive constructions project inner-level
+/// responses through further zero-allocation adapters. A plain
+/// `&[(NodeId, &S)]` slice also implements the trait, which keeps tests and
+/// custom harnesses simple.
+pub trait PullResponses<S> {
+    /// Number of responses (= the plan length).
+    fn len(&self) -> usize;
+
+    /// Whether the plan was empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The node that request `i` contacted.
+    fn target(&self, i: usize) -> NodeId;
+
+    /// The state request `i` received, borrowed from the engine's buffers.
+    fn state(&self, i: usize) -> &S;
+}
+
+// Implemented on the *reference* type because only a `Sized` type can
+// coerce to `&dyn PullResponses<S>`, which is what `pull_step` takes:
+// pass `&&responses[..]`.
+impl<S> PullResponses<S> for &[(NodeId, &S)] {
+    fn len(&self) -> usize {
+        <[(NodeId, &S)]>::len(self)
+    }
+
+    fn target(&self, i: usize) -> NodeId {
+        self[i].0
+    }
+
+    fn state(&self, i: usize) -> &S {
+        self[i].1
+    }
+}
+
 /// A synchronous protocol in the pulling model (§5.1).
 ///
-/// Each round a node (1) chooses which nodes to contact ([`PullProtocol::plan`]),
-/// (2) receives one response per request — in request order, duplicates
-/// allowed — and (3) updates its state ([`PullProtocol::pull_step`]).
+/// Each round a node (1) chooses which nodes to contact
+/// ([`PullProtocol::plan_into`]), (2) receives one response per request — in
+/// request order, duplicates allowed — and (3) updates its state
+/// ([`PullProtocol::pull_step`]).
 ///
 /// The *plan* may be randomised (fresh samples per round, Theorem 4) or
 /// fixed (pseudo-random variant, Corollary 5); its **length** must be a
 /// deterministic function of the protocol parameters, so that implementations
 /// can split the response vector structurally.
 ///
-/// Responses are **borrowed**: on the shared zero-copy engine a pull is a
-/// receiver-selected projection of the round's message plane, so
-/// `pull_step` receives references into the engine's state buffers (and, for
-/// faulty targets, into the adversary state pool) — no response is cloned to
-/// be delivered, and recursive constructions project inner-level responses
-/// by reference too.
+/// Both sides of the exchange are allocation-free on the hot path: plans are
+/// appended into a caller-owned reusable buffer, and responses are
+/// **borrowed** through the positional [`PullResponses`] accessor — no
+/// response is cloned to be delivered, and recursive constructions project
+/// inner responses by reference too.
 pub trait PullProtocol {
     /// Local node state.
     type State: Clone + std::fmt::Debug;
@@ -27,21 +70,37 @@ pub trait PullProtocol {
     /// Number of nodes.
     fn n(&self) -> usize;
 
-    /// The nodes contacted by `node` this round, in request order;
-    /// repetitions are allowed (sampling with replacement).
-    fn plan(&self, node: NodeId, state: &Self::State, rng: &mut dyn RngCore) -> Vec<NodeId>;
+    /// Appends the nodes contacted by `node` this round to `out`, in
+    /// request order; repetitions are allowed (sampling with replacement).
+    /// Exactly [`PullProtocol::plan_len`] entries must be appended.
+    fn plan_into(
+        &self,
+        node: NodeId,
+        state: &Self::State,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<NodeId>,
+    );
 
-    /// Number of requests [`PullProtocol::plan`] issues, which must not
+    /// The plan as a fresh vector — the convenience wrapper around
+    /// [`PullProtocol::plan_into`] for tests and one-off inspection; engines
+    /// use `plan_into` with a reused buffer.
+    fn plan(&self, node: NodeId, state: &Self::State, rng: &mut dyn RngCore) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.plan_len());
+        self.plan_into(node, state, rng, &mut out);
+        out
+    }
+
+    /// Number of requests [`PullProtocol::plan_into`] issues, which must not
     /// depend on the state or randomness.
     fn plan_len(&self) -> usize;
 
     /// Computes the next state from the node's own state and the borrowed
-    /// responses, where `responses[i]` answers `plan[i]`.
+    /// responses, where response `i` answers request `i` of the plan.
     fn pull_step(
         &self,
         node: NodeId,
         state: &Self::State,
-        responses: &[(NodeId, &Self::State)],
+        responses: &dyn PullResponses<Self::State>,
         ctx: &mut StepContext<'_>,
     ) -> Self::State;
 
@@ -51,4 +110,22 @@ pub trait PullProtocol {
     /// Samples an arbitrary representable state (arbitrary initialisation
     /// and adversarial fabrication).
     fn random_state(&self, node: NodeId, rng: &mut dyn RngCore) -> Self::State;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slices_answer_positionally() {
+        let a = 7u64;
+        let b = 9u64;
+        let responses = [(NodeId::new(3), &a), (NodeId::new(1), &b)];
+        let slice = &responses[..];
+        let r: &dyn PullResponses<u64> = &slice;
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert_eq!(r.target(0), NodeId::new(3));
+        assert_eq!(*r.state(1), 9);
+    }
 }

@@ -27,13 +27,48 @@
 //! modulus — the moral equivalent of the old two-argument
 //! `run_until_stable`.
 
+use std::cell::Cell;
+
 use rand::RngCore;
 use sc_protocol::{
-    BitReader, BitVec, CodecError, Counter, MessageView, NodeId, StepContext, SyncProtocol,
+    BitReader, BitVec, CodecError, Counter, Fingerprint, MessageView, NodeId, StepContext,
+    SyncProtocol,
 };
 
 use crate::counter::PullCounter;
-use crate::protocol::PullProtocol;
+use crate::protocol::{PullProtocol, PullResponses};
+
+std::thread_local! {
+    /// Reusable pull-plan buffer: one per worker thread, recycled across
+    /// rounds and scenarios, so [`Pulled::step`] performs no heap
+    /// allocation after the first round on a thread. Taken out of the cell
+    /// around the step (leaving an empty `Vec` behind), which keeps the
+    /// pattern safe under reentrancy — a protocol-simulating adversary
+    /// stepping `Pulled` from inside its hooks simply starts a fresh buffer.
+    static PLAN_SCRATCH: Cell<Vec<NodeId>> = const { Cell::new(Vec::new()) };
+}
+
+/// The receiver-selected projection of the borrowed message plane: response
+/// `i` of the plan is `view.get(plan[i])` — a borrow out of the engine's
+/// state buffer or the adversary pool, looked up on demand, never collected.
+struct ViewResponses<'p, 'v, S> {
+    plan: &'p [NodeId],
+    view: &'p MessageView<'v, S>,
+}
+
+impl<S> PullResponses<S> for ViewResponses<'_, '_, S> {
+    fn len(&self) -> usize {
+        self.plan.len()
+    }
+
+    fn target(&self, i: usize) -> NodeId {
+        self.plan[i]
+    }
+
+    fn state(&self, i: usize) -> &S {
+        self.view.get(self.plan[i])
+    }
+}
 
 /// A [`PullProtocol`] viewed as a broadcast-model [`SyncProtocol`]: each
 /// node's transition draws its pull plan and then projects exactly the
@@ -96,19 +131,21 @@ impl<'a, P: PullProtocol> SyncProtocol for Pulled<'a, P> {
         ctx: &mut StepContext<'_>,
     ) -> Self::State {
         let me = view.get(node);
-        let plan = self.protocol.plan(node, me, ctx.rng);
+        // The plan buffer is recycled thread-locally and the responses are
+        // a view-backed projection: the whole pulling round performs zero
+        // heap traffic in this adapter.
+        let mut plan = PLAN_SCRATCH.take();
+        plan.clear();
+        self.protocol.plan_into(node, me, ctx.rng, &mut plan);
         debug_assert_eq!(
             plan.len(),
             self.protocol.plan_len(),
             "plan length must be static"
         );
-        // The receiver-selected projection: only planned entries are read,
-        // each a borrow out of the view (state buffer or adversary pool).
-        let responses: Vec<(NodeId, &Self::State)> = plan
-            .into_iter()
-            .map(|target| (target, view.get(target)))
-            .collect();
-        self.protocol.pull_step(node, me, &responses, ctx)
+        let responses = ViewResponses { plan: &plan, view };
+        let next = self.protocol.pull_step(node, me, &responses, ctx);
+        PLAN_SCRATCH.set(plan);
+        next
     }
 
     fn output(&self, node: NodeId, state: &Self::State) -> u64 {
@@ -147,5 +184,16 @@ impl<'a> Counter for Pulled<'a, PullCounter> {
         input: &mut BitReader<'_>,
     ) -> Result<Self::State, CodecError> {
         self.protocol.decode_state(node, input)
+    }
+}
+
+impl<'a> Fingerprint for Pulled<'a, PullCounter> {
+    fn deterministic_transition(&self) -> bool {
+        // A pulling round is deterministic exactly when every level's plan
+        // is: full pulling, or the pseudo-random variant's fixed samples
+        // (Corollary 5). Fresh-sampling levels (Theorem 4) draw their plan
+        // from the step RNG, so they opt out and early-decision sweeps fall
+        // back to the full horizon — soundness is typed, not assumed.
+        self.protocol.deterministic_plans()
     }
 }

@@ -16,7 +16,7 @@ use rand::{Rng, SeedableRng};
 use sc_protocol::{MessageSource, MessageView, NodeId, StepContext, SyncProtocol};
 
 use crate::adversaries::{normalize_faults, FacePair};
-use crate::adversary::{Adversary, RoundContext};
+use crate::adversary::{Adversary, AdversarySnapshot, RoundContext, SnapshotSupport};
 use crate::workspace::StatePool;
 
 /// Faulty nodes execute the protocol *honestly* until `wake_round`, then
@@ -138,6 +138,33 @@ where
             .binary_search(&from)
             .expect("message from non-faulty node");
         self.leases[idx]
+    }
+
+    fn snapshot(&self, round: u64, out: &mut AdversarySnapshot<'_, P::State>) -> SnapshotSupport {
+        // The sleeper's behaviour depends on absolute time only through the
+        // distance to the wake round: folding the countdown in keeps
+        // still-sleeping configurations from aliasing across rounds (it
+        // strictly decreases until the attack starts), after which it is a
+        // constant 0 and the attack's own snapshot carries the state.
+        //
+        // Caveat: the honest simulation draws from this adversary's private
+        // RNG only if the protocol does — and the early-decision engine
+        // already requires a deterministic transition to fingerprint at all.
+        out.word(self.wake_round.saturating_sub(round));
+        out.word(self.states.len() as u64);
+        for (id, state) in self.faulty.iter().zip(&self.states) {
+            out.state(*id, state);
+        }
+        match &self.next {
+            Some(next) => {
+                out.word(1);
+                for (id, state) in self.faulty.iter().zip(next) {
+                    out.state(*id, state);
+                }
+            }
+            None => out.word(0),
+        }
+        self.attack.snapshot(round, out)
     }
 }
 

@@ -36,7 +36,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sc_protocol::{MessageSource, NodeId, SyncProtocol};
 
-use crate::adversary::{Adversary, RoundContext};
+use crate::adversary::{Adversary, AdversarySnapshot, RoundContext, SnapshotSupport};
 use crate::workspace::StatePool;
 
 /// Sorts, deduplicates and wraps raw faulty indices — the canonical
@@ -119,6 +119,11 @@ impl<S> Adversary<S> for NoFaults {
     ) -> MessageSource {
         unreachable!("no faulty nodes, but a message was requested from {from}")
     }
+
+    fn snapshot(&self, _round: u64, _out: &mut AdversarySnapshot<'_, S>) -> SnapshotSupport {
+        // No faults, no state: the configuration is the correct nodes alone.
+        SnapshotSupport::Deterministic
+    }
 }
 
 /// Crash-style faults: each faulty node freezes an arbitrary state (sampled
@@ -185,6 +190,20 @@ impl<S: Clone + std::fmt::Debug> Adversary<S> for Crash<S> {
             .binary_search(&from)
             .expect("message requested from a non-faulty node");
         self.leases[idx]
+    }
+
+    fn snapshot(&self, _round: u64, out: &mut AdversarySnapshot<'_, S>) -> SnapshotSupport {
+        // Before the first round the frozen states are still queued; after,
+        // they live in the execution's immutable pinned pool and the leases
+        // are their faithful stand-ins.
+        out.word(self.frozen.len() as u64);
+        for (id, state) in self.faulty.iter().zip(&self.frozen) {
+            out.state(*id, state);
+        }
+        for lease in &self.leases {
+            out.source(*lease);
+        }
+        SnapshotSupport::Deterministic
     }
 }
 
@@ -481,6 +500,20 @@ impl<S: Clone + std::fmt::Debug> Adversary<S> for Replay<S> {
             }
         }
     }
+
+    fn snapshot(&self, _round: u64, out: &mut AdversarySnapshot<'_, S>) -> SnapshotSupport {
+        // The donor mapping is static; the strategy's evolving state is the
+        // ring of donor snapshots (the serve mode and the per-round leases
+        // are recomputed from it every `begin_round`).
+        out.word(self.delay as u64);
+        out.word(self.ring.len() as u64);
+        for snapshot in &self.ring {
+            for (donor, state) in self.donors.iter().zip(snapshot) {
+                out.state(*donor, state);
+            }
+        }
+        SnapshotSupport::Deterministic
+    }
 }
 
 /// Sends the caller-supplied state to every receiver in every round.
@@ -531,6 +564,23 @@ impl<S: Clone + std::fmt::Debug> Adversary<S> for Fixed<S> {
         _pool: &mut StatePool<S>,
     ) -> MessageSource {
         self.lease.expect("begin_round not called")
+    }
+
+    fn snapshot(&self, _round: u64, out: &mut AdversarySnapshot<'_, S>) -> SnapshotSupport {
+        // The constant state is either still queued or pinned immutably.
+        if let Some(state) = &self.state {
+            out.word(1);
+            out.state(
+                self.faulty.first().copied().unwrap_or(NodeId::new(0)),
+                state,
+            );
+        } else {
+            out.word(0);
+        }
+        if let Some(lease) = self.lease {
+            out.source(lease);
+        }
+        SnapshotSupport::Deterministic
     }
 }
 

@@ -1,8 +1,73 @@
 //! The Byzantine adversary interface: the borrow-based message plane.
 
-use sc_protocol::{MessageSource, NodeId};
+use sc_protocol::{BitVec, MessageSource, NodeId};
 
 use crate::workspace::{FaultMask, StatePool};
+
+/// Whether an adversary's internal state can be captured for configuration
+/// fingerprinting (see [`Adversary::snapshot`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SnapshotSupport {
+    /// The strategy is a deterministic function of the written snapshot and
+    /// the observable round state: two rounds with equal snapshots and equal
+    /// correct-node configurations behave identically forever after.
+    Deterministic,
+    /// The strategy is RNG-driven (or otherwise not capturable); engines
+    /// must not take cycle-based early exits under it.
+    Opaque,
+}
+
+/// Write-side of [`Adversary::snapshot`]: a bit-exact sink for the
+/// adversary's round-relevant internal state.
+///
+/// The engine backs the writer with the protocol's state digest
+/// ([`Fingerprint::fingerprint_state`](sc_protocol::Fingerprint)), so
+/// snapshots that contain protocol states (a replay ring, a sleeper's
+/// honestly simulated states) are encoded with the same injective codec as
+/// the configuration itself.
+pub struct AdversarySnapshot<'a, S> {
+    bits: &'a mut BitVec,
+    encode: &'a mut dyn FnMut(NodeId, &S, &mut BitVec),
+}
+
+impl<S> std::fmt::Debug for AdversarySnapshot<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdversarySnapshot")
+            .field("bits", &self.bits.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a, S> AdversarySnapshot<'a, S> {
+    /// A writer appending to `bits`, digesting states through `encode`.
+    pub fn new(bits: &'a mut BitVec, encode: &'a mut dyn FnMut(NodeId, &S, &mut BitVec)) -> Self {
+        AdversarySnapshot { bits, encode }
+    }
+
+    /// Appends a raw 64-bit word (counters, flags, lease tokens).
+    pub fn word(&mut self, value: u64) {
+        self.bits.push_bits(value, 64);
+    }
+
+    /// Appends the digest of a protocol state held by the adversary,
+    /// encoded as belonging to `node` (the codec may be node-dependent).
+    pub fn state(&mut self, node: NodeId, state: &S) {
+        (self.encode)(node, state, self.bits);
+    }
+
+    /// Appends a [`MessageSource`] lease token. Leases name immutable slots
+    /// of one execution's pool, so the token is a faithful stand-in for the
+    /// state it resolves to within that execution.
+    pub fn source(&mut self, source: MessageSource) {
+        let (tag, payload) = match source {
+            MessageSource::Broadcast(donor) => (0u64, donor.index() as u64),
+            MessageSource::Pinned(slot) => (1, u64::from(slot)),
+            MessageSource::Fabricated(slot) => (2, u64::from(slot)),
+        };
+        self.bits.push_bits(tag, 2);
+        self.bits.push_bits(payload, 64);
+    }
+}
 
 /// Everything the adversary can observe about one round.
 ///
@@ -97,6 +162,27 @@ pub trait Adversary<S> {
         ctx: &RoundContext<'_, S>,
         pool: &mut StatePool<S>,
     ) -> MessageSource;
+
+    /// The **snapshot capability** of the early-decision engine: writes the
+    /// strategy's round-relevant internal state into `out` and says whether
+    /// that capture is faithful.
+    ///
+    /// `round` is the number of completed rounds — the index the *next*
+    /// [`Adversary::begin_round`] will observe. Time-dependent strategies
+    /// (a sleeper waking at a fixed round) must fold the remaining distance
+    /// to their trigger into the snapshot, so that configurations at
+    /// different absolute times never alias.
+    ///
+    /// Returning [`SnapshotSupport::Deterministic`] asserts: given equal
+    /// snapshots and equal correct-node configurations (plus the execution's
+    /// immutable pinned pool), the strategy makes identical decisions in all
+    /// future rounds. RNG-driven strategies keep the default
+    /// [`SnapshotSupport::Opaque`], which soundly disables cycle-based early
+    /// exits for the execution.
+    fn snapshot(&self, round: u64, out: &mut AdversarySnapshot<'_, S>) -> SnapshotSupport {
+        let _ = (round, out);
+        SnapshotSupport::Opaque
+    }
 }
 
 impl<S, A: Adversary<S> + ?Sized> Adversary<S> for Box<A> {
@@ -116,6 +202,10 @@ impl<S, A: Adversary<S> + ?Sized> Adversary<S> for Box<A> {
         pool: &mut StatePool<S>,
     ) -> MessageSource {
         (**self).message(from, to, ctx, pool)
+    }
+
+    fn snapshot(&self, round: u64, out: &mut AdversarySnapshot<'_, S>) -> SnapshotSupport {
+        (**self).snapshot(round, out)
     }
 }
 

@@ -51,9 +51,10 @@
 //! assert!(report.summary().worst <= 1);
 //! ```
 
-use sc_protocol::{Counter, PreparedProtocol};
+use sc_protocol::{Counter, Fingerprint, PreparedProtocol};
 
 use crate::adversary::Adversary;
+use crate::early::ExitReason;
 use crate::simulation::{required_confirmation, Simulation};
 use crate::stabilization::{OnlineDetector, StabilizationReport};
 use crate::SimError;
@@ -107,6 +108,11 @@ pub struct ScenarioOutcome {
     /// over this execution (see [`Simulation::fabricated_states`]) — the
     /// fabrication-cost ledger Byzantine sweeps are benchmarked on.
     pub fabricated_states: u64,
+    /// How the execution finished: full horizon, opted-out (RNG-driven), or
+    /// an early cycle exit — the early-decision ledger next to
+    /// `fabricated_states`. Always [`ExitReason::FullHorizon`] on the
+    /// non-early entry points ([`Batch::run`], [`Batch::run_prepared`]).
+    pub exit_reason: ExitReason,
 }
 
 /// Aggregate statistics over a [`BatchReport`].
@@ -170,6 +176,23 @@ impl BatchReport {
     pub fn fabricated_states(&self) -> u64 {
         self.outcomes.iter().map(|o| o.fabricated_states).sum()
     }
+
+    /// Scenarios that took the early cycle exit.
+    pub fn early_exits(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.exit_reason, ExitReason::Cycle { .. }))
+            .count()
+    }
+
+    /// Total rounds of a `horizon`-round sweep that were decided
+    /// algebraically instead of executed — the early-decision ledger.
+    pub fn rounds_saved(&self, horizon: u64) -> u64 {
+        self.outcomes
+            .iter()
+            .map(|o| o.exit_reason.rounds_saved(horizon))
+            .sum()
+    }
 }
 
 /// A batched sweep runner for one counter protocol.
@@ -226,6 +249,7 @@ impl<'a, P: Counter> Batch<'a, P> {
                     required: confirm,
                 }),
                 fabricated_states: 0,
+                exit_reason: ExitReason::FullHorizon,
             };
         }
         let adversary = factory(scenario);
@@ -245,6 +269,37 @@ impl<'a, P: Counter> Batch<'a, P> {
             seed: scenario.seed,
             result: detector.finish(confirm),
             fabricated_states: sim.fabricated_states(),
+            exit_reason: ExitReason::FullHorizon,
+        }
+    }
+
+    /// Runs one scenario in the early-decision mode: identical verdict, but
+    /// the execution stops as soon as the configuration provably cycles.
+    fn run_one_early<A, F, S>(
+        &self,
+        scenario: &Scenario<P::State>,
+        factory: &F,
+        step: S,
+    ) -> ScenarioOutcome
+    where
+        P: Fingerprint,
+        A: Adversary<P::State>,
+        F: Fn(&Scenario<P::State>) -> A,
+        S: Fn(&mut Simulation<'a, P, A>),
+    {
+        let adversary = factory(scenario);
+        let mut sim = match &scenario.init {
+            Some(states) => {
+                Simulation::with_states(self.protocol, adversary, states.clone(), scenario.seed)
+            }
+            None => Simulation::new(self.protocol, adversary, scenario.seed),
+        };
+        let (result, exit_reason) = sim.run_early_with(self.horizon, step);
+        ScenarioOutcome {
+            seed: scenario.seed,
+            result,
+            fabricated_states: sim.fabricated_states(),
+            exit_reason,
         }
     }
 
@@ -348,6 +403,79 @@ impl<'a, P: Counter> Batch<'a, P> {
     {
         self.schedule(scenarios, |s| {
             self.run_one(s, &factory, Simulation::step_prepared)
+        })
+    }
+
+    /// [`run`](Batch::run) in the **early-decision mode**: verdicts are
+    /// bitwise identical, but scenarios whose joint (states, adversary)
+    /// configuration provably cycles stop executing at the recurrence and
+    /// replay the rest of the horizon algebraically (see
+    /// [`Simulation::run_until_stable_early`]). Each outcome's
+    /// [`exit_reason`](ScenarioOutcome::exit_reason) records whether and
+    /// where the exit fired; RNG-driven adversaries run the full horizon
+    /// and report [`ExitReason::Opaque`].
+    #[cfg(feature = "parallel")]
+    pub fn run_early<A, F>(&self, scenarios: &[Scenario<P::State>], factory: F) -> BatchReport
+    where
+        P: Fingerprint,
+        A: Adversary<P::State>,
+        F: Fn(&Scenario<P::State>) -> A + Sync,
+        P: Sync,
+        P::State: Send + Sync,
+    {
+        self.schedule(scenarios, |s| {
+            self.run_one_early(s, &factory, Simulation::step)
+        })
+    }
+
+    /// [`run_early`](Batch::run_early), single-threaded build.
+    #[cfg(not(feature = "parallel"))]
+    pub fn run_early<A, F>(&self, scenarios: &[Scenario<P::State>], factory: F) -> BatchReport
+    where
+        P: Fingerprint,
+        A: Adversary<P::State>,
+        F: Fn(&Scenario<P::State>) -> A,
+    {
+        self.schedule(scenarios, |s| {
+            self.run_one_early(s, &factory, Simulation::step)
+        })
+    }
+
+    /// [`run_early`](Batch::run_early) on the [`PreparedProtocol`] fast
+    /// path.
+    #[cfg(feature = "parallel")]
+    pub fn run_prepared_early<A, F>(
+        &self,
+        scenarios: &[Scenario<P::State>],
+        factory: F,
+    ) -> BatchReport
+    where
+        P: Fingerprint + PreparedProtocol,
+        A: Adversary<P::State>,
+        F: Fn(&Scenario<P::State>) -> A + Sync,
+        P: Sync,
+        P::State: Send + Sync,
+    {
+        self.schedule(scenarios, |s| {
+            self.run_one_early(s, &factory, Simulation::step_prepared)
+        })
+    }
+
+    /// [`run_prepared_early`](Batch::run_prepared_early), single-threaded
+    /// build.
+    #[cfg(not(feature = "parallel"))]
+    pub fn run_prepared_early<A, F>(
+        &self,
+        scenarios: &[Scenario<P::State>],
+        factory: F,
+    ) -> BatchReport
+    where
+        P: Fingerprint + PreparedProtocol,
+        A: Adversary<P::State>,
+        F: Fn(&Scenario<P::State>) -> A,
+    {
+        self.schedule(scenarios, |s| {
+            self.run_one_early(s, &factory, Simulation::step_prepared)
         })
     }
 }

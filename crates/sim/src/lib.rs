@@ -64,6 +64,7 @@ mod advanced;
 pub mod adversaries;
 mod adversary;
 mod batch;
+mod early;
 mod error;
 mod metrics;
 mod simulation;
@@ -73,8 +74,9 @@ pub mod testing;
 mod workspace;
 
 pub use advanced::{greedy, sleeper, Greedy, Sleeper};
-pub use adversary::{Adversary, RoundContext};
+pub use adversary::{Adversary, AdversarySnapshot, RoundContext, SnapshotSupport};
 pub use batch::{Batch, BatchReport, BatchSummary, Scenario, ScenarioOutcome};
+pub use early::ExitReason;
 pub use error::SimError;
 pub use metrics::{broadcast_metrics, BroadcastMetrics};
 pub use simulation::{required_confirmation, Simulation};
@@ -87,3 +89,7 @@ pub use workspace::{FaultMask, RoundWorkspace, StatePool};
 // The lease type of the borrowed message plane lives in `sc-protocol` (the
 // view resolves it); re-exported here because adversaries mint the tokens.
 pub use sc_protocol::MessageSource;
+
+// The early-decision marker trait lives in `sc-protocol` next to the codec
+// it defaults to; re-exported here because the engine consumes it.
+pub use sc_protocol::Fingerprint;

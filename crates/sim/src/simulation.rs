@@ -2,10 +2,15 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use sc_protocol::{Counter, MessageView, NodeId, PreparedProtocol, StepContext, SyncProtocol};
+use sc_protocol::{
+    BitVec, Counter, Fingerprint, MessageView, NodeId, PreparedProtocol, StepContext, SyncProtocol,
+};
 
-use crate::adversary::{Adversary, RoundContext};
-use crate::stabilization::{detect_stabilization, OutputTrace, StabilizationReport};
+use crate::adversary::{Adversary, AdversarySnapshot, RoundContext, SnapshotSupport};
+use crate::early::{periodic_verdict, CycleDetector, ExitReason, Feed};
+use crate::stabilization::{
+    detect_stabilization, OnlineDetector, OutputTrace, StabilizationReport,
+};
 use crate::workspace::{FaultMask, RoundWorkspace};
 use crate::SimError;
 
@@ -34,13 +39,16 @@ use crate::SimError;
 /// the lease vector lives in
 /// the reusable scratch of a [`RoundWorkspace`], and genuinely fabricated
 /// states are materialised at most once per round (or once per execution)
-/// into the workspace's [`StatePool`](crate::StatePool). The first,
-/// clone-heavy engine is retained as [`reference_step`] solely to gate this
-/// one: fixed-seed executions of both must agree bitwise (see the
-/// `engine_equivalence` integration tests), after which the reference path
-/// will be deleted.
+/// into the workspace's [`StatePool`](crate::StatePool). The
+/// `engine_equivalence` integration tests gate the engine's paths against
+/// each other: the [`PreparedProtocol`] fast path and the batched sweeps
+/// must reproduce plain single-stepped executions bitwise.
 ///
-/// [`reference_step`]: Simulation::reference_step
+/// For [`Fingerprint`] protocols under snapshot-capable adversaries,
+/// [`run_until_stable_early`](Simulation::run_until_stable_early) adds the
+/// sound early-decision mode: once the joint (states, adversary)
+/// configuration recurs bit-exactly, the remaining horizon is replayed
+/// algebraically instead of executed.
 ///
 /// See the crate-level documentation for an end-to-end example.
 pub struct Simulation<'a, P: SyncProtocol, A> {
@@ -217,55 +225,6 @@ where
         self.workspace.pool.fabricated_total()
     }
 
-    /// Executes one synchronous round on the **first-generation engine**:
-    /// rebuilds the full state vector and the override vector every round.
-    ///
-    /// Kept temporarily as the bitwise-equivalence oracle for [`step`] (the
-    /// `engine_equivalence` tests replay both engines under fixed seeds and
-    /// demand identical states and RNG streams) and as the baseline of the
-    /// `throughput` bench. Scheduled for deletion once a release has shipped
-    /// with the equivalence gate green.
-    ///
-    /// [`step`]: Simulation::step
-    pub fn reference_step(&mut self) {
-        let ctx = RoundContext {
-            round: self.round,
-            honest: &self.states,
-            faulty: &self.faulty,
-            mask: &self.mask,
-        };
-        self.workspace.pool.begin_round();
-        self.adversary.begin_round(&ctx, &mut self.workspace.pool);
-
-        let mut next: Vec<P::State> = Vec::with_capacity(self.states.len());
-        let mut overrides: Vec<(NodeId, P::State)> = Vec::with_capacity(self.faulty.len());
-        for i in 0..self.states.len() {
-            let receiver = NodeId::new(i);
-            if self.faulty.binary_search(&receiver).is_ok() {
-                // Faulty nodes keep their placeholder state; it is never read.
-                next.push(self.states[i].clone());
-                continue;
-            }
-            overrides.clear();
-            for &from in &self.faulty {
-                // The first-generation cost model: every lease is resolved
-                // into an owned clone per (faulty, receiver) pair.
-                let source = self
-                    .adversary
-                    .message(from, receiver, &ctx, &mut self.workspace.pool);
-                overrides.push((
-                    from,
-                    self.workspace.pool.resolve(&self.states, source).clone(),
-                ));
-            }
-            let view = MessageView::new(&self.states, &overrides);
-            let mut step_ctx = StepContext::new(&mut self.rng);
-            next.push(self.protocol.step(receiver, &view, &mut step_ctx));
-        }
-        self.states = next;
-        self.round += 1;
-    }
-
     /// Executes `rounds` rounds.
     pub fn run(&mut self, rounds: u64) {
         for _ in 0..rounds {
@@ -404,6 +363,146 @@ where
     }
 }
 
+impl<'a, P, A> Simulation<'a, P, A>
+where
+    P: Fingerprint,
+    A: Adversary<P::State>,
+{
+    /// [`run_until_stable`](Simulation::run_until_stable) with the sound
+    /// **early-decision mode**: the verdict is bitwise identical, but when
+    /// the joint (states, adversary) configuration recurs within the
+    /// horizon, the remaining rounds are replayed algebraically instead of
+    /// executed — the structural win behind fast `T(f) ≪ bound` sweeps.
+    ///
+    /// Soundness is typed, not assumed: the cycle detector only arms when
+    /// [`Fingerprint::deterministic_transition`] holds *and* the adversary's
+    /// [`snapshot`](Adversary::snapshot) capability reports
+    /// [`SnapshotSupport::Deterministic`]; RNG-driven strategies execute the
+    /// full horizon and report [`ExitReason::Opaque`]. Every reported
+    /// recurrence is verified on the full codec encoding, never on a hash.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the contract of
+    /// [`run_until_stable`](Simulation::run_until_stable); the error values
+    /// are bitwise identical too.
+    pub fn run_until_stable_early(
+        &mut self,
+        horizon: u64,
+    ) -> (Result<StabilizationReport, SimError>, ExitReason) {
+        self.run_early_with(horizon, Self::step)
+    }
+
+    /// [`run_until_stable_early`](Simulation::run_until_stable_early) on the
+    /// [`PreparedProtocol`] fast path.
+    pub fn run_until_stable_early_prepared(
+        &mut self,
+        horizon: u64,
+    ) -> (Result<StabilizationReport, SimError>, ExitReason)
+    where
+        P: PreparedProtocol,
+    {
+        self.run_early_with(horizon, Self::step_prepared)
+    }
+
+    /// The early-decision driver: streams agreed outputs while feeding the
+    /// configuration fingerprint of every round to a [`CycleDetector`];
+    /// `step` selects the engine path.
+    pub(crate) fn run_early_with<S: Fn(&mut Self)>(
+        &mut self,
+        horizon: u64,
+        step: S,
+    ) -> (Result<StabilizationReport, SimError>, ExitReason) {
+        let modulus = self.protocol.modulus();
+        let confirm = required_confirmation(modulus);
+        if horizon < confirm {
+            return (
+                Err(SimError::HorizonTooShort {
+                    horizon,
+                    required: confirm,
+                }),
+                ExitReason::FullHorizon,
+            );
+        }
+        // Capped reservation: an early exit typically pushes far fewer than
+        // `horizon + 1` rows, and a soak horizon must not pre-allocate its
+        // own defeat (the buffer grows organically past the cap).
+        let mut outputs: Vec<Option<u64>> = Vec::with_capacity(horizon.min(4095) as usize + 1);
+        outputs.push(self.agreed_output_now());
+        let mut detector = self
+            .protocol
+            .deterministic_transition()
+            .then(CycleDetector::new);
+        if let Some(det) = detector.as_mut() {
+            // The initial configuration can recur too (round 0 is a valid
+            // cycle entry), so it is recorded before the first step.
+            if matches!(self.record_config(det), Feed::Opaque) {
+                detector = None;
+            }
+        }
+        for round in 1..=horizon {
+            step(self);
+            outputs.push(self.agreed_output_now());
+            if let Some(det) = detector.as_mut() {
+                match self.record_config(det) {
+                    Feed::Recorded => {}
+                    Feed::Opaque => detector = None,
+                    Feed::Cycle(start) => {
+                        let verdict = periodic_verdict(&outputs, start, horizon, modulus, confirm);
+                        return (
+                            verdict,
+                            ExitReason::Cycle {
+                                start,
+                                length: round - start,
+                                decided_at: round,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        let mut online = OnlineDetector::new(modulus);
+        for &row in &outputs {
+            online.observe(row);
+        }
+        let exit = if detector.is_some() {
+            ExitReason::FullHorizon
+        } else {
+            ExitReason::Opaque
+        };
+        (online.finish(confirm), exit)
+    }
+
+    /// Encodes the current joint configuration — the correct nodes' states
+    /// through the protocol's bit-exact digest, the pinned-pool watermark,
+    /// and the adversary snapshot — and feeds it to the detector.
+    fn record_config(&self, detector: &mut CycleDetector) -> Feed {
+        let mut bits = detector.begin();
+        for &id in &self.honest {
+            self.protocol
+                .fingerprint_state(id, &self.states[id.index()], &mut bits);
+        }
+        // Pinned pool slots are immutable once issued, so within one
+        // execution only the watermark can change (a strategy pinning a new
+        // state mid-run must not alias a pre-pin configuration).
+        bits.push_bits(self.workspace.pool.pinned().len() as u64, 64);
+        let support = {
+            let mut encode = |node: NodeId, state: &P::State, out: &mut BitVec| {
+                self.protocol.fingerprint_state(node, state, out);
+            };
+            let mut writer = AdversarySnapshot::new(&mut bits, &mut encode);
+            self.adversary.snapshot(self.round, &mut writer)
+        };
+        match support {
+            SnapshotSupport::Opaque => {
+                detector.discard(bits);
+                Feed::Opaque
+            }
+            SnapshotSupport::Deterministic => detector.commit(bits),
+        }
+    }
+}
+
 impl<'a, P: SyncProtocol, A> std::fmt::Debug for Simulation<'a, P, A> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulation")
@@ -442,20 +541,18 @@ mod tests {
     }
 
     #[test]
-    fn both_engines_agree_under_equivocation() {
+    fn seeded_equivocation_replays_are_reproducible() {
+        // Fixed seeds fully determine an execution — including the
+        // adversary's RNG stream — so two independent instances must stay
+        // identical round for round (no hidden global state anywhere).
         let p = FollowMax { n: 5, c: 1 << 20 };
         let states: Vec<u64> = vec![7, 99, 3, 12_345, 0];
-        let mut fast =
-            Simulation::with_states(&p, adversaries::random(&p, [1], 5), states.clone(), 9);
-        let mut reference = Simulation::with_states(&p, adversaries::random(&p, [1], 5), states, 9);
+        let mut a = Simulation::with_states(&p, adversaries::random(&p, [1], 5), states.clone(), 9);
+        let mut b = Simulation::with_states(&p, adversaries::random(&p, [1], 5), states, 9);
         for round in 0..50 {
-            fast.step();
-            reference.reference_step();
-            assert_eq!(
-                fast.states(),
-                reference.states(),
-                "divergence at round {round}"
-            );
+            a.step();
+            b.step();
+            assert_eq!(a.states(), b.states(), "divergence at round {round}");
         }
     }
 

@@ -11,6 +11,17 @@ use sc_protocol::{inc_mod, NodeId};
 
 use crate::SimError;
 
+/// The one definition of a *good* transition, shared by every detector in
+/// the crate (trace-based, streaming, and the early-decision verdict
+/// replay): both rounds agree and the value increments modulo `modulus`.
+#[inline]
+pub(crate) fn good_transition(prev: Option<u64>, next: Option<u64>, modulus: u64) -> bool {
+    match (prev, next) {
+        (Some(now), Some(next)) => next == inc_mod(now % modulus, modulus),
+        _ => false,
+    }
+}
+
 /// Recorded outputs of the correct nodes, one row per round.
 ///
 /// Row `r` holds the outputs computed from the configuration at the
@@ -155,11 +166,7 @@ impl OnlineDetector {
     /// nodes disagreed).
     pub fn observe(&mut self, agreed: Option<u64>) {
         if let Some(prev) = self.prev {
-            let good = match (prev, agreed) {
-                (Some(now), Some(next)) => next == inc_mod(now % self.modulus, self.modulus),
-                _ => false,
-            };
-            if !good {
+            if !good_transition(prev, agreed, self.modulus) {
                 self.last_violation = Some(self.transitions);
             }
             self.transitions += 1;
@@ -239,11 +246,7 @@ pub fn first_stable_window(trace: &OutputTrace, modulus: u64, window: u64) -> Op
     let transitions = trace.len() - 1;
     let mut run_start = 0u64;
     for r in 0..transitions {
-        let good = match (trace.agreed_value(r), trace.agreed_value(r + 1)) {
-            (Some(now), Some(next)) => next == inc_mod(now % modulus, modulus),
-            _ => false,
-        };
-        if !good {
+        if !good_transition(trace.agreed_value(r), trace.agreed_value(r + 1), modulus) {
             run_start = r as u64 + 1;
         } else if r as u64 + 1 - run_start >= window {
             return Some(run_start);
@@ -262,14 +265,11 @@ pub fn violation_rate(trace: &OutputTrace, modulus: u64, from: u64) -> f64 {
     }
     let mut bad = 0u64;
     for r in from..transitions {
-        let good = match (
+        if !good_transition(
             trace.agreed_value(r as usize),
             trace.agreed_value(r as usize + 1),
+            modulus,
         ) {
-            (Some(now), Some(next)) => next == inc_mod(now % modulus, modulus),
-            _ => false,
-        };
-        if !good {
             bad += 1;
         }
     }

@@ -3,8 +3,8 @@
 
 use rand::RngCore;
 use sc_protocol::{
-    bits_for, BitReader, BitVec, CodecError, Counter, MessageView, NodeId, StepContext,
-    SyncProtocol,
+    bits_for, BitReader, BitVec, CodecError, Counter, Fingerprint, MessageView, NodeId,
+    StepContext, SyncProtocol,
 };
 
 use crate::adversary::RoundContext;
@@ -110,5 +110,12 @@ impl Counter for FollowMax {
 
     fn decode_state(&self, _: NodeId, input: &mut BitReader<'_>) -> Result<u64, CodecError> {
         input.read_bits(self.state_bits())
+    }
+}
+
+impl Fingerprint for FollowMax {
+    fn deterministic_transition(&self) -> bool {
+        // `step` is max+1 over the view: pure, no randomness consumed.
+        true
     }
 }

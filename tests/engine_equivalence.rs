@@ -1,6 +1,9 @@
-//! Equivalence gate on the real constructions: the zero-copy engine must
-//! reproduce the first-generation engine bitwise on the paper's recursive
-//! counters, and the batched sweep must agree with looped single runs.
+//! Equivalence gate on the real constructions, in its post-`reference_step`
+//! form: the first-generation oracle engine is gone (its bitwise gate was
+//! green from PR 1 through PR 2), and the remaining self-check is
+//! **batched-vs-single-step** — the [`PreparedProtocol`] fast path must
+//! reproduce the plain zero-copy step bitwise at every level of the
+//! recursion, and the batched sweep must agree with looped single runs.
 
 use synchronous_counting::core::{Algorithm, CounterBuilder, CounterState};
 use synchronous_counting::protocol::{BitVec, Counter};
@@ -17,96 +20,62 @@ fn encode_honest(
     bits
 }
 
-fn assert_engines_agree<A, F>(algo: &Algorithm, make_adversary: F, rounds: u64, seed: u64)
-where
-    A: Adversary<CounterState>,
-    F: Fn() -> A,
-{
-    let mut fast = Simulation::new(algo, make_adversary(), seed);
-    let mut reference = Simulation::new(algo, make_adversary(), seed);
-    for round in 0..rounds {
-        fast.step();
-        reference.reference_step();
-        assert_eq!(
-            fast.states(),
-            reference.states(),
-            "state divergence at round {round} (seed {seed})"
-        );
-        assert_eq!(
-            encode_honest(algo, &fast),
-            encode_honest(algo, &reference),
-            "bitwise divergence at round {round} (seed {seed})"
-        );
-    }
-}
-
-#[test]
-fn a4_replays_bitwise_across_adversaries() {
-    let algo = CounterBuilder::corollary1(1, 2).unwrap().build().unwrap();
-    for seed in [0u64, 1, 17] {
-        assert_engines_agree(&algo, || adversaries::crash(&algo, [1], seed), 80, seed);
-        assert_engines_agree(&algo, || adversaries::random(&algo, [2], seed), 80, seed);
-        assert_engines_agree(&algo, || adversaries::two_faced(&algo, [0], seed), 80, seed);
-    }
-}
-
-#[test]
-fn a12_replays_bitwise_under_equivocation() {
-    let algo = CounterBuilder::corollary1(1, 2)
-        .unwrap()
-        .boost(3)
-        .unwrap()
-        .build()
-        .unwrap();
-    assert_engines_agree(
-        &algo,
-        || adversaries::two_faced(&algo, [0, 1, 4], 5),
-        60,
-        11,
-    );
-    assert_engines_agree(&algo, || adversaries::random(&algo, [0, 1, 4], 5), 60, 11);
-}
-
+/// The batched-vs-single-step self-check: the hoisted-vote fast path
+/// (`step_prepared`) must agree bitwise with the plain step under the same
+/// seeds, round for round.
 fn assert_prepared_engine_agrees<A, F>(algo: &Algorithm, make_adversary: F, rounds: u64, seed: u64)
 where
     A: Adversary<CounterState>,
     F: Fn() -> A,
 {
     let mut prepared = Simulation::new(algo, make_adversary(), seed);
-    let mut reference = Simulation::new(algo, make_adversary(), seed);
+    let mut plain = Simulation::new(algo, make_adversary(), seed);
     for round in 0..rounds {
         prepared.step_prepared();
-        reference.reference_step();
+        plain.step();
         assert_eq!(
             prepared.states(),
-            reference.states(),
+            plain.states(),
             "prepared-path divergence at round {round} (seed {seed})"
         );
         assert_eq!(
             encode_honest(algo, &prepared),
-            encode_honest(algo, &reference),
+            encode_honest(algo, &plain),
             "prepared-path bitwise divergence at round {round} (seed {seed})"
         );
     }
 }
 
 #[test]
-fn prepared_path_replays_bitwise_on_the_stack() {
-    // The hoisted-vote fast path must agree with the seed engine at every
-    // level of the Figure-2 recursion, under equivocation.
-    let a4 = CounterBuilder::corollary1(1, 2).unwrap().build().unwrap();
-    for seed in [0u64, 5, 23] {
-        assert_prepared_engine_agrees(&a4, || adversaries::two_faced(&a4, [1], seed), 80, seed);
-        assert_prepared_engine_agrees(&a4, || adversaries::random(&a4, [3], seed), 80, seed);
+fn a4_prepared_path_replays_bitwise_across_adversaries() {
+    let algo = CounterBuilder::corollary1(1, 2).unwrap().build().unwrap();
+    for seed in [0u64, 1, 17] {
+        assert_prepared_engine_agrees(&algo, || adversaries::crash(&algo, [1], seed), 80, seed);
+        assert_prepared_engine_agrees(&algo, || adversaries::random(&algo, [2], seed), 80, seed);
+        assert_prepared_engine_agrees(&algo, || adversaries::two_faced(&algo, [0], seed), 80, seed);
     }
-    let a12 = CounterBuilder::corollary1(1, 2)
+}
+
+#[test]
+fn a12_prepared_path_replays_bitwise_under_equivocation() {
+    let algo = CounterBuilder::corollary1(1, 2)
         .unwrap()
         .boost(3)
         .unwrap()
         .build()
         .unwrap();
-    assert_prepared_engine_agrees(&a12, || adversaries::random(&a12, [0, 1, 4], 2), 50, 7);
-    assert_prepared_engine_agrees(&a12, || adversaries::two_faced(&a12, [0, 1, 4], 2), 50, 7);
+    assert_prepared_engine_agrees(
+        &algo,
+        || adversaries::two_faced(&algo, [0, 1, 4], 5),
+        60,
+        11,
+    );
+    assert_prepared_engine_agrees(&algo, || adversaries::random(&algo, [0, 1, 4], 5), 60, 11);
+    assert_prepared_engine_agrees(&algo, || adversaries::replay([0, 1, 4], 3), 60, 11);
+}
+
+#[test]
+fn a36_prepared_path_replays_bitwise() {
     let a36 = CounterBuilder::corollary1(1, 2)
         .unwrap()
         .boost(3)
