@@ -24,12 +24,13 @@
 use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, Criterion};
-use sc_core::{Algorithm, CounterBuilder, CounterState};
+use sc_core::{Algorithm, CounterBuilder, CounterState, LutCounter, LutSpec};
 use sc_protocol::Counter as _;
 use sc_sim::{
     adversaries, detect_stabilization, required_confirmation, sleeper, Adversary, Batch,
     BatchReport, ExitReason, OutputTrace, Scenario, Simulation, StabilizationReport,
 };
+use sc_verifier::{synthesize, SynthesisOutcome};
 
 const SCENARIOS: u64 = 64;
 const HORIZON: u64 = 96;
@@ -316,15 +317,168 @@ fn early_decision_table() {
     println!();
 }
 
+/// The E7 synthesis workload (`n = 4, f = 1`, 2 states): candidate tables
+/// the hill-climb scores — the deterministic follow-max table plus random
+/// candidates drawn exactly like the synthesiser's restarts.
+fn synthesis_candidates() -> Vec<LutCounter> {
+    let follow_max: Vec<u8> = (0..16u32)
+        .map(|index| {
+            let max = (0..4).map(|u| (index >> u & 1) as u8).max().unwrap();
+            (max + 1) % 2
+        })
+        .collect();
+    let mut candidates = vec![LutCounter::new(LutSpec {
+        n: 4,
+        f: 1,
+        c: 2,
+        states: 2,
+        transition: vec![
+            follow_max.clone(),
+            follow_max.clone(),
+            follow_max.clone(),
+            follow_max,
+        ],
+        output: vec![vec![0, 1]; 4],
+        stabilization_bound: 0,
+    })
+    .unwrap()];
+    for seed in 0..7u64 {
+        // xorshift-ish deterministic tables; the exact bits are irrelevant,
+        // only that both engines score the same candidates.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut bit = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state & 1) as u8
+        };
+        let transition: Vec<Vec<u8>> = (0..4).map(|_| (0..16).map(|_| bit()).collect()).collect();
+        candidates.push(
+            LutCounter::new(LutSpec {
+                n: 4,
+                f: 1,
+                c: 2,
+                states: 2,
+                transition,
+                output: vec![vec![0, 1]; 4],
+                stabilization_bound: 0,
+            })
+            .unwrap(),
+        );
+    }
+    candidates
+}
+
+/// The verifier table: `analyze` throughput (the synthesis scoring
+/// function) on the E7 `n = 4, f = 1` workload, bitset game core vs the
+/// retained reference checker, plus the `16^4`-configuration instance the
+/// seed limits rejected. Summaries of the two engines are asserted equal
+/// candidate for candidate — this table is the verifier's divergence gate
+/// in `THROUGHPUT_SUMMARY_ONLY=1` CI runs.
+fn verifier_table() {
+    /// `analyze` calls per engine per workload row.
+    const ITERS: u32 = 400;
+    /// Configurations explored by one `n = 4, f = 1, |X| = 2` analyze:
+    /// `2^4` for the empty fault set + four singletons at `2^3`.
+    const SYNTH_CONFIGS: u64 = 16 + 4 * 8;
+
+    println!("## exhaustive verifier — bitset game core vs retained reference\n");
+    println!(
+        "| {:<34} | {:>14} | {:>14} | {:>13} | {:>13} | {:>8} |",
+        "workload", "ref (s)", "bitset (s)", "ref cfg/s", "bitset cfg/s", "speedup"
+    );
+    println!(
+        "|{}|{}|{}|{}|{}|{}|",
+        "-".repeat(36),
+        "-".repeat(16),
+        "-".repeat(16),
+        "-".repeat(15),
+        "-".repeat(15),
+        "-".repeat(10)
+    );
+
+    // --- analyze on the synthesis workload, both engines. -----------------
+    let candidates = synthesis_candidates();
+    for candidate in &candidates {
+        // Identical scores or the speedup is meaningless.
+        assert_eq!(
+            sc_verifier::analyze(candidate).unwrap(),
+            sc_verifier::reference::analyze(candidate).unwrap(),
+            "bitset core diverges from the reference checker"
+        );
+    }
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        for candidate in &candidates {
+            std::hint::black_box(sc_verifier::reference::analyze(candidate).unwrap());
+        }
+    }
+    let ref_time = start.elapsed().as_secs_f64();
+    // Score through one warm Analyzer, exactly as the hill-climb does.
+    let mut analyzer = sc_verifier::Analyzer::new();
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        for candidate in &candidates {
+            std::hint::black_box(analyzer.analyze(candidate).unwrap());
+        }
+    }
+    let new_time = start.elapsed().as_secs_f64();
+    let total_configs = (SYNTH_CONFIGS * u64::from(ITERS) * candidates.len() as u64) as f64;
+    println!(
+        "| {:<34} | {:>14.3} | {:>14.3} | {:>13.0} | {:>13.0} | {:>7.1}x |",
+        format!("analyze n=4 f=1 ({}x{} cands)", ITERS, candidates.len()),
+        ref_time,
+        new_time,
+        total_configs / ref_time,
+        total_configs / new_time,
+        ref_time / new_time
+    );
+
+    // --- the previously-rejected 16^4 instance. ---------------------------
+    let big = sc_bench::sixteen_state_instance();
+    assert!(
+        sc_verifier::reference::analyze(&big).is_err(),
+        "the 16^4 instance must exceed the seed limits"
+    );
+    let start = Instant::now();
+    let summary = sc_verifier::analyze(&big).unwrap();
+    let big_time = start.elapsed().as_secs_f64();
+    assert!(summary.failure.is_none() && summary.worst_time == 1);
+    println!(
+        "| {:<34} | {:>14} | {:>14.3} | {:>13} | {:>13.0} | {:>8} |",
+        "analyze 16^4 = 65536 configs",
+        "rejected",
+        big_time,
+        "-",
+        65536.0 / big_time,
+        "-"
+    );
+
+    // --- synthesis throughput on the new core (evaluations/sec). ----------
+    let budget = 1024u64;
+    let start = Instant::now();
+    let report = synthesize(4, 1, 2, 2, 5, budget).unwrap();
+    let synth_time = start.elapsed().as_secs_f64();
+    assert!(matches!(report.outcome, SynthesisOutcome::Exhausted { .. }));
+    println!(
+        "\nsynthesize n=4 f=1: {} candidate evaluations in {:.3} s \
+         ({:.0} evals/s on the bitset core)\n",
+        report.evaluations,
+        synth_time,
+        report.evaluations as f64 / synth_time
+    );
+}
+
 criterion_group!(benches, bench_throughput);
 
 fn main() {
     // Set THROUGHPUT_SUMMARY_ONLY=1 to skip the criterion micro-benches and
-    // print just the two summary tables — the quick regression check and
-    // the early-vs-full verdict gate.
+    // print just the summary tables — the quick regression check, the
+    // early-vs-full verdict gate, and the verifier equivalence gate.
     if std::env::var_os("THROUGHPUT_SUMMARY_ONLY").is_none() {
         benches();
     }
     summary_table();
     early_decision_table();
+    verifier_table();
 }

@@ -1,11 +1,12 @@
-//! E7 benchmark: exhaustive verification throughput of the model checker.
+//! E7 benchmark: exhaustive verification throughput of the model checker —
+//! the bitset game core against the retained enumerate-everything reference.
 
 use std::hint::black_box;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sc_core::{LutCounter, LutSpec};
-use sc_verifier::verify;
+use sc_verifier::{analyze, reference, verify, Analyzer};
 
 fn follow_leader() -> LutCounter {
     LutCounter::new(LutSpec {
@@ -51,6 +52,24 @@ fn bench_verifier(c: &mut Criterion) {
     let byz = follow_max_4_1();
     g.bench_function("verify_4_node_f1_all_fault_sets", |b| {
         b.iter(|| black_box(verify(&byz).unwrap()))
+    });
+
+    // The synthesis scoring function, bitset core vs retained reference —
+    // the hill-climb's cost per candidate evaluation (the hill-climb holds
+    // one Analyzer, so the buffers are warm).
+    let mut analyzer = Analyzer::new();
+    g.bench_function("analyze_4_node_f1_bitset", |b| {
+        b.iter(|| black_box(analyzer.analyze(&byz).unwrap()))
+    });
+    g.bench_function("analyze_4_node_f1_reference", |b| {
+        b.iter(|| black_box(reference::analyze(&byz).unwrap()))
+    });
+
+    // Beyond seed limits: only the bitset core decides this instance.
+    let big = sc_bench::sixteen_state_instance();
+    assert!(reference::analyze(&big).is_err());
+    g.bench_function("analyze_16state_4node_bitset", |b| {
+        b.iter(|| black_box(analyze(&big).unwrap()))
     });
 
     g.finish();

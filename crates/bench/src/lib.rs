@@ -9,9 +9,31 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use sc_core::{adversaries as core_adv, Algorithm, CounterState};
+use sc_core::{adversaries as core_adv, Algorithm, CounterState, LutCounter, LutSpec};
 use sc_protocol::Counter as _;
 use sc_sim::{adversaries, Adversary, Batch, Scenario};
+
+/// The canonical beyond-seed-limits verifier instance: 16 states on 4
+/// fault-free nodes (`16^4 = 65536` configurations), everyone following
+/// node 0's value + 1 mod 16 — rejected by `sc_verifier::reference`'s seed
+/// limits, decided by the bitset game core. Shared by the `verifier` and
+/// `throughput` benches so the CI gate and the micro-benches measure the
+/// same instance.
+pub fn sixteen_state_instance() -> LutCounter {
+    let rows: Vec<u8> = (0..65536u32)
+        .map(|index| ((index % 16) + 1) as u8 % 16)
+        .collect();
+    LutCounter::new(LutSpec {
+        n: 4,
+        f: 0,
+        c: 16,
+        states: 16,
+        transition: vec![rows.clone(), rows.clone(), rows.clone(), rows],
+        output: vec![(0..16u64).collect(); 4],
+        stabilization_bound: 1,
+    })
+    .expect("the 16-state follow-leader table is well-formed")
+}
 
 /// A constructor producing a fresh adversary instance for a given seed.
 ///

@@ -164,6 +164,25 @@ impl LutCounter {
         self.spec.output[node][state as usize % self.spec.states as usize]
     }
 
+    /// Replaces one transition-table entry in place, returning the previous
+    /// value — the synthesiser's mutate/undo hook: a candidate is evaluated
+    /// by patching ≤ 3 entries of the live counter and un-patching them on
+    /// rejection, never by cloning the tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` or `row` is out of range, or `state ≥ |X|` (which
+    /// would break the validation invariant established by
+    /// [`LutCounter::new`]).
+    pub fn set_transition(&mut self, node: usize, row: usize, state: u8) -> u8 {
+        assert!(
+            state < self.spec.states,
+            "state {state} out of range for |X| = {}",
+            self.spec.states
+        );
+        std::mem::replace(&mut self.spec.transition[node][row], state)
+    }
+
     /// Reduces an arbitrary byte to a valid state (for fabricated inputs).
     pub fn clamp(&self, raw: u8) -> u8 {
         raw % self.spec.states
@@ -226,6 +245,25 @@ mod tests {
         let mut bad = two_node_spec();
         bad.f = 1; // n = 2 ≤ 3
         assert!(LutCounter::new(bad).is_err());
+    }
+
+    #[test]
+    fn set_transition_patches_and_returns_previous() {
+        let mut lut = LutCounter::new(two_node_spec()).unwrap();
+        assert_eq!(lut.next(0, &[1, 0]), 1);
+        assert_eq!(lut.set_transition(0, 1, 0), 1);
+        assert_eq!(lut.next(0, &[1, 0]), 0);
+        // Undo restores the original table.
+        assert_eq!(lut.set_transition(0, 1, 1), 0);
+        assert_eq!(lut, LutCounter::new(two_node_spec()).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_transition_rejects_invalid_state() {
+        LutCounter::new(two_node_spec())
+            .unwrap()
+            .set_transition(0, 0, 2);
     }
 
     #[test]

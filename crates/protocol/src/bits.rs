@@ -37,6 +37,57 @@ impl BitVec {
         BitVec::default()
     }
 
+    /// Creates a zeroed bit string of `len` bits.
+    ///
+    /// This is the constructor for *random-access* bit sets (safe/agreed
+    /// sets of the exhaustive verifier's game solver), as opposed to the
+    /// append-only codec use: all bits exist immediately and are mutated
+    /// with [`BitVec::set_bit`].
+    pub fn with_len(len: usize) -> Self {
+        BitVec {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Clears and re-grows to `len` zero bits, retaining the allocated
+    /// capacity — the reuse hook for solver bit sets that are rebuilt once
+    /// per problem instance (the verifier's safe/agreed sets).
+    pub fn reset(&mut self, len: usize) {
+        self.words.clear();
+        self.words.resize(len.div_ceil(64), 0);
+        self.len = len;
+    }
+
+    /// Sets or clears the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn set_bit(&mut self, index: usize, bit: bool) {
+        assert!(index < self.len, "bit index {index} out of range");
+        let mask = 1u64 << (63 - (index % 64));
+        if bit {
+            self.words[index / 64] |= mask;
+        } else {
+            self.words[index / 64] &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates the indices of all set bits, in ascending order.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            words: &self.words,
+            word: 0,
+            acc: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
     /// Number of bits stored.
     pub fn len(&self) -> usize {
         self.len
@@ -125,6 +176,35 @@ impl BitVec {
     /// Creates a cursor reading from the first bit.
     pub fn reader(&self) -> BitReader<'_> {
         BitReader { bits: self, pos: 0 }
+    }
+}
+
+/// Iterator over the set-bit indices of a [`BitVec`], ascending.
+///
+/// Produced by [`BitVec::iter_ones`]. Bits past [`BitVec::len`] in the last
+/// word are zero by construction, so no out-of-range index is ever yielded.
+#[derive(Clone, Debug)]
+pub struct IterOnes<'a> {
+    words: &'a [u64],
+    word: usize,
+    acc: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.acc == 0 {
+            self.word += 1;
+            if self.word >= self.words.len() {
+                return None;
+            }
+            self.acc = self.words[self.word];
+        }
+        // MSB-first layout: the highest set bit is the lowest index.
+        let lead = self.acc.leading_zeros() as usize;
+        self.acc &= !(1u64 << (63 - lead));
+        Some(self.word * 64 + lead)
     }
 }
 
@@ -281,6 +361,59 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("wanted 5"));
+    }
+
+    #[test]
+    fn with_len_set_bit_round_trip() {
+        let mut bits = BitVec::with_len(130);
+        assert_eq!(bits.len(), 130);
+        assert_eq!(bits.count_ones(), 0);
+        bits.set_bit(0, true);
+        bits.set_bit(64, true);
+        bits.set_bit(129, true);
+        assert!(bits.bit(0) && bits.bit(64) && bits.bit(129));
+        assert_eq!(bits.count_ones(), 3);
+        assert_eq!(bits.iter_ones().collect::<Vec<_>>(), vec![0, 64, 129]);
+        bits.set_bit(64, false);
+        assert_eq!(bits.iter_ones().collect::<Vec<_>>(), vec![0, 129]);
+        // Clearing must not disturb neighbours.
+        assert!(bits.bit(0) && !bits.bit(64) && bits.bit(129));
+    }
+
+    #[test]
+    fn reset_zeroes_and_resizes() {
+        let mut bits = BitVec::with_len(70);
+        bits.set_bit(3, true);
+        bits.set_bit(69, true);
+        bits.reset(10);
+        assert_eq!(bits.len(), 10);
+        assert_eq!(bits.count_ones(), 0);
+        bits.reset(130);
+        assert_eq!(bits.len(), 130);
+        assert_eq!(bits.count_ones(), 0);
+        bits.set_bit(129, true);
+        assert_eq!(bits.iter_ones().collect::<Vec<_>>(), vec![129]);
+    }
+
+    #[test]
+    fn iter_ones_on_empty_and_full_strings() {
+        assert_eq!(BitVec::new().iter_ones().next(), None);
+        assert_eq!(BitVec::with_len(200).iter_ones().next(), None);
+        let mut bits = BitVec::with_len(67);
+        for i in 0..67 {
+            bits.set_bit(i, true);
+        }
+        assert_eq!(bits.count_ones(), 67);
+        assert_eq!(
+            bits.iter_ones().collect::<Vec<_>>(),
+            (0..67).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_bit_rejects_out_of_range() {
+        BitVec::with_len(8).set_bit(8, true);
     }
 
     #[test]

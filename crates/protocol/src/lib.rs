@@ -57,7 +57,7 @@ mod traits;
 mod view;
 mod vote;
 
-pub use bits::{BitReader, BitVec, CodecError};
+pub use bits::{BitReader, BitVec, CodecError, IterOnes};
 pub use error::ParamError;
 pub use ids::{BlockId, NodeId};
 pub use math::{bits_for, checked_pow_u64, inc_mod, Interval};

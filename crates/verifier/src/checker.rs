@@ -1,10 +1,10 @@
-//! The exact configuration-space model checker.
-
-use std::collections::HashMap;
+//! The exact configuration-space model checker, driving the bitset
+//! safety-game core in [`crate::game`].
 
 use sc_core::LutCounter;
 use sc_protocol::ParamError;
-use sc_sim::RoundWorkspace;
+
+use crate::game::{SetStats, Solver};
 
 /// Outcome of exhaustively verifying a candidate counter.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -67,10 +67,6 @@ impl Witness {
     }
 }
 
-/// Hard limits keeping exhaustive exploration tractable.
-const MAX_CONFIGS: usize = 1 << 14;
-const MAX_BYZ_COMBOS: usize = 1 << 10;
-
 /// Exhaustively decides whether `lut` is a self-stabilising synchronous
 /// `c`-counter with the resilience its spec claims, and computes the exact
 /// worst-case stabilisation time (see the crate-level documentation for the
@@ -80,7 +76,7 @@ const MAX_BYZ_COMBOS: usize = 1 << 10;
 ///
 /// Returns [`ParamError`] when the instance exceeds the exploration limits
 /// (`|X|^{n−|F|}` configurations or `|X|^{|F|}` Byzantine combinations per
-/// node too large).
+/// node too large, or more than 64 states).
 pub fn verify(lut: &LutCounter) -> Result<Verdict, ParamError> {
     let summary = analyze(lut)?;
     match summary.failure {
@@ -88,9 +84,10 @@ pub fn verify(lut: &LutCounter) -> Result<Verdict, ParamError> {
             worst_case_time: summary.worst_time,
         }),
         Some((fault_set, stuck_configs)) => {
-            let analysis = FaultSetAnalysis::run(lut, &fault_set)?;
-            let witness = analysis
-                .extract_witness(lut, &fault_set)
+            let mut solver = Solver::new();
+            solver.run(lut, &fault_set)?;
+            let witness = solver
+                .extract_witness(lut)
                 .expect("a failing fault set yields a witness");
             Ok(Verdict::Fails {
                 fault_set,
@@ -103,8 +100,8 @@ pub fn verify(lut: &LutCounter) -> Result<Verdict, ParamError> {
 
 /// Aggregate result of checking every fault set, without the (expensive)
 /// witness extraction — this is the synthesiser's scoring function.
-#[derive(Clone, Debug)]
-pub(crate) struct AnalysisSummary {
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnalysisSummary {
     /// Exact worst-case stabilisation time over fully-covered fault sets.
     pub worst_time: u64,
     /// Fraction of (fault set, configuration) pairs that stabilise.
@@ -113,20 +110,28 @@ pub(crate) struct AnalysisSummary {
     pub failure: Option<(Vec<usize>, usize)>,
 }
 
-pub(crate) fn analyze(lut: &LutCounter) -> Result<AnalysisSummary, ParamError> {
-    let spec = lut.spec();
+/// Per-fault-set ingredients of an [`AnalysisSummary`].
+#[cfg(feature = "parallel")]
+type SetOutcome = (Vec<usize>, SetStats);
+
+/// Folds per-fault-set outcomes (streamed, in enumeration order) into a
+/// summary; the first error wins.
+#[cfg(feature = "parallel")]
+fn fold_outcomes(
+    outcomes: impl IntoIterator<Item = Result<SetOutcome, ParamError>>,
+) -> Result<AnalysisSummary, ParamError> {
     let mut worst = 0u64;
     let mut covered = 0usize;
     let mut total = 0usize;
     let mut failure: Option<(Vec<usize>, usize)> = None;
-    for fault_set in fault_sets(spec.n, spec.f) {
-        let analysis = FaultSetAnalysis::run(lut, &fault_set)?;
-        total += analysis.configs;
-        covered += analysis.covered;
-        if analysis.covered == analysis.configs {
-            worst = worst.max(analysis.worst_time);
+    for outcome in outcomes {
+        let (fault_set, stats) = outcome?;
+        total += stats.configs;
+        covered += stats.covered;
+        if stats.covered == stats.configs {
+            worst = worst.max(stats.worst_time);
         } else if failure.is_none() {
-            failure = Some((fault_set.clone(), analysis.configs - analysis.covered));
+            failure = Some((fault_set, stats.configs - stats.covered));
         }
     }
     Ok(AnalysisSummary {
@@ -136,284 +141,239 @@ pub(crate) fn analyze(lut: &LutCounter) -> Result<AnalysisSummary, ParamError> {
     })
 }
 
-/// All subsets of `[n]` with at most `f` elements.
-fn fault_sets(n: usize, f: usize) -> Vec<Vec<usize>> {
-    let mut out = Vec::new();
-    let mut current = Vec::new();
-    fn recurse(
-        n: usize,
-        f: usize,
-        start: usize,
-        current: &mut Vec<usize>,
-        out: &mut Vec<Vec<usize>>,
-    ) {
-        out.push(current.clone());
-        if current.len() == f {
-            return;
-        }
-        for v in start..n {
-            current.push(v);
-            recurse(n, f, v + 1, current, out);
-            current.pop();
-        }
-    }
-    recurse(n, f, 0, &mut current, &mut out);
-    out
+/// Checks every fault set of `lut` and aggregates exact worst-case time,
+/// attractor coverage, and the first failure — without extracting a
+/// witness. This is the scoring function of the synthesiser and the
+/// workload of the `throughput` bench's verifier table. Equivalent to
+/// `Analyzer::new().analyze(lut)`; callers scoring many candidates should
+/// hold an [`Analyzer`] instead, so the game buffers are reused.
+///
+/// With the `parallel` feature (default), instances large enough to
+/// amortise thread start-up fan the independent fault-set games out with
+/// [`std::thread::scope`]; results are folded in enumeration order, so the
+/// summary (including which failing fault set is reported) is identical to
+/// the serial path.
+///
+/// # Errors
+///
+/// Returns [`ParamError`] when the instance exceeds the exploration limits.
+pub fn analyze(lut: &LutCounter) -> Result<AnalysisSummary, ParamError> {
+    Analyzer::new().analyze(lut)
 }
 
-/// Verification of one fault set, keeping the exploration data for witness
-/// extraction.
-struct FaultSetAnalysis {
-    honest: Vec<usize>,
-    x: usize,
-    combos: usize,
-    configs: usize,
-    covered: usize,
-    worst_time: u64,
-    successors: Vec<Vec<u32>>,
-    time: Vec<Option<u64>>,
+/// A reusable [`analyze`] engine: owns the game solver's buffers, so
+/// scoring many candidates (the synthesis hill-climb, a bench loop)
+/// allocates nothing per evaluation once the buffers have grown to the
+/// instance size. (Instances large enough for the thread fan-out reuse
+/// these buffers on the calling thread's share of the fault sets; the
+/// extra workers allocate their own per call.)
+///
+/// # Example
+///
+/// ```
+/// use sc_core::{LutCounter, LutSpec};
+/// use sc_verifier::Analyzer;
+///
+/// let lut = LutCounter::new(LutSpec {
+///     n: 1,
+///     f: 0,
+///     c: 2,
+///     states: 2,
+///     transition: vec![vec![1, 0]],
+///     output: vec![vec![0, 1]],
+///     stabilization_bound: 0,
+/// })?;
+/// let mut analyzer = Analyzer::new();
+/// assert_eq!(analyzer.analyze(&lut)?.coverage, 1.0);
+/// # Ok::<(), sc_protocol::ParamError>(())
+/// ```
+#[derive(Default)]
+pub struct Analyzer {
+    solver: Solver,
 }
 
-impl FaultSetAnalysis {
-    /// Decodes configuration index `e` into per-honest-node states.
-    fn digits(&self, e: usize) -> Vec<u8> {
-        let mut digits = vec![0u8; self.honest.len()];
-        let mut rest = e;
-        for d in digits.iter_mut() {
-            *d = (rest % self.x) as u8;
-            rest /= self.x;
+impl Analyzer {
+    /// An analyzer with empty buffers; the first evaluation sizes them.
+    pub fn new() -> Analyzer {
+        Analyzer {
+            solver: Solver::new(),
         }
-        digits
     }
 
-    fn run(lut: &LutCounter, faulty: &[usize]) -> Result<Self, ParamError> {
+    /// See [`analyze`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] when the instance exceeds the exploration
+    /// limits.
+    pub fn analyze(&mut self, lut: &LutCounter) -> Result<AnalysisSummary, ParamError> {
         let spec = lut.spec();
-        let x = spec.states as usize;
-        let honest: Vec<usize> = (0..spec.n).filter(|v| !faulty.contains(v)).collect();
-        let h = honest.len();
-        let configs = x
-            .checked_pow(h as u32)
-            .filter(|&c| c <= MAX_CONFIGS)
-            .ok_or_else(|| ParamError::overflow(format!("|X|^h = {x}^{h}")))?;
-        let combos = x
-            .checked_pow(faulty.len() as u32)
-            .filter(|&c| c <= MAX_BYZ_COMBOS)
-            .ok_or_else(|| ParamError::overflow(format!("|X|^|F| = {x}^{}", faulty.len())))?;
-
-        let mut analysis = FaultSetAnalysis {
-            honest,
-            x,
-            combos,
-            configs,
-            covered: 0,
-            worst_time: 0,
-            successors: Vec::with_capacity(configs),
-            time: Vec::new(),
-        };
-
-        // Per configuration: the next-state set of every honest node, then
-        // the deduplicated successor-configuration list.
-        let mut workspace: RoundWorkspace<u8> = RoundWorkspace::with_capacity(0, spec.n);
-        let mut agreed: Vec<Option<u64>> = Vec::with_capacity(configs);
-        for e in 0..configs {
-            let digits = analysis.digits(e);
-
-            // Output agreement at e.
-            let first_out = lut.output(analysis.honest[0], digits[0]);
-            let agree = analysis
-                .honest
-                .iter()
-                .zip(&digits)
-                .all(|(&v, &s)| lut.output(v, s) == first_out);
-            agreed.push(agree.then_some(first_out));
-
-            // Next-state sets under all Byzantine combinations. The
-            // received vector is materialised in the shared round
-            // workspace's scratch buffer — one allocation for the whole
-            // exploration instead of one per (node, combination).
-            let h = analysis.honest.len();
-            let mut next_sets: Vec<Vec<u8>> = Vec::with_capacity(h);
-            for &i in &analysis.honest {
-                let mut mask = 0u64;
-                for combo in 0..combos {
-                    analysis.fill_received(lut, faulty, &digits, combo, &mut workspace);
-                    mask |= 1u64 << lut.next(i, &workspace.scratch);
+        #[cfg(feature = "parallel")]
+        {
+            // Fault-free configuration count = the largest game in the
+            // loop; tiny instances (the synthesis hill-climb) stay on this
+            // thread. The thread count is probed once per process — it is
+            // a syscall, and this path runs per candidate evaluation.
+            static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+            let threads = *THREADS
+                .get_or_init(|| std::thread::available_parallelism().map_or(1, |t| t.get()));
+            let weight = (spec.states as usize)
+                .checked_pow(spec.n as u32)
+                .unwrap_or(usize::MAX);
+            if weight >= 1 << 12 && threads > 1 {
+                let sets: Vec<Vec<usize>> = FaultSets::new(spec.n, spec.f).collect();
+                if sets.len() > 1 {
+                    return self.analyze_parallel(lut, &sets, threads);
                 }
-                next_sets.push((0..x as u8).filter(|&s| mask >> s & 1 == 1).collect());
-            }
-
-            // Product of the next-state sets, as configuration indices.
-            let mut succ = Vec::new();
-            let mut choice = vec![0usize; h];
-            loop {
-                let mut index = 0usize;
-                for d in (0..h).rev() {
-                    index = index * x + next_sets[d][choice[d]] as usize;
-                }
-                succ.push(index as u32);
-                let mut d = 0;
-                loop {
-                    if d == h {
-                        break;
-                    }
-                    choice[d] += 1;
-                    if choice[d] < next_sets[d].len() {
-                        break;
-                    }
-                    choice[d] = 0;
-                    d += 1;
-                }
-                if d == h {
-                    break;
-                }
-            }
-            succ.sort_unstable();
-            succ.dedup();
-            analysis.successors.push(succ);
-        }
-
-        // Greatest fixed point: the safe set of configurations from which
-        // counting is guaranteed forever.
-        let c = spec.c;
-        let mut safe: Vec<bool> = agreed.iter().map(Option::is_some).collect();
-        loop {
-            let mut changed = false;
-            for e in 0..configs {
-                if !safe[e] {
-                    continue;
-                }
-                let out = agreed[e].expect("safe ⊆ agreed");
-                let expect = (out + 1) % c;
-                let ok = analysis.successors[e]
-                    .iter()
-                    .all(|&s| safe[s as usize] && agreed[s as usize] == Some(expect));
-                if !ok {
-                    safe[e] = false;
-                    changed = true;
-                }
-            }
-            if !changed {
-                break;
             }
         }
-
-        // Attractor layering: t(e) = 0 on the safe set, otherwise
-        // 1 + max over successors (the adversary maximises).
-        let mut time: Vec<Option<u64>> = safe
-            .iter()
-            .map(|&s| if s { Some(0) } else { None })
-            .collect();
-        loop {
-            let mut changed = false;
-            for e in 0..configs {
-                if time[e].is_some() {
-                    continue;
-                }
-                let mut worst_succ = 0u64;
-                let mut all_known = true;
-                for &s in &analysis.successors[e] {
-                    match time[s as usize] {
-                        Some(t) => worst_succ = worst_succ.max(t),
-                        None => {
-                            all_known = false;
-                            break;
-                        }
-                    }
-                }
-                if all_known {
-                    time[e] = Some(worst_succ + 1);
-                    changed = true;
-                }
-            }
-            if !changed {
-                break;
+        // Serial path, fold inlined over the lending walk: no fault set is
+        // ever cloned except the first failing one.
+        let mut worst = 0u64;
+        let mut covered = 0usize;
+        let mut total = 0usize;
+        let mut failure: Option<(Vec<usize>, usize)> = None;
+        let mut sets = FaultSets::new(spec.n, spec.f);
+        while let Some(fault_set) = sets.advance() {
+            let stats = self.solver.run(lut, fault_set)?;
+            total += stats.configs;
+            covered += stats.covered;
+            if stats.covered == stats.configs {
+                worst = worst.max(stats.worst_time);
+            } else if failure.is_none() {
+                failure = Some((fault_set.to_vec(), stats.configs - stats.covered));
             }
         }
-
-        analysis.covered = time.iter().filter(|t| t.is_some()).count();
-        analysis.worst_time = time.iter().flatten().copied().max().unwrap_or(0);
-        analysis.time = time;
-        Ok(analysis)
-    }
-
-    /// Builds the full received vector for honest digits + Byzantine combo
-    /// in the workspace's scratch buffer (no allocation after first use).
-    fn fill_received(
-        &self,
-        lut: &LutCounter,
-        faulty: &[usize],
-        digits: &[u8],
-        combo: usize,
-        workspace: &mut RoundWorkspace<u8>,
-    ) {
-        let received = &mut workspace.scratch;
-        received.clear();
-        received.resize(lut.spec().n, 0);
-        for (hi, &hv) in self.honest.iter().enumerate() {
-            received[hv] = digits[hi];
-        }
-        let mut c = combo;
-        for &fv in faulty {
-            received[fv] = (c % self.x) as u8;
-            c /= self.x;
-        }
-    }
-
-    /// Extracts a lasso-shaped non-stabilising execution from the stuck
-    /// region, including the Byzantine values realising every transition.
-    fn extract_witness(&self, lut: &LutCounter, faulty: &[usize]) -> Option<Witness> {
-        let mut workspace: RoundWorkspace<u8> = RoundWorkspace::with_capacity(0, lut.spec().n);
-        let start = (0..self.configs).find(|&e| self.time[e].is_none())?;
-        let mut configs: Vec<usize> = vec![start];
-        let mut byz: Vec<Vec<Vec<u8>>> = Vec::new();
-        let mut visited: HashMap<usize, usize> = HashMap::new();
-        visited.insert(start, 0);
-        let mut current = start;
-        let cycle_start;
-        loop {
-            // A stuck configuration always has a stuck successor (otherwise
-            // the attractor pass would have assigned it a time).
-            let next = *self.successors[current]
-                .iter()
-                .find(|&&s| self.time[s as usize].is_none())
-                .expect("stuck configuration without stuck successor")
-                as usize;
-            // For every honest node find a Byzantine combo realising its
-            // next state, and record the per-faulty-node values.
-            let digits = self.digits(current);
-            let target = self.digits(next);
-            let mut step: Vec<Vec<u8>> = Vec::with_capacity(self.honest.len());
-            for (hi, &i) in self.honest.iter().enumerate() {
-                let combo = (0..self.combos)
-                    .find(|&combo| {
-                        self.fill_received(lut, faulty, &digits, combo, &mut workspace);
-                        lut.next(i, &workspace.scratch) == target[hi]
-                    })
-                    .expect("successor state must be realisable");
-                let mut values = Vec::with_capacity(faulty.len());
-                let mut c = combo;
-                for _ in faulty {
-                    values.push((c % self.x) as u8);
-                    c /= self.x;
-                }
-                step.push(values);
-            }
-            byz.push(step);
-            configs.push(next);
-            if let Some(&at) = visited.get(&next) {
-                cycle_start = at;
-                break;
-            }
-            visited.insert(next, configs.len() - 1);
-            current = next;
-        }
-        Some(Witness {
-            honest: self.honest.clone(),
-            fault_set: faulty.to_vec(),
-            configs: configs.into_iter().map(|e| self.digits(e)).collect(),
-            byz,
-            cycle_start,
+        Ok(AnalysisSummary {
+            worst_time: worst,
+            coverage: covered as f64 / total as f64,
+            failure,
         })
+    }
+}
+
+impl Analyzer {
+    /// Fans the fault-set games out round-robin across worker threads.
+    /// The stride matters: fault sets are enumerated preorder with the
+    /// empty set first, and the empty set's game is `|X|` times larger
+    /// than any singleton's — contiguous chunks would hand one worker
+    /// nearly all the work. Worker 0 runs on the calling thread and
+    /// reuses the analyzer's warm solver (the remaining workers bring
+    /// their own); outcomes are re-assembled in enumeration order, so the
+    /// summary — including which failing fault set is reported and which
+    /// error wins — is bitwise identical to the serial path.
+    #[cfg(feature = "parallel")]
+    fn analyze_parallel(
+        &mut self,
+        lut: &LutCounter,
+        sets: &[Vec<usize>],
+        threads: usize,
+    ) -> Result<AnalysisSummary, ParamError> {
+        fn run_strided(
+            solver: &mut Solver,
+            lut: &LutCounter,
+            sets: &[Vec<usize>],
+            start: usize,
+            stride: usize,
+        ) -> Vec<(usize, Result<SetOutcome, ParamError>)> {
+            sets.iter()
+                .enumerate()
+                .skip(start)
+                .step_by(stride)
+                .map(|(index, fault_set)| {
+                    let outcome = solver
+                        .run(lut, fault_set)
+                        .map(|stats| (fault_set.clone(), stats));
+                    (index, outcome)
+                })
+                .collect()
+        }
+
+        let workers = threads.min(sets.len());
+        let mut slots: Vec<Option<Result<SetOutcome, ParamError>>> =
+            (0..sets.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (1..workers)
+                .map(|k| {
+                    scope.spawn(move || run_strided(&mut Solver::new(), lut, sets, k, workers))
+                })
+                .collect();
+            for (index, outcome) in run_strided(&mut self.solver, lut, sets, 0, workers) {
+                slots[index] = Some(outcome);
+            }
+            for handle in handles {
+                for (index, outcome) in handle.join().expect("verifier worker panicked") {
+                    slots[index] = Some(outcome);
+                }
+            }
+        });
+        fold_outcomes(
+            slots
+                .into_iter()
+                .map(|slot| slot.expect("every fault set solved exactly once")),
+        )
+    }
+}
+
+/// Lazy enumeration of all subsets of `[n]` with at most `f` elements, in
+/// the preorder the recursive enumeration used: `[]`, `[0]`, `[0,1]`, …
+/// Each subset is yielded exactly when requested — callers iterate the
+/// sequence once, so nothing is materialised up front.
+pub(crate) struct FaultSets {
+    n: usize,
+    f: usize,
+    current: Vec<usize>,
+    started: bool,
+    done: bool,
+}
+
+impl FaultSets {
+    pub(crate) fn new(n: usize, f: usize) -> Self {
+        FaultSets {
+            n,
+            f,
+            current: Vec::with_capacity(f),
+            started: false,
+            done: false,
+        }
+    }
+}
+
+impl FaultSets {
+    /// Advances to the next subset and lends it — the non-allocating walk
+    /// the analyzer drives in its per-candidate hot loop.
+    /// [`Iterator::next`] clones the lent slice.
+    pub(crate) fn advance(&mut self) -> Option<&[usize]> {
+        if self.done {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            return Some(&self.current); // the empty set
+        }
+        // Preorder successor: descend to the first child if allowed…
+        let child = self.current.last().map_or(0, |&v| v + 1);
+        if self.current.len() < self.f && child < self.n {
+            self.current.push(child);
+            return Some(&self.current);
+        }
+        // …otherwise backtrack to the next sibling.
+        while let Some(v) = self.current.pop() {
+            if v + 1 < self.n {
+                self.current.push(v + 1);
+                return Some(&self.current);
+            }
+        }
+        self.done = true;
+        None
+    }
+}
+
+impl Iterator for FaultSets {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        self.advance().map(<[usize]>::to_vec)
     }
 }
 
@@ -454,12 +414,50 @@ mod tests {
         })
     }
 
+    /// 16 states on 4 fault-free nodes (`16^4 = 65536` configurations):
+    /// everyone follows node 0's value + 1 mod 16.
+    fn follow_leader_16() -> LutCounter {
+        let rows: Vec<u8> = (0..65536u32)
+            .map(|index| ((index % 16) + 1) as u8 % 16)
+            .collect();
+        lut(LutSpec {
+            n: 4,
+            f: 0,
+            c: 16,
+            states: 16,
+            transition: vec![rows.clone(), rows.clone(), rows.clone(), rows],
+            output: vec![(0..16u64).collect(); 4],
+            stabilization_bound: 1,
+        })
+    }
+
     #[test]
-    fn fault_sets_enumerates_subsets() {
-        let sets = fault_sets(4, 1);
+    fn fault_sets_enumerates_subsets_in_preorder() {
+        let sets: Vec<_> = FaultSets::new(4, 1).collect();
         assert_eq!(sets.len(), 5); // ∅ + 4 singletons
-        let sets = fault_sets(4, 2);
+        assert_eq!(sets[0], Vec::<usize>::new());
+        assert_eq!(sets[1..], [vec![0], vec![1], vec![2], vec![3]]);
+        let sets: Vec<_> = FaultSets::new(4, 2).collect();
         assert_eq!(sets.len(), 1 + 4 + 6);
+        assert_eq!(
+            sets,
+            vec![
+                vec![],
+                vec![0],
+                vec![0, 1],
+                vec![0, 2],
+                vec![0, 3],
+                vec![1],
+                vec![1, 2],
+                vec![1, 3],
+                vec![2],
+                vec![2, 3],
+                vec![3],
+            ]
+        );
+        // f = 0: only the empty set; f ≥ n: all 2^n subsets.
+        assert_eq!(FaultSets::new(3, 0).count(), 1);
+        assert_eq!(FaultSets::new(3, 3).count(), 8);
     }
 
     #[test]
@@ -571,26 +569,92 @@ mod tests {
         );
     }
 
+    /// The strided parallel fan-out must reproduce the serial summary
+    /// bitwise — same coverage, worst time, and *first* failing fault set.
+    /// Driven directly with forced worker counts so the chunked fold is
+    /// exercised regardless of how many cores the host has (the public
+    /// gate only fans out on multi-core machines).
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn forced_parallel_fan_out_matches_serial_summary() {
+        let x = 8u8;
+        let rows = 8usize.pow(4);
+        // A deterministic pseudo-random 8-state table: plenty of failing
+        // fault sets, so the first-failure tie-break is exercised too.
+        let transition: Vec<Vec<u8>> = (0..4)
+            .map(|v| {
+                (0..rows)
+                    .map(|r| ((r * 2654435761 + v * 97) >> 7) as u8 % x)
+                    .collect()
+            })
+            .collect();
+        let lut = lut(LutSpec {
+            n: 4,
+            f: 1,
+            c: 2,
+            states: x,
+            transition,
+            output: vec![(0..8).map(|s| s % 2).collect(); 4],
+            stabilization_bound: 0,
+        });
+        let serial = {
+            let mut analyzer = Analyzer::new();
+            let spec = lut.spec();
+            let mut worst = 0u64;
+            let mut covered = 0usize;
+            let mut total = 0usize;
+            let mut failure = None;
+            let mut sets = FaultSets::new(spec.n, spec.f);
+            while let Some(fault_set) = sets.advance() {
+                let stats = analyzer.solver.run(&lut, fault_set).unwrap();
+                total += stats.configs;
+                covered += stats.covered;
+                if stats.covered == stats.configs {
+                    worst = worst.max(stats.worst_time);
+                } else if failure.is_none() {
+                    failure = Some((fault_set.to_vec(), stats.configs - stats.covered));
+                }
+            }
+            AnalysisSummary {
+                worst_time: worst,
+                coverage: covered as f64 / total as f64,
+                failure,
+            }
+        };
+        let sets: Vec<Vec<usize>> = FaultSets::new(4, 1).collect();
+        for workers in [2, 3, 5, 8] {
+            let mut analyzer = Analyzer::new();
+            let parallel = analyzer.analyze_parallel(&lut, &sets, workers).unwrap();
+            assert_eq!(parallel, serial, "fan-out with {workers} workers diverges");
+        }
+    }
+
+    #[test]
+    fn sixteen_state_instance_verifies_beyond_seed_limits() {
+        // 16^4 = 65536 configurations: rejected by the retained reference
+        // checker (seed limit 1 << 14), decided exactly by the bitset core.
+        let big = follow_leader_16();
+        assert!(crate::reference::verify(&big).is_err());
+        assert_eq!(
+            verify(&big).unwrap(),
+            Verdict::Stabilizes { worst_case_time: 1 }
+        );
+    }
+
     #[test]
     fn size_limits_are_enforced() {
-        // 16 states on 4 nodes: 16^4 = 65536 > MAX_CONFIGS → typed error.
-        let states = 16u8;
-        let rows = vec![0u8; 65536];
+        // 6 states on 8 nodes: 6^8 ≈ 1.7M > MAX_CONFIGS (1 << 20) → typed
+        // error from the raised limits too.
+        let states = 6u8;
+        let rows = vec![0u8; 6usize.pow(8)];
+        let output: Vec<u64> = (0..6).map(|i| i % 2).collect();
         let spec = LutSpec {
-            n: 4,
+            n: 8,
             f: 0,
             c: 2,
             states,
-            transition: vec![rows.clone(), rows.clone(), rows.clone(), rows],
-            output: vec![vec![0; 16], vec![0; 16], vec![0; 16], vec![0; 16]]
-                .into_iter()
-                .map(|mut v: Vec<u64>| {
-                    for (i, o) in v.iter_mut().enumerate() {
-                        *o = (i % 2) as u64;
-                    }
-                    v
-                })
-                .collect(),
+            transition: vec![rows; 8],
+            output: vec![output; 8],
             stabilization_bound: 0,
         };
         let big = lut(spec);

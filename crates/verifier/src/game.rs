@@ -1,0 +1,600 @@
+//! The bitset safety-game core of the exhaustive checker.
+//!
+//! One [`Solver::run`] call is the full verification of one fault set `F`,
+//! solved on a compact representation:
+//!
+//! * **Successor masks** instead of successor lists: for every configuration
+//!   `e` and every honest node position `i`, a single `u64` whose bit `σ` is
+//!   set iff some Byzantine behaviour makes node `i` move to state `σ`. The
+//!   successor set of `e` is the product of the per-node masks; it is never
+//!   materialised — [`Solver::for_each_successor`] walks the product as a
+//!   mixed-radix odometer over set bits, in ascending configuration order,
+//!   with early exit.
+//! * **Predecessor bitsets**: for every `(i, σ)` a bitset over
+//!   configurations, `P[i][σ] = { e : σ ∈ mask_i(e) }`. The predecessors of
+//!   `s` are `⋂_i P[i][digit_i(s)]`, computed word-by-word (64
+//!   configurations per AND, short-circuited on zero) and filtered by the
+//!   caller's live set — the engine of the worklist fixpoints below.
+//! * **Incremental LUT row index**: the inner Byzantine loop never rebuilds
+//!   an `n`-entry received vector. The honest part of the LUT row index is
+//!   maintained across configurations and the Byzantine part across combos
+//!   by mixed-radix increments — amortised O(1) faulty positions touched per
+//!   combo, O(1) honest positions per configuration.
+//!
+//! On top of the representation, the two fixpoints of the verification
+//! method run as worklists instead of repeated full sweeps:
+//!
+//! * the **safe set** (greatest fixed point) seeds from the factored check
+//!   "every successor agrees on `out(e)+1 mod c`" — which is per-node:
+//!   `mask_i(e) ⊆ {σ : h(i, σ) = expect}` — then removes configurations
+//!   whose successor products escape the set, propagating each removal to
+//!   its predecessors exactly once;
+//! * the **attractor** is counter-based: `cnt[e]` counts undecided
+//!   successors (`∏ popcount(mask_i(e))` — product tuples are distinct
+//!   configurations, so no dedup exists); when a configuration is decided
+//!   in layer `t`, each predecessor's counter drops, and a counter hitting
+//!   zero decides the predecessor at time `t + 1`. Every configuration is
+//!   re-examined only when one of its successors changes, never by sweep.
+//!
+//! A [`Solver`] owns every buffer and is reused run after run — scoring a
+//! synthesis candidate allocates nothing, which is where the hill-climb's
+//! per-evaluation time went in the first-generation checker.
+
+use std::collections::HashMap;
+
+use sc_core::LutCounter;
+use sc_protocol::{BitVec, ParamError};
+
+/// Hard limits keeping exhaustive exploration tractable. The bitset core
+/// raises the seed's `1 << 14` configurations / `1 << 10` Byzantine combos
+/// to the bounds below; [`MAX_MASK_WORDS`] additionally caps the
+/// successor-mask table (`h` words per configuration) so extreme
+/// many-node/low-state instances cannot balloon memory.
+pub(crate) const MAX_CONFIGS: usize = 1 << 20;
+pub(crate) const MAX_BYZ_COMBOS: usize = 1 << 14;
+const MAX_MASK_WORDS: usize = 1 << 22;
+
+/// Sentinel for configurations the attractor never decides.
+const UNDECIDED: u32 = u32::MAX;
+
+/// The game solver: all per-fault-set state, owned once and rebuilt in
+/// place by every [`Solver::run`] — after a run it holds the solved game of
+/// that fault set (for witness extraction and the aggregate counters).
+#[derive(Default)]
+pub(crate) struct Solver {
+    /// Correct nodes, ascending.
+    pub honest: Vec<usize>,
+    /// The fault set, in the order Byzantine combos are decoded.
+    pub faulty: Vec<usize>,
+    /// Number of states `|X|`.
+    pub x: usize,
+    /// Byzantine combinations per step (`|X|^|F|`).
+    pub combos: usize,
+    /// Number of configurations (`|X|^h`).
+    pub configs: usize,
+    /// Configurations with a decided stabilisation time.
+    pub covered: usize,
+    /// Exact worst-case stabilisation time over decided configurations.
+    pub worst_time: u64,
+    /// The greatest fixed point: counting is guaranteed forever.
+    pub safe: BitVec,
+    /// Per-configuration next-state masks, `h` words per configuration:
+    /// `masks[e * h + i]` is the mask of honest position `i`.
+    masks: Vec<u64>,
+    /// Flat predecessor bitsets: `(i * x + σ) * words ..` is the bitset of
+    /// configurations whose position-`i` mask contains `σ`.
+    pred: Vec<u64>,
+    /// `x^i` for honest positions `i` (configuration radix).
+    xpow: Vec<usize>,
+    /// `x^{honest[i]}` — LUT row weight of honest position `i`.
+    pow_h: Vec<usize>,
+    /// `x^{faulty[g]}` — LUT row weight of faulty position `g`.
+    pow_f: Vec<usize>,
+    /// 64-bit words per configuration bitset.
+    words: usize,
+    /// Attractor time per configuration ([`UNDECIDED`] = stuck).
+    time: Vec<u32>,
+    /// Attractor counters: undecided successors per configuration.
+    cnt: Vec<u32>,
+    /// Per honest position, `(output value, mask of states producing it)`
+    /// pairs; `out_ok_off[i]..out_ok_off[i + 1]` is position `i`'s range.
+    out_ok: Vec<(u64, u64)>,
+    out_ok_off: Vec<usize>,
+    // Worklist and odometer scratch.
+    undecided: Vec<u64>,
+    digits: Vec<u8>,
+    byz: Vec<u8>,
+    stack: Vec<u32>,
+    preds: Vec<u32>,
+    frontier: Vec<u32>,
+    next: Vec<u32>,
+}
+
+/// The aggregate a fault-set run contributes to an analysis summary.
+pub(crate) struct SetStats {
+    pub configs: usize,
+    pub covered: usize,
+    pub worst_time: u64,
+}
+
+impl Solver {
+    /// A solver with empty buffers; the first run sizes them.
+    pub(crate) fn new() -> Solver {
+        Solver::default()
+    }
+
+    /// Builds the game for `lut` under fault set `faulty` and solves it:
+    /// masks, predecessor index, safe-set fixpoint, attractor layering.
+    /// Reuses every buffer from the previous run; allocation-free once the
+    /// buffers have grown to the instance size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] when the instance exceeds the exploration
+    /// limits, has more than 64 states (a mask is one `u64`), or the fault
+    /// set leaves no correct node.
+    pub(crate) fn run(
+        &mut self,
+        lut: &LutCounter,
+        faulty: &[usize],
+    ) -> Result<SetStats, ParamError> {
+        self.build(lut, faulty)?;
+        self.refine_safe();
+        self.attract();
+        Ok(SetStats {
+            configs: self.configs,
+            covered: self.covered,
+            worst_time: self.worst_time,
+        })
+    }
+
+    fn build(&mut self, lut: &LutCounter, faulty: &[usize]) -> Result<(), ParamError> {
+        let spec = lut.spec();
+        let x = spec.states as usize;
+        if x > 64 {
+            return Err(ParamError::overflow(format!(
+                "|X| = {x} states exceed the 64-bit successor masks"
+            )));
+        }
+        self.honest.clear();
+        self.honest
+            .extend((0..spec.n).filter(|v| !faulty.contains(v)));
+        self.faulty.clear();
+        self.faulty.extend_from_slice(faulty);
+        let h = self.honest.len();
+        if h == 0 {
+            return Err(ParamError::constraint(
+                "fault set covers every node: nothing to verify",
+            ));
+        }
+        // Only reachable with |X| = 1 (otherwise |X|^h caps h at 20): the
+        // successor odometer keeps its digits on the stack.
+        if h > 64 {
+            return Err(ParamError::overflow(format!(
+                "{h} correct nodes exceed the odometer width"
+            )));
+        }
+        let configs = x
+            .checked_pow(h as u32)
+            .filter(|&c| c <= MAX_CONFIGS)
+            .ok_or_else(|| ParamError::overflow(format!("|X|^h = {x}^{h}")))?;
+        let combos = x
+            .checked_pow(faulty.len() as u32)
+            .filter(|&c| c <= MAX_BYZ_COMBOS)
+            .ok_or_else(|| ParamError::overflow(format!("|X|^|F| = {x}^{}", faulty.len())))?;
+        if configs
+            .checked_mul(h)
+            .filter(|&w| w <= MAX_MASK_WORDS)
+            .is_none()
+        {
+            return Err(ParamError::overflow(format!(
+                "successor-mask table |X|^h·h = {configs}·{h} words"
+            )));
+        }
+        self.x = x;
+        self.configs = configs;
+        self.combos = combos;
+        self.words = configs.div_ceil(64);
+
+        self.xpow.clear();
+        self.pow_h.clear();
+        self.pow_f.clear();
+        let mut p = 1usize;
+        for _ in 0..h {
+            self.xpow.push(p);
+            p *= x;
+        }
+        for &v in &self.honest {
+            self.pow_h.push(x.pow(v as u32));
+        }
+        for &v in &self.faulty {
+            self.pow_f.push(x.pow(v as u32));
+        }
+
+        // Per honest position: output value → mask of states producing it
+        // (the factored "all successors output `expect`" check). A handful
+        // of linear-scanned pairs, not a hash map — `x ≤ 64`.
+        self.out_ok.clear();
+        self.out_ok_off.clear();
+        self.out_ok_off.push(0);
+        for i in 0..h {
+            let outputs = &spec.output[self.honest[i]];
+            let start = self.out_ok.len();
+            for state in 0..x {
+                let value = outputs[state];
+                match self.out_ok[start..].iter_mut().find(|(v, _)| *v == value) {
+                    Some((_, mask)) => *mask |= 1u64 << state,
+                    None => self.out_ok.push((value, 1u64 << state)),
+                }
+            }
+            self.out_ok_off.push(self.out_ok.len());
+        }
+
+        self.masks.clear();
+        self.masks.resize(configs * h, 0);
+        self.pred.clear();
+        self.pred.resize(h * x * self.words, 0);
+        self.cnt.clear();
+        self.cnt.resize(configs, 0);
+        self.time.clear();
+        self.time.resize(configs, UNDECIDED);
+        self.safe.reset(configs);
+        self.digits.clear();
+        self.digits.resize(h, 0);
+        self.byz.clear();
+        self.byz.resize(faulty.len(), 0);
+
+        // --- masks, predecessor index, agreement, seed safe set. ----------
+        let words = self.words;
+        let transition = &spec.transition;
+        let mut base = 0usize; // LUT row index of the honest part
+        let c = spec.c;
+        for e in 0..configs {
+            // Next-state masks under all Byzantine combinations. The LUT
+            // row index is shared by every receiver, so the combo loop is
+            // outermost and the index is maintained by a mixed-radix
+            // increment — no received vector is ever built.
+            let mrow = &mut self.masks[e * h..(e + 1) * h];
+            let mut idx = base;
+            let mut remaining = combos;
+            loop {
+                for i in 0..h {
+                    mrow[i] |= 1u64 << transition[self.honest[i]][idx];
+                }
+                remaining -= 1;
+                if remaining == 0 {
+                    break;
+                }
+                let mut g = 0;
+                loop {
+                    if (self.byz[g] as usize) + 1 < x {
+                        self.byz[g] += 1;
+                        idx += self.pow_f[g];
+                        break;
+                    }
+                    idx -= (x - 1) * self.pow_f[g];
+                    self.byz[g] = 0;
+                    g += 1;
+                }
+            }
+            // The combo odometer ends at all-(x−1); reset it for the next
+            // configuration (idx is re-seeded from `base`).
+            self.byz.iter_mut().for_each(|b| *b = 0);
+
+            // Predecessor index and undecided-successor counter.
+            let mut count = 1u32;
+            for i in 0..h {
+                count *= mrow[i].count_ones();
+                let mut m = mrow[i];
+                while m != 0 {
+                    let state = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let slot = (i * x + state) * words + e / 64;
+                    self.pred[slot] |= 1u64 << (63 - (e % 64));
+                }
+            }
+            self.cnt[e] = count;
+
+            // Output agreement and the factored safe-set seed: every
+            // successor agrees on `out(e) + 1 mod c` iff every per-node
+            // mask stays within the states outputting that value.
+            let first = spec.output[self.honest[0]][self.digits[0] as usize];
+            if (1..h).all(|i| spec.output[self.honest[i]][self.digits[i] as usize] == first) {
+                let expect = (first + 1) % c;
+                let ok = (0..h).all(|i| {
+                    let pairs = &self.out_ok[self.out_ok_off[i]..self.out_ok_off[i + 1]];
+                    let okm = pairs
+                        .iter()
+                        .find(|(v, _)| *v == expect)
+                        .map_or(0, |(_, m)| *m);
+                    mrow[i] & !okm == 0
+                });
+                if ok {
+                    self.safe.set_bit(e, true);
+                }
+            }
+
+            // Advance the configuration digits and the honest row index.
+            if e + 1 < configs {
+                let mut d = 0;
+                loop {
+                    if (self.digits[d] as usize) + 1 < x {
+                        self.digits[d] += 1;
+                        base += self.pow_h[d];
+                        break;
+                    }
+                    base -= (x - 1) * self.pow_h[d];
+                    self.digits[d] = 0;
+                    d += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Greatest-fixed-point refinement of the seeded safe set: a
+    /// configuration survives iff its whole successor product stays safe.
+    /// One lazy product walk per seed member (early exit on the first
+    /// escape), then worklist propagation — every removal scans its
+    /// predecessors once, and only configurations whose successor changed
+    /// are ever touched again.
+    fn refine_safe(&mut self) {
+        let mut removals = std::mem::take(&mut self.stack);
+        removals.clear();
+        // Initial verification pass, ascending. Checking against the live
+        // set is sound: a member removed earlier only strengthens the check,
+        // and predecessors of any removal are re-examined below.
+        for w in 0..self.words {
+            let mut acc = self.safe.words()[w];
+            while acc != 0 {
+                let lead = acc.leading_zeros() as usize;
+                acc &= !(1u64 << (63 - lead));
+                let e = w * 64 + lead;
+                let safe = &self.safe;
+                if !self.for_each_successor(e, |s| safe.bit(s)) {
+                    self.safe.set_bit(e, false);
+                    removals.push(e as u32);
+                }
+            }
+        }
+        let mut preds = std::mem::take(&mut self.preds);
+        while let Some(s) = removals.pop() {
+            preds.clear();
+            self.collect_preds(s as usize, self.safe.words(), &mut preds);
+            for &e in &preds {
+                // Collected under the safe filter; the product of a safe
+                // predecessor contains the removed `s`, so it escapes too.
+                self.safe.set_bit(e as usize, false);
+                removals.push(e);
+            }
+        }
+        self.stack = removals;
+        self.preds = preds;
+    }
+
+    /// Counter-based attractor layering over the predecessor index:
+    /// `time = 0` on the safe set; a configuration is decided at `t + 1`
+    /// the moment its last undecided successor is decided at `t`.
+    fn attract(&mut self) {
+        // Live filter: undecided configurations (padding bits clear).
+        self.undecided.clear();
+        self.undecided.resize(self.words, u64::MAX);
+        let tail = self.configs - (self.words - 1) * 64;
+        if tail < 64 {
+            self.undecided[self.words - 1] = !0u64 << (64 - tail);
+        }
+        let mut frontier = std::mem::take(&mut self.frontier);
+        frontier.clear();
+        frontier.extend(self.safe.iter_ones().map(|e| e as u32));
+        for &e in &frontier {
+            self.time[e as usize] = 0;
+            self.undecided[e as usize / 64] &= !(1u64 << (63 - (e as usize % 64)));
+        }
+        self.covered = frontier.len();
+        self.worst_time = 0;
+        let mut next = std::mem::take(&mut self.next);
+        let mut preds = std::mem::take(&mut self.preds);
+        next.clear();
+        let mut t = 0u32;
+        while !frontier.is_empty() {
+            for &s in &frontier {
+                preds.clear();
+                self.collect_preds(s as usize, &self.undecided, &mut preds);
+                for &e in &preds {
+                    let e = e as usize;
+                    self.cnt[e] -= 1;
+                    if self.cnt[e] == 0 {
+                        self.time[e] = t + 1;
+                        self.undecided[e / 64] &= !(1u64 << (63 - (e % 64)));
+                        next.push(e as u32);
+                    }
+                }
+            }
+            self.covered += next.len();
+            if !next.is_empty() {
+                self.worst_time = u64::from(t + 1);
+            }
+            std::mem::swap(&mut frontier, &mut next);
+            next.clear();
+            t += 1;
+        }
+        self.frontier = frontier;
+        self.next = next;
+        self.preds = preds;
+    }
+
+    /// Decodes configuration `e` into per-honest-position states.
+    pub(crate) fn config_digits(&self, e: usize) -> Vec<u8> {
+        let mut digits = vec![0u8; self.honest.len()];
+        let mut rest = e;
+        for d in digits.iter_mut() {
+            *d = (rest % self.x) as u8;
+            rest /= self.x;
+        }
+        digits
+    }
+
+    /// Whether the attractor decided configuration `e`.
+    pub(crate) fn decided(&self, e: usize) -> bool {
+        self.time[e] != UNDECIDED
+    }
+
+    /// Walks the successor product of `e` in ascending configuration order,
+    /// stopping when `visit` returns `false`. Returns whether the walk
+    /// completed. The product is never materialised: a mixed-radix odometer
+    /// advances one set bit at a time, updating the successor index
+    /// incrementally.
+    fn for_each_successor(&self, e: usize, mut visit: impl FnMut(usize) -> bool) -> bool {
+        let h = self.honest.len();
+        let masks = &self.masks[e * h..(e + 1) * h];
+        let mut current = [0u8; 64];
+        let mut succ = 0usize;
+        for i in 0..h {
+            let low = masks[i].trailing_zeros() as usize;
+            current[i] = low as u8;
+            succ += low * self.xpow[i];
+        }
+        loop {
+            if !visit(succ) {
+                return false;
+            }
+            let mut i = 0;
+            loop {
+                if i == h {
+                    return true;
+                }
+                let cur = current[i] as usize;
+                let rest = if cur + 1 < 64 {
+                    masks[i] >> (cur + 1)
+                } else {
+                    0
+                };
+                if rest != 0 {
+                    let nxt = cur + 1 + rest.trailing_zeros() as usize;
+                    current[i] = nxt as u8;
+                    succ += (nxt - cur) * self.xpow[i];
+                    break;
+                }
+                let low = masks[i].trailing_zeros() as usize;
+                current[i] = low as u8;
+                succ -= (cur - low) * self.xpow[i];
+                i += 1;
+            }
+        }
+    }
+
+    /// First successor of `e` (ascending) failing `keep`, if any.
+    fn first_escaping_successor(&self, e: usize, keep: impl Fn(usize) -> bool) -> Option<usize> {
+        let mut found = None;
+        self.for_each_successor(e, |s| {
+            if keep(s) {
+                true
+            } else {
+                found = Some(s);
+                false
+            }
+        });
+        found
+    }
+
+    /// Appends to `out` every configuration whose successor product
+    /// contains `s`, restricted to the set bits of `filter`: the word-wise
+    /// intersection `filter ∩ ⋂_i P[i][digit_i(s)]`, short-circuited on
+    /// zero words.
+    fn collect_preds(&self, s: usize, filter: &[u64], out: &mut Vec<u32>) {
+        let h = self.honest.len();
+        let words = self.words;
+        // Hoist the h predecessor-row offsets (digits of s).
+        let mut rows = [0usize; 64];
+        let mut rest = s;
+        for (i, row) in rows.iter_mut().enumerate().take(h) {
+            *row = (i * self.x + rest % self.x) * words;
+            rest /= self.x;
+        }
+        for w in 0..words {
+            let mut acc = filter[w];
+            for &row in rows.iter().take(h) {
+                if acc == 0 {
+                    break;
+                }
+                acc &= self.pred[row + w];
+            }
+            while acc != 0 {
+                let lead = acc.leading_zeros() as usize;
+                acc &= !(1u64 << (63 - lead));
+                out.push((w * 64 + lead) as u32);
+            }
+        }
+    }
+
+    /// Extracts a lasso-shaped non-stabilising execution from the stuck
+    /// region, including the Byzantine values realising every transition —
+    /// identical (configuration for configuration, value for value) to the
+    /// witness the enumerate-everything reference extracts: the walk starts
+    /// at the lowest stuck configuration, always follows the lowest stuck
+    /// successor, and realises each honest transition with the first
+    /// Byzantine combo in mixed-radix order.
+    pub(crate) fn extract_witness(&self, lut: &LutCounter) -> Option<crate::checker::Witness> {
+        let spec = lut.spec();
+        let start = (0..self.configs).find(|&e| !self.decided(e))?;
+        let mut configs: Vec<usize> = vec![start];
+        let mut byz: Vec<Vec<Vec<u8>>> = Vec::new();
+        let mut visited: HashMap<usize, usize> = HashMap::new();
+        visited.insert(start, 0);
+        let mut current = start;
+        let cycle_start;
+        loop {
+            // A stuck configuration always has a stuck successor (otherwise
+            // its undecided-successor counter would have reached zero).
+            let next = self
+                .first_escaping_successor(current, |s| self.decided(s))
+                .expect("stuck configuration without stuck successor");
+            let digits = self.config_digits(current);
+            let target = self.config_digits(next);
+            let base: usize = digits
+                .iter()
+                .zip(&self.pow_h)
+                .map(|(&d, &p)| d as usize * p)
+                .sum();
+            // For every honest node find the first Byzantine combo
+            // realising its next state, and record the per-faulty values.
+            let mut step: Vec<Vec<u8>> = Vec::with_capacity(self.honest.len());
+            for (hi, &node) in self.honest.iter().enumerate() {
+                let row = &spec.transition[node];
+                let combo = (0..self.combos)
+                    .find(|&combo| {
+                        let mut idx = base;
+                        let mut rest = combo;
+                        for &p in &self.pow_f {
+                            idx += (rest % self.x) * p;
+                            rest /= self.x;
+                        }
+                        row[idx] == target[hi]
+                    })
+                    .expect("successor state must be realisable");
+                let mut values = Vec::with_capacity(self.faulty.len());
+                let mut rest = combo;
+                for _ in &self.faulty {
+                    values.push((rest % self.x) as u8);
+                    rest /= self.x;
+                }
+                step.push(values);
+            }
+            byz.push(step);
+            configs.push(next);
+            if let Some(&at) = visited.get(&next) {
+                cycle_start = at;
+                break;
+            }
+            visited.insert(next, configs.len() - 1);
+            current = next;
+        }
+        Some(crate::checker::Witness {
+            honest: self.honest.clone(),
+            fault_set: self.faulty.clone(),
+            configs: configs.into_iter().map(|e| self.config_digits(e)).collect(),
+            byz,
+            cycle_start,
+        })
+    }
+}

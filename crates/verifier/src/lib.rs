@@ -14,32 +14,59 @@
 //!   reproduced in the paper, so exact re-verification of *their*
 //!   algorithms is out of scope — but any candidate table can be checked
 //!   here.
+//! * [`analyze`] — the same exploration without witness extraction,
+//!   aggregated into an [`AnalysisSummary`]; this is the scoring function
+//!   of the synthesiser and the workload of the `throughput` bench's
+//!   verifier table.
 //! * [`synthesize`] — a budgeted stochastic local search over transition
 //!   tables, scored by the verifier's attractor coverage. It easily finds
 //!   correct fault-free counters and serves as the experiment harness for
 //!   E7; SAT-grade synthesis for `n = 4, f = 1` (which took considerable
 //!   computation in \[5\]) is outside a unit-test budget.
+//! * [`mod@reference`] — the retained first-generation checker (successor
+//!   lists, full sweeps, seed limits), kept as the bitwise-equivalence
+//!   oracle for the cross-check tests and the bench baseline.
 //!
 //! # How verification works
 //!
 //! Fix a fault set `F`. A *configuration* assigns a state to every correct
-//! node (the paper's `π_F` projection). For each correct node `i` the set of
-//! possible next states `S_i(e)` is computed by enumerating every Byzantine
-//! assignment to the `F`-coordinates of the received vector; the successors
-//! of `e` are the product `∏ S_i(e)` (per-receiver independence — Byzantine
-//! nodes may send different states to different receivers).
+//! node (the paper's `π_F` projection). The checker solves a safety game on
+//! a compact bitset representation:
 //!
-//! * **Safe set** (greatest fixed point): start from all configurations
-//!   whose outputs agree and repeatedly remove any configuration with a
-//!   successor outside the set or whose successors fail to increment the
-//!   common output modulo `c`. The result is the largest set from which
-//!   counting is guaranteed forever.
-//! * **Attractor layering**: `A_0` = safe set; `A_{j+1}` adds every
-//!   configuration **all** of whose successors lie in `A_j`. If the layers
-//!   cover the whole space, the algorithm is a self-stabilising counter with
-//!   worst-case stabilisation time = the deepest layer; otherwise the
-//!   uncovered configurations witness an adversary strategy that prevents
-//!   stabilisation forever.
+//! * **Successor masks.** For each correct node `i` the set of possible
+//!   next states `S_i(e)` is one 64-bit mask (bit `σ` ⇔ some Byzantine
+//!   assignment to the `F`-coordinates drives `i` to `σ`); the successors
+//!   of `e` are the product `∏ S_i(e)` (per-receiver independence —
+//!   Byzantine nodes may send different states to different receivers).
+//!   The product is **never materialised**: where a successor walk is
+//!   needed at all, a mixed-radix odometer over set bits enumerates it
+//!   lazily, in ascending order, with early exit. The masks are filled by
+//!   an **incremental** Byzantine loop: the LUT row index is shared by all
+//!   receivers and maintained under a mixed-radix combo increment —
+//!   amortised O(1) faulty positions touched per combination, no received
+//!   vector ever built.
+//! * **Safe set** (greatest fixed point): the largest set of
+//!   configurations from which counting is guaranteed forever. Seeded by
+//!   the factored per-node check "every successor outputs
+//!   `out(e) + 1 mod c`" (`S_i(e) ⊆ h_i⁻¹(expect)`, a two-word mask test),
+//!   then refined by a **worklist**: a removal scans the removed
+//!   configuration's predecessors — the word-wise intersection of
+//!   per-`(node, state)` predecessor bitsets — and each escaping
+//!   predecessor is removed exactly once. No full sweeps.
+//! * **Attractor layering**: `A_0` = safe set; a configuration is decided
+//!   at time `t + 1` the moment its **counter** of undecided successors
+//!   (`∏ |S_i(e)|`) drops to zero, its last successor having been decided
+//!   at `t`. Each configuration is re-examined only when one of its
+//!   successors changes. If the layers cover the whole space, the
+//!   algorithm is a self-stabilising counter with worst-case stabilisation
+//!   time = the deepest layer; otherwise the uncovered configurations
+//!   witness an adversary strategy that prevents stabilisation forever,
+//!   and a lasso-shaped [`Witness`] execution is extracted from the masks.
+//!
+//! The representation decides `2^20` configurations × `2^14` Byzantine
+//! combinations per fault set (the first-generation checker stopped at
+//! `2^14` / `2^10`), and independent fault sets fan out across threads
+//! behind the `parallel` feature (on by default).
 //!
 //! # Example
 //!
@@ -65,7 +92,9 @@
 #![warn(missing_docs)]
 
 mod checker;
+mod game;
+pub mod reference;
 mod synthesis;
 
-pub use checker::{verify, Verdict, Witness};
+pub use checker::{analyze, verify, AnalysisSummary, Analyzer, Verdict, Witness};
 pub use synthesis::{synthesize, SynthesisOutcome, SynthesisReport};

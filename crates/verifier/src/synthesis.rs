@@ -5,7 +5,7 @@ use rand::{Rng, SeedableRng};
 use sc_core::{LutCounter, LutSpec};
 use sc_protocol::ParamError;
 
-use crate::checker::analyze;
+use crate::checker::Analyzer;
 
 /// Result of a [`synthesize`] run.
 #[derive(Clone, Debug)]
@@ -41,6 +41,14 @@ pub enum SynthesisOutcome {
 /// Output tables are fixed to `h(v, s) = s mod c`, as in the space-optimal
 /// algorithms of [4, 5] (the state *is* the output, plus auxiliary states);
 /// the search space is the transition tables.
+///
+/// The hill-climb holds **one** live [`LutCounter`] and never clones a
+/// candidate: a proposal patches 1–3 entries in place
+/// ([`LutCounter::set_transition`]), rejection un-patches them in reverse,
+/// and restarts refill the same tables entry by entry. The only per-run
+/// table clone left is wrapping the winning spec with its proven bound.
+/// The search trajectory (RNG draw order, acceptance rule) is unchanged
+/// from the cloning implementation.
 ///
 /// `budget` bounds the number of verifier evaluations. Fault-free instances
 /// (`f = 0`) synthesise in well under 1000 evaluations; `n = 4, f = 1`
@@ -79,43 +87,55 @@ pub fn synthesize(
             .collect()
     };
 
-    let mut current = random_tables(&mut rng);
+    // The one live candidate, validated once and mutated in place below.
+    let mut current = LutCounter::new(LutSpec {
+        n,
+        f,
+        c,
+        states,
+        transition: random_tables(&mut rng),
+        output,
+        stabilization_bound: 0,
+    })?;
     let mut current_score = f64::MIN;
     let mut stagnation = 0u32;
+    // Patch journal of the pending proposal: (node, row, previous entry).
+    let mut undo: Vec<(usize, usize, u8)> = Vec::with_capacity(3);
+    // One game solver for the whole search: every evaluation reuses its
+    // buffers, so scoring a candidate allocates nothing.
+    let mut analyzer = Analyzer::new();
 
     while evaluations < budget {
         // Propose: mutate 1–3 random entries (or restart on stagnation).
-        let candidate_tables = if stagnation > 200 {
+        undo.clear();
+        if stagnation > 200 {
             stagnation = 0;
             current_score = f64::MIN;
-            random_tables(&mut rng)
+            // Restart: refill the tables in place, same draw order as a
+            // fresh `random_tables` (a restart is always accepted — the
+            // score was just reset — so no undo journal is kept).
+            for v in 0..n {
+                for row in 0..rows {
+                    current.set_transition(v, row, rng.random_range(0..states));
+                }
+            }
         } else {
-            let mut t = current.clone();
             for _ in 0..rng.random_range(1..=3usize) {
                 let v = rng.random_range(0..n);
                 let row = rng.random_range(0..rows);
-                t[v][row] = rng.random_range(0..states);
+                let previous = current.set_transition(v, row, rng.random_range(0..states));
+                undo.push((v, row, previous));
             }
-            t
-        };
-        let spec = LutSpec {
-            n,
-            f,
-            c,
-            states,
-            transition: candidate_tables.clone(),
-            output: output.clone(),
-            stabilization_bound: 0,
-        };
-        let candidate = LutCounter::new(spec)?;
-        let summary = analyze(&candidate)?;
+        }
+        let summary = analyzer.analyze(&current)?;
         let coverage = summary.coverage;
         evaluations += 1;
         best_coverage = best_coverage.max(coverage);
         if summary.failure.is_none() {
-            // Re-wrap with the proven bound recorded in the spec.
+            // Re-wrap with the proven bound recorded in the spec — the one
+            // table clone of the whole search.
             let worst_case_time = summary.worst_time;
-            let mut spec = candidate.spec().clone();
+            let mut spec = current.spec().clone();
             spec.stabilization_bound = worst_case_time;
             let counter = LutCounter::new(spec)?;
             return Ok(SynthesisReport {
@@ -132,10 +152,13 @@ pub fn synthesize(
             } else {
                 stagnation = 0;
             }
-            current = candidate_tables;
             current_score = coverage;
         } else {
             stagnation += 1;
+            // Reject: un-patch in reverse order (entries may repeat).
+            for &(v, row, previous) in undo.iter().rev() {
+                current.set_transition(v, row, previous);
+            }
         }
     }
 
