@@ -67,6 +67,7 @@ mod batch;
 mod early;
 mod error;
 mod metrics;
+mod seeded;
 mod simulation;
 mod stabilization;
 #[doc(hidden)]
@@ -79,6 +80,7 @@ pub use batch::{Batch, BatchReport, BatchSummary, Scenario, ScenarioOutcome};
 pub use early::ExitReason;
 pub use error::SimError;
 pub use metrics::{broadcast_metrics, BroadcastMetrics};
+pub use seeded::{random_periodic, two_faced_periodic, RandomPeriodic, TwoFacedPeriodic};
 pub use simulation::{required_confirmation, Simulation};
 pub use stabilization::{
     detect_stabilization, first_stable_window, violation_rate, OnlineDetector, OutputTrace,

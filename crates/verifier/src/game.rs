@@ -108,6 +108,12 @@ pub(crate) struct Solver {
     preds: Vec<u32>,
     frontier: Vec<u32>,
     next: Vec<u32>,
+    /// Attractor scratch: hoisted predecessor-row offsets of the current
+    /// frontier (`h` per member).
+    rows: Vec<usize>,
+    /// Attractor scratch: the shrinking window of configuration words that
+    /// still hold undecided bits.
+    live: Vec<u32>,
 }
 
 /// The aggregate a fault-set run contributes to an analysis summary.
@@ -375,6 +381,18 @@ impl Solver {
     /// Counter-based attractor layering over the predecessor index:
     /// `time = 0` on the safe set; a configuration is decided at `t + 1`
     /// the moment its last undecided successor is decided at `t`.
+    ///
+    /// The decided frontier is processed as a **batched bitset pass**, not
+    /// per-index scans: each layer hoists the predecessor-row offsets of
+    /// every frontier member once, then sweeps the configuration words of a
+    /// **shrinking live window** — words whose undecided bits all dropped
+    /// are skipped for the whole frontier, so late layers (where most of
+    /// the space is already decided) touch only the still-contested words.
+    /// Decisions are order-independent (counter decrements commute), so the
+    /// layering — `time`, `covered`, `worst_time`, and the witness derived
+    /// from them — is bit-identical to the per-index scan; the
+    /// `verifier_cross` proptests enforce it against the retained
+    /// reference checker.
     fn attract(&mut self) {
         // Live filter: undecided configurations (padding bits clear).
         self.undecided.clear();
@@ -393,20 +411,59 @@ impl Solver {
         self.covered = frontier.len();
         self.worst_time = 0;
         let mut next = std::mem::take(&mut self.next);
-        let mut preds = std::mem::take(&mut self.preds);
+        let mut rows = std::mem::take(&mut self.rows);
+        let mut live = std::mem::take(&mut self.live);
         next.clear();
+        live.clear();
+        live.extend(0..self.words as u32);
+        let h = self.honest.len();
+        let words = self.words;
         let mut t = 0u32;
         while !frontier.is_empty() {
+            // The window only ever shrinks: words with no undecided bits
+            // left are dropped for this and every later layer — before the
+            // offset hoist, so a fully-decided space skips the layer
+            // entirely (on verifying instances layer 0's frontier is the
+            // whole safe set and would otherwise hoist h·|safe| offsets
+            // just to discard them).
+            live.retain(|&w| self.undecided[w as usize] != 0);
+            if live.is_empty() {
+                break;
+            }
+            // Hoist every frontier member's predecessor-row offsets (the
+            // digits of `s`) once per layer instead of once per word.
+            rows.clear();
             for &s in &frontier {
-                preds.clear();
-                self.collect_preds(s as usize, &self.undecided, &mut preds);
-                for &e in &preds {
-                    let e = e as usize;
-                    self.cnt[e] -= 1;
-                    if self.cnt[e] == 0 {
-                        self.time[e] = t + 1;
-                        self.undecided[e / 64] &= !(1u64 << (63 - (e % 64)));
-                        next.push(e as u32);
+                let mut rest = s as usize;
+                for i in 0..h {
+                    rows.push((i * self.x + rest % self.x) * words);
+                    rest /= self.x;
+                }
+            }
+            for &w in &live {
+                let w = w as usize;
+                for srows in rows.chunks_exact(h) {
+                    let mut acc = self.undecided[w];
+                    if acc == 0 {
+                        break; // every bit of this word decided mid-layer
+                    }
+                    for &row in srows {
+                        acc &= self.pred[row + w];
+                        if acc == 0 {
+                            break;
+                        }
+                    }
+                    while acc != 0 {
+                        let lead = acc.leading_zeros() as usize;
+                        let bit = 1u64 << (63 - lead);
+                        acc &= !bit;
+                        let e = w * 64 + lead;
+                        self.cnt[e] -= 1;
+                        if self.cnt[e] == 0 {
+                            self.time[e] = t + 1;
+                            self.undecided[w] &= !bit;
+                            next.push(e as u32);
+                        }
                     }
                 }
             }
@@ -420,7 +477,8 @@ impl Solver {
         }
         self.frontier = frontier;
         self.next = next;
-        self.preds = preds;
+        self.rows = rows;
+        self.live = live;
     }
 
     /// Decodes configuration `e` into per-honest-position states.

@@ -23,6 +23,8 @@
 //! * [`baselines`] — randomised comparison counters (Table 1 rows \[6,7\]).
 //! * [`verifier`] — exhaustive verification / synthesis of small counters.
 //! * [`pulling`] — the randomised pulling-model constructions of §5.
+//! * [`attack`] — worst-case adversary search: scripted attacks as data,
+//!   witness replay, and guided search over the equivocation space.
 //!
 //! # Quickstart
 //!
@@ -47,6 +49,7 @@
 //! # }
 //! ```
 
+pub use sc_attack as attack;
 pub use sc_baselines as baselines;
 pub use sc_consensus as consensus;
 pub use sc_core as core;

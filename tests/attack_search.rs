@@ -1,0 +1,149 @@
+//! Cross-check between the exhaustive verifier and the attack search: on an
+//! instance small enough for the model checker to refute, the guided search
+//! — which sees only measured stabilisation delays, never the game graph —
+//! rediscovers a witness-equivalent **non-stabilising** script.
+
+use synchronous_counting::attack::{search, MoveSpace, Objective, Script, SearchConfig};
+use synchronous_counting::core::{Algorithm, LutCounter, LutSpec};
+use synchronous_counting::verifier::{verify, Verdict};
+
+/// The 0-resilient follow-max table on 4 nodes claiming f = 1 — the
+/// workspace's canonical verifier-refutable instance.
+fn follow_max() -> LutSpec {
+    let rows: Vec<u8> = (0..16u32)
+        .map(|index| {
+            let max = (0..4).map(|u| (index >> u & 1) as u8).max().unwrap();
+            (max + 1) % 2
+        })
+        .collect();
+    LutSpec {
+        n: 4,
+        f: 1,
+        c: 2,
+        states: 2,
+        transition: vec![rows.clone(), rows.clone(), rows.clone(), rows],
+        output: vec![vec![0, 1]; 4],
+        stabilization_bound: 0,
+    }
+}
+
+#[test]
+fn search_rediscovers_a_witness_equivalent_nonstabilising_script() {
+    let spec = follow_max();
+    let lut = LutCounter::new(spec.clone()).unwrap();
+    let Verdict::Fails {
+        fault_set, witness, ..
+    } = verify(&lut).unwrap()
+    else {
+        panic!("follow-max must fail verification");
+    };
+
+    // The search attacks the same fault set the checker refuted, with the
+    // LUT's exact raw vocabulary (2 states) plus echo/stale moves.
+    let algo = Algorithm::lut(spec).unwrap();
+    let horizon = 64u64;
+    let objective = Objective::new(&algo, &algo, fault_set.clone(), 0..6, horizon).unwrap();
+    let mut cfg = SearchConfig::new(
+        2,
+        MoveSpace {
+            raw_values: 2,
+            salts: 3,
+            max_lag: 2,
+        },
+        7,
+    );
+    cfg.budget = 320;
+    cfg.restarts = 4;
+    let report = search::search(&objective, &cfg);
+
+    // Witness-equivalence: like the checker's lasso, the found script
+    // prevents stabilisation outright — on every single sweep scenario,
+    // not just a lucky one.
+    assert!(
+        report.delay.unstable >= 1,
+        "search failed to find a non-stabilising script: {:?}",
+        report.delay
+    );
+    assert_eq!(
+        report.delay.worst,
+        horizon + 1,
+        "a non-stabilising scenario scores horizon + 1"
+    );
+
+    // The imported witness script is non-stabilising too (from its own
+    // start configuration, as `tests/witness_replay.rs` asserts); here the
+    // searched script must match that strength from *arbitrary* starts.
+    let imported = Script::from_witness(&witness);
+    assert_eq!(imported.fault_set(), &fault_set[..]);
+
+    // And the result is a plain data object: it survives its own codec, so
+    // a found attack can be stored and replayed bit-identically later.
+    let mut bits = synchronous_counting::protocol::BitVec::new();
+    report.best.encode(&mut bits);
+    let reloaded = Script::decode(&mut bits.reader()).unwrap();
+    assert_eq!(reloaded, report.best);
+    let mut replay_obj = Objective::new(&algo, &algo, fault_set, 0..6, horizon).unwrap();
+    assert_eq!(replay_obj.evaluate(&reloaded), report.delay);
+}
+
+#[test]
+fn search_matches_the_builtin_ceiling_on_followmax() {
+    // The acceptance sweep in miniature: on the same (seed, fault set)
+    // sweep, the best found script is at least as strong as every built-in
+    // strategy. On this 0-resilient table the objective *saturates* — the
+    // equivocating built-ins already break every scenario — so ties are the
+    // ceiling here; the bench's `worst_case` table runs the strict
+    // comparison on the real A(4,1) stack, where no admissible adversary
+    // saturates and delay differences are meaningful.
+    use synchronous_counting::sim::{adversaries, sleeper};
+
+    let algo = Algorithm::lut(follow_max()).unwrap();
+    let horizon = 64u64;
+    let faulty = vec![0usize];
+    let mut objective = Objective::new(&algo, &algo, faulty.clone(), 0..6, horizon).unwrap();
+
+    let builtin = [
+        objective.measure(|seed| {
+            Box::new(adversaries::crash(&algo, faulty.iter().copied(), seed))
+                as Box<dyn synchronous_counting::sim::Adversary<_>>
+        }),
+        objective
+            .measure(|seed| Box::new(adversaries::random(&algo, faulty.iter().copied(), seed))),
+        objective
+            .measure(|seed| Box::new(adversaries::two_faced(&algo, faulty.iter().copied(), seed))),
+        objective.measure(|_| Box::new(adversaries::replay(faulty.iter().copied(), 3))),
+        objective.measure(|seed| {
+            Box::new(sleeper(
+                &algo,
+                faulty.iter().copied(),
+                16,
+                adversaries::crash(&algo, faulty.iter().copied(), seed),
+                seed,
+            ))
+        }),
+    ];
+    let strongest_builtin = builtin.iter().copied().max().unwrap();
+
+    let mut cfg = SearchConfig::new(
+        2,
+        MoveSpace {
+            raw_values: 2,
+            salts: 3,
+            max_lag: 2,
+        },
+        11,
+    );
+    cfg.budget = 320;
+    let report = search::search(&objective, &cfg);
+    assert!(
+        report.delay >= strongest_builtin,
+        "search {:?} must reach the built-in ceiling {:?}",
+        report.delay,
+        strongest_builtin
+    );
+    assert_eq!(
+        report.delay.unstable,
+        objective.scenarios(),
+        "on a 0-resilient table the search must break every scenario"
+    );
+}

@@ -1,55 +1,14 @@
 //! The strongest cross-validation in the workspace: the model checker's
 //! failure **witness** — a lasso-shaped execution with explicit Byzantine
-//! values per (round, receiver) — is replayed on the real simulator via a
-//! scripted adversary, and the live system follows the predicted
-//! configurations exactly, forever failing to stabilise.
+//! values per (round, receiver) — is replayed on the real simulator via the
+//! library-grade scripted adversary (`sc_attack::ScriptedAdversary`), and
+//! the live system follows the predicted configurations exactly, forever
+//! failing to stabilise.
 
+use synchronous_counting::attack::{Script, ScriptedAdversary};
 use synchronous_counting::core::{Algorithm, CounterState, LutCounter, LutSpec};
-use synchronous_counting::protocol::NodeId;
-use synchronous_counting::sim::{Adversary, MessageSource, RoundContext, Simulation, StatePool};
-use synchronous_counting::verifier::{verify, Verdict, Witness};
-
-/// Adversary that plays back a witness script.
-struct Scripted {
-    witness: Witness,
-    faulty: Vec<NodeId>,
-}
-
-impl Scripted {
-    fn new(witness: Witness) -> Self {
-        let faulty = witness.fault_set.iter().map(|&v| NodeId::new(v)).collect();
-        Scripted { witness, faulty }
-    }
-}
-
-impl Adversary<CounterState> for Scripted {
-    fn faulty(&self) -> &[NodeId] {
-        &self.faulty
-    }
-
-    fn message(
-        &mut self,
-        from: NodeId,
-        to: NodeId,
-        ctx: &RoundContext<'_, CounterState>,
-        pool: &mut StatePool<CounterState>,
-    ) -> MessageSource {
-        let step = self.witness.script_at(ctx.round);
-        let h = self
-            .witness
-            .honest
-            .iter()
-            .position(|&v| v == to.index())
-            .expect("script covers every correct receiver");
-        let g = self
-            .witness
-            .fault_set
-            .iter()
-            .position(|&v| v == from.index())
-            .expect("script covers every faulty sender");
-        pool.fabricate(CounterState::Lut(step[h][g]))
-    }
-}
+use synchronous_counting::sim::Simulation;
+use synchronous_counting::verifier::{verify, Verdict};
 
 fn follow_max() -> LutSpec {
     let rows: Vec<u8> = (0..16u32)
@@ -83,7 +42,11 @@ fn checker_witness_replays_exactly_on_the_simulator() {
     for (hi, &node) in witness.honest.iter().enumerate() {
         states[node] = CounterState::Lut(witness.configs[0][hi]);
     }
-    let adversary = Scripted::new(witness.clone());
+    // The witness imports losslessly as a script of raw moves; the
+    // Algorithm's raw vocabulary is exact for LUT states, so the scripted
+    // adversary fabricates precisely the witness's Byzantine values.
+    let script = Script::from_witness(&witness);
+    let adversary = ScriptedAdversary::new(&script, &algo);
     let mut sim = Simulation::with_states(&algo, adversary, states, 0);
 
     // Follow the script far beyond the lasso length: the live states must
@@ -123,10 +86,53 @@ fn witness_script_wraps_around_the_lasso() {
     let steps = witness.byz.len() as u64;
     let cycle = steps - witness.cycle_start as u64;
     // The script at (steps + k·cycle + j) equals the script at
-    // (cycle_start + j) for any k.
+    // (cycle_start + j) for any k — both on the witness itself and on its
+    // imported `Script` form.
+    let script = Script::from_witness(&witness);
+    assert_eq!(script.len() as u64, steps);
+    assert_eq!(script.cycle_start(), witness.cycle_start);
     for j in 0..cycle {
         let base = witness.script_at(witness.cycle_start as u64 + j);
         assert_eq!(witness.script_at(steps + j), base);
         assert_eq!(witness.script_at(steps + cycle + j), base);
+        let base_idx = script.index_at(witness.cycle_start as u64 + j);
+        assert_eq!(script.index_at(steps + j), base_idx);
+        assert_eq!(script.index_at(steps + cycle + j), base_idx);
     }
+}
+
+#[test]
+fn scripted_replay_rides_the_early_decision_exit() {
+    // The promoted adversary snapshots (the private test-local `Scripted`
+    // it replaced could not), so a witness replay is decided by the cycle
+    // detector instead of executing a long horizon round for round.
+    let spec = follow_max();
+    let lut = LutCounter::new(spec.clone()).unwrap();
+    let Verdict::Fails { witness, .. } = verify(&lut).unwrap() else {
+        panic!();
+    };
+    let algo = Algorithm::lut(spec).unwrap();
+    let mut states = vec![CounterState::Lut(0); 4];
+    for (hi, &node) in witness.honest.iter().enumerate() {
+        states[node] = CounterState::Lut(witness.configs[0][hi]);
+    }
+    let script = Script::from_witness(&witness);
+    let horizon = 1 << 14;
+    let mut early = Simulation::with_states(
+        &algo,
+        ScriptedAdversary::new(&script, &algo),
+        states.clone(),
+        0,
+    );
+    let (verdict, exit) = early.run_until_stable_early(horizon);
+    assert!(
+        matches!(exit, synchronous_counting::sim::ExitReason::Cycle { decided_at, .. }
+            if decided_at < horizon / 4),
+        "scripted lasso must be decided early, got {exit:?}"
+    );
+    // Bitwise-identical verdict to the full-horizon run.
+    let mut full =
+        Simulation::with_states(&algo, ScriptedAdversary::new(&script, &algo), states, 0);
+    assert_eq!(verdict, full.run_until_stable(horizon));
+    assert!(verdict.is_err(), "witness executions never stabilise");
 }
