@@ -1,11 +1,21 @@
 //! The search objective: score a script by the stabilisation delay it
 //! inflicts on a fixed `(seed, fault set)` sweep.
 
+use std::sync::{Arc, Mutex};
+
 use sc_protocol::{Counter, Fingerprint, NodeId, SyncProtocol};
-use sc_sim::{required_confirmation, Adversary, SimError, Simulation};
+use sc_sim::adversaries::normalize_faults;
+use sc_sim::{
+    required_confirmation, Adversary, Scenario, SimError, Simulation, SlicedBatch, SlicedProtocol,
+};
 
 use crate::adversary::{RawState, ScriptedAdversary};
 use crate::script::Script;
+use crate::sliced::SlicedScript;
+
+/// A pre-bound sliced evaluator: scores a script by advancing every
+/// scenario 64-per-word through one shared compiled model.
+type SlicedEval<'a> = Arc<dyn Fn(&Script) -> Delay + Send + Sync + 'a>;
 
 /// The delay a strategy inflicted on one sweep, ordered lexicographically
 /// by `(worst, unstable, total)` — a strictly greater [`Delay`] is a
@@ -46,6 +56,10 @@ pub struct Objective<'a, P: SyncProtocol, R> {
     /// `(seed, initial configuration)` per scenario, sampled once.
     inits: Vec<(u64, Vec<P::State>)>,
     evaluations: u64,
+    /// The bit-sliced fast path, attached by [`Objective::attach_sliced`]:
+    /// a pre-bound evaluator advancing all scenarios 64-per-word through
+    /// one shared compiled model. `None` runs scripts on the scalar engine.
+    sliced: Option<SlicedEval<'a>>,
 }
 
 impl<'a, P: SyncProtocol, R: Clone> Clone for Objective<'a, P, R> {
@@ -57,6 +71,7 @@ impl<'a, P: SyncProtocol, R: Clone> Clone for Objective<'a, P, R> {
             horizon: self.horizon,
             inits: self.inits.clone(),
             evaluations: self.evaluations,
+            sliced: self.sliced.clone(),
         }
     }
 }
@@ -68,6 +83,7 @@ impl<'a, P: SyncProtocol, R> std::fmt::Debug for Objective<'a, P, R> {
             .field("horizon", &self.horizon)
             .field("scenarios", &self.inits.len())
             .field("evaluations", &self.evaluations)
+            .field("sliced", &self.sliced.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -113,6 +129,7 @@ impl<'a, P: Counter, R> Objective<'a, P, R> {
             horizon,
             inits,
             evaluations: 0,
+            sliced: None,
         })
     }
 
@@ -162,6 +179,69 @@ impl<'a, P: Counter, R> Objective<'a, P, R> {
         delay
     }
 
+    /// Attaches the bit-sliced fast path: compiles one sliced model for the
+    /// `(protocol, fault set)` pair and rebinds [`Objective::evaluate`] to
+    /// run every sweep through [`SlicedBatch`], 64 scenarios per word, with
+    /// the model's round-program cache shared across all evaluations (and
+    /// across the search's worker clones — clones share the attachment).
+    ///
+    /// Returns `false` — leaving the scalar path in place — when the
+    /// protocol cannot lower this fault set. Delays are verdict-identical
+    /// either way: the sliced engine feeds the same detector, and the
+    /// equivalence is property-tested against [`Objective::evaluate_full`].
+    ///
+    /// [`Objective::measure`] always stays scalar: it scores arbitrary
+    /// [`Adversary`] impls, whose per-receiver leases have no lane-uniform
+    /// face-table form.
+    pub fn attach_sliced(&mut self) -> bool
+    where
+        P: SlicedProtocol + Sync,
+        P::State: Clone + Send + Sync + 'a,
+        R: RawState<P::State>,
+    {
+        let faulty = normalize_faults(self.fault_set.iter().copied());
+        let Some(model) = self.protocol.sliced_model(&faulty) else {
+            return false;
+        };
+        // Pre-resolve the dense raw vocabulary once: `SlicedScript` maps
+        // `Raw(v)` of sender `g` to packed id `g·256 + v`, so the rows must
+        // be identical for every script this model ever sees.
+        let raw_states: Vec<Vec<P::State>> = faulty
+            .iter()
+            .map(|&node| (0..=u8::MAX).map(|v| self.raw.raw_state(node, v)).collect())
+            .collect();
+        let scenarios: Vec<Scenario<P::State>> = self
+            .inits
+            .iter()
+            .map(|(seed, init)| Scenario::with_states(*seed, init.clone()))
+            .collect();
+        let model = Mutex::new(model);
+        let protocol = self.protocol;
+        let horizon = self.horizon;
+        // One word of lanes per group and a single worker: an objective
+        // evaluation is already one task of the search's own thread fan-out,
+        // and sweeps are scored serially on the scalar path too.
+        self.sliced = Some(Arc::new(move |script: &Script| {
+            let strategy = SlicedScript::new(script, &raw_states);
+            let report = SlicedBatch::new(protocol, horizon)
+                .lane_words(1)
+                .threads(1)
+                .run_with_model(&scenarios, &strategy, &model);
+            let confirm = required_confirmation(protocol.modulus());
+            let mut delay = Delay::default();
+            for outcome in report.outcomes {
+                accumulate(&mut delay, outcome.result, horizon, confirm);
+            }
+            delay
+        }));
+        true
+    }
+
+    /// Whether the bit-sliced fast path is attached.
+    pub fn is_sliced(&self) -> bool {
+        self.sliced.is_some()
+    }
+
     /// Scores `script` on the sweep (the search's inner loop).
     pub fn evaluate(&mut self, script: &Script) -> Delay
     where
@@ -169,6 +249,11 @@ impl<'a, P: Counter, R> Objective<'a, P, R> {
         R: RawState<P::State>,
     {
         self.check_script(script);
+        if let Some(sliced) = &self.sliced {
+            let delay = sliced(script);
+            self.evaluations += 1;
+            return delay;
+        }
         let raw = &self.raw;
         let delay = sweep(
             self.protocol,
@@ -182,8 +267,10 @@ impl<'a, P: Counter, R> Objective<'a, P, R> {
     }
 
     /// [`Objective::evaluate`] without the early-decision exit: executes
-    /// every horizon round. Verdicts — and therefore delays — are
-    /// guaranteed identical (`early ≡ full`); property tests assert it.
+    /// every horizon round on the **scalar** engine, ignoring any attached
+    /// sliced path. Verdicts — and therefore delays — are guaranteed
+    /// identical (`early ≡ full ≡ sliced`); property tests assert it, which
+    /// makes this the oracle both fast paths are checked against.
     pub fn evaluate_full(&mut self, script: &Script) -> Delay
     where
         P: Fingerprint,

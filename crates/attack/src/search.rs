@@ -1,5 +1,9 @@
 //! Guided search over the scripted equivocation space: random restarts,
-//! greedy per-move hill-climbing, and beam search over round prefixes.
+//! greedy per-move hill-climbing, beam search over round prefixes, and
+//! simulated annealing over *structured* edits (row copies, round swaps,
+//! prefix crossover) — plus a bound-tightness [`period_profile`] that
+//! sweeps lasso periods dividing the counter period, gated behind the
+//! bit-sliced engine.
 //!
 //! Every strategy is **deterministic from [`SearchConfig::seed`]** — each
 //! restart/worker derives its generator from `(seed, task index)`, so
@@ -14,12 +18,12 @@
 //! costs one sweep per strategy invoked).
 
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use sc_protocol::Fingerprint;
 
 use crate::adversary::RawState;
 use crate::objective::{Delay, Objective};
-use crate::script::{MoveSpace, Script};
+use crate::script::{Move, MoveSpace, Script};
 
 /// Tuning knobs of one search run.
 #[derive(Clone, Debug)]
@@ -198,6 +202,194 @@ where
     (script, best, used)
 }
 
+/// Copies faulty sender `g`'s whole row (its moves toward every receiver)
+/// from explicit round `src` into round `dst`, returning the overwritten
+/// row for undo. `src` must differ from `dst`.
+fn copy_row(script: &mut Script, src: usize, dst: usize, g: usize) -> Vec<Move> {
+    debug_assert_ne!(src, dst);
+    (0..script.n())
+        .map(|to| {
+            let m = script.move_at(src as u64, g, to);
+            script.set_move(dst, g, to, m)
+        })
+        .collect()
+}
+
+/// Restores a row previously displaced by [`copy_row`].
+fn restore_row(script: &mut Script, dst: usize, g: usize, prev: &[Move]) {
+    for (to, &m) in prev.iter().enumerate() {
+        script.set_move(dst, g, to, m);
+    }
+}
+
+/// Swaps two explicit rounds in place (its own inverse).
+fn swap_rounds(script: &mut Script, a: usize, b: usize) {
+    let n = script.n();
+    for g in 0..script.fault_set().len() {
+        for to in 0..n {
+            let ma = script.move_at(a as u64, g, to);
+            let mb = script.set_move(b, g, to, ma);
+            script.set_move(a, g, to, mb);
+        }
+    }
+}
+
+/// Overwrites rounds `0..k` of `current` with the donor's prefix
+/// (crossover), returning the displaced moves row-major for undo.
+fn splice_prefix(current: &mut Script, donor: &Script, k: usize) -> Vec<Move> {
+    let n = current.n();
+    let f = current.fault_set().len();
+    let mut prev = Vec::with_capacity(k * f * n);
+    for round in 0..k {
+        for g in 0..f {
+            for to in 0..n {
+                let m = donor.move_at(round as u64, g, to);
+                prev.push(current.set_move(round, g, to, m));
+            }
+        }
+    }
+    prev
+}
+
+/// Restores a prefix previously displaced by [`splice_prefix`].
+fn restore_prefix(current: &mut Script, k: usize, prev: &[Move]) {
+    let n = current.n();
+    let f = current.fault_set().len();
+    let mut moves = prev.iter();
+    for round in 0..k {
+        for g in 0..f {
+            for to in 0..n {
+                current.set_move(round, g, to, *moves.next().expect("prefix undo width"));
+            }
+        }
+    }
+}
+
+/// Inverse of one structured edit.
+enum Undo {
+    Point {
+        round: usize,
+        g: usize,
+        to: usize,
+        prev: Move,
+    },
+    Row {
+        dst: usize,
+        g: usize,
+        prev: Vec<Move>,
+    },
+    Swap {
+        a: usize,
+        b: usize,
+    },
+    Prefix {
+        k: usize,
+        prev: Vec<Move>,
+    },
+}
+
+/// One annealing restart: a random walk over **structured** edits — point
+/// mutations, whole-row copies, round swaps, and prefix crossover with the
+/// restart's best-so-far script — accepting strict improvements always and
+/// regressions with a probability that cools linearly over the slice.
+/// Structured edits move many coordinates at once, so they escape the
+/// single-move local optima [`climb_restart`] gets stuck in; the downhill
+/// acceptance keeps the walk from re-converging to them.
+fn anneal_restart<P, R>(
+    obj: &mut Objective<'_, P, R>,
+    cfg: &SearchConfig,
+    task: u64,
+    slice: u64,
+) -> (Script, Delay, u64)
+where
+    P: Fingerprint,
+    R: RawState<P::State>,
+{
+    let mut rng = task_rng(cfg.seed, task.wrapping_add(0xa22ea1));
+    let n = obj.protocol().n();
+    let fault_set = obj.fault_set().to_vec();
+    let f = fault_set.len();
+    let receivers = receivers(obj);
+    let mut current = Script::random(
+        n,
+        fault_set.clone(),
+        cfg.rounds,
+        cfg.cycle_start,
+        &cfg.space,
+        &mut rng,
+    );
+    let mut current_delay = obj.evaluate(&current);
+    let mut best = current.clone();
+    let mut best_delay = current_delay;
+    let mut used = 1u64;
+    while used < slice {
+        let rounds = current.len();
+        // Row copy / round swap / crossover need two distinct rounds.
+        let kind = if rounds >= 2 {
+            rng.random_range(0..4u8)
+        } else {
+            0
+        };
+        let undo = match kind {
+            0 => {
+                let round = rng.random_range(0..rounds);
+                let g = rng.random_range(0..f);
+                let to = receivers[rng.random_range(0..receivers.len())];
+                let prev = current.set_move(round, g, to, cfg.space.sample(&mut rng));
+                Undo::Point { round, g, to, prev }
+            }
+            1 => {
+                let src = rng.random_range(0..rounds);
+                let mut dst = rng.random_range(0..rounds - 1);
+                if dst >= src {
+                    dst += 1;
+                }
+                let g = rng.random_range(0..f);
+                let prev = copy_row(&mut current, src, dst, g);
+                Undo::Row { dst, g, prev }
+            }
+            2 => {
+                let a = rng.random_range(0..rounds);
+                let mut b = rng.random_range(0..rounds - 1);
+                if b >= a {
+                    b += 1;
+                }
+                swap_rounds(&mut current, a, b);
+                Undo::Swap { a, b }
+            }
+            _ => {
+                let k = rng.random_range(1..=rounds);
+                let prev = splice_prefix(&mut current, &best, k);
+                Undo::Prefix { k, prev }
+            }
+        };
+        let delay = obj.evaluate(&current);
+        used += 1;
+        // Cooling: downhill acceptance decays from ~0.2 to 0 over the
+        // slice. The delay order is lexicographic (not numeric), so the
+        // Metropolis exponent has no natural scale; a flat cooled coin is
+        // deterministic and scale-free.
+        let temperature = 1.0 - used as f64 / slice.max(2) as f64;
+        if delay >= current_delay || rng.random_bool(0.2 * temperature) {
+            current_delay = delay;
+            if delay > best_delay {
+                best_delay = delay;
+                best = current.clone();
+            }
+        } else {
+            match undo {
+                Undo::Point { round, g, to, prev } => {
+                    current.set_move(round, g, to, prev);
+                }
+                Undo::Row { dst, g, prev } => restore_row(&mut current, dst, g, &prev),
+                Undo::Swap { a, b } => swap_rounds(&mut current, a, b),
+                Undo::Prefix { k, prev } => restore_prefix(&mut current, k, &prev),
+            }
+        }
+    }
+    (best, best_delay, used)
+}
+
 /// Folds per-task outcomes (in task order) into a report; ties keep the
 /// earliest task, so the result is scheduling-independent.
 fn fold(outcomes: Vec<(Script, Delay, u64)>) -> SearchReport {
@@ -319,6 +511,21 @@ where
     fan_out(obj, cfg, tasks, slice, climb_restart)
 }
 
+/// Simulated annealing over structured edits (row copy, round swap,
+/// prefix crossover with the best-so-far, point mutation) with random
+/// restarts. Structured edits change many moves per evaluation, so this
+/// strategy only pays off on cheap evaluations — attach the bit-sliced
+/// path ([`Objective::attach_sliced`]) before spending a serious budget.
+pub fn anneal<P, R>(obj: &Objective<'_, P, R>, cfg: &SearchConfig) -> SearchReport
+where
+    P: Fingerprint + Sync,
+    P::State: Send + Sync,
+    R: RawState<P::State> + Clone + Send + Sync,
+{
+    let (tasks, slice) = split_budget(cfg);
+    fan_out(obj, cfg, tasks, slice, anneal_restart)
+}
+
 /// Beam search over round prefixes: grow scripts one round at a time,
 /// keeping the [`SearchConfig::beam_width`] strongest prefixes (each
 /// prefix is scored as its own lasso, wrapping from round 0).
@@ -378,8 +585,9 @@ where
 }
 
 /// The combined search: splits the budget over random restarts, beam
-/// search, and hill-climbing (which gets the largest share), and returns
-/// the strongest script found. Deterministic from the seed.
+/// search, structured annealing, and hill-climbing (which gets the
+/// largest share), and returns the strongest script found. Deterministic
+/// from the seed.
 pub fn search<P, R>(obj: &Objective<'_, P, R>, cfg: &SearchConfig) -> SearchReport
 where
     P: Fingerprint + Sync,
@@ -387,14 +595,20 @@ where
     R: RawState<P::State> + Clone + Send + Sync,
 {
     let mut random_cfg = cfg.clone();
-    random_cfg.budget = cfg.budget / 4;
+    random_cfg.budget = cfg.budget / 8;
     let mut beam_cfg = cfg.clone();
-    beam_cfg.budget = cfg.budget / 4;
+    beam_cfg.budget = cfg.budget / 8;
+    let mut anneal_cfg = cfg.clone();
+    anneal_cfg.budget = cfg.budget / 4;
     let mut climb_cfg = cfg.clone();
-    climb_cfg.budget = cfg.budget - random_cfg.budget - beam_cfg.budget;
+    climb_cfg.budget = cfg.budget - random_cfg.budget - beam_cfg.budget - anneal_cfg.budget;
 
     let mut best = random_search(obj, &random_cfg);
-    for candidate in [beam_search(obj, &beam_cfg), hill_climb(obj, &climb_cfg)] {
+    for candidate in [
+        beam_search(obj, &beam_cfg),
+        anneal(obj, &anneal_cfg),
+        hill_climb(obj, &climb_cfg),
+    ] {
         best.evaluations += candidate.evaluations;
         if candidate.delay > best.delay {
             best.best = candidate.best;
@@ -402,6 +616,70 @@ where
         }
     }
     best
+}
+
+/// One point of a bound-tightness profile: the strongest attack found
+/// among scripts whose lasso cycle has exactly this length.
+#[derive(Clone, Debug)]
+pub struct PeriodPoint {
+    /// Cycle length (in rounds) of the scripts this point searched over.
+    pub period: usize,
+    /// The strongest script found at that period and its delay.
+    pub report: SearchReport,
+}
+
+/// Bound-tightness sweep near the proven bound T(A): for every lasso
+/// period dividing the protocol's counter period `C`, run the combined
+/// [`search`] over scripts whose cycle is exactly that period
+/// (`cycle_start = 0`), and report the strongest delay per period.
+///
+/// A script whose cycle divides `C` replays itself in lock-step with the
+/// honest counter, so these are the natural candidates for attacks that
+/// stretch stabilisation toward `T(A)` — a profile whose best delays stay
+/// far below the bound is evidence of slack, one that approaches it is
+/// evidence of tightness.
+///
+/// Near-bound horizons make the sweep orders of magnitude more expensive
+/// than a single search, so it is **gated behind the bit-sliced engine**:
+/// returns `None` unless the objective has a sliced path attached
+/// ([`Objective::attach_sliced`]). The budget is split evenly across the
+/// divisors; each period reseeds deterministically from
+/// [`SearchConfig::seed`].
+pub fn period_profile<P, R>(
+    obj: &Objective<'_, P, R>,
+    cfg: &SearchConfig,
+) -> Option<Vec<PeriodPoint>>
+where
+    P: Fingerprint + Sync,
+    P::State: Send + Sync,
+    R: RawState<P::State> + Clone + Send + Sync,
+{
+    if !obj.is_sliced() {
+        return None;
+    }
+    let modulus = obj.protocol().modulus().max(1) as usize;
+    let divisors: Vec<usize> = (1..=modulus)
+        .filter(|d| modulus.is_multiple_of(*d))
+        .collect();
+    let share = (cfg.budget / divisors.len() as u64).max(1);
+    Some(
+        divisors
+            .into_iter()
+            .map(|period| {
+                let mut sub = cfg.clone();
+                sub.rounds = period;
+                sub.cycle_start = 0;
+                sub.budget = share;
+                sub.seed = cfg
+                    .seed
+                    .wrapping_add((period as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                PeriodPoint {
+                    period,
+                    report: search(obj, &sub),
+                }
+            })
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -437,6 +715,7 @@ mod tests {
             ("random", random_search(&obj, &config(24))),
             ("climb", hill_climb(&obj, &config(24))),
             ("beam", beam_search(&obj, &config(24))),
+            ("anneal", anneal(&obj, &config(24))),
         ] {
             assert!(
                 report.evaluations <= 24,
@@ -464,6 +743,40 @@ mod tests {
         assert_eq!(a.evaluations, b.evaluations);
         let c = hill_climb(&obj, &one);
         assert_eq!(a.best, c.best, "same seed, same result");
+        let d = anneal(&obj, &one);
+        let e = anneal(&obj, &many);
+        assert_eq!(d.best, e.best, "annealing is thread-count invariant");
+        assert_eq!(d.delay, e.delay);
+        assert_eq!(d.evaluations, e.evaluations);
+    }
+
+    #[test]
+    fn structured_edits_undo_cleanly() {
+        // Drive one annealing restart with a slice large enough to hit
+        // every edit kind, then check the returned best script still
+        // scores its reported delay — undo corruption would desynchronise
+        // the script from its score.
+        let p = FollowMax { n: 4, c: 8 };
+        let obj = objective(&p);
+        let mut local = obj.clone();
+        let mut cfg = config(40);
+        cfg.rounds = 3;
+        let (best, delay, used) = anneal_restart(&mut local, &cfg, 0, 40);
+        assert_eq!(used, 40);
+        assert_eq!(
+            local.evaluate(&best),
+            delay,
+            "best script re-scores identically"
+        );
+    }
+
+    #[test]
+    fn period_profile_is_gated_behind_the_sliced_engine() {
+        // FollowMax objectives have no sliced path attached here, so the
+        // near-bound sweep refuses to run on the scalar engine.
+        let p = FollowMax { n: 4, c: 8 };
+        let obj = objective(&p);
+        assert!(period_profile(&obj, &config(8)).is_none());
     }
 
     #[test]

@@ -12,7 +12,12 @@
 //!   full-horizon vs. cycle-detecting ([`Batch::run_prepared_early`]), with
 //!   decided-at and rounds-saved columns per regime. Verdicts of the two
 //!   modes are asserted **identical scenario for scenario** — running this
-//!   bench (e.g. `THROUGHPUT_SUMMARY_ONLY=1` in CI) is the divergence gate.
+//!   bench (e.g. `THROUGHPUT_SUMMARY_ONLY=1` in CI) is the divergence gate,
+//! * the **bit-sliced table**: objective evals/s, scalar vs sliced engine
+//!   on identical scripts per Figure-2 level (per-script delay equality
+//!   asserted; the A(36,7) row gates ≥ 20×), plus structured-move search
+//!   vs plain hill-climbing on the sliced A(4,1) objective; the run
+//!   appends its measurements to `BENCH_bitsliced.json`.
 //!
 //! The first-generation `reference_step` engine and its clone-cost baseline
 //! are gone (the bitwise equivalence gate stayed green from PR 1 through
@@ -24,9 +29,11 @@
 use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, Criterion};
-use sc_attack::{search, Delay, MoveSpace, Objective, RawState, SampledRaw, SearchConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sc_attack::{search, Delay, MoveSpace, Objective, RawState, SampledRaw, Script, SearchConfig};
 use sc_core::{Algorithm, CounterBuilder, CounterState, LutCounter, LutSpec};
-use sc_protocol::{Counter as _, Fingerprint};
+use sc_protocol::{Counter as _, Fingerprint, SyncProtocol as _};
 use sc_pulling::{PullCounter, Pulled, Sampling};
 use sc_sim::{
     adversaries, detect_stabilization, random_periodic, required_confirmation, sleeper,
@@ -534,6 +541,217 @@ fn worst_case_table() {
     println!();
 }
 
+/// One row of the bit-sliced throughput table.
+struct BitslicedRow {
+    label: &'static str,
+    seeds: u64,
+    horizon: u64,
+    scripts: usize,
+    scalar_eps: f64,
+    sliced_eps: f64,
+    speedup: f64,
+}
+
+/// The bit-sliced objective table: identical random scripts scored by the
+/// scalar early-decision engine and by the bit-sliced engine
+/// ([`Objective::attach_sliced`]), per Figure-2 level, with per-script
+/// [`Delay`] equality asserted before any rate is printed. The A(36,7)
+/// row is the acceptance gate: the sliced path must deliver **≥ 20×** the
+/// scalar evals/s — the assertion aborts the bench (and the
+/// `THROUGHPUT_SUMMARY_ONLY=1` CI run) otherwise.
+///
+/// A second block re-runs the guided search on the sliced A(4,1)
+/// objective: plain `hill_climb` vs the structured `anneal` (row copy /
+/// round swap / prefix crossover), same budget and seed — the structured
+/// moves must find at least as strong a script.
+///
+/// The measured trajectory is appended to `BENCH_bitsliced.json` at the
+/// workspace root so future PRs inherit a perf baseline.
+fn bitsliced_table() {
+    println!("## bit-sliced objective — scalar vs sliced evals/s, identical scripts\n");
+    println!(
+        "| {:<8} | {:>5} | {:>7} | {:>7} | {:>14} | {:>14} | {:>8} |",
+        "counter", "seeds", "horizon", "scripts", "scalar evals/s", "sliced evals/s", "speedup"
+    );
+    println!(
+        "|{}|{}|{}|{}|{}|{}|{}|",
+        "-".repeat(10),
+        "-".repeat(7),
+        "-".repeat(9),
+        "-".repeat(9),
+        "-".repeat(16),
+        "-".repeat(16),
+        "-".repeat(10)
+    );
+
+    // (scripts, sliced reps): fewer scripts where scalar evals are slow,
+    // more sliced repetitions to keep its (much shorter) timing stable.
+    let shapes: [(usize, usize); 3] = [(16, 4), (8, 4), (3, 8)];
+    let mut rows: Vec<BitslicedRow> = Vec::new();
+    for ((scripts_n, reps), (label, algo, faulty)) in shapes.into_iter().zip(stack()) {
+        let mut scalar_obj = Objective::new(&algo, &algo, faulty.clone(), 0..SCENARIOS, HORIZON)
+            .expect("sweep horizon fits the confirmation suffix");
+        let mut sliced_obj = scalar_obj.clone();
+        assert!(
+            sliced_obj.attach_sliced(),
+            "{label}: the Figure-2 stack must lower to the sliced engine"
+        );
+
+        let mut rng = SmallRng::seed_from_u64(0xb17);
+        let scripts: Vec<Script> = (0..scripts_n)
+            .map(|_| Script::random(algo.n(), faulty.clone(), 4, 0, &SEARCH_SPACE, &mut rng))
+            .collect();
+
+        // Verification pass first: every sliced verdict must match the
+        // scalar engine, script for script — a throughput number for a
+        // divergent engine is meaningless. The scalar engine is
+        // stateless, so its verification pass is already steady state
+        // and doubles as its timing. The sliced pass compiles and
+        // caches the round programs, so the timed reps below measure
+        // the cache-warm regime a search sweep actually runs in.
+        let start = Instant::now();
+        let scalar: Vec<Delay> = scripts.iter().map(|s| scalar_obj.evaluate(s)).collect();
+        let scalar_time = start.elapsed().as_secs_f64();
+        let warm: Vec<Delay> = scripts.iter().map(|s| sliced_obj.evaluate(s)).collect();
+        assert_eq!(
+            scalar, warm,
+            "{label}: sliced delays diverge from the scalar engine"
+        );
+
+        let start = Instant::now();
+        let mut sliced: Vec<Delay> = Vec::new();
+        for _ in 0..reps {
+            sliced = scripts.iter().map(|s| sliced_obj.evaluate(s)).collect();
+        }
+        let sliced_time = start.elapsed().as_secs_f64() / reps as f64;
+        assert_eq!(
+            scalar, sliced,
+            "{label}: sliced delays diverge after cache warm-up"
+        );
+
+        let row = BitslicedRow {
+            label,
+            seeds: SCENARIOS,
+            horizon: HORIZON,
+            scripts: scripts_n,
+            scalar_eps: scripts_n as f64 / scalar_time,
+            sliced_eps: scripts_n as f64 / sliced_time,
+            speedup: scalar_time / sliced_time,
+        };
+        println!(
+            "| {:<8} | {:>5} | {:>7} | {:>7} | {:>14.1} | {:>14.1} | {:>7.1}x |",
+            row.label,
+            row.seeds,
+            row.horizon,
+            row.scripts,
+            row.scalar_eps,
+            row.sliced_eps,
+            row.speedup
+        );
+        if row.label == "A(36,7)" {
+            assert!(
+                row.speedup >= 20.0,
+                "A(36,7): bit-sliced objective must be ≥ 20× the scalar engine, got {:.1}x",
+                row.speedup
+            );
+        }
+        rows.push(row);
+    }
+
+    // Structured search moves vs plain hill-climbing, riding the cheap
+    // sliced evals on A(4,1): same budget, same seed, same sweep.
+    let (label, algo, _) = stack().remove(0);
+    let faulty = vec![1usize];
+    let mut obj = Objective::new(&algo, &algo, faulty, 0..SCENARIOS, HORIZON)
+        .expect("sweep horizon fits the confirmation suffix");
+    assert!(obj.attach_sliced());
+    let mut cfg = SearchConfig::new(4, SEARCH_SPACE, 3);
+    cfg.budget = 256;
+    let start = Instant::now();
+    let climb = search::hill_climb(&obj, &cfg);
+    let climb_time = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let structured = search::anneal(&obj, &cfg);
+    let structured_time = start.elapsed().as_secs_f64();
+    println!(
+        "\n| {:<22} | {:>13} | {:>8} | {:>6} | {:>9} |",
+        "search (sliced A(4,1))", "worst", "total", "evals", "evals/s"
+    );
+    println!(
+        "|{}|{}|{}|{}|{}|",
+        "-".repeat(24),
+        "-".repeat(15),
+        "-".repeat(10),
+        "-".repeat(8),
+        "-".repeat(11)
+    );
+    println!(
+        "| {:<22} | {:>13} | {:>8} | {:>6} | {:>9.0} |",
+        "hill_climb",
+        climb.delay.worst,
+        climb.delay.total,
+        climb.evaluations,
+        climb.evaluations as f64 / climb_time
+    );
+    println!(
+        "| {:<22} | {:>13} | {:>8} | {:>6} | {:>9.0} |",
+        "anneal (structured)",
+        structured.delay.worst,
+        structured.delay.total,
+        structured.evaluations,
+        structured.evaluations as f64 / structured_time
+    );
+    assert!(
+        structured.delay >= climb.delay,
+        "{label}: structured moves must match or beat plain hill_climb \
+         ({:?} vs {:?})",
+        structured.delay,
+        climb.delay
+    );
+    println!();
+
+    write_bitsliced_trajectory(&rows, &climb.delay, &structured.delay);
+}
+
+/// Appends this run's measurements to `BENCH_bitsliced.json` at the
+/// workspace root (one JSON object per line — a self-describing
+/// trajectory future PRs can diff their baselines against).
+fn write_bitsliced_trajectory(rows: &[BitslicedRow], climb: &Delay, structured: &Delay) {
+    let mut entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"counter\":\"{}\",\"seeds\":{},\"horizon\":{},\"scripts\":{},\
+                 \"scalar_evals_per_sec\":{:.2},\"sliced_evals_per_sec\":{:.2},\
+                 \"speedup\":{:.2}}}",
+                r.label, r.seeds, r.horizon, r.scripts, r.scalar_eps, r.sliced_eps, r.speedup
+            )
+        })
+        .collect();
+    entries.push(format!(
+        "{{\"search\":\"hill_climb\",\"worst\":{},\"unstable\":{},\"total\":{}}}",
+        climb.worst, climb.unstable, climb.total
+    ));
+    entries.push(format!(
+        "{{\"search\":\"anneal\",\"worst\":{},\"unstable\":{},\"total\":{}}}",
+        structured.worst, structured.unstable, structured.total
+    ));
+    let line = format!(
+        "{{\"bench\":\"bitsliced\",\"gate_min_speedup\":20.0,\"rows\":[{}]}}\n",
+        entries.join(",")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_bitsliced.json");
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    match appended {
+        Ok(()) => println!("trajectory appended to BENCH_bitsliced.json"),
+        Err(e) => println!("warning: could not write BENCH_bitsliced.json: {e}"),
+    }
+}
+
 /// The E7 synthesis workload (`n = 4, f = 1`, 2 states): candidate tables
 /// the hill-climb scores — the deterministic follow-max table plus random
 /// candidates drawn exactly like the synthesiser's restarts.
@@ -697,6 +915,7 @@ fn main() {
     }
     summary_table();
     early_decision_table();
+    bitsliced_table();
     worst_case_table();
     verifier_table();
 }

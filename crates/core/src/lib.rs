@@ -51,6 +51,8 @@
 pub mod adversaries;
 mod algorithm;
 mod boosted;
+mod dag;
+mod lower;
 mod lut;
 mod params;
 mod prepared;
@@ -59,6 +61,8 @@ mod trivial;
 
 pub use algorithm::{Algorithm, CounterState};
 pub use boosted::{BoostedCounter, BoostedState, VoteObservation};
+pub use dag::{Builder, NodeRef};
+pub use lower::SlicedAlgorithm;
 pub use lut::{LutCounter, LutSpec};
 pub use params::{BoostParams, Pointer};
 pub use prepared::{BoostedPrep, RoundPrep};

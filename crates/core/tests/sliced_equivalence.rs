@@ -1,0 +1,166 @@
+//! Property coverage for the bit-sliced engine on the paper's counter
+//! stacks: `SlicedBatch` verdicts equal `Batch` verdicts seed for seed,
+//! across the adversary library (crash / replay / two-faced equivocation),
+//! random fault sets, and ragged scenario counts straddling the 64-lane
+//! word boundary.
+//!
+//! The deterministic per-bit program checks live in `sc-core`'s `lower`
+//! unit tests; these properties stress the *end-to-end* contract the attack
+//! objective relies on.
+
+use proptest::{prop_assert_eq, proptest, ProptestConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sc_core::{Algorithm, CounterBuilder, CounterState};
+use sc_sim::{
+    adversaries, sliced_crash, sliced_replay, sliced_two_faced_periodic, two_faced_periodic, Batch,
+    BatchReport, Scenario, SlicedBatch,
+};
+
+fn verdicts(report: &BatchReport) -> Vec<(u64, String)> {
+    report
+        .outcomes
+        .iter()
+        .map(|o| (o.seed, format!("{:?}", o.result)))
+        .collect()
+}
+
+fn a4() -> Algorithm {
+    CounterBuilder::corollary1(1, 8).unwrap().build().unwrap()
+}
+
+fn a12() -> Algorithm {
+    CounterBuilder::corollary1(1, 2)
+        .unwrap()
+        .boost(3)
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// A(4,1): every library adversary, random single fault, random ragged
+    /// scenario count (1..=70 spans the word boundary), verdict-identical
+    /// engines.
+    #[test]
+    fn a4_library_adversaries_verdict_identical(seed in proptest::any::<u64>()) {
+        let algo = a4();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let fault = rng.random_range(0..4usize);
+        let count = rng.random_range(1..=70u64);
+        let first = rng.random_range(0..1000u64);
+        let scenarios = Scenario::seeds(first..first + count);
+        let seeds: Vec<u64> = scenarios.iter().map(|s| s.seed).collect();
+        let horizon = 260;
+
+        let scalar = Batch::new(&algo, horizon);
+        let sliced = SlicedBatch::new(&algo, horizon).lane_words(1);
+        match rng.random_range(0..3u8) {
+            0 => {
+                let a = scalar.run(&scenarios, |s: &Scenario<CounterState>| {
+                    adversaries::crash(&algo, [fault], s.seed)
+                });
+                let b = sliced
+                    .run(&scenarios, &sliced_crash(&algo, [fault], &seeds))
+                    .expect("A(4,1) lowers");
+                prop_assert_eq!(verdicts(&a), verdicts(&b), "crash fault {}", fault);
+            }
+            1 => {
+                let delay = rng.random_range(1..=3usize);
+                let a = scalar.run(&scenarios, |_| {
+                    adversaries::replay::<CounterState>([fault], delay)
+                });
+                let b = sliced
+                    .run(&scenarios, &sliced_replay(4, [fault], delay))
+                    .expect("A(4,1) lowers");
+                prop_assert_eq!(verdicts(&a), verdicts(&b), "replay lag {}", delay);
+            }
+            _ => {
+                let period = rng.random_range(1..=4usize);
+                let a = scalar.run(&scenarios, |s: &Scenario<CounterState>| {
+                    two_faced_periodic([fault], s.seed, period)
+                });
+                let b = sliced
+                    .run(
+                        &scenarios,
+                        &sliced_two_faced_periodic(4, [fault], &seeds, period),
+                    )
+                    .expect("A(4,1) lowers");
+                prop_assert_eq!(verdicts(&a), verdicts(&b), "two-faced period {}", period);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// A(12,3): random fault sets up to full resilience, crash and
+    /// two-faced, ragged counts.
+    #[test]
+    fn a12_random_fault_sets_verdict_identical(seed in proptest::any::<u64>()) {
+        let algo = a12();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let f = rng.random_range(1..=3usize);
+        let mut faults: Vec<usize> = (0..12).collect();
+        faults.rotate_left(rng.random_range(0..12));
+        faults.truncate(f);
+        faults.sort_unstable();
+        let count = rng.random_range(1..=40u64);
+        let scenarios = Scenario::seeds(0..count);
+        let seeds: Vec<u64> = scenarios.iter().map(|s| s.seed).collect();
+        let horizon = 120;
+
+        let scalar = Batch::new(&algo, horizon);
+        let sliced = SlicedBatch::new(&algo, horizon).lane_words(1);
+        if rng.random_range(0..2u8) == 0 {
+            let a = scalar.run(&scenarios, |s: &Scenario<CounterState>| {
+                adversaries::crash(&algo, faults.iter().copied(), s.seed)
+            });
+            let b = sliced
+                .run(&scenarios, &sliced_crash(&algo, faults.iter().copied(), &seeds))
+                .expect("A(12,3) lowers");
+            prop_assert_eq!(verdicts(&a), verdicts(&b), "crash {:?}", faults);
+        } else {
+            let a = scalar.run(&scenarios, |s: &Scenario<CounterState>| {
+                two_faced_periodic(faults.iter().copied(), s.seed, 2)
+            });
+            let b = sliced
+                .run(
+                    &scenarios,
+                    &sliced_two_faced_periodic(12, faults.iter().copied(), &seeds, 2),
+                )
+                .expect("A(12,3) lowers");
+            prop_assert_eq!(verdicts(&a), verdicts(&b), "two-faced {:?}", faults);
+        }
+    }
+}
+
+/// A(36,7) smoke: the full Figure 2 stack, seven crashed nodes, verdicts
+/// identical over a ragged sweep (the horizon is short of stabilisation —
+/// the engines must agree on the `NotStabilized` verdicts too).
+#[test]
+fn a36_crash_verdict_identical() {
+    let algo = CounterBuilder::corollary1(1, 2)
+        .unwrap()
+        .boost(3)
+        .unwrap()
+        .boost(3)
+        .unwrap()
+        .build()
+        .unwrap();
+    let faults = [0usize, 5, 11, 17, 23, 29, 35];
+    let scenarios = Scenario::seeds(0..9);
+    let seeds: Vec<u64> = scenarios.iter().map(|s| s.seed).collect();
+    let horizon = 60;
+    let a = Batch::new(&algo, horizon).run(&scenarios, |s: &Scenario<CounterState>| {
+        adversaries::crash(&algo, faults, s.seed)
+    });
+    let b = SlicedBatch::new(&algo, horizon)
+        .lane_words(1)
+        .run(&scenarios, &sliced_crash(&algo, faults, &seeds))
+        .expect("A(36,7) lowers");
+    assert_eq!(verdicts(&a), verdicts(&b));
+}

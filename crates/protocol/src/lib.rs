@@ -53,6 +53,7 @@ mod bits;
 mod error;
 mod ids;
 mod math;
+mod plane;
 mod traits;
 mod view;
 mod vote;
@@ -61,6 +62,7 @@ pub use bits::{BitReader, BitVec, CodecError, IterOnes};
 pub use error::ParamError;
 pub use ids::{BlockId, NodeId};
 pub use math::{bits_for, checked_pow_u64, inc_mod, Interval};
+pub use plane::{ExecSpaces, FaceRef, Op, PlaneBuf, Program, RoundFaces, SlicedLayout, Space};
 pub use traits::{Counter, Fingerprint, PreparedProtocol, StepContext, SyncProtocol};
 pub use view::{Broadcast, MessageSource, MessageView};
 pub use vote::{majority, majority_or, DeltaTally, Tally, VoteCounts};

@@ -305,6 +305,14 @@ impl<'a, P: Counter> Batch<'a, P> {
 
     /// Schedules `runner` over every scenario, fanning out across worker
     /// threads, and collects outcomes in input order.
+    ///
+    /// Scenarios are assigned **strided** (worker `t` takes indices `t`,
+    /// `t + threads`, `t + 2·threads`, …), matching the sliced engine's
+    /// lane-group scheduling. Early-decision exits make per-scenario cost
+    /// wildly uneven — adjacent seeds often cycle at similar rounds, so
+    /// contiguous chunks serialise the expensive tail onto one worker
+    /// while the rest idle; striding interleaves cheap and expensive
+    /// scenarios across all workers.
     #[cfg(feature = "parallel")]
     fn schedule<R>(&self, scenarios: &[Scenario<P::State>], runner: R) -> BatchReport
     where
@@ -317,22 +325,27 @@ impl<'a, P: Counter> Batch<'a, P> {
                 outcomes: scenarios.iter().map(runner).collect(),
             };
         }
-        let chunk_size = scenarios.len().div_ceil(threads);
-        let outcomes = std::thread::scope(|scope| {
-            let handles: Vec<_> = scenarios
-                .chunks(chunk_size)
-                .map(|chunk| {
+        let mut outcomes: Vec<(usize, ScenarioOutcome)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
                     let runner = &runner;
-                    scope.spawn(move || chunk.iter().map(runner).collect::<Vec<_>>())
+                    scope.spawn(move || {
+                        (t..scenarios.len())
+                            .step_by(threads)
+                            .map(|i| (i, runner(&scenarios[i])))
+                            .collect::<Vec<_>>()
+                    })
                 })
                 .collect();
-            let mut outcomes = Vec::with_capacity(scenarios.len());
-            for handle in handles {
-                outcomes.extend(handle.join().expect("batch worker panicked"));
-            }
-            outcomes
+            handles
+                .into_iter()
+                .flat_map(|handle| handle.join().expect("batch worker panicked"))
+                .collect()
         });
-        BatchReport { outcomes }
+        outcomes.sort_unstable_by_key(|&(i, _)| i);
+        BatchReport {
+            outcomes: outcomes.into_iter().map(|(_, o)| o).collect(),
+        }
     }
 
     /// Schedules `runner` over every scenario in input order
@@ -507,8 +520,15 @@ mod tests {
         let scenarios = Scenario::seeds(0..9);
         let factory = |s: &Scenario<u64>| adversaries::random(&p, [2], s.seed);
         let one = Batch::new(&p, 64).threads(1).run(&scenarios, factory);
+        // Strided assignment: 4 workers over 9 scenarios (ragged), and
+        // more workers than scenarios — outcomes must come back complete
+        // and in input order either way.
         let many = Batch::new(&p, 64).threads(4).run(&scenarios, factory);
+        let over = Batch::new(&p, 64).threads(16).run(&scenarios, factory);
         assert_eq!(one.outcomes, many.outcomes);
+        assert_eq!(one.outcomes, over.outcomes);
+        let seeds: Vec<u64> = one.outcomes.iter().map(|o| o.seed).collect();
+        assert_eq!(seeds, (0..9).collect::<Vec<u64>>(), "input order kept");
     }
 
     #[test]

@@ -69,6 +69,7 @@ mod error;
 mod metrics;
 mod seeded;
 mod simulation;
+mod sliced;
 mod stabilization;
 #[doc(hidden)]
 pub mod testing;
@@ -82,6 +83,10 @@ pub use error::SimError;
 pub use metrics::{broadcast_metrics, BroadcastMetrics};
 pub use seeded::{random_periodic, two_faced_periodic, RandomPeriodic, TwoFacedPeriodic};
 pub use simulation::{required_confirmation, Simulation};
+pub use sliced::{
+    sliced_crash, sliced_replay, sliced_two_faced_periodic, PackedInit, RoundProgramSource,
+    SlicedBatch, SlicedCrash, SlicedProtocol, SlicedReplay, SlicedStrategy, SlicedTwoFacedPeriodic,
+};
 pub use stabilization::{
     detect_stabilization, first_stable_window, violation_rate, OnlineDetector, OutputTrace,
     StabilizationReport,

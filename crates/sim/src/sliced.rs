@@ -1,0 +1,1102 @@
+//! Bit-sliced scenario sweeps: 64 scenarios per machine word.
+//!
+//! [`crate::Batch`] steps one scenario at a time through the scalar engine.
+//! This module is the transposed counterpart: scenario state lives in
+//! [`PlaneBuf`] planes (one `u64` word per state bit, 64 scenarios per
+//! "lane"), the protocol transition is compiled **once** into a
+//! [`Program`] of word ops (see `sc-core`'s DAG builder), and
+//! [`SlicedBatch`] advances whole lane groups per round — per-lane fault
+//! content and adversary moves become word-wise selects, packed constants,
+//! ring loads and gather tables.
+//!
+//! The scalar engine stays the oracle: for supported adversaries every
+//! sliced sweep is asserted verdict-identical (seed and stabilisation
+//! [`ScenarioOutcome::result`]) against [`crate::Batch`] in the test suites
+//! and the throughput gate. Two ledger fields are engine-specific and
+//! deliberately excluded from that comparison:
+//! [`ScenarioOutcome::fabricated_states`] (the sliced engine has no message
+//! pool; it reports 0) and [`ScenarioOutcome::exit_reason`] (always
+//! [`ExitReason::FullHorizon`]; the sliced engine amortises rounds across
+//! lanes instead of exiting early).
+//!
+//! The pieces:
+//!
+//! * [`SlicedProtocol`] — a counter that can lower its transition to round
+//!   programs for a given fault set ([`RoundProgramSource`]).
+//! * [`SlicedStrategy`] — the adversary interface of the sliced plane:
+//!   instead of per-receiver message leases, a strategy names one
+//!   [`FaceRef`] per (faulty sender, receiver) pair per round, plus packed
+//!   constant bundles and per-lane gather donors.
+//! * [`SlicedBatch`] — the sweep engine, mirroring [`crate::Batch`]'s
+//!   verdict pipeline ([`OnlineDetector`] per lane).
+//! * [`sliced_crash`] / [`sliced_replay`] / [`sliced_two_faced_periodic`] —
+//!   sliced twins of the scalar strategies, bit-identical in effect.
+
+use std::ops::Range;
+use std::sync::{Arc, Mutex};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sc_protocol::{
+    BitVec, Counter, ExecSpaces, FaceRef, NodeId, PlaneBuf, Program, RoundFaces, SlicedLayout,
+};
+
+use crate::adversaries::normalize_faults;
+use crate::batch::{BatchReport, Scenario, ScenarioOutcome};
+use crate::early::ExitReason;
+use crate::simulation::required_confirmation;
+use crate::stabilization::OnlineDetector;
+use crate::SimError;
+
+/// A compiled transition model for one (protocol, fault set) pair.
+///
+/// Produced by [`SlicedProtocol::sliced_model`] and driven by
+/// [`SlicedBatch`]: the engine packs states through
+/// [`extend_bundle`](RoundProgramSource::extend_bundle), registers the
+/// strategy's packed bundles, and asks for one [`Program`] per distinct
+/// (canonicalised) face pattern — implementations cache compiled programs,
+/// so a lasso-periodic attack costs at most one compile per distinct round
+/// pattern no matter how many sweeps reuse the model.
+pub trait RoundProgramSource {
+    /// The per-node bundle layout of the model's arenas.
+    fn layout(&self) -> SlicedLayout;
+
+    /// Extends a codec-encoded state of `node` (the first
+    /// [`SlicedLayout::state_bits`] bits of `bundle`) into a full bundle by
+    /// appending the derived ext planes and the output field. The node
+    /// matters when outputs are node-dependent (per-node LUT tables).
+    fn extend_bundle(&self, node: u32, bundle: &mut BitVec);
+
+    /// Registers packed bundle `id`. `uniform` carries the full bundle bits
+    /// when the content is lane-uniform (compiled to constants, enabling
+    /// whole-subtree folding); `None` declares a per-lane bundle the engine
+    /// materialises itself. Registration is idempotent; re-registering an
+    /// id with different content is a caller bug and panics.
+    fn register_packed(&mut self, id: u16, uniform: Option<&BitVec>);
+
+    /// Whether `id` is already registered. The engine skips the (costly)
+    /// re-encode + idempotence check for known ids, so hot objectives that
+    /// sweep thousands of scripts against one model pay the vocabulary
+    /// encoding once, not per evaluation.
+    fn packed_registered(&self, id: u16) -> bool {
+        let _ = id;
+        false
+    }
+
+    /// The compiled program for one canonicalised face pattern.
+    fn round_program(&mut self, faces: &RoundFaces) -> Arc<Program>;
+}
+
+/// A counter whose transition can be lowered to bit-sliced round programs.
+///
+/// Returning `None` (unsupported structure for `faulty`) makes callers fall
+/// back to the scalar engine — slicing is an accelerator, never a semantic
+/// fork.
+pub trait SlicedProtocol: Counter {
+    /// Builds the compiled model for a sorted fault set.
+    fn sliced_model(&self, faulty: &[NodeId]) -> Option<Box<dyn RoundProgramSource + Send>>;
+}
+
+/// Initial content of one packed bundle slot.
+#[derive(Clone, Debug)]
+pub enum PackedInit<S> {
+    /// The same state in every lane — compiled into constants.
+    Uniform {
+        /// Sender identity the state is encoded as.
+        node: NodeId,
+        /// The lane-uniform state.
+        state: S,
+    },
+    /// One state per lane (indexed by global scenario index).
+    PerLane {
+        /// Sender identity the states are encoded as.
+        node: NodeId,
+        /// Per-lane states, one per scenario.
+        states: Vec<S>,
+    },
+}
+
+/// A Byzantine strategy on the sliced plane.
+///
+/// Where a scalar [`crate::Adversary`] returns per-receiver message leases
+/// round by round, a sliced strategy declares, per round, a *face table*:
+/// one [`FaceRef`] per (faulty sender, receiver) pair, all lane-uniform in
+/// identity. Per-lane variation enters only through packed bundles
+/// (constant per execution, e.g. crash freezes) and gather tables (per-lane
+/// donor selection, e.g. seeded equivocation schedules).
+pub trait SlicedStrategy<S> {
+    /// Sorted, deduplicated fault set.
+    fn faulty(&self) -> &[NodeId];
+
+    /// Deepest replay-ring lag any face ever names (before the engine's
+    /// per-round clamping).
+    fn max_lag(&self) -> usize {
+        0
+    }
+
+    /// Packed constant bundles, indexed by [`sc_protocol::Space::Packed`]
+    /// id.
+    fn packed_bundles(&self) -> Vec<PackedInit<S>> {
+        Vec::new()
+    }
+
+    /// Number of gather tables the faces reference.
+    fn gather_tables(&self) -> usize {
+        0
+    }
+
+    /// Writes the face table for `round` into `faces` (pre-sized to
+    /// `faulty × n` rows). Rows for faulty receivers are ignored (the
+    /// engine canonicalises them away).
+    fn faces(&self, round: u64, n: usize, faces: &mut RoundFaces);
+
+    /// Writes the per-lane donor (global node index) of each gather table
+    /// for `round`: `out[table][lane - lanes.start]`.
+    fn gather_donors(&self, round: u64, lanes: Range<usize>, out: &mut [Vec<u32>]) {
+        let _ = (round, lanes, out);
+    }
+}
+
+/// Bit-sliced batched sweep runner: the transposed twin of
+/// [`crate::Batch`].
+///
+/// Scenarios are packed 64-per-word into lane groups of
+/// `64 × lane_words` lanes; each group advances through compiled round
+/// programs, with per-lane stabilisation verdicts from the same
+/// [`OnlineDetector`] the scalar engine uses — which is what makes verdict
+/// equality structural rather than coincidental. Groups fan out across
+/// threads (strided assignment, like the attack searcher's `fan_out`).
+#[derive(Clone, Copy, Debug)]
+pub struct SlicedBatch<'a, P> {
+    protocol: &'a P,
+    horizon: u64,
+    threads: usize,
+    lane_words: usize,
+}
+
+impl<'a, P: SlicedProtocol> SlicedBatch<'a, P> {
+    /// A sweep runner giving each scenario `horizon` rounds.
+    pub fn new(protocol: &'a P, horizon: u64) -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        SlicedBatch {
+            protocol,
+            horizon,
+            threads,
+            lane_words: 4,
+        }
+    }
+
+    /// Caps the worker thread count (clamped to at least 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the lane-group width in 64-lane words (default 4, i.e. 256
+    /// scenarios per group). Wider groups amortise op dispatch over more
+    /// lanes; narrower groups expose more thread parallelism for short
+    /// scenario lists. Verdicts are invariant under this knob.
+    pub fn lane_words(mut self, lane_words: usize) -> Self {
+        self.lane_words = lane_words.max(1);
+        self
+    }
+
+    /// Runs every scenario under `strategy`, producing verdicts in input
+    /// order, or `None` when the protocol cannot lower this fault set (the
+    /// caller falls back to [`crate::Batch`]).
+    pub fn run<S>(&self, scenarios: &[Scenario<P::State>], strategy: &S) -> Option<BatchReport>
+    where
+        S: SlicedStrategy<P::State> + Sync,
+        P: Sync,
+        P::State: Send + Sync,
+    {
+        let model = self.protocol.sliced_model(strategy.faulty())?;
+        Some(self.run_with_model(scenarios, strategy, &Mutex::new(model)))
+    }
+
+    /// [`run`](SlicedBatch::run) against a caller-owned model, so hot loops
+    /// (attack objectives) reuse one compiled model — and its program cache
+    /// — across thousands of sweeps.
+    pub fn run_with_model<S>(
+        &self,
+        scenarios: &[Scenario<P::State>],
+        strategy: &S,
+        model: &Mutex<Box<dyn RoundProgramSource + Send>>,
+    ) -> BatchReport
+    where
+        S: SlicedStrategy<P::State> + Sync,
+        P: Sync,
+        P::State: Send + Sync,
+    {
+        let confirm = required_confirmation(self.protocol.modulus());
+        if self.horizon < confirm {
+            return BatchReport {
+                outcomes: scenarios
+                    .iter()
+                    .map(|s| ScenarioOutcome {
+                        seed: s.seed,
+                        result: Err(SimError::HorizonTooShort {
+                            horizon: self.horizon,
+                            required: confirm,
+                        }),
+                        fabricated_states: 0,
+                        exit_reason: ExitReason::FullHorizon,
+                    })
+                    .collect(),
+            };
+        }
+        if scenarios.is_empty() {
+            return BatchReport {
+                outcomes: Vec::new(),
+            };
+        }
+
+        let layout = model.lock().expect("model poisoned").layout();
+        let n = layout.n as usize;
+        let faulty: Vec<NodeId> = strategy.faulty().to_vec();
+        let honest: Vec<u32> = (0..n as u32)
+            .filter(|&i| faulty.binary_search(&NodeId::new(i as usize)).is_err())
+            .collect();
+        assert!(!honest.is_empty(), "sliced sweeps need a correct node");
+
+        let packed_inits = strategy.packed_bundles();
+        {
+            let mut m = model.lock().expect("model poisoned");
+            for (id, init) in packed_inits.iter().enumerate() {
+                if m.packed_registered(id as u16) {
+                    continue;
+                }
+                match init {
+                    PackedInit::Uniform { node, state } => {
+                        let mut bits = BitVec::new();
+                        self.protocol.encode_state(*node, state, &mut bits);
+                        m.extend_bundle(node.index() as u32, &mut bits);
+                        m.register_packed(id as u16, Some(&bits));
+                    }
+                    PackedInit::PerLane { .. } => m.register_packed(id as u16, None),
+                }
+            }
+        }
+
+        let group_lanes = self.lane_words * 64;
+        let group_count = scenarios.len().div_ceil(group_lanes);
+        let run_group = |gi: usize| -> Vec<ScenarioOutcome> {
+            self.run_group(
+                gi,
+                scenarios,
+                strategy,
+                model,
+                &layout,
+                &faulty,
+                &honest,
+                &packed_inits,
+                confirm,
+            )
+        };
+
+        let outcomes = self.schedule_groups(group_count, &run_group);
+        BatchReport { outcomes }
+    }
+
+    /// Fans group execution out over worker threads, strided so long and
+    /// short tails mix across workers, and restores input order.
+    #[cfg(feature = "parallel")]
+    fn schedule_groups(
+        &self,
+        group_count: usize,
+        run_group: &(impl Fn(usize) -> Vec<ScenarioOutcome> + Sync),
+    ) -> Vec<ScenarioOutcome> {
+        let threads = self.threads.min(group_count).max(1);
+        if threads == 1 {
+            return (0..group_count).flat_map(run_group).collect();
+        }
+        let mut groups: Vec<(usize, Vec<ScenarioOutcome>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    scope.spawn(move || {
+                        (t..group_count)
+                            .step_by(threads)
+                            .map(|gi| (gi, run_group(gi)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("sliced worker panicked"))
+                .collect()
+        });
+        groups.sort_unstable_by_key(|&(gi, _)| gi);
+        groups.into_iter().flat_map(|(_, o)| o).collect()
+    }
+
+    /// Single-threaded build: groups run in order.
+    #[cfg(not(feature = "parallel"))]
+    fn schedule_groups(
+        &self,
+        group_count: usize,
+        run_group: &impl Fn(usize) -> Vec<ScenarioOutcome>,
+    ) -> Vec<ScenarioOutcome> {
+        (0..group_count).flat_map(run_group).collect()
+    }
+
+    /// Packs, advances and adjudicates one lane group.
+    #[allow(clippy::too_many_arguments)]
+    fn run_group<S>(
+        &self,
+        gi: usize,
+        scenarios: &[Scenario<P::State>],
+        strategy: &S,
+        model: &Mutex<Box<dyn RoundProgramSource + Send>>,
+        layout: &SlicedLayout,
+        faulty: &[NodeId],
+        honest: &[u32],
+        packed_inits: &[PackedInit<P::State>],
+        confirm: u64,
+    ) -> Vec<ScenarioOutcome>
+    where
+        S: SlicedStrategy<P::State>,
+    {
+        let group_lanes = self.lane_words * 64;
+        let start = gi * group_lanes;
+        let end = (start + group_lanes).min(scenarios.len());
+        let active = end - start;
+        let lw = self.lane_words;
+        let n = layout.n as usize;
+        let np = layout.node_planes() as usize;
+
+        let mut cur = PlaneBuf::new(layout.total_planes() as usize, lw);
+        let mut next = PlaneBuf::new(layout.total_planes() as usize, lw);
+        let mut packed_arenas: Vec<PlaneBuf> = Vec::with_capacity(packed_inits.len());
+        {
+            let m = model.lock().expect("model poisoned");
+            let mut bits = BitVec::new();
+            for (l, scenario) in scenarios[start..end].iter().enumerate() {
+                let states: Vec<P::State> = match &scenario.init {
+                    Some(states) => states.clone(),
+                    None => {
+                        // Mirror `Simulation::new`: one SmallRng per seed,
+                        // nodes sampled in id order.
+                        let mut rng = SmallRng::seed_from_u64(scenario.seed);
+                        (0..n)
+                            .map(|i| self.protocol.random_state(NodeId::new(i), &mut rng))
+                            .collect()
+                    }
+                };
+                for (i, state) in states.iter().enumerate() {
+                    bits.clear();
+                    self.protocol.encode_state(NodeId::new(i), state, &mut bits);
+                    m.extend_bundle(i as u32, &mut bits);
+                    cur.pack_lane(l, layout.node_base(i as u32) as usize, &bits);
+                }
+            }
+            for init in packed_inits {
+                match init {
+                    PackedInit::Uniform { .. } => {
+                        // Folded into constants at compile time; the slot is
+                        // never loaded.
+                        packed_arenas.push(PlaneBuf::new(0, lw));
+                    }
+                    PackedInit::PerLane { node, states } => {
+                        assert!(
+                            states.len() >= end,
+                            "per-lane packed bundle shorter than the scenario list"
+                        );
+                        let mut buf = PlaneBuf::new(np, lw);
+                        for l in 0..active {
+                            bits.clear();
+                            self.protocol
+                                .encode_state(*node, &states[start + l], &mut bits);
+                            m.extend_bundle(node.index() as u32, &mut bits);
+                            buf.pack_lane(l, 0, &bits);
+                        }
+                        packed_arenas.push(buf);
+                    }
+                }
+            }
+        }
+
+        let mut detectors: Vec<OnlineDetector> = (0..active)
+            .map(|_| OnlineDetector::new(self.protocol.modulus()))
+            .collect();
+        let mut agree = Vec::new();
+        observe_group(&cur, layout, honest, active, &mut detectors, &mut agree);
+
+        let max_lag = strategy.max_lag();
+        let mut ring: Vec<PlaneBuf> = Vec::new();
+        let tables = strategy.gather_tables();
+        let mut gathers: Vec<PlaneBuf> = (0..tables).map(|_| PlaneBuf::new(np, lw)).collect();
+        let mut donors: Vec<Vec<u32>> = vec![vec![0; active]; tables];
+        let mut donor_masks = vec![0u64; n * lw];
+        let mut faces = RoundFaces::new(faulty.len(), n);
+        let mut scratch = Vec::new();
+
+        for round in 0..self.horizon {
+            strategy.faces(round, n, &mut faces);
+            canonicalize_faces(&mut faces, round, max_lag, faulty, n);
+            let program = model.lock().expect("model poisoned").round_program(&faces);
+            if tables > 0 {
+                strategy.gather_donors(round, start..end, &mut donors);
+                for (table, gather) in gathers.iter_mut().enumerate() {
+                    materialize_gather(gather, &cur, layout, &donors[table], &mut donor_masks);
+                }
+            }
+            // Planes no Store covers (faulty bundles) carry over unchanged.
+            next.copy_from(&cur);
+            let spaces = ExecSpaces {
+                cur: &cur,
+                ring: &ring,
+                packed: &packed_arenas,
+                gather: &gathers,
+            };
+            program.exec(&spaces, &mut next, &mut scratch);
+            observe_group(&next, layout, honest, active, &mut detectors, &mut agree);
+            if max_lag > 0 {
+                if ring.len() < max_lag {
+                    ring.insert(0, cur.clone());
+                } else {
+                    ring.rotate_right(1);
+                    ring[0].copy_from(&cur);
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+
+        scenarios[start..end]
+            .iter()
+            .zip(detectors)
+            .map(|(scenario, detector)| ScenarioOutcome {
+                seed: scenario.seed,
+                result: detector.finish(confirm),
+                fabricated_states: 0,
+                exit_reason: ExitReason::FullHorizon,
+            })
+            .collect()
+    }
+}
+
+/// Clamps ring lags to what the execution has actually produced (the scalar
+/// replay/stale semantics: effective lag `min(lag, round)`), rewrites
+/// zero-lag rings to plain echoes, and blanks rows aimed at faulty
+/// receivers — making equal-in-effect face tables equal as cache keys.
+fn canonicalize_faces(
+    faces: &mut RoundFaces,
+    round: u64,
+    max_lag: usize,
+    faulty: &[NodeId],
+    n: usize,
+) {
+    for g in 0..faulty.len() {
+        for v in 0..n {
+            let idx = g * n + v;
+            if faulty.binary_search(&NodeId::new(v)).is_ok() {
+                faces.rows[idx] = FaceRef::Honest(0);
+                continue;
+            }
+            if let FaceRef::Ring { lag, donor } = faces.rows[idx] {
+                let eff = (lag as u64).min(round).min(max_lag as u64) as u8;
+                faces.rows[idx] = if eff == 0 {
+                    FaceRef::Honest(donor)
+                } else {
+                    FaceRef::Ring { lag: eff, donor }
+                };
+            }
+        }
+    }
+}
+
+/// Word-parallel agreement check plus per-lane [`OnlineDetector`] feed —
+/// the sliced equivalent of observing
+/// [`Simulation::agreed_output_now`](crate::Simulation::agreed_output_now).
+fn observe_group(
+    arena: &PlaneBuf,
+    layout: &SlicedLayout,
+    honest: &[u32],
+    active: usize,
+    detectors: &mut [OnlineDetector],
+    agree: &mut Vec<u64>,
+) {
+    let lw = arena.lane_words();
+    let ow = layout.out_bits as usize;
+    let out0 = layout.out_base(honest[0]) as usize;
+    agree.clear();
+    agree.resize(lw, u64::MAX);
+    for &h in &honest[1..] {
+        let out_h = layout.out_base(h) as usize;
+        for (k, word) in agree.iter_mut().enumerate() {
+            let mut eq = u64::MAX;
+            for i in 0..ow {
+                eq &= !(arena.word(out_h + i, k) ^ arena.word(out0 + i, k));
+            }
+            *word &= eq;
+        }
+    }
+    for (lane, detector) in detectors.iter_mut().enumerate().take(active) {
+        let agreed = if (agree[lane / 64] >> (lane % 64)) & 1 == 1 {
+            Some(arena.read_value(lane, out0, ow))
+        } else {
+            None
+        };
+        detector.observe(agreed);
+    }
+}
+
+/// Builds one gather table: per lane, a full copy of the donor node's
+/// current bundle, assembled with one OR-mask pass per distinct donor.
+fn materialize_gather(
+    gather: &mut PlaneBuf,
+    cur: &PlaneBuf,
+    layout: &SlicedLayout,
+    donors: &[u32],
+    masks: &mut [u64],
+) {
+    let lw = cur.lane_words();
+    masks.iter_mut().for_each(|w| *w = 0);
+    for (lane, &d) in donors.iter().enumerate() {
+        masks[d as usize * lw + lane / 64] |= 1u64 << (lane % 64);
+    }
+    gather.clear();
+    let np = layout.node_planes() as usize;
+    for d in 0..layout.n as usize {
+        let mask = &masks[d * lw..(d + 1) * lw];
+        if mask.iter().all(|&w| w == 0) {
+            continue;
+        }
+        let base = layout.node_base(d as u32) as usize;
+        for i in 0..np {
+            for (k, &m) in mask.iter().enumerate() {
+                if m != 0 {
+                    *gather.word_mut(i, k) |= m & cur.word(base + i, k);
+                }
+            }
+        }
+    }
+}
+
+// ---- built-in strategies -------------------------------------------------
+
+/// Sliced twin of [`crate::adversaries::crash`]: per lane, each faulty node
+/// freezes the state the scalar strategy would have sampled from that
+/// lane's seed, served as one per-lane packed bundle per faulty node.
+pub fn sliced_crash<P: sc_protocol::SyncProtocol>(
+    protocol: &P,
+    faulty: impl IntoIterator<Item = usize>,
+    seeds: &[u64],
+) -> SlicedCrash<P::State> {
+    let ids = normalize_faults(faulty);
+    let mut frozen: Vec<Vec<P::State>> = vec![Vec::with_capacity(seeds.len()); ids.len()];
+    for &seed in seeds {
+        // Mirror `adversaries::crash`: one SmallRng per scenario seed,
+        // faulty nodes sampled in id order.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for (g, &id) in ids.iter().enumerate() {
+            frozen[g].push(protocol.random_state(id, &mut rng));
+        }
+    }
+    SlicedCrash {
+        faulty: ids,
+        frozen,
+    }
+}
+
+/// Strategy produced by [`sliced_crash`].
+#[derive(Clone, Debug)]
+pub struct SlicedCrash<S> {
+    faulty: Vec<NodeId>,
+    /// `frozen[g][lane]`: the `g`-th faulty node's frozen state per lane.
+    frozen: Vec<Vec<S>>,
+}
+
+impl<S: Clone> SlicedStrategy<S> for SlicedCrash<S> {
+    fn faulty(&self) -> &[NodeId] {
+        &self.faulty
+    }
+
+    fn packed_bundles(&self) -> Vec<PackedInit<S>> {
+        self.faulty
+            .iter()
+            .zip(&self.frozen)
+            .map(|(&node, states)| PackedInit::PerLane {
+                node,
+                states: states.clone(),
+            })
+            .collect()
+    }
+
+    fn faces(&self, _round: u64, n: usize, faces: &mut RoundFaces) {
+        for g in 0..self.faulty.len() {
+            for v in 0..n {
+                faces.set_face(g, n, v, FaceRef::Packed(g as u16));
+            }
+        }
+    }
+}
+
+/// Sliced twin of [`crate::adversaries::replay`]: faulty nodes echo honest
+/// states from `delay` rounds ago (donor `honest[receiver mod |honest|]`,
+/// effective lag `min(delay − 1, round)` while the window warms up).
+///
+/// # Panics
+///
+/// Panics if every node is faulty or `delay` exceeds 256 (the ring depth
+/// the face encoding carries).
+pub fn sliced_replay(
+    n: usize,
+    faulty: impl IntoIterator<Item = usize>,
+    delay: usize,
+) -> SlicedReplay {
+    let ids = normalize_faults(faulty);
+    let delay = delay.max(1);
+    assert!(delay <= 256, "sliced replay supports delays up to 256");
+    let honest: Vec<u32> = (0..n as u32)
+        .filter(|&i| ids.binary_search(&NodeId::new(i as usize)).is_err())
+        .collect();
+    assert!(!honest.is_empty(), "replay needs a correct donor");
+    SlicedReplay {
+        faulty: ids,
+        honest,
+        delay,
+    }
+}
+
+/// Strategy produced by [`sliced_replay`].
+#[derive(Clone, Debug)]
+pub struct SlicedReplay {
+    faulty: Vec<NodeId>,
+    honest: Vec<u32>,
+    delay: usize,
+}
+
+impl<S> SlicedStrategy<S> for SlicedReplay {
+    fn faulty(&self) -> &[NodeId] {
+        &self.faulty
+    }
+
+    fn max_lag(&self) -> usize {
+        self.delay - 1
+    }
+
+    fn faces(&self, _round: u64, n: usize, faces: &mut RoundFaces) {
+        let lag = (self.delay - 1) as u8;
+        for g in 0..self.faulty.len() {
+            for v in 0..n {
+                let donor = self.honest[v % self.honest.len()];
+                let face = if lag == 0 {
+                    FaceRef::Honest(donor)
+                } else {
+                    FaceRef::Ring { lag, donor }
+                };
+                faces.set_face(g, n, v, face);
+            }
+        }
+    }
+}
+
+/// Sliced twin of [`crate::two_faced_periodic`]: per lane, the donor-pair
+/// schedule the scalar strategy derives from that lane's seed, served
+/// through two gather tables (even-parity and odd-parity receivers).
+///
+/// # Panics
+///
+/// Panics if every node is faulty (equivocation needs a donor).
+pub fn sliced_two_faced_periodic(
+    n: usize,
+    faulty: impl IntoIterator<Item = usize>,
+    seeds: &[u64],
+    period: usize,
+) -> SlicedTwoFacedPeriodic {
+    use rand::RngCore;
+    let ids = normalize_faults(faulty);
+    let honest: Vec<u32> = (0..n as u32)
+        .filter(|&i| ids.binary_search(&NodeId::new(i as usize)).is_err())
+        .collect();
+    assert!(!honest.is_empty(), "equivocation needs a correct donor");
+    let period = period.max(1);
+    let schedules = seeds
+        .iter()
+        .map(|&seed| {
+            // Mirror `two_faced_periodic`: one SmallRng per scenario seed,
+            // `period` salt pairs.
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..period)
+                .map(|_| (rng.next_u32(), rng.next_u32()))
+                .collect()
+        })
+        .collect();
+    SlicedTwoFacedPeriodic {
+        faulty: ids,
+        honest,
+        schedules,
+    }
+}
+
+/// Strategy produced by [`sliced_two_faced_periodic`].
+#[derive(Clone, Debug)]
+pub struct SlicedTwoFacedPeriodic {
+    faulty: Vec<NodeId>,
+    honest: Vec<u32>,
+    /// Per-lane donor salt schedules, indexed by `round mod period`.
+    schedules: Vec<Vec<(u32, u32)>>,
+}
+
+impl<S> SlicedStrategy<S> for SlicedTwoFacedPeriodic {
+    fn faulty(&self) -> &[NodeId] {
+        &self.faulty
+    }
+
+    fn gather_tables(&self) -> usize {
+        2
+    }
+
+    fn faces(&self, _round: u64, n: usize, faces: &mut RoundFaces) {
+        for g in 0..self.faulty.len() {
+            for v in 0..n {
+                let table = if v % 2 == 0 { 0 } else { 1 };
+                faces.set_face(g, n, v, FaceRef::Gather(table));
+            }
+        }
+    }
+
+    fn gather_donors(&self, round: u64, lanes: Range<usize>, out: &mut [Vec<u32>]) {
+        let count = self.honest.len();
+        for (l, lane) in lanes.enumerate() {
+            let schedule = &self.schedules[lane];
+            let (even, odd) = schedule[round as usize % schedule.len()];
+            out[0][l] = self.honest[even as usize % count];
+            out[1][l] = self.honest[odd as usize % count];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    use sc_protocol::{Op, Space};
+
+    use crate::adversaries;
+    use crate::batch::Batch;
+    use crate::testing::FollowMax;
+    use crate::two_faced_periodic;
+
+    /// Hand-lowered round-program source for [`FollowMax`]: per honest
+    /// receiver, `max` over the n faces then `+1 mod c`. Exercises every
+    /// face source (cur/ring/packed-uniform/packed-dynamic/gather) without
+    /// depending on the `sc-core` compiler.
+    struct MaxModel {
+        n: usize,
+        c: u64,
+        sb: u16,
+        faulty: Vec<NodeId>,
+        uniform: HashMap<u16, u64>,
+        cache: HashMap<RoundFaces, Arc<Program>>,
+    }
+
+    impl MaxModel {
+        fn layout_of(&self) -> SlicedLayout {
+            SlicedLayout {
+                n: self.n as u32,
+                state_bits: self.sb as u32,
+                ext_bits: 0,
+                out_bits: self.sb as u32,
+            }
+        }
+    }
+
+    impl RoundProgramSource for MaxModel {
+        fn layout(&self) -> SlicedLayout {
+            self.layout_of()
+        }
+
+        fn extend_bundle(&self, _node: u32, bundle: &mut BitVec) {
+            // out field = the state value itself (FollowMax::output is id).
+            let v = bundle.reader().read_bits(self.sb as u32).unwrap();
+            bundle.push_bits(v, self.sb as u32);
+        }
+
+        fn register_packed(&mut self, id: u16, uniform: Option<&BitVec>) {
+            if let Some(bits) = uniform {
+                let v = bits.reader().read_bits(self.sb as u32).unwrap();
+                let prev = self.uniform.insert(id, v);
+                assert!(prev.is_none_or(|p| p == v), "packed slot re-registered");
+            }
+        }
+
+        fn round_program(&mut self, faces: &RoundFaces) -> Arc<Program> {
+            if let Some(p) = self.cache.get(faces) {
+                return p.clone();
+            }
+            let layout = self.layout_of();
+            let sb = self.sb;
+            let mut ops = Vec::new();
+            let mut top = 0u32;
+            let mut alloc = |w: u16| {
+                let at = top;
+                top += w as u32;
+                at
+            };
+            for v in 0..self.n {
+                let g_of = |j: usize| self.faulty.binary_search(&NodeId::new(j)).ok();
+                if g_of(v).is_some() {
+                    continue;
+                }
+                let mut operands = Vec::new();
+                for j in 0..self.n {
+                    let dst = alloc(sb);
+                    let op = match g_of(j) {
+                        None => Op::Load {
+                            dst,
+                            space: Space::Cur,
+                            off: layout.node_base(j as u32),
+                            w: sb,
+                        },
+                        Some(g) => match faces.face(g, self.n, v) {
+                            FaceRef::Honest(d) => Op::Load {
+                                dst,
+                                space: Space::Cur,
+                                off: layout.node_base(d),
+                                w: sb,
+                            },
+                            FaceRef::Ring { lag, donor } => Op::Load {
+                                dst,
+                                space: Space::Ring(lag),
+                                off: layout.node_base(donor),
+                                w: sb,
+                            },
+                            FaceRef::Packed(id) => match self.uniform.get(&id) {
+                                Some(&value) => Op::Const { dst, value, w: sb },
+                                None => Op::Load {
+                                    dst,
+                                    space: Space::Packed(id),
+                                    off: 0,
+                                    w: sb,
+                                },
+                            },
+                            FaceRef::Gather(t) => Op::Load {
+                                dst,
+                                space: Space::Gather(t),
+                                off: 0,
+                                w: sb,
+                            },
+                        },
+                    };
+                    ops.push(op);
+                    operands.push(dst);
+                }
+                let mut best = operands[0];
+                for &x in &operands[1..] {
+                    let lt = alloc(1);
+                    ops.push(Op::Lt {
+                        dst: lt,
+                        a: best,
+                        aw: sb,
+                        b: x,
+                        bw: sb,
+                    });
+                    let m = alloc(sb);
+                    ops.push(Op::Mux {
+                        dst: m,
+                        c: lt,
+                        a: x,
+                        b: best,
+                        w: sb,
+                    });
+                    best = m;
+                }
+                let one = alloc(1);
+                ops.push(Op::Const {
+                    dst: one,
+                    value: 1,
+                    w: 1,
+                });
+                let t = alloc(sb + 1);
+                ops.push(Op::Add {
+                    dst: t,
+                    a: best,
+                    aw: sb,
+                    b: one,
+                    bw: 1,
+                    w: sb + 1,
+                });
+                let modulus = alloc(sb + 1);
+                ops.push(Op::Const {
+                    dst: modulus,
+                    value: self.c,
+                    w: sb + 1,
+                });
+                let wrap = alloc(1);
+                ops.push(Op::Eq {
+                    dst: wrap,
+                    a: t,
+                    aw: sb + 1,
+                    b: modulus,
+                    bw: sb + 1,
+                });
+                let zero = alloc(sb);
+                ops.push(Op::Const {
+                    dst: zero,
+                    value: 0,
+                    w: sb,
+                });
+                let res = alloc(sb);
+                ops.push(Op::Mux {
+                    dst: res,
+                    c: wrap,
+                    a: zero,
+                    b: t + 1, // low sb planes of the (sb+1)-wide sum
+                    w: sb,
+                });
+                ops.push(Op::Store {
+                    src: res,
+                    off: layout.node_base(v as u32),
+                    w: sb,
+                });
+                ops.push(Op::Store {
+                    src: res,
+                    off: layout.out_base(v as u32),
+                    w: sb,
+                });
+            }
+            let program = Arc::new(Program {
+                ops,
+                arena_planes: top,
+            });
+            self.cache.insert(faces.clone(), program.clone());
+            program
+        }
+    }
+
+    impl SlicedProtocol for FollowMax {
+        fn sliced_model(&self, faulty: &[NodeId]) -> Option<Box<dyn RoundProgramSource + Send>> {
+            Some(Box::new(MaxModel {
+                n: self.n,
+                c: self.c,
+                sb: sc_protocol::bits_for(self.c) as u16,
+                faulty: faulty.to_vec(),
+                uniform: HashMap::new(),
+                cache: HashMap::new(),
+            }))
+        }
+    }
+
+    /// Seed + stabilisation verdict, the cross-engine comparable part of an
+    /// outcome (the fabrication/exit ledgers are engine-specific).
+    fn verdicts(report: &BatchReport) -> Vec<(u64, &Result<crate::StabilizationReport, SimError>)> {
+        report
+            .outcomes
+            .iter()
+            .map(|o| (o.seed, &o.result))
+            .collect()
+    }
+
+    #[test]
+    fn sliced_crash_matches_scalar_batch() {
+        let p = FollowMax { n: 5, c: 8 };
+        let scenarios = Scenario::seeds(0..150);
+        let seeds: Vec<u64> = scenarios.iter().map(|s| s.seed).collect();
+        let scalar = Batch::new(&p, 64).run(&scenarios, |s: &Scenario<u64>| {
+            adversaries::crash(&p, [1, 3], s.seed)
+        });
+        let strategy = sliced_crash(&p, [1, 3], &seeds);
+        let sliced = SlicedBatch::new(&p, 64)
+            .lane_words(1)
+            .run(&scenarios, &strategy)
+            .expect("FollowMax lowers");
+        assert_eq!(verdicts(&scalar), verdicts(&sliced));
+    }
+
+    #[test]
+    fn sliced_replay_matches_scalar_batch() {
+        let p = FollowMax { n: 5, c: 8 };
+        let scenarios = Scenario::seeds(0..100);
+        for delay in [1usize, 2, 4] {
+            let scalar =
+                Batch::new(&p, 64).run(&scenarios, |_| adversaries::replay::<u64>([2], delay));
+            let strategy = sliced_replay(p.n, [2], delay);
+            let sliced = SlicedBatch::new(&p, 64)
+                .lane_words(1)
+                .run(&scenarios, &strategy)
+                .unwrap();
+            assert_eq!(verdicts(&scalar), verdicts(&sliced), "delay {delay}");
+        }
+    }
+
+    #[test]
+    fn sliced_two_faced_periodic_matches_scalar_batch() {
+        let p = FollowMax { n: 6, c: 8 };
+        let scenarios = Scenario::seeds(0..130);
+        let seeds: Vec<u64> = scenarios.iter().map(|s| s.seed).collect();
+        for period in [1usize, 3] {
+            let scalar = Batch::new(&p, 64).run(&scenarios, |s: &Scenario<u64>| {
+                two_faced_periodic([0, 4], s.seed, period)
+            });
+            let strategy = sliced_two_faced_periodic(p.n, [0, 4], &seeds, period);
+            let sliced = SlicedBatch::new(&p, 64)
+                .lane_words(1)
+                .run(&scenarios, &strategy)
+                .unwrap();
+            assert_eq!(verdicts(&scalar), verdicts(&sliced), "period {period}");
+        }
+    }
+
+    #[test]
+    fn explicit_initial_configurations_are_honoured() {
+        let p = FollowMax { n: 4, c: 8 };
+        let scenarios: Vec<Scenario<u64>> = (0..70)
+            .map(|seed| Scenario::with_states(seed, vec![seed % 8, (seed + 1) % 8, 3, 5]))
+            .collect();
+        let scalar = Batch::new(&p, 64).run(&scenarios, |s: &Scenario<u64>| {
+            adversaries::crash(&p, [0], s.seed)
+        });
+        let seeds: Vec<u64> = scenarios.iter().map(|s| s.seed).collect();
+        let strategy = sliced_crash(&p, [0], &seeds);
+        let sliced = SlicedBatch::new(&p, 64)
+            .lane_words(1)
+            .run(&scenarios, &strategy)
+            .unwrap();
+        assert_eq!(verdicts(&scalar), verdicts(&sliced));
+    }
+
+    #[test]
+    fn verdicts_invariant_under_threads_and_lane_words() {
+        let p = FollowMax { n: 5, c: 8 };
+        let scenarios = Scenario::seeds(0..200);
+        let seeds: Vec<u64> = scenarios.iter().map(|s| s.seed).collect();
+        let strategy = sliced_crash(&p, [4], &seeds);
+        let base = SlicedBatch::new(&p, 64)
+            .threads(1)
+            .lane_words(1)
+            .run(&scenarios, &strategy)
+            .unwrap();
+        for (threads, lane_words) in [(4, 1), (1, 2), (3, 2)] {
+            let other = SlicedBatch::new(&p, 64)
+                .threads(threads)
+                .lane_words(lane_words)
+                .run(&scenarios, &strategy)
+                .unwrap();
+            assert_eq!(
+                verdicts(&base),
+                verdicts(&other),
+                "threads {threads}, lane_words {lane_words}"
+            );
+        }
+    }
+
+    #[test]
+    fn short_horizon_fails_every_lane_up_front() {
+        let p = FollowMax { n: 3, c: 4 };
+        let scenarios = Scenario::seeds(0..5);
+        let strategy = sliced_replay(p.n, [1], 2);
+        let report = SlicedBatch::new(&p, 4).run(&scenarios, &strategy).unwrap();
+        for outcome in &report.outcomes {
+            assert!(matches!(
+                outcome.result,
+                Err(SimError::HorizonTooShort {
+                    horizon: 4,
+                    required: 8
+                })
+            ));
+        }
+    }
+}
