@@ -31,6 +31,11 @@
 //!   bound-tightness sweep [`search::period_profile`]; all deterministic
 //!   from a seed and fanned out with [`std::thread::scope`] behind the
 //!   `parallel` feature.
+//! * **A synthesis pre-filter** — [`AttackPreFilter`] packages a budgeted
+//!   seeded search as a [`sc_verifier::CandidateFilter`]: candidates a
+//!   cheap scripted attack provably breaks never reach the exhaustive
+//!   solver. Reject-only by construction — see the soundness argument in
+//!   the module docs.
 //!
 //! At verifier scale the two ends meet: on an instance the exhaustive
 //! checker refutes, a seeded search rediscovers a witness-equivalent
@@ -89,12 +94,14 @@
 
 mod adversary;
 mod objective;
+mod prefilter;
 mod script;
 pub mod search;
 mod sliced;
 
 pub use adversary::{RawState, SampledRaw, ScriptedAdversary};
 pub use objective::{Delay, Objective};
+pub use prefilter::AttackPreFilter;
 pub use script::{Move, MoveSpace, Script};
 pub use search::{PeriodPoint, SearchConfig, SearchReport};
 pub use sliced::SlicedScript;

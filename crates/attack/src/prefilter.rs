@@ -1,0 +1,202 @@
+//! The attack pre-filter: a budgeted adversary search as a synthesis
+//! screen, implementing [`sc_verifier::CandidateFilter`].
+//!
+//! # Soundness (reject-only)
+//!
+//! The exhaustive checker decides a candidate by attractor layering over
+//! at most `|X|^h ≤ |X|^n` honest configurations, so a **correct**
+//! candidate stabilises every execution within strictly fewer than
+//! `|X|^n` rounds — no adversary, scripted or not, can delay it longer.
+//! The filter therefore scores each candidate with a horizon of
+//! `|X|^n + required_confirmation(c)` (the confirmation suffix the
+//! stability detector needs): if *any* evaluated script leaves a scenario
+//! unstable at that horizon ([`Delay::unstable`] `> 0`), the candidate is
+//! provably not a self-stabilising `c`-counter and is rejected. A
+//! candidate no script breaks is **never** accepted here — it merely
+//! survives to the exhaustive quotient solver, which remains the sole
+//! source of `Stabilizes` verdicts. Scripted runs snapshot, so unstable
+//! lassos exit at the first recurrence instead of executing the full
+//! nominal horizon; with the bit-sliced path attached, a sweep costs
+//! 64 scenarios per word.
+//!
+//! Anything that prevents scoring at all — an instance the simulator
+//! cannot host, a fault set the script codec rejects — makes the filter
+//! pass the candidate through (`false`), keeping rejections sound by
+//! construction.
+
+use sc_core::{Algorithm, LutCounter};
+use sc_verifier::CandidateFilter;
+
+use crate::search::{hill_climb, SearchConfig};
+use crate::{MoveSpace, Objective, Script};
+
+/// A reject-only synthesis screen driving [`hill_climb`] over scripted
+/// attacks (see the module docs for the soundness argument).
+///
+/// The filter is deterministic: every candidate is scored on the same
+/// seeded scenario sweep with the same seeded search, so a sweep's ledger
+/// is reproducible run to run.
+#[derive(Clone, Debug)]
+pub struct AttackPreFilter {
+    /// Scenarios per sweep (seeds `0..scenarios`).
+    scenarios: usize,
+    /// Explicitly scripted rounds per candidate attack.
+    rounds: usize,
+    /// Sweep-evaluation budget per candidate.
+    budget: u64,
+    /// Master search seed.
+    seed: u64,
+    /// Candidates offered to [`AttackPreFilter::reject`].
+    screened: u64,
+    /// Candidates rejected (some script provably breaks them).
+    rejected: u64,
+    /// Sweep evaluations spent across all candidates.
+    evaluations: u64,
+}
+
+impl AttackPreFilter {
+    /// A filter sweeping `scenarios` seeded initial configurations with
+    /// `rounds`-round scripts under a per-candidate evaluation `budget`.
+    pub fn new(scenarios: usize, rounds: usize, budget: u64, seed: u64) -> AttackPreFilter {
+        AttackPreFilter {
+            scenarios: scenarios.max(1),
+            rounds: rounds.max(1),
+            budget: budget.max(1),
+            seed,
+            screened: 0,
+            rejected: 0,
+            evaluations: 0,
+        }
+    }
+
+    /// Candidates screened so far.
+    pub fn screened(&self) -> u64 {
+        self.screened
+    }
+
+    /// Candidates rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Total sweep evaluations spent so far.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Scores `lut`; `Some(true)` = provably broken. `None` when the
+    /// candidate cannot be scored at all (never a rejection).
+    fn breaks(&mut self, lut: &LutCounter) -> Option<bool> {
+        let spec = lut.spec().clone();
+        let (n, f, states) = (spec.n, spec.f, spec.states);
+        // A correct candidate's worst-case stabilisation time is < |X|^n
+        // (one attractor layer per configuration); add the confirmation
+        // suffix the stability detector needs on top.
+        let configs = (states as u64).checked_pow(n as u32)?;
+        let horizon = configs.checked_add(sc_sim::required_confirmation(spec.c))?;
+        let algo = Algorithm::lut(spec).ok()?;
+        let fault_set: Vec<usize> = (0..f).collect();
+        let mut obj = Objective::new(
+            &algo,
+            &algo,
+            fault_set.clone(),
+            0..self.scenarios as u64,
+            horizon,
+        )
+        .ok()?;
+        obj.attach_sliced();
+        if fault_set.is_empty() {
+            // No adversary moves to search: one empty script scores the
+            // candidate's intrinsic convergence on the whole sweep.
+            let script = Script::new(n, vec![], vec![], 0).ok()?;
+            let delay = obj.evaluate(&script);
+            self.evaluations += obj.evaluations();
+            return Some(delay.unstable > 0);
+        }
+        let space = MoveSpace {
+            raw_values: states,
+            salts: 2,
+            max_lag: 2,
+        };
+        let mut cfg = SearchConfig::new(self.rounds, space, self.seed);
+        cfg.budget = self.budget;
+        cfg.restarts = 2;
+        // The filter is one stage of the synthesiser's own loop; keep each
+        // candidate's search on the calling thread.
+        cfg.threads = 1;
+        let report = hill_climb(&obj, &cfg);
+        self.evaluations += report.evaluations;
+        Some(report.delay.unstable > 0)
+    }
+}
+
+impl CandidateFilter for AttackPreFilter {
+    fn reject(&mut self, lut: &LutCounter) -> bool {
+        self.screened += 1;
+        let broken = self.breaks(lut).unwrap_or(false);
+        if broken {
+            self.rejected += 1;
+        }
+        broken
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_core::LutSpec;
+    use sc_verifier::{analyze, CandidateFilter};
+
+    /// The exchangeable "follow the max, then increment" table: 0-resilient,
+    /// so with one faulty node a constant-high script freezes it.
+    fn follow_max(n: usize, f: usize) -> LutCounter {
+        let rows: Vec<u8> = (0..2u32.pow(n as u32))
+            .map(|index| {
+                let max = (0..n).map(|u| (index >> u & 1) as u8).max().unwrap();
+                (max + 1) % 2
+            })
+            .collect();
+        LutCounter::new(LutSpec {
+            n,
+            f,
+            c: 2,
+            states: 2,
+            transition: vec![rows; n],
+            output: vec![vec![0, 1]; n],
+            stabilization_bound: 0,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_a_breakable_candidate_and_audits_the_ledger() {
+        let lut = follow_max(4, 1);
+        let mut filter = AttackPreFilter::new(4, 3, 64, 7);
+        assert!(filter.reject(&lut), "follow-max with f = 1 must be broken");
+        assert_eq!(filter.screened(), 1);
+        assert_eq!(filter.rejected(), 1);
+        assert!(filter.evaluations() > 0);
+        // Reject-only audit: the exhaustive checker agrees it fails.
+        assert!(analyze(&lut).unwrap().failure.is_some());
+    }
+
+    #[test]
+    fn passes_a_correct_candidate_through() {
+        // The trivial fault-free 2-counter on one node cycles 0 → 1 → 0:
+        // correct, so the filter must not reject it.
+        let lut = LutCounter::new(LutSpec {
+            n: 1,
+            f: 0,
+            c: 2,
+            states: 2,
+            transition: vec![vec![1, 0]],
+            output: vec![vec![0, 1]],
+            stabilization_bound: 0,
+        })
+        .unwrap();
+        let mut filter = AttackPreFilter::new(4, 2, 16, 1);
+        assert!(!filter.reject(&lut));
+        assert_eq!(filter.screened(), 1);
+        assert_eq!(filter.rejected(), 0);
+    }
+}

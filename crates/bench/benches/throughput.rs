@@ -17,7 +17,13 @@
 //!   on identical scripts per Figure-2 level (per-script delay equality
 //!   asserted; the A(36,7) row gates ≥ 20×), plus structured-move search
 //!   vs plain hill-climbing on the sliced A(4,1) objective; the run
-//!   appends its measurements to `BENCH_bitsliced.json`.
+//!   appends its measurements to `BENCH_bitsliced.json`,
+//! * the **synthesis table**: the orbit-quotient solver vs the retained
+//!   full bitset solver on an exchangeable `n = 4, f = 1` workload
+//!   (bitwise-equal summaries asserted, ≥ 3× speedup gated), and the
+//!   end-to-end `n = 5, f = 1` campaign — attack pre-filter + quotient
+//!   verifier over the declared 64-candidate symmetric family, with the
+//!   audit ledger; measurements append to `BENCH_synthesis.json`.
 //!
 //! The first-generation `reference_step` engine and its clone-cost baseline
 //! are gone (the bitwise equivalence gate stayed green from PR 1 through
@@ -31,6 +37,7 @@ use std::time::{Duration, Instant};
 use criterion::{criterion_group, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use sc_attack::AttackPreFilter;
 use sc_attack::{search, Delay, MoveSpace, Objective, RawState, SampledRaw, Script, SearchConfig};
 use sc_core::{Algorithm, CounterBuilder, CounterState, LutCounter, LutSpec};
 use sc_protocol::{Counter as _, Fingerprint, SyncProtocol as _};
@@ -40,7 +47,10 @@ use sc_sim::{
     two_faced_periodic, Adversary, Batch, BatchReport, ExitReason, OutputTrace, Scenario,
     Simulation, StabilizationReport,
 };
-use sc_verifier::{synthesize, SynthesisOutcome};
+use sc_verifier::{
+    sweep_family, synthesize, Analyzer, SolverMode, SweepCheckpoint, SymmetricFamily,
+    SynthesisOutcome,
+};
 
 const SCENARIOS: u64 = 64;
 const HORIZON: u64 = 96;
@@ -904,6 +914,203 @@ fn verifier_table() {
     );
 }
 
+/// Exchangeable `n = 4, f = 1, |X| = 16` candidates for the quotient
+/// speedup row: one shared transition table per candidate, depending only
+/// on the multiset of received states (a deterministic xorshift state per
+/// class), so both engines are sound on every one of them.
+fn symmetric_candidates() -> Vec<LutCounter> {
+    let n = 4usize;
+    let x = 16usize;
+    let rows = x.pow(n as u32);
+    (0..4u64)
+        .map(|seed| {
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % x as u64) as u8
+            };
+            // Assign one next-state per sorted-digit class, then expand to
+            // the full row table.
+            let mut classes: std::collections::HashMap<Vec<u8>, u8> =
+                std::collections::HashMap::new();
+            let mut table = vec![0u8; rows];
+            for (r, slot) in table.iter_mut().enumerate() {
+                let mut digits = Vec::with_capacity(n);
+                let mut rest = r;
+                for _ in 0..n {
+                    digits.push((rest % x) as u8);
+                    rest /= x;
+                }
+                digits.sort_unstable();
+                *slot = *classes.entry(digits).or_insert_with(&mut next);
+            }
+            LutCounter::new(LutSpec {
+                n,
+                f: 1,
+                c: 2,
+                states: x as u8,
+                transition: vec![table; n],
+                output: vec![(0..x as u64).map(|s| s % 2).collect(); n],
+                stabilization_bound: 0,
+            })
+            .unwrap()
+        })
+        .collect()
+}
+
+/// The synthesis-pipeline table: the orbit-quotient solver vs the retained
+/// full bitset solver on an exchangeable `n = 4, f = 1, |X| = 8` workload
+/// (summaries asserted bitwise equal candidate for candidate, **≥ 3×**
+/// speedup gated), followed by the end-to-end `n = 5, f = 1` campaign —
+/// the declared 64-candidate symmetric family swept through the attack
+/// pre-filter and the quotient verifier, with the filtered / survivor /
+/// verified / found ledger. Measurements append to `BENCH_synthesis.json`.
+fn synthesis_table() {
+    /// `analyze` calls per engine on the speedup workload.
+    const ITERS: u32 = 8;
+
+    println!("## orbit-quotient verifier — full solver vs quotient, exchangeable n=4 f=1 |X|=16\n");
+    let candidates = symmetric_candidates();
+    let mut full = Analyzer::with_mode(SolverMode::Full);
+    let mut quot = Analyzer::with_mode(SolverMode::Quotient);
+    for candidate in &candidates {
+        // Bitwise-equal summaries or the speedup is meaningless.
+        assert_eq!(
+            full.analyze(candidate).unwrap(),
+            quot.analyze(candidate).unwrap(),
+            "quotient solver diverges from the full solver"
+        );
+    }
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        for candidate in &candidates {
+            std::hint::black_box(full.analyze(candidate).unwrap());
+        }
+    }
+    let full_time = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        for candidate in &candidates {
+            std::hint::black_box(quot.analyze(candidate).unwrap());
+        }
+    }
+    let quot_time = start.elapsed().as_secs_f64();
+    // Full joint space per analyze: 16^4 fault-free + 4 singleton games at
+    // 16^3; the quotient decides the same space through C(19,4) + 4·C(18,3)
+    // orbit games — a 11.5x state-space contraction.
+    let configs_per_analyze = 65536 + 4 * 4096;
+    let orbits_per_analyze = 3876 + 4 * 816;
+    let quotient_ratio = configs_per_analyze as f64 / orbits_per_analyze as f64;
+    let total_configs = (configs_per_analyze * ITERS as usize * candidates.len()) as f64;
+    let speedup = full_time / quot_time;
+    println!(
+        "| {:<34} | {:>12} | {:>14} | {:>14} | {:>8} |",
+        "workload", "states ratio", "full cfg/s", "quotient cfg/s", "speedup"
+    );
+    println!(
+        "|{}|{}|{}|{}|{}|",
+        "-".repeat(36),
+        "-".repeat(14),
+        "-".repeat(16),
+        "-".repeat(16),
+        "-".repeat(10)
+    );
+    println!(
+        "| {:<34} | {:>11.1}x | {:>14.0} | {:>14.0} | {:>7.1}x |",
+        format!("analyze n=4 f=1 |X|=16 ({}x{})", ITERS, candidates.len()),
+        quotient_ratio,
+        total_configs / full_time,
+        total_configs / quot_time,
+        speedup
+    );
+    assert!(
+        speedup >= 3.0,
+        "orbit quotient must be ≥ 3× the full solver on the n=4 f=1 workload, got {speedup:.1}x"
+    );
+
+    // --- the n = 5 campaign: pre-filter + quotient, end to end. -----------
+    let family = SymmetricFamily::new(5, 1, 2, 2).expect("declared family must be well-formed");
+    let total = family.len().expect("64 candidates");
+    let mut filter = AttackPreFilter::new(4, 3, 48, 9);
+    let mut analyzer = Analyzer::new();
+    analyzer.dedup_fault_sets(true);
+    let mut checkpoint = SweepCheckpoint::new();
+    let start = Instant::now();
+    let outcome = sweep_family(
+        &family,
+        &mut filter,
+        &mut analyzer,
+        &mut checkpoint,
+        u64::MAX,
+    )
+    .expect("the n=5 family must sweep end-to-end");
+    let sweep_time = start.elapsed().as_secs_f64();
+    assert!(outcome.complete, "the 64-candidate family must complete");
+    let ledger = checkpoint.ledger;
+    assert_eq!(ledger.screened, total);
+    assert_eq!(ledger.screened, ledger.filtered + ledger.survivors);
+    assert_eq!(ledger.verified, ledger.survivors);
+    let reject_rate = ledger.filtered as f64 / ledger.screened as f64;
+    let evals_per_sec = filter.evaluations() as f64 / sweep_time;
+    println!(
+        "\nn=5 f=1 synthesis sweep (|X|=2, {} classes, {} candidates): \
+         {} filtered / {} survivors / {} verified / {} found in {:.2} s \
+         ({:.0} attack evals/s, reject rate {:.2})\n",
+        family.classes(),
+        total,
+        ledger.filtered,
+        ledger.survivors,
+        ledger.verified,
+        ledger.found,
+        sweep_time,
+        evals_per_sec,
+        reject_rate
+    );
+
+    write_synthesis_trajectory(
+        speedup,
+        quotient_ratio,
+        total_configs / quot_time,
+        evals_per_sec,
+        reject_rate,
+        &ledger,
+    );
+}
+
+/// Appends this run's synthesis-pipeline measurements to
+/// `BENCH_synthesis.json` at the workspace root (one JSON object per line,
+/// same trajectory format as `BENCH_bitsliced.json`).
+fn write_synthesis_trajectory(
+    speedup: f64,
+    quotient_ratio: f64,
+    configs_per_sec: f64,
+    evals_per_sec: f64,
+    reject_rate: f64,
+    ledger: &sc_verifier::SweepLedger,
+) {
+    let line = format!(
+        "{{\"bench\":\"synthesis\",\"gate_min_speedup\":3.0,\
+         \"quotient_speedup\":{speedup:.2},\"quotient_ratio\":{quotient_ratio:.2},\
+         \"configs_per_sec\":{configs_per_sec:.2},\"prefilter_evals_per_sec\":{evals_per_sec:.2},\
+         \"prefilter_reject_rate\":{reject_rate:.3},\
+         \"ledger\":{{\"screened\":{},\"filtered\":{},\"survivors\":{},\
+         \"verified\":{},\"found\":{}}}}}\n",
+        ledger.screened, ledger.filtered, ledger.survivors, ledger.verified, ledger.found
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_synthesis.json");
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    match appended {
+        Ok(()) => println!("trajectory appended to BENCH_synthesis.json"),
+        Err(e) => println!("warning: could not write BENCH_synthesis.json: {e}"),
+    }
+}
+
 criterion_group!(benches, bench_throughput);
 
 fn main() {
@@ -918,4 +1125,5 @@ fn main() {
     bitsliced_table();
     worst_case_table();
     verifier_table();
+    synthesis_table();
 }

@@ -7,9 +7,13 @@
 //! `n = 4, f = 1` instance the paper's companion works solved with SAT
 //! solvers.
 
+use sc_attack::AttackPreFilter;
 use sc_bench::print_table;
 use sc_core::{LutCounter, LutSpec};
-use sc_verifier::{synthesize, verify, SynthesisOutcome, Verdict};
+use sc_verifier::{
+    sweep_family, synthesize, verify, Analyzer, SweepCheckpoint, SymmetricFamily, SynthesisOutcome,
+    Verdict,
+};
 
 fn main() {
     println!("# E7 — verification and synthesis of small counters\n");
@@ -108,6 +112,56 @@ fn main() {
          needed SAT-scale search there (the paper cites computer-designed \
          3-state algorithms for n ≥ 4), so a small stochastic budget reporting \
          high-but-incomplete coverage is the expected outcome."
+    );
+
+    // --- The n = 5 campaign: pre-filter + orbit quotient, end to end. -----
+    println!(
+        "\nExhaustive n = 5, f = 1 family sweep (attack pre-filter + orbit \
+         quotient):"
+    );
+    let family = SymmetricFamily::new(5, 1, 2, 2).unwrap();
+    let mut filter = AttackPreFilter::new(4, 3, 48, 9);
+    let mut analyzer = Analyzer::new();
+    analyzer.dedup_fault_sets(true);
+    let mut checkpoint = SweepCheckpoint::new();
+    sweep_family(
+        &family,
+        &mut filter,
+        &mut analyzer,
+        &mut checkpoint,
+        u64::MAX,
+    )
+    .unwrap();
+    let ledger = checkpoint.ledger;
+    print_table(
+        &[
+            "family",
+            "screened",
+            "filtered",
+            "survivors",
+            "verified",
+            "found",
+        ],
+        &[vec![
+            format!(
+                "n=5 f=1 |X|=2 ({} classes, {} candidates)",
+                family.classes(),
+                family.len().unwrap()
+            ),
+            ledger.screened.to_string(),
+            ledger.filtered.to_string(),
+            ledger.survivors.to_string(),
+            ledger.verified.to_string(),
+            ledger.found.to_string(),
+        ]],
+    );
+    println!(
+        "\nEvery candidate a budgeted scripted-attack search provably breaks is \
+         discarded before the exhaustive pass (the filter may only reject — \
+         survivors are still decided by the quotient verifier, so the found \
+         set is exactly what an unfiltered sweep finds). No 2-state 1-resilient \
+         5-node counter in this family is the expected outcome; the pipeline \
+         end-to-end is the result."
     );
 }
 

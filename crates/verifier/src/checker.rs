@@ -5,6 +5,26 @@ use sc_core::LutCounter;
 use sc_protocol::ParamError;
 
 use crate::game::{SetStats, Solver};
+use crate::orbit::{binomial, exchangeable, OrbitSolver};
+
+/// Which game engine an [`Analyzer`] drives.
+///
+/// The quotiented solver is only sound for *exchangeable* LUTs (identical
+/// per-node tables, invariant under permuting received positions — see
+/// [`crate::orbit`]); [`SolverMode::Auto`] detects the symmetry per
+/// candidate and quotients exactly when it may.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SolverMode {
+    /// Detect exchangeability and pick the quotient when sound (default).
+    #[default]
+    Auto,
+    /// Always the unquotiented PR 4 bitset solver — the retained baseline
+    /// and bitwise-equivalence oracle.
+    Full,
+    /// Force the orbit quotient; [`Analyzer::analyze`] errors on a
+    /// non-exchangeable LUT instead of silently falling back.
+    Quotient,
+}
 
 /// Outcome of exhaustively verifying a candidate counter.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -78,24 +98,7 @@ impl Witness {
 /// (`|X|^{n−|F|}` configurations or `|X|^{|F|}` Byzantine combinations per
 /// node too large, or more than 64 states).
 pub fn verify(lut: &LutCounter) -> Result<Verdict, ParamError> {
-    let summary = analyze(lut)?;
-    match summary.failure {
-        None => Ok(Verdict::Stabilizes {
-            worst_case_time: summary.worst_time,
-        }),
-        Some((fault_set, stuck_configs)) => {
-            let mut solver = Solver::new();
-            solver.run(lut, &fault_set)?;
-            let witness = solver
-                .extract_witness(lut)
-                .expect("a failing fault set yields a witness");
-            Ok(Verdict::Fails {
-                fault_set,
-                stuck_configs,
-                witness,
-            })
-        }
-    }
+    Analyzer::new().verify(lut)
 }
 
 /// Aggregate result of checking every fault set, without the (expensive)
@@ -190,14 +193,150 @@ pub fn analyze(lut: &LutCounter) -> Result<AnalysisSummary, ParamError> {
 #[derive(Default)]
 pub struct Analyzer {
     solver: Solver,
+    orbit: OrbitSolver,
+    mode: SolverMode,
+    dedup_faults: bool,
+}
+
+/// One game per fault set, dispatched to either engine — the seam the
+/// serial fold, the parallel fan-out and the dedup loop all share.
+trait SetEngine: Default + Send {
+    fn run_set(&mut self, lut: &LutCounter, faulty: &[usize]) -> Result<SetStats, ParamError>;
+}
+
+impl SetEngine for Solver {
+    fn run_set(&mut self, lut: &LutCounter, faulty: &[usize]) -> Result<SetStats, ParamError> {
+        self.run(lut, faulty)
+    }
+}
+
+impl SetEngine for OrbitSolver {
+    fn run_set(&mut self, lut: &LutCounter, faulty: &[usize]) -> Result<SetStats, ParamError> {
+        self.run(lut, faulty)
+    }
+}
+
+/// Serial enumeration, fold inlined over the lending walk: no fault set
+/// is ever cloned except the first failing one.
+fn analyze_serial<E: SetEngine>(
+    engine: &mut E,
+    lut: &LutCounter,
+) -> Result<AnalysisSummary, ParamError> {
+    let spec = lut.spec();
+    let mut worst = 0u64;
+    let mut covered = 0usize;
+    let mut total = 0usize;
+    let mut failure: Option<(Vec<usize>, usize)> = None;
+    let mut sets = FaultSets::new(spec.n, spec.f);
+    while let Some(fault_set) = sets.advance() {
+        let stats = engine.run_set(lut, fault_set)?;
+        total += stats.configs;
+        covered += stats.covered;
+        if stats.covered == stats.configs {
+            worst = worst.max(stats.worst_time);
+        } else if failure.is_none() {
+            failure = Some((fault_set.to_vec(), stats.configs - stats.covered));
+        }
+    }
+    Ok(AnalysisSummary {
+        worst_time: worst,
+        coverage: covered as f64 / total as f64,
+        failure,
+    })
+}
+
+/// Fans the fault-set games out across worker threads with the **strided**
+/// assignment `Batch`/`SlicedBatch` use (worker `t` takes indices `t`,
+/// `t + workers`, …). The stride matters twice over: fault sets are
+/// enumerated preorder with the heaviest games (the size-ascending prefix
+/// chain `[]`, `[0]`, `[0,1]`, …) first, so contiguous chunks would hand
+/// one worker nearly all the work, and a ragged tail (`sets % workers ≠ 0`)
+/// would pile the remainder onto the early workers — striding interleaves
+/// heavy and light games across all workers and spreads the tail one
+/// index per worker. Worker 0 runs on the calling thread and reuses the
+/// analyzer's warm engine (the remaining workers bring their own);
+/// outcomes are collected as `(index, outcome)` pairs and sorted back
+/// into enumeration order, so the summary — including which failing fault
+/// set is reported and which error wins — is bitwise identical to the
+/// serial path.
+#[cfg(feature = "parallel")]
+fn analyze_parallel<E: SetEngine>(
+    engine: &mut E,
+    lut: &LutCounter,
+    sets: &[Vec<usize>],
+    threads: usize,
+) -> Result<AnalysisSummary, ParamError> {
+    fn run_strided<E: SetEngine>(
+        engine: &mut E,
+        lut: &LutCounter,
+        sets: &[Vec<usize>],
+        start: usize,
+        stride: usize,
+    ) -> Vec<(usize, Result<SetOutcome, ParamError>)> {
+        (start..sets.len())
+            .step_by(stride)
+            .map(|index| {
+                let fault_set = &sets[index];
+                let outcome = engine
+                    .run_set(lut, fault_set)
+                    .map(|stats| (fault_set.clone(), stats));
+                (index, outcome)
+            })
+            .collect()
+    }
+
+    let workers = threads.min(sets.len()).max(1);
+    let mut outcomes: Vec<(usize, Result<SetOutcome, ParamError>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (1..workers)
+            .map(|k| scope.spawn(move || run_strided(&mut E::default(), lut, sets, k, workers)))
+            .collect();
+        let mut all = run_strided(engine, lut, sets, 0, workers);
+        for handle in handles {
+            all.extend(handle.join().expect("verifier worker panicked"));
+        }
+        all
+    });
+    outcomes.sort_unstable_by_key(|&(index, _)| index);
+    fold_outcomes(outcomes.into_iter().map(|(_, outcome)| outcome))
+}
+
+/// The process-wide worker-thread count, probed once — it is a syscall,
+/// and the gate runs per candidate evaluation.
+#[cfg(feature = "parallel")]
+fn thread_count() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| std::thread::available_parallelism().map_or(1, |t| t.get()))
 }
 
 impl Analyzer {
     /// An analyzer with empty buffers; the first evaluation sizes them.
     pub fn new() -> Analyzer {
+        Analyzer::default()
+    }
+
+    /// An analyzer pinned to `mode` (the default is [`SolverMode::Auto`]).
+    pub fn with_mode(mode: SolverMode) -> Analyzer {
         Analyzer {
-            solver: Solver::new(),
+            mode,
+            ..Analyzer::default()
         }
+    }
+
+    /// Switches the engine selection policy.
+    pub fn set_mode(&mut self, mode: SolverMode) {
+        self.mode = mode;
+    }
+
+    /// Enables (or disables) symmetry-aware fault-set enumeration: for an
+    /// exchangeable LUT, every fault set of one size plays an isomorphic
+    /// game under honest relabeling, so [`Analyzer::analyze`] solves one
+    /// representative per size `k ≤ f` (the prefix `{0, …, k−1}`) and
+    /// scales its statistics by the multiplicity `C(n, k)`. The preorder
+    /// enumeration visits the prefix chain first, so the reported first
+    /// failure is bitwise identical to full enumeration's. The flag is a
+    /// sound no-op on non-exchangeable LUTs (full enumeration runs).
+    pub fn dedup_fault_sets(&mut self, dedup: bool) {
+        self.dedup_faults = dedup;
     }
 
     /// See [`analyze`].
@@ -205,44 +344,88 @@ impl Analyzer {
     /// # Errors
     ///
     /// Returns [`ParamError`] when the instance exceeds the exploration
-    /// limits.
+    /// limits, or when [`SolverMode::Quotient`] is forced on a
+    /// non-exchangeable LUT.
     pub fn analyze(&mut self, lut: &LutCounter) -> Result<AnalysisSummary, ParamError> {
         let spec = lut.spec();
+        let symmetric = match self.mode {
+            SolverMode::Full => false,
+            SolverMode::Auto => exchangeable(lut),
+            SolverMode::Quotient => {
+                if !exchangeable(lut) {
+                    return Err(ParamError::constraint(
+                        "quotient mode needs an exchangeable LUT: identical per-node \
+                         tables, symmetric in the received positions",
+                    ));
+                }
+                true
+            }
+        };
+        if symmetric && self.dedup_faults {
+            return self.analyze_dedup(lut);
+        }
+        let quotient = symmetric && self.mode != SolverMode::Full;
         #[cfg(feature = "parallel")]
         {
-            // Fault-free configuration count = the largest game in the
-            // loop; tiny instances (the synthesis hill-climb) stay on this
-            // thread. The thread count is probed once per process — it is
-            // a syscall, and this path runs per candidate evaluation.
-            static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-            let threads = *THREADS
-                .get_or_init(|| std::thread::available_parallelism().map_or(1, |t| t.get()));
-            let weight = (spec.states as usize)
-                .checked_pow(spec.n as u32)
-                .unwrap_or(usize::MAX);
+            // Gate on the largest game in the loop — the fault-free
+            // configuration (or orbit) count; tiny instances (the
+            // synthesis hill-climb) stay on this thread.
+            let threads = thread_count();
+            let weight = if quotient {
+                binomial(spec.states as usize + spec.n - 1, spec.n)
+                    .try_into()
+                    .unwrap_or(usize::MAX)
+            } else {
+                (spec.states as usize)
+                    .checked_pow(spec.n as u32)
+                    .unwrap_or(usize::MAX)
+            };
             if weight >= 1 << 12 && threads > 1 {
                 let sets: Vec<Vec<usize>> = FaultSets::new(spec.n, spec.f).collect();
                 if sets.len() > 1 {
-                    return self.analyze_parallel(lut, &sets, threads);
+                    return if quotient {
+                        analyze_parallel(&mut self.orbit, lut, &sets, threads)
+                    } else {
+                        analyze_parallel(&mut self.solver, lut, &sets, threads)
+                    };
                 }
             }
         }
-        // Serial path, fold inlined over the lending walk: no fault set is
-        // ever cloned except the first failing one.
+        if quotient {
+            analyze_serial(&mut self.orbit, lut)
+        } else {
+            analyze_serial(&mut self.solver, lut)
+        }
+    }
+
+    /// Symmetry-aware fault-set enumeration (see
+    /// [`Analyzer::dedup_fault_sets`]): one game per fault-set *size*,
+    /// statistics scaled by the orbit multiplicity `C(n, k)`. Runs on the
+    /// engine the mode selects; the `f + 1` games are small enough that
+    /// the fan-out would cost more than it saves.
+    fn analyze_dedup(&mut self, lut: &LutCounter) -> Result<AnalysisSummary, ParamError> {
+        let spec = lut.spec();
+        let quotient = self.mode != SolverMode::Full;
         let mut worst = 0u64;
-        let mut covered = 0usize;
-        let mut total = 0usize;
+        let mut covered = 0u128;
+        let mut total = 0u128;
         let mut failure: Option<(Vec<usize>, usize)> = None;
-        let mut sets = FaultSets::new(spec.n, spec.f);
-        while let Some(fault_set) = sets.advance() {
-            let stats = self.solver.run(lut, fault_set)?;
-            total += stats.configs;
-            covered += stats.covered;
+        let mut rep: Vec<usize> = Vec::with_capacity(spec.f);
+        for k in 0..=spec.f.min(spec.n) {
+            let stats = if quotient {
+                self.orbit.run(lut, &rep)?
+            } else {
+                self.solver.run(lut, &rep)?
+            };
+            let mult = u128::from(binomial(spec.n, k));
+            total += mult * stats.configs as u128;
+            covered += mult * stats.covered as u128;
             if stats.covered == stats.configs {
                 worst = worst.max(stats.worst_time);
             } else if failure.is_none() {
-                failure = Some((fault_set.to_vec(), stats.configs - stats.covered));
+                failure = Some((rep.clone(), stats.configs - stats.covered));
             }
+            rep.push(k);
         }
         Ok(AnalysisSummary {
             worst_time: worst,
@@ -250,68 +433,41 @@ impl Analyzer {
             failure,
         })
     }
-}
 
-impl Analyzer {
-    /// Fans the fault-set games out round-robin across worker threads.
-    /// The stride matters: fault sets are enumerated preorder with the
-    /// empty set first, and the empty set's game is `|X|` times larger
-    /// than any singleton's — contiguous chunks would hand one worker
-    /// nearly all the work. Worker 0 runs on the calling thread and
-    /// reuses the analyzer's warm solver (the remaining workers bring
-    /// their own); outcomes are re-assembled in enumeration order, so the
-    /// summary — including which failing fault set is reported and which
-    /// error wins — is bitwise identical to the serial path.
-    #[cfg(feature = "parallel")]
-    fn analyze_parallel(
-        &mut self,
-        lut: &LutCounter,
-        sets: &[Vec<usize>],
-        threads: usize,
-    ) -> Result<AnalysisSummary, ParamError> {
-        fn run_strided(
-            solver: &mut Solver,
-            lut: &LutCounter,
-            sets: &[Vec<usize>],
-            start: usize,
-            stride: usize,
-        ) -> Vec<(usize, Result<SetOutcome, ParamError>)> {
-            sets.iter()
-                .enumerate()
-                .skip(start)
-                .step_by(stride)
-                .map(|(index, fault_set)| {
-                    let outcome = solver
-                        .run(lut, fault_set)
-                        .map(|stats| (fault_set.clone(), stats));
-                    (index, outcome)
-                })
-                .collect()
-        }
-
-        let workers = threads.min(sets.len());
-        let mut slots: Vec<Option<Result<SetOutcome, ParamError>>> =
-            (0..sets.len()).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (1..workers)
-                .map(|k| {
-                    scope.spawn(move || run_strided(&mut Solver::new(), lut, sets, k, workers))
-                })
-                .collect();
-            for (index, outcome) in run_strided(&mut self.solver, lut, sets, 0, workers) {
-                slots[index] = Some(outcome);
-            }
-            for handle in handles {
-                for (index, outcome) in handle.join().expect("verifier worker panicked") {
-                    slots[index] = Some(outcome);
+    /// [`verify`] on this analyzer's engines and mode: analyzes, and on
+    /// failure re-solves the failing fault set to extract the replayable
+    /// [`Witness`]. Both engines extract byte-identical witnesses (the
+    /// quotient walks the full space, querying orbits only for
+    /// decidedness), so the verdict does not depend on the mode — the
+    /// `quotient_cross` suite enforces it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] when the instance exceeds the exploration
+    /// limits of the selected engine.
+    pub fn verify(&mut self, lut: &LutCounter) -> Result<Verdict, ParamError> {
+        let summary = self.analyze(lut)?;
+        match summary.failure {
+            None => Ok(Verdict::Stabilizes {
+                worst_case_time: summary.worst_time,
+            }),
+            Some((fault_set, stuck_configs)) => {
+                let quotient = self.mode != SolverMode::Full && exchangeable(lut);
+                let witness = if quotient {
+                    self.orbit.run(lut, &fault_set)?;
+                    self.orbit.extract_witness(lut)
+                } else {
+                    self.solver.run(lut, &fault_set)?;
+                    self.solver.extract_witness(lut)
                 }
+                .expect("a failing fault set yields a witness");
+                Ok(Verdict::Fails {
+                    fault_set,
+                    stuck_configs,
+                    witness,
+                })
             }
-        });
-        fold_outcomes(
-            slots
-                .into_iter()
-                .map(|slot| slot.expect("every fault set solved exactly once")),
-        )
+        }
     }
 }
 
@@ -623,8 +779,8 @@ mod tests {
         };
         let sets: Vec<Vec<usize>> = FaultSets::new(4, 1).collect();
         for workers in [2, 3, 5, 8] {
-            let mut analyzer = Analyzer::new();
-            let parallel = analyzer.analyze_parallel(&lut, &sets, workers).unwrap();
+            let mut solver = Solver::default();
+            let parallel = analyze_parallel(&mut solver, &lut, &sets, workers).unwrap();
             assert_eq!(parallel, serial, "fan-out with {workers} workers diverges");
         }
     }
@@ -644,7 +800,9 @@ mod tests {
     #[test]
     fn size_limits_are_enforced() {
         // 6 states on 8 nodes: 6^8 ≈ 1.7M > MAX_CONFIGS (1 << 20) → typed
-        // error from the raised limits too.
+        // error from the full solver's raised limits too. The table is
+        // exchangeable (all-zero transitions), so the default Auto mode now
+        // quotients it down to C(13, 8) = 1287 orbits and decides it.
         let states = 6u8;
         let rows = vec![0u8; 6usize.pow(8)];
         let output: Vec<u64> = (0..6).map(|i| i % 2).collect();
@@ -658,6 +816,7 @@ mod tests {
             stabilization_bound: 0,
         };
         let big = lut(spec);
-        assert!(verify(&big).is_err());
+        assert!(Analyzer::with_mode(SolverMode::Full).analyze(&big).is_err());
+        assert!(verify(&big).is_ok());
     }
 }

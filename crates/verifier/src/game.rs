@@ -124,11 +124,6 @@ pub(crate) struct SetStats {
 }
 
 impl Solver {
-    /// A solver with empty buffers; the first run sizes them.
-    pub(crate) fn new() -> Solver {
-        Solver::default()
-    }
-
     /// Builds the game for `lut` under fault set `faulty` and solves it:
     /// masks, predecessor index, safe-set fixpoint, attractor layering.
     /// Reuses every buffer from the previous run; allocation-free once the

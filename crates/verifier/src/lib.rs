@@ -68,6 +68,25 @@
 //! `2^14` / `2^10`), and independent fault sets fan out across threads
 //! behind the `parallel` feature (on by default).
 //!
+//! # The orbit quotient and the synthesis campaign
+//!
+//! For **exchangeable** tables — identical per-node tables, invariant
+//! under permuting received positions — the whole game factors through
+//! multisets of honest states, and [`Analyzer`] (in the default
+//! [`SolverMode::Auto`]) solves it over `C(|X|+h−1, h)` *orbits* instead
+//! of `|X|^h` configurations, with bitwise-identical summaries, verdicts
+//! and witnesses (see [`mod@reference`]'s successor, the retained full
+//! solver, and the `tests/quotient_cross.rs` equivalence gate). Fault
+//! sets of equal size play isomorphic games on such tables, so
+//! [`Analyzer::dedup_fault_sets`] solves one representative per size with
+//! multiplicity `C(n, k)`. On top, [`sweep_family`] drives a declared
+//! [`SymmetricFamily`] of exchangeable candidates through a reject-only
+//! [`CandidateFilter`] (the library implementation is `sc_attack`'s
+//! budgeted scripted-attack search) before the exhaustive pass, with an
+//! auditable [`SweepLedger`] and a codec-serialised [`SweepCheckpoint`]
+//! for mid-sweep resume. Together these push exhaustive synthesis sweeps
+//! to `n = 5`.
+//!
 //! # Example
 //!
 //! ```
@@ -93,8 +112,12 @@
 
 mod checker;
 mod game;
+mod orbit;
 pub mod reference;
 mod synthesis;
 
-pub use checker::{analyze, verify, AnalysisSummary, Analyzer, Verdict, Witness};
-pub use synthesis::{synthesize, SynthesisOutcome, SynthesisReport};
+pub use checker::{analyze, verify, AnalysisSummary, Analyzer, SolverMode, Verdict, Witness};
+pub use synthesis::{
+    sweep_family, synthesize, CandidateFilter, NoFilter, SweepCheckpoint, SweepLedger,
+    SweepOutcome, SymmetricFamily, SynthesisOutcome, SynthesisReport,
+};

@@ -1,9 +1,13 @@
-//! Stochastic local search over transition tables.
+//! Stochastic local search over transition tables, and the exhaustive
+//! sweep pipeline: symmetric candidate families, an attack-backed
+//! pre-filter seam, and resumable checkpoints.
+
+use std::collections::HashMap;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sc_core::{LutCounter, LutSpec};
-use sc_protocol::ParamError;
+use sc_protocol::{BitReader, BitVec, CodecError, ParamError};
 
 use crate::checker::Analyzer;
 
@@ -168,6 +172,344 @@ pub fn synthesize(
     })
 }
 
+/// A cheap screen run in front of the exhaustive verifier during a sweep.
+///
+/// # Soundness contract: reject-only
+///
+/// `reject(lut) == true` must imply the candidate is **not** a correct
+/// self-stabilising counter — a filter may only *reject*, never accept: a
+/// `false` return says nothing (the exhaustive verifier still decides every
+/// survivor), so a sweep with any filter finds exactly the correct
+/// candidates a sweep with [`NoFilter`] finds, at lower cost. The
+/// [`SweepLedger`] keeps the split auditable, and `tests/quotient_cross.rs`
+/// cross-checks every filtered candidate against the exhaustive verdict.
+///
+/// The library implementation is `sc_attack`'s `AttackPreFilter`, which
+/// runs a budgeted scripted-attack search per candidate (sliced evals)
+/// and rejects when a found script provably prevents stabilisation for a
+/// horizon no correct candidate of that shape can need.
+pub trait CandidateFilter {
+    /// Whether a cheap attack already breaks `lut`. `true` must be sound
+    /// (see the trait docs); `false` means "exhaustively verify me".
+    fn reject(&mut self, lut: &LutCounter) -> bool;
+}
+
+/// The identity filter: every candidate survives to exhaustive
+/// verification. A sweep with `NoFilter` is the audit baseline.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoFilter;
+
+impl CandidateFilter for NoFilter {
+    fn reject(&mut self, _lut: &LutCounter) -> bool {
+        false
+    }
+}
+
+/// The audit trail of a sweep: how many candidates each pipeline stage
+/// consumed. Invariants (checked by the test suites):
+/// `screened = filtered + survivors`, `verified = survivors`
+/// (the pre-filter may only reject, so every survivor is exhaustively
+/// verified), `found ≤ verified`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepLedger {
+    /// Candidates instantiated and offered to the pre-filter.
+    pub screened: u64,
+    /// Candidates the pre-filter rejected (a cheap attack breaks them).
+    pub filtered: u64,
+    /// Candidates that passed the pre-filter.
+    pub survivors: u64,
+    /// Survivors decided by the exhaustive verifier.
+    pub verified: u64,
+    /// Verified correct counters.
+    pub found: u64,
+}
+
+/// A declared candidate family for exhaustive sweeps: **symmetric**
+/// transition tables over `n` nodes. Rows are grouped into classes by the
+/// multiset of received states; a candidate assigns one next-state per
+/// class, shared by every node — so every candidate is exchangeable by
+/// construction and the orbit-quotient engine ([`crate::orbit`]) applies.
+/// Output tables are fixed to `h(v, s) = s mod c`, as in [`synthesize`].
+///
+/// The family size is `|X|^classes` with `classes = C(|X|+n−1, n)` — e.g.
+/// `n = 5, |X| = 2` gives 6 classes and 64 candidates, an exhaustively
+/// sweepable space that brute force over raw tables (`2^32` candidates)
+/// could never cover.
+#[derive(Clone, Debug)]
+pub struct SymmetricFamily {
+    n: usize,
+    f: usize,
+    c: u64,
+    states: u8,
+    /// Row index → class id.
+    class_of: Vec<u32>,
+    classes: usize,
+}
+
+impl SymmetricFamily {
+    /// Declares the family for `n` nodes, resilience `f`, modulus `c` and
+    /// `states` states, grouping the `|X|^n` rows into multiset classes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] when the parameters do not form a valid
+    /// counter shape (`c < 2`, `states < c`, `3f ≥ n`, table too large).
+    pub fn new(n: usize, f: usize, c: u64, states: u8) -> Result<SymmetricFamily, ParamError> {
+        if u64::from(states) < c {
+            return Err(ParamError::constraint(format!(
+                "need at least c = {c} states to output all values, got {states}"
+            )));
+        }
+        // Validate the shape once via the seed candidate's construction.
+        let family = SymmetricFamily {
+            n,
+            f,
+            c,
+            states,
+            class_of: Vec::new(),
+            classes: 0,
+        };
+        let probe = family.seed()?;
+        let rows = probe.spec().transition[0].len();
+        let x = states as usize;
+        let mut class_of = vec![0u32; rows];
+        let mut classes: HashMap<Vec<u8>, u32> = HashMap::new();
+        for (r, slot) in class_of.iter_mut().enumerate() {
+            let mut digits = Vec::with_capacity(n);
+            let mut rest = r;
+            for _ in 0..n {
+                digits.push((rest % x) as u8);
+                rest /= x;
+            }
+            digits.sort_unstable();
+            let next_id = classes.len() as u32;
+            *slot = *classes.entry(digits).or_insert(next_id);
+        }
+        Ok(SymmetricFamily {
+            n,
+            f,
+            c,
+            states,
+            classes: classes.len(),
+            class_of,
+        })
+    }
+
+    /// Number of row classes (multisets of `n` received states).
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Number of candidates (`|X|^classes`), when it fits in a `u64` —
+    /// families past that size are for budgeted sampling, not sweeps.
+    pub fn len(&self) -> Option<u64> {
+        u64::from(self.states).checked_pow(self.classes as u32)
+    }
+
+    /// Whether the family is empty (it never is; for clippy's benefit).
+    pub fn is_empty(&self) -> bool {
+        self.len() == Some(0)
+    }
+
+    /// The candidate with index 0 (every class mapping to state 0) — the
+    /// live table [`SymmetricFamily::instantiate`] patches in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] when the shape is invalid (see
+    /// [`LutCounter::new`]).
+    pub fn seed(&self) -> Result<LutCounter, ParamError> {
+        let rows = (self.states as usize)
+            .checked_pow(self.n as u32)
+            .ok_or_else(|| ParamError::overflow("|X|^n"))?;
+        LutCounter::new(LutSpec {
+            n: self.n,
+            f: self.f,
+            c: self.c,
+            states: self.states,
+            transition: vec![vec![0u8; rows]; self.n],
+            output: vec![(0..self.states).map(|s| u64::from(s) % self.c).collect(); self.n],
+            stabilization_bound: 0,
+        })
+    }
+
+    /// Patches `lut` (a table of this family's shape) into candidate
+    /// `index`: class `k` maps to the `k`-th base-`|X|` digit of `index`,
+    /// identically for every node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lut` has a different shape than [`SymmetricFamily::seed`]
+    /// produces.
+    pub fn instantiate(&self, index: u64, lut: &mut LutCounter) {
+        let mut digits = vec![0u8; self.classes];
+        let mut rest = index;
+        let x = u64::from(self.states);
+        for d in digits.iter_mut() {
+            *d = (rest % x) as u8;
+            rest /= x;
+        }
+        for r in 0..self.class_of.len() {
+            let state = digits[self.class_of[r] as usize];
+            for v in 0..self.n {
+                lut.set_transition(v, r, state);
+            }
+        }
+    }
+}
+
+/// Resumable sweep position: everything [`sweep_family`] needs to pick a
+/// killed campaign back up mid-sweep — the next candidate index, the
+/// ledger, the surviving candidate indices, and the verified finds
+/// `(index, worst_case_time)`. Serialised with the repo codec
+/// ([`SweepCheckpoint::encode`] / [`SweepCheckpoint::decode`]); resuming
+/// from a decoded checkpoint is bitwise-equivalent to never having
+/// stopped (`tests/quotient_cross.rs` asserts it).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SweepCheckpoint {
+    /// Next candidate index to process.
+    pub position: u64,
+    /// Pipeline counts so far.
+    pub ledger: SweepLedger,
+    /// Indices that passed the pre-filter, in sweep order.
+    pub survivors: Vec<u64>,
+    /// Verified correct candidates: `(index, worst_case_time)`.
+    pub found: Vec<(u64, u64)>,
+}
+
+/// Codec version tag of [`SweepCheckpoint::encode`].
+const CHECKPOINT_VERSION: u64 = 1;
+
+impl SweepCheckpoint {
+    /// A fresh sweep, positioned at candidate 0.
+    pub fn new() -> SweepCheckpoint {
+        SweepCheckpoint::default()
+    }
+
+    /// Appends the checkpoint to `out`: an 8-bit version, the position and
+    /// the five ledger counters (64 bits each), then the survivor and find
+    /// lists behind 32-bit lengths.
+    pub fn encode(&self, out: &mut BitVec) {
+        out.push_bits(CHECKPOINT_VERSION, 8);
+        out.push_bits(self.position, 64);
+        out.push_bits(self.ledger.screened, 64);
+        out.push_bits(self.ledger.filtered, 64);
+        out.push_bits(self.ledger.survivors, 64);
+        out.push_bits(self.ledger.verified, 64);
+        out.push_bits(self.ledger.found, 64);
+        out.push_bits(self.survivors.len() as u64, 32);
+        for &index in &self.survivors {
+            out.push_bits(index, 64);
+        }
+        out.push_bits(self.found.len() as u64, 32);
+        for &(index, time) in &self.found {
+            out.push_bits(index, 64);
+            out.push_bits(time, 64);
+        }
+    }
+
+    /// Decodes a checkpoint written by [`SweepCheckpoint::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] when the bit string is truncated or the
+    /// version tag is unknown.
+    pub fn decode(input: &mut BitReader<'_>) -> Result<SweepCheckpoint, CodecError> {
+        let version = input.read_bits(8)?;
+        if version != CHECKPOINT_VERSION {
+            return Err(CodecError::InvalidField {
+                field: "sweep checkpoint version",
+                value: version,
+            });
+        }
+        let position = input.read_bits(64)?;
+        let ledger = SweepLedger {
+            screened: input.read_bits(64)?,
+            filtered: input.read_bits(64)?,
+            survivors: input.read_bits(64)?,
+            verified: input.read_bits(64)?,
+            found: input.read_bits(64)?,
+        };
+        let survivor_count = input.read_bits(32)? as usize;
+        let mut survivors = Vec::with_capacity(survivor_count);
+        for _ in 0..survivor_count {
+            survivors.push(input.read_bits(64)?);
+        }
+        let found_count = input.read_bits(32)? as usize;
+        let mut found = Vec::with_capacity(found_count);
+        for _ in 0..found_count {
+            found.push((input.read_bits(64)?, input.read_bits(64)?));
+        }
+        Ok(SweepCheckpoint {
+            position,
+            ledger,
+            survivors,
+            found,
+        })
+    }
+}
+
+/// What one [`sweep_family`] call did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SweepOutcome {
+    /// Whether the whole family has now been processed.
+    pub complete: bool,
+    /// Candidates processed by this call.
+    pub processed: u64,
+}
+
+/// Sweeps (part of) a candidate family through the pre-filter + exhaustive
+/// verification pipeline, advancing `checkpoint` in place: each candidate
+/// is instantiated, offered to `filter`, and — unless rejected —
+/// exhaustively decided by `analyzer` (survivors of a sound filter are
+/// *never* trusted: correctness is only ever established by the verifier).
+/// At most `budget` candidates are processed per call, so a campaign can
+/// checkpoint between calls ([`SweepCheckpoint::encode`]) and a killed
+/// sweep resumes exactly where it stopped.
+///
+/// # Errors
+///
+/// Returns [`ParamError`] when the family cannot be enumerated in 64 bits
+/// or the verifier rejects the instance shape; the checkpoint is left at
+/// the failing candidate, so a retry resumes there.
+pub fn sweep_family<F: CandidateFilter>(
+    family: &SymmetricFamily,
+    filter: &mut F,
+    analyzer: &mut Analyzer,
+    checkpoint: &mut SweepCheckpoint,
+    budget: u64,
+) -> Result<SweepOutcome, ParamError> {
+    let total = family
+        .len()
+        .ok_or_else(|| ParamError::overflow("|X|^classes candidates"))?;
+    let mut lut = family.seed()?;
+    let end = checkpoint.position.saturating_add(budget).min(total);
+    let mut processed = 0u64;
+    while checkpoint.position < end {
+        let index = checkpoint.position;
+        family.instantiate(index, &mut lut);
+        checkpoint.ledger.screened += 1;
+        if filter.reject(&lut) {
+            checkpoint.ledger.filtered += 1;
+        } else {
+            checkpoint.ledger.survivors += 1;
+            checkpoint.survivors.push(index);
+            let summary = analyzer.analyze(&lut)?;
+            checkpoint.ledger.verified += 1;
+            if summary.failure.is_none() {
+                checkpoint.ledger.found += 1;
+                checkpoint.found.push((index, summary.worst_time));
+            }
+        }
+        checkpoint.position += 1;
+        processed += 1;
+    }
+    Ok(SweepOutcome {
+        complete: checkpoint.position == total,
+        processed,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,5 +554,86 @@ mod tests {
         if let SynthesisOutcome::Exhausted { best_coverage } = report.outcome {
             assert!((0.0..=1.0).contains(&best_coverage));
         }
+    }
+
+    #[test]
+    fn symmetric_family_counts_multiset_classes() {
+        // n = 5, |X| = 2: multisets of size 5 over 2 values → 6 classes,
+        // 2^6 = 64 candidates.
+        let family = SymmetricFamily::new(5, 1, 2, 2).unwrap();
+        assert_eq!(family.classes(), 6);
+        assert_eq!(family.len(), Some(64));
+        // n = 4, |X| = 3: C(3+4−1, 4) = 15 classes.
+        let family = SymmetricFamily::new(4, 1, 2, 3).unwrap();
+        assert_eq!(family.classes(), 15);
+        assert_eq!(family.len(), Some(3u64.pow(15)));
+    }
+
+    #[test]
+    fn instantiated_candidates_are_exchangeable_and_distinct() {
+        let family = SymmetricFamily::new(3, 0, 2, 2).unwrap();
+        let mut lut = family.seed().unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for index in 0..family.len().unwrap() {
+            family.instantiate(index, &mut lut);
+            assert!(crate::orbit::exchangeable(&lut), "candidate {index}");
+            assert!(seen.insert(lut.spec().transition[0].clone()));
+        }
+    }
+
+    #[test]
+    fn checkpoint_codec_round_trips() {
+        let checkpoint = SweepCheckpoint {
+            position: 37,
+            ledger: SweepLedger {
+                screened: 37,
+                filtered: 30,
+                survivors: 7,
+                verified: 7,
+                found: 2,
+            },
+            survivors: vec![3, 9, 11, 20, 21, 30, 36],
+            found: vec![(9, 4), (21, 7)],
+        };
+        let mut bits = sc_protocol::BitVec::new();
+        checkpoint.encode(&mut bits);
+        let decoded = SweepCheckpoint::decode(&mut bits.reader()).unwrap();
+        assert_eq!(decoded, checkpoint);
+        // Unknown version tags are rejected, not misread.
+        let mut bad = sc_protocol::BitVec::new();
+        bad.push_bits(99, 8);
+        assert!(SweepCheckpoint::decode(&mut bad.reader()).is_err());
+    }
+
+    #[test]
+    fn chunked_sweep_with_checkpoints_matches_one_shot() {
+        let family = SymmetricFamily::new(4, 1, 2, 2).unwrap();
+        let total = family.len().unwrap();
+        let mut straight = SweepCheckpoint::new();
+        let outcome = sweep_family(
+            &family,
+            &mut NoFilter,
+            &mut Analyzer::new(),
+            &mut straight,
+            total,
+        )
+        .unwrap();
+        assert!(outcome.complete);
+        assert_eq!(straight.ledger.screened, total);
+        assert_eq!(straight.ledger.verified, straight.ledger.survivors);
+        // Resume through serialised checkpoints in uneven chunks.
+        let mut resumed = SweepCheckpoint::new();
+        let mut analyzer = Analyzer::new();
+        loop {
+            let outcome =
+                sweep_family(&family, &mut NoFilter, &mut analyzer, &mut resumed, 7).unwrap();
+            let mut bits = sc_protocol::BitVec::new();
+            resumed.encode(&mut bits);
+            resumed = SweepCheckpoint::decode(&mut bits.reader()).unwrap();
+            if outcome.complete {
+                break;
+            }
+        }
+        assert_eq!(resumed, straight);
     }
 }
