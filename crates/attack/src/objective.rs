@@ -133,6 +133,49 @@ impl<'a, P: Counter, R> Objective<'a, P, R> {
         })
     }
 
+    /// [`Objective::new`] with the initial configurations supplied instead
+    /// of sampled — the pre-filter's warm path, where the seeded sweep is
+    /// invariant across every candidate of one shape. The caller must pass
+    /// exactly what [`Objective::new`] would have sampled (see
+    /// [`Objective::inits`]), or sweeps diverge from the cold path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::HorizonTooShort`] when `horizon` cannot fit the
+    /// confirmation suffix [`required_confirmation`] demands.
+    pub(crate) fn with_inits(
+        protocol: &'a P,
+        raw: R,
+        fault_set: Vec<usize>,
+        inits: Vec<(u64, Vec<P::State>)>,
+        horizon: u64,
+    ) -> Result<Self, SimError> {
+        let confirm = required_confirmation(protocol.modulus());
+        if horizon < confirm {
+            return Err(SimError::HorizonTooShort {
+                horizon,
+                required: confirm,
+            });
+        }
+        Ok(Objective {
+            protocol,
+            raw,
+            fault_set,
+            horizon,
+            inits,
+            evaluations: 0,
+            sliced: None,
+        })
+    }
+
+    /// The `(seed, initial configuration)` sweep, as sampled by
+    /// [`Objective::new`] — what [`Objective::with_inits`] takes back.
+    /// Consuming lets a warm caller recover the sweep it lent without a
+    /// clone.
+    pub(crate) fn into_inits(self) -> Vec<(u64, Vec<P::State>)> {
+        self.inits
+    }
+
     /// The protocol under attack.
     pub fn protocol(&self) -> &'a P {
         self.protocol

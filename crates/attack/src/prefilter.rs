@@ -24,11 +24,26 @@
 //! pass the candidate through (`false`), keeping rejections sound by
 //! construction.
 
-use sc_core::{Algorithm, LutCounter};
+use sc_core::{Algorithm, CounterState, LutCounter};
 use sc_verifier::CandidateFilter;
 
 use crate::search::{hill_climb, SearchConfig};
 use crate::{MoveSpace, Objective, Script};
+
+/// Cross-candidate invariants of one candidate shape: the seeded scenario
+/// sweep [`Objective::new`] would sample. The initial configurations are a
+/// pure function of `(n, states)` and the filter's scenario count — a LUT
+/// state is drawn as `clamp(rng.next_u64() as u8)` per node, blind to the
+/// transition tables — so reusing them across a family sweep is
+/// bitwise-neutral. The per-candidate work that genuinely differs (the LUT
+/// algorithm and its compiled sliced model) still rebuilds in
+/// [`AttackPreFilter::reject`].
+#[derive(Clone, Debug)]
+struct WarmSweep {
+    n: usize,
+    states: u8,
+    inits: Vec<(u64, Vec<CounterState>)>,
+}
 
 /// A reject-only synthesis screen driving [`hill_climb`] over scripted
 /// attacks (see the module docs for the soundness argument).
@@ -52,6 +67,10 @@ pub struct AttackPreFilter {
     rejected: u64,
     /// Sweep evaluations spent across all candidates.
     evaluations: u64,
+    /// The last shape's scenario sweep, reused while candidates keep the
+    /// same `(n, states)` — a family sweep resamples nothing after the
+    /// first candidate.
+    warm: Option<WarmSweep>,
 }
 
 impl AttackPreFilter {
@@ -66,6 +85,7 @@ impl AttackPreFilter {
             screened: 0,
             rejected: 0,
             evaluations: 0,
+            warm: None,
         }
     }
 
@@ -96,37 +116,73 @@ impl AttackPreFilter {
         let horizon = configs.checked_add(sc_sim::required_confirmation(spec.c))?;
         let algo = Algorithm::lut(spec).ok()?;
         let fault_set: Vec<usize> = (0..f).collect();
-        let mut obj = Objective::new(
-            &algo,
-            &algo,
-            fault_set.clone(),
-            0..self.scenarios as u64,
-            horizon,
-        )
-        .ok()?;
+        // Lend the warm sweep to the objective (a move, not a clone) and
+        // recover it after scoring; the first candidate of a shape pays the
+        // sampling once and seeds the cache for the rest of the family.
+        let warm_inits = self
+            .warm
+            .as_mut()
+            .filter(|w| w.n == n && w.states == states)
+            .map(|w| std::mem::take(&mut w.inits));
+        let mut obj = match warm_inits {
+            Some(inits) => {
+                match Objective::with_inits(&algo, &algo, fault_set.clone(), inits, horizon) {
+                    Ok(obj) => obj,
+                    Err(_) => {
+                        // The lent sweep is gone; drop the emptied cache
+                        // rather than let a later hit see zero scenarios.
+                        self.warm = None;
+                        return None;
+                    }
+                }
+            }
+            None => {
+                let obj = Objective::new(
+                    &algo,
+                    &algo,
+                    fault_set.clone(),
+                    0..self.scenarios as u64,
+                    horizon,
+                )
+                .ok()?;
+                self.warm = Some(WarmSweep {
+                    n,
+                    states,
+                    inits: Vec::new(),
+                });
+                obj
+            }
+        };
         obj.attach_sliced();
-        if fault_set.is_empty() {
+        let broken = if fault_set.is_empty() {
             // No adversary moves to search: one empty script scores the
             // candidate's intrinsic convergence on the whole sweep.
-            let script = Script::new(n, vec![], vec![], 0).ok()?;
-            let delay = obj.evaluate(&script);
-            self.evaluations += obj.evaluations();
-            return Some(delay.unstable > 0);
-        }
-        let space = MoveSpace {
-            raw_values: states,
-            salts: 2,
-            max_lag: 2,
+            let script = Script::new(n, vec![], vec![], 0).ok();
+            script.map(|script| {
+                let delay = obj.evaluate(&script);
+                self.evaluations += obj.evaluations();
+                delay.unstable > 0
+            })
+        } else {
+            let space = MoveSpace {
+                raw_values: states,
+                salts: 2,
+                max_lag: 2,
+            };
+            let mut cfg = SearchConfig::new(self.rounds, space, self.seed);
+            cfg.budget = self.budget;
+            cfg.restarts = 2;
+            // The filter is one stage of the synthesiser's own loop; keep
+            // each candidate's search on the calling thread.
+            cfg.threads = 1;
+            let report = hill_climb(&obj, &cfg);
+            self.evaluations += report.evaluations;
+            Some(report.delay.unstable > 0)
         };
-        let mut cfg = SearchConfig::new(self.rounds, space, self.seed);
-        cfg.budget = self.budget;
-        cfg.restarts = 2;
-        // The filter is one stage of the synthesiser's own loop; keep each
-        // candidate's search on the calling thread.
-        cfg.threads = 1;
-        let report = hill_climb(&obj, &cfg);
-        self.evaluations += report.evaluations;
-        Some(report.delay.unstable > 0)
+        if let Some(warm) = self.warm.as_mut() {
+            warm.inits = obj.into_inits();
+        }
+        broken
     }
 }
 
@@ -138,6 +194,30 @@ impl CandidateFilter for AttackPreFilter {
             self.rejected += 1;
         }
         broken
+    }
+
+    /// The filter screens concurrently: every candidate is scored on the
+    /// same seeded sweep with the same seeded search, independent of
+    /// screening order, so forks reject exactly what the parent would.
+    /// Forks start with zeroed audit counters (and inherit the parent's
+    /// warm sweep, which is shape-keyed pure data).
+    fn fork(&self) -> Option<AttackPreFilter> {
+        Some(AttackPreFilter {
+            scenarios: self.scenarios,
+            rounds: self.rounds,
+            budget: self.budget,
+            seed: self.seed,
+            screened: 0,
+            rejected: 0,
+            evaluations: 0,
+            warm: self.warm.clone(),
+        })
+    }
+
+    fn absorb(&mut self, fork: AttackPreFilter) {
+        self.screened += fork.screened;
+        self.rejected += fork.rejected;
+        self.evaluations += fork.evaluations;
     }
 }
 

@@ -8,7 +8,7 @@
 //! Every strategy is **deterministic from [`SearchConfig::seed`]** — each
 //! restart/worker derives its generator from `(seed, task index)`, so
 //! results are bitwise independent of the thread count — and fans restarts
-//! out with [`std::thread::scope`] behind the `parallel` feature.
+//! out on the persistent `sc-exec` pool behind the `parallel` feature.
 //!
 //! Budgets are counted in sweep evaluations ([`Objective::evaluate`]
 //! calls); a strategy stops mid-pass when its slice is spent, so a
@@ -62,7 +62,7 @@ impl SearchConfig {
             restarts: 4,
             beam_width: 4,
             expansions: 4,
-            threads: std::thread::available_parallelism().map_or(1, |t| t.get()),
+            threads: sc_exec::threads(),
         }
     }
 }
@@ -410,9 +410,12 @@ fn fold(outcomes: Vec<(Script, Delay, u64)>) -> SearchReport {
     }
 }
 
-/// Runs `tasks` independent workers, each on its own clone of the
-/// objective, fanning out across up to [`SearchConfig::threads`] OS
-/// threads. Results are identical for any thread count.
+/// Runs `tasks` independent workers on the persistent [`sc_exec`] pool,
+/// capped at [`SearchConfig::threads`] executing threads. Each claiming
+/// thread builds one warm clone of the objective and reuses it across the
+/// tasks it claims; task results are pure functions of the task index and
+/// are folded in task order, so results are identical for any thread
+/// count.
 #[cfg(feature = "parallel")]
 fn fan_out<P, R, W>(
     obj: &Objective<'_, P, R>,
@@ -436,32 +439,13 @@ where
                 .collect(),
         );
     }
-    let mut slots: Vec<Option<(Script, Delay, u64)>> = (0..tasks.max(1)).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let worker = &worker;
-        let handles: Vec<_> = (0..threads)
-            .map(|k| {
-                let mut local = obj.clone();
-                scope.spawn(move || {
-                    (k as u64..tasks.max(1))
-                        .step_by(threads)
-                        .map(|task| (task, worker(&mut local, cfg, task, slice)))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        for handle in handles {
-            for (task, outcome) in handle.join().expect("search worker panicked") {
-                slots[task as usize] = Some(outcome);
-            }
-        }
-    });
-    fold(
-        slots
-            .into_iter()
-            .map(|slot| slot.expect("every task ran exactly once"))
-            .collect(),
-    )
+    let locals: sc_exec::WorkerScratch<Objective<'_, P, R>> = sc_exec::WorkerScratch::new();
+    fold(sc_exec::map(tasks.max(1) as usize, threads, |task| {
+        locals.with(
+            || obj.clone(),
+            |local| worker(local, cfg, task as u64, slice),
+        )
+    }))
 }
 
 /// Serial scheduling (the `parallel` feature is disabled).

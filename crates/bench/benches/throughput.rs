@@ -23,7 +23,14 @@
 //!   (bitwise-equal summaries asserted, ≥ 3× speedup gated), and the
 //!   end-to-end `n = 5, f = 1` campaign — attack pre-filter + quotient
 //!   verifier over the declared 64-candidate symmetric family, with the
-//!   audit ledger; measurements append to `BENCH_synthesis.json`.
+//!   audit ledger; measurements append to `BENCH_synthesis.json`,
+//! * the **parallel-scaling table**: the persistent `sc-exec` pool vs the
+//!   pre-pool spawn-per-call fan-out on a repeated small-batch A(4,1)
+//!   sweep (verdict equality asserted, ≥ 1.5× gated — spawn overhead is
+//!   the whole difference), thread-cap rows (1 / 2 / all) for that sweep
+//!   and for the n = 5 family sweep (checkpoint equality asserted across
+//!   caps), and the pre-filter's cold vs warm sweep-context evals/s;
+//!   measurements append to `BENCH_parallel.json`.
 //!
 //! The first-generation `reference_step` engine and its clone-cost baseline
 //! are gone (the bitwise equivalence gate stayed green from PR 1 through
@@ -1111,12 +1118,307 @@ fn write_synthesis_trajectory(
     }
 }
 
+/// One spawn-per-call sweep: the fan-out shape `Batch` had before the
+/// persistent pool — a `thread::scope` per sweep call spawning **all**
+/// `threads` workers (the submitter only collected), each worker taking
+/// the strided slice `t, t + threads, …`, outcomes merged back in
+/// scenario order. Work and partitioning match the pool path at the same
+/// cap; per-call thread start-up is the entire difference.
+fn spawn_per_call_sweep(
+    algo: &Algorithm,
+    scenarios: &[Scenario<CounterState>],
+    horizon: u64,
+    threads: usize,
+    factory: &AdversaryFactory<'_>,
+) -> Vec<sc_sim::ScenarioOutcome> {
+    let stripes: Vec<Vec<Scenario<CounterState>>> = (0..threads)
+        .map(|t| scenarios.iter().skip(t).step_by(threads).cloned().collect())
+        .collect();
+    let run_stripe = |stripe: &[Scenario<CounterState>]| {
+        Batch::new(algo, horizon)
+            .threads(1)
+            .run_prepared(stripe, |s: &Scenario<CounterState>| factory(s.seed))
+            .outcomes
+    };
+    let outs: Vec<Vec<sc_sim::ScenarioOutcome>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = stripes
+            .iter()
+            .map(|stripe| scope.spawn(|| run_stripe(stripe)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("spawned stripe panicked"))
+            .collect()
+    });
+    let mut iters: Vec<_> = outs.into_iter().map(|o| o.into_iter()).collect();
+    let mut merged = Vec::with_capacity(scenarios.len());
+    for index in 0..scenarios.len() {
+        merged.extend(iters[index % threads].next());
+    }
+    merged
+}
+
+/// The parallel-scaling table: persistent-pool vs spawn-per-call fan-out
+/// on a repeated small-batch A(4,1) sweep (verdicts asserted identical,
+/// **≥ 1.5×** gated — the workload is sized so per-call thread start-up
+/// dominates), thread-cap wall-clock rows for that sweep and the n = 5
+/// family sweep (checkpoints asserted identical across caps, wall-clock
+/// improvement gated when the host actually has ≥ 2 threads), and the
+/// attack pre-filter's cold vs warm sweep-context evals/s. Measurements
+/// append to `BENCH_parallel.json`.
+fn parallel_table() {
+    /// Sweep calls per measurement: many small calls, so per-call overhead
+    /// (two thread spawns vs a pool hand-off) is what the clock sees.
+    const REPS: u32 = 1200;
+    /// Scenarios per call — deliberately tiny (one short batch).
+    const SMALL: u64 = 4;
+    /// Rounds per scenario — deliberately short; every timed path runs the
+    /// same horizon, and the workload must stay small enough that per-call
+    /// fan-out overhead dominates the clock.
+    const SMALL_HORIZON: u64 = 8;
+
+    println!("## parallel scaling — persistent sc-exec pool, spawn-per-call baseline\n");
+    let algo = CounterBuilder::corollary1(1, 2).unwrap().build().unwrap();
+    let scenarios = Scenario::seeds(0..SMALL);
+    let factory: AdversaryFactory<'_> =
+        Box::new(|seed| Box::new(adversaries::crash(&algo, [1], seed)));
+
+    // Verdict equality first: pool caps and the spawn baseline must agree
+    // scenario for scenario, or the timings compare different computations.
+    let run_pool = |threads: usize| {
+        Batch::new(&algo, SMALL_HORIZON)
+            .threads(threads)
+            .run_prepared(&scenarios, |s: &Scenario<CounterState>| factory(s.seed))
+            .outcomes
+    };
+    let baseline = run_pool(1);
+    assert_eq!(
+        baseline,
+        run_pool(2),
+        "pool fan-out diverges from the serial sweep"
+    );
+    assert_eq!(
+        baseline,
+        spawn_per_call_sweep(&algo, &scenarios, SMALL_HORIZON, 2, &factory),
+        "spawn-per-call baseline diverges from the pool sweep"
+    );
+
+    let time = |f: &mut dyn FnMut()| {
+        let start = Instant::now();
+        for _ in 0..REPS {
+            f();
+        }
+        start.elapsed().as_secs_f64()
+    };
+    let all_threads = sc_exec::threads();
+    let small_t1 = time(&mut || {
+        std::hint::black_box(run_pool(1));
+    });
+    let small_t2 = time(&mut || {
+        std::hint::black_box(run_pool(2));
+    });
+    let small_all = time(&mut || {
+        std::hint::black_box(run_pool(all_threads));
+    });
+    let spawn_t2 = time(&mut || {
+        std::hint::black_box(spawn_per_call_sweep(
+            &algo,
+            &scenarios,
+            SMALL_HORIZON,
+            2,
+            &factory,
+        ));
+    });
+    let spawn_speedup = spawn_t2 / small_t2;
+
+    // --- the n = 5 family sweep per thread cap. ---------------------------
+    let family = SymmetricFamily::new(5, 1, 2, 2).expect("declared family must be well-formed");
+    let sweep_at = |workers: usize, threads: usize| {
+        let pool = sc_exec::Pool::new(workers);
+        let mut filter = AttackPreFilter::new(4, 3, 48, 9);
+        let mut analyzer = Analyzer::new();
+        analyzer.dedup_fault_sets(true);
+        let mut checkpoint = SweepCheckpoint::new();
+        let start = Instant::now();
+        let outcome = sc_verifier::sweep_family_on(
+            &pool,
+            threads,
+            &family,
+            &mut filter,
+            &mut analyzer,
+            &mut checkpoint,
+            u64::MAX,
+        )
+        .expect("the n=5 family must sweep end-to-end");
+        assert!(outcome.complete);
+        (start.elapsed().as_secs_f64(), checkpoint)
+    };
+    // One untimed pass first: the timed rows below compare thread caps, not
+    // first-touch effects (page faults, lazy LUT/engine allocation).
+    let _ = sweep_at(0, 1);
+    let (sweep_t1, sweep_serial) = sweep_at(0, 1);
+    let (sweep_t2, sweep_two) = sweep_at(1, 2);
+    let (sweep_all, sweep_wide) = sweep_at(all_threads.saturating_sub(1), all_threads);
+    assert_eq!(
+        sweep_serial, sweep_two,
+        "2-thread family sweep diverges from serial"
+    );
+    assert_eq!(
+        sweep_serial, sweep_wide,
+        "{all_threads}-thread family sweep diverges from serial"
+    );
+
+    println!(
+        "| {:<38} | {:>10} | {:>10} | {:>13} |",
+        "workload (wall-clock seconds)", "threads 1", "threads 2", "all threads"
+    );
+    println!(
+        "|{}|{}|{}|{}|",
+        "-".repeat(40),
+        "-".repeat(12),
+        "-".repeat(12),
+        "-".repeat(15)
+    );
+    println!(
+        "| {:<38} | {:>10.3} | {:>10.3} | {:>9.3} ({}) |",
+        format!("{REPS}x small batch A(4,1) ({SMALL} scen.)"),
+        small_t1,
+        small_t2,
+        small_all,
+        all_threads
+    );
+    println!(
+        "| {:<38} | {:>10.3} | {:>10.3} | {:>9.3} ({}) |",
+        "n=5 f=1 family sweep (64 candidates)", sweep_t1, sweep_t2, sweep_all, all_threads
+    );
+    println!(
+        "\nspawn-per-call baseline at 2 threads: {spawn_t2:.3} s → persistent pool is \
+         {spawn_speedup:.1}x faster on the repeated small-batch sweep\n"
+    );
+    assert!(
+        spawn_speedup >= 1.5,
+        "the persistent pool must beat spawn-per-call by ≥ 1.5x on the \
+         small-batch sweep, got {spawn_speedup:.2}x"
+    );
+    if all_threads >= 2 {
+        assert!(
+            sweep_all < sweep_t1 * 0.95,
+            "with {all_threads} threads the family sweep must beat serial: \
+             {sweep_all:.3} s vs {sweep_t1:.3} s"
+        );
+    }
+
+    // --- pre-filter sweep context: cold (per-candidate) vs warm. ----------
+    // Interleaved best-of-3 passes: the delta is per-candidate setup work,
+    // small against the attack evaluations themselves, so back-to-back
+    // single-shot timings would mostly compare clock drift.
+    let mut lut = family.seed().unwrap();
+    let total = family.len().unwrap();
+    let (mut cold_time, mut warm_time) = (f64::INFINITY, f64::INFINITY);
+    let (mut cold_evals, mut warm_evals) = (0u64, 0u64);
+    for _ in 0..3 {
+        // Cold: a fresh filter per candidate, resampling the sweep each time.
+        let mut evals = 0u64;
+        let start = Instant::now();
+        for index in 0..total {
+            family.instantiate(index, &mut lut);
+            let mut filter = AttackPreFilter::new(4, 3, 48, 9);
+            std::hint::black_box(sc_verifier::CandidateFilter::reject(&mut filter, &lut));
+            evals += filter.evaluations();
+        }
+        cold_time = cold_time.min(start.elapsed().as_secs_f64());
+        cold_evals = evals;
+        // Warm: one filter carries the sweep context across the family.
+        let mut filter = AttackPreFilter::new(4, 3, 48, 9);
+        let start = Instant::now();
+        for index in 0..total {
+            family.instantiate(index, &mut lut);
+            std::hint::black_box(sc_verifier::CandidateFilter::reject(&mut filter, &lut));
+        }
+        warm_time = warm_time.min(start.elapsed().as_secs_f64());
+        warm_evals = filter.evaluations();
+    }
+    assert_eq!(
+        warm_evals, cold_evals,
+        "the warm sweep context must be bitwise-neutral"
+    );
+    let cold_rate = cold_evals as f64 / cold_time;
+    let warm_rate = cold_evals as f64 / warm_time;
+    println!(
+        "pre-filter sweep context over the n=5 family: cold {:.0} evals/s, \
+         warm {:.0} evals/s ({:.2}x)\n",
+        cold_rate,
+        warm_rate,
+        cold_time / warm_time
+    );
+
+    write_parallel_trajectory(
+        spawn_speedup,
+        [small_t1, small_t2, small_all],
+        [sweep_t1, sweep_t2, sweep_all],
+        all_threads,
+        cold_rate,
+        warm_rate,
+        &sweep_serial.ledger,
+    );
+}
+
+/// Appends this run's parallel-scaling measurements to `BENCH_parallel.json`
+/// at the workspace root (one JSON object per line, same trajectory format
+/// as the other `BENCH_*.json` files).
+fn write_parallel_trajectory(
+    spawn_speedup: f64,
+    small: [f64; 3],
+    sweep: [f64; 3],
+    all_threads: usize,
+    cold_rate: f64,
+    warm_rate: f64,
+    ledger: &sc_verifier::SweepLedger,
+) {
+    let line = format!(
+        "{{\"bench\":\"parallel\",\"gate_min_spawn_speedup\":1.5,\
+         \"spawn_vs_pool_speedup\":{spawn_speedup:.2},\"threads_all\":{all_threads},\
+         \"small_batch_secs\":{{\"t1\":{:.4},\"t2\":{:.4},\"all\":{:.4}}},\
+         \"family_sweep_secs\":{{\"t1\":{:.3},\"t2\":{:.3},\"all\":{:.3}}},\
+         \"prefilter_evals_per_sec\":{{\"cold\":{cold_rate:.1},\"warm\":{warm_rate:.1}}},\
+         \"ledger\":{{\"screened\":{},\"filtered\":{},\"survivors\":{},\
+         \"verified\":{},\"found\":{}}}}}\n",
+        small[0],
+        small[1],
+        small[2],
+        sweep[0],
+        sweep[1],
+        sweep[2],
+        ledger.screened,
+        ledger.filtered,
+        ledger.survivors,
+        ledger.verified,
+        ledger.found
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    match appended {
+        Ok(()) => println!("trajectory appended to BENCH_parallel.json"),
+        Err(e) => println!("warning: could not write BENCH_parallel.json: {e}"),
+    }
+}
+
 criterion_group!(benches, bench_throughput);
 
 fn main() {
     // Set THROUGHPUT_SUMMARY_ONLY=1 to skip the criterion micro-benches and
     // print just the summary tables — the quick regression check, the
     // early-vs-full verdict gate, and the verifier equivalence gate.
+    // THROUGHPUT_PARALLEL_ONLY=1 runs just the parallel-scaling table — the
+    // quick loop for tuning the executor gates without the other tables.
+    if std::env::var_os("THROUGHPUT_PARALLEL_ONLY").is_some() {
+        parallel_table();
+        return;
+    }
     if std::env::var_os("THROUGHPUT_SUMMARY_ONLY").is_none() {
         benches();
     }
@@ -1126,4 +1428,5 @@ fn main() {
     worst_case_table();
     verifier_table();
     synthesis_table();
+    parallel_table();
 }

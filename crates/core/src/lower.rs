@@ -605,7 +605,7 @@ impl Ctx {
 ///
 /// Built through [`sc_sim::SlicedProtocol::sliced_model`] (implemented for
 /// [`Algorithm`]); unsupported structures (a boosting layer with `m ≠ 2`, or
-/// LUT tables above [`MAX_LUT_ROWS`] rows) return `None` there, keeping the
+/// LUT tables above `MAX_LUT_ROWS` rows) return `None` there, keeping the
 /// scalar engine as the semantic source of truth.
 pub struct SlicedAlgorithm {
     algo: Algorithm,

@@ -1,0 +1,442 @@
+//! Persistent work-stealing executor for the workspace's fan-out sites.
+//!
+//! Every parallel site in the workspace — [`Batch`](../sc_sim) sweeps,
+//! `SlicedBatch` lane groups, the attack-search restart fan-out, the
+//! verifier's fault-set fan-out, and `sweep_family` candidate screening —
+//! shares one shape: `len` independent tasks where task `i`'s result is a
+//! pure function of `i`, folded back **in index order**. [`Pool::map`]
+//! serves exactly that shape from a lazily-started pool of persistent OS
+//! threads, so repeated small fan-outs stop paying a `thread::scope`
+//! spawn/join per call:
+//!
+//! * **Determinism.** Workers *claim* indices dynamically (an atomic
+//!   counter — the work-stealing), but results land in per-index slots and
+//!   are returned in index order. Since every caller's task is pure per
+//!   index, the output is bitwise identical for every pool size and cap,
+//!   including fully serial execution.
+//! * **Submitter self-sufficiency.** The submitting thread claims indices
+//!   itself after enqueueing at most `cap - 1` wake-up tickets, so a `map`
+//!   always makes progress even when every pool worker is busy — nested
+//!   submission (a task that itself calls [`Pool::map`]) cannot deadlock.
+//! * **Panic propagation.** A panicking task is caught on the worker,
+//!   recorded, and re-raised on the submitting thread once the batch has
+//!   drained, matching the old `scope.join().expect(…)` behaviour.
+//!
+//! The pool size comes from [`threads`]: the `SC_THREADS` environment
+//! variable when set (clamped to ≥ 1), else `available_parallelism`. The
+//! global pool keeps `threads() - 1` workers because the submitter always
+//! participates — a budget of `N` means at most `N` threads execute a map.
+//!
+//! [`WorkerScratch`] complements the pool with typed per-thread scratch
+//! slots so hot-path state (round workspaces, plane arenas, warm solvers)
+//! is built once per worker and reused across calls instead of per
+//! invocation.
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::ThreadId;
+
+/// Parses an `SC_THREADS`-style override: a decimal thread budget, clamped
+/// to at least 1. Returns `None` (fall back to `available_parallelism`)
+/// when the variable is unset, empty, or not a number.
+pub fn thread_budget(raw: Option<&str>) -> Option<usize> {
+    let text = raw?.trim();
+    let parsed: usize = text.parse().ok()?;
+    Some(parsed.max(1))
+}
+
+/// The process-wide thread budget: `SC_THREADS` when set (see
+/// [`thread_budget`]), else `available_parallelism`, else 1. Cached on
+/// first use — changing the environment afterwards has no effect.
+pub fn threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        let env = std::env::var("SC_THREADS").ok();
+        thread_budget(env.as_deref())
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    })
+}
+
+/// The global pool: `threads() - 1` persistent workers (the submitting
+/// thread is always the remaining executor), started on first use.
+pub fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool::new(threads().saturating_sub(1)))
+}
+
+/// `pool().map(len, cap, task)` — the call shape every fan-out site uses.
+pub fn map<T, F>(len: usize, cap: usize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    pool().map(len, cap, task)
+}
+
+/// The per-batch progress ledger, shared between submitter and workers.
+struct BatchState {
+    /// Indices fully executed (slot written or panic recorded).
+    finished: usize,
+    /// First task panic, re-raised by the submitter after the drain.
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+/// The type-erased heart of one `map` call. Lives in an [`Arc`] so queue
+/// tickets keep it alive past the submitter's return: a worker that pops a
+/// stale ticket finds `next >= len` and exits without ever touching the
+/// (by then freed) closure or slots behind the raw pointers.
+struct BatchCore {
+    /// Monomorphised entry point restoring the erased `F`/`T` types.
+    enter: unsafe fn(&BatchCore),
+    /// Points at the submitter's `F`; valid while any index `< len` is
+    /// unclaimed or in flight, i.e. until `finished == len`.
+    task: *const (),
+    /// Points at the submitter's `[Slot<T>]`; same validity as `task`.
+    slots: *const (),
+    /// Claim counter — the work-stealing. Values `>= len` mean "done".
+    next: AtomicUsize,
+    len: usize,
+    state: Mutex<BatchState>,
+    done: Condvar,
+}
+
+// The raw pointers are only dereferenced for claimed indices `< len`,
+// which the submitter outlives by construction (it blocks until
+// `finished == len`).
+unsafe impl Send for BatchCore {}
+unsafe impl Sync for BatchCore {}
+
+/// One result cell; written by exactly one claimant, read by the
+/// submitter only after the `finished == len` handshake.
+struct Slot<T>(UnsafeCell<Option<T>>);
+
+unsafe impl<T: Send> Sync for Slot<T> {}
+
+/// Claims and executes indices of `core`'s batch until none remain.
+/// Shared by the submitter and every ticket-holding worker.
+///
+/// # Safety
+///
+/// `core.task` must point at a live `F` and `core.slots` at `core.len`
+/// live `Slot<T>` cells for as long as any index `< len` is in flight.
+unsafe fn enter_batch<T, F>(core: &BatchCore)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    loop {
+        let index = core.next.fetch_add(1, Ordering::Relaxed);
+        if index >= core.len {
+            return;
+        }
+        // Only form references once the claim guarantees liveness.
+        let task = &*(core.task as *const F);
+        let slots = core.slots as *const Slot<T>;
+        // Slot writes precede the `finished` bump: the submitter reads
+        // slots only after observing `finished == len` under the mutex.
+        let panicked = match catch_unwind(AssertUnwindSafe(|| task(index))) {
+            Ok(value) => {
+                *(*slots.add(index)).0.get() = Some(value);
+                None
+            }
+            Err(payload) => Some(payload),
+        };
+        let mut state = core.state.lock().unwrap();
+        if let Some(payload) = panicked {
+            state.panic.get_or_insert(payload);
+        }
+        state.finished += 1;
+        if state.finished == core.len {
+            core.done.notify_all();
+        }
+    }
+}
+
+/// The ticket queue workers block on.
+struct Queue {
+    jobs: Mutex<VecDeque<Arc<BatchCore>>>,
+    available: Condvar,
+}
+
+/// A persistent pool of detached worker threads serving [`Pool::map`]
+/// batches. The global instance is [`pool`]; sized instances exist for
+/// benchmarks and tests.
+pub struct Pool {
+    queue: Arc<Queue>,
+    workers: usize,
+}
+
+impl Pool {
+    /// Starts `workers` detached pool threads (0 is valid: every `map`
+    /// runs serially on the submitting thread).
+    pub fn new(workers: usize) -> Pool {
+        let queue = Arc::new(Queue {
+            jobs: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        });
+        let mut started = 0;
+        for worker in 0..workers {
+            let queue = Arc::clone(&queue);
+            let spawned = std::thread::Builder::new()
+                .name(format!("sc-exec-{worker}"))
+                .spawn(move || worker_loop(&queue));
+            if spawned.is_ok() {
+                started += 1;
+            }
+        }
+        Pool {
+            queue,
+            workers: started,
+        }
+    }
+
+    /// Background workers (the submitter is always one more executor).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Evaluates `task(0..len)` with at most `cap` threads (submitter
+    /// included) and returns the results in index order. `task` must be a
+    /// pure function of its index for the thread-count invariance
+    /// contract to hold — every call site in the workspace is.
+    pub fn map<T, F>(&self, len: usize, cap: usize, task: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if len == 0 {
+            return Vec::new();
+        }
+        let cap = cap.min(len).max(1);
+        if cap == 1 || self.workers == 0 {
+            return (0..len).map(task).collect();
+        }
+
+        let slots: Vec<Slot<T>> = (0..len).map(|_| Slot(UnsafeCell::new(None))).collect();
+        let core = Arc::new(BatchCore {
+            enter: enter_batch::<T, F>,
+            task: (&task as *const F).cast(),
+            slots: slots.as_ptr().cast(),
+            next: AtomicUsize::new(0),
+            len,
+            state: Mutex::new(BatchState {
+                finished: 0,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        });
+
+        let tickets = (cap - 1).min(self.workers);
+        {
+            let mut jobs = self.queue.jobs.lock().unwrap();
+            for _ in 0..tickets {
+                jobs.push_back(Arc::clone(&core));
+            }
+        }
+        if tickets == 1 {
+            self.queue.available.notify_one();
+        } else {
+            self.queue.available.notify_all();
+        }
+
+        // The submitter claims indices too: progress is guaranteed even
+        // when every worker is busy, so nested maps cannot deadlock.
+        unsafe { enter_batch::<T, F>(&core) };
+
+        let panic = {
+            let mut state = core.state.lock().unwrap();
+            while state.finished < len {
+                state = core.done.wait(state).unwrap();
+            }
+            state.panic.take()
+        };
+        if let Some(payload) = panic {
+            resume_unwind(payload);
+        }
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.0
+                    .into_inner()
+                    .expect("every claimed index wrote its slot")
+            })
+            .collect()
+    }
+}
+
+fn worker_loop(queue: &Queue) {
+    loop {
+        let core = {
+            let mut jobs = queue.jobs.lock().unwrap();
+            loop {
+                if let Some(core) = jobs.pop_front() {
+                    break core;
+                }
+                jobs = queue.available.wait(jobs).unwrap();
+            }
+        };
+        unsafe { (core.enter)(&core) };
+    }
+}
+
+/// Typed per-worker scratch: one slot per OS thread, keyed by
+/// [`ThreadId`], so hot-path state is built once per worker and stays
+/// warm across [`Pool::map`] calls.
+///
+/// Usable as a `static` (state warm across calls, `T: 'static`) or as a
+/// stack local threaded through one fan-out (state warm across the items
+/// one worker claims, `T` may borrow). [`WorkerScratch::with`] *takes*
+/// the calling thread's slot for the duration of the closure, so nested
+/// use from one thread initialises a fresh value instead of aliasing.
+pub struct WorkerScratch<T> {
+    slots: Mutex<Vec<(ThreadId, T)>>,
+}
+
+impl<T> WorkerScratch<T> {
+    /// An empty scratch table (usable in `static` position).
+    pub const fn new() -> WorkerScratch<T> {
+        WorkerScratch {
+            slots: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Runs `body` with the calling thread's slot, initialising it via
+    /// `init` on the thread's first use (or when the slot is checked
+    /// out by a nested `with`). The slot is returned to the table
+    /// afterwards; a panicking `body` drops it instead, so a fresh one
+    /// is built on the next call.
+    pub fn with<R>(&self, init: impl FnOnce() -> T, body: impl FnOnce(&mut T) -> R) -> R {
+        let me = std::thread::current().id();
+        let taken = {
+            let mut slots = self.slots.lock().unwrap();
+            slots
+                .iter()
+                .position(|(owner, _)| *owner == me)
+                .map(|at| slots.swap_remove(at).1)
+        };
+        let mut value = taken.unwrap_or_else(init);
+        let out = body(&mut value);
+        self.slots.lock().unwrap().push((me, value));
+        out
+    }
+
+    /// Drains every parked slot (used to fold per-worker state — audit
+    /// counters, forked filters — back into a caller's aggregate).
+    pub fn take_all(&self) -> Vec<T> {
+        let mut slots = self.slots.lock().unwrap();
+        std::mem::take(&mut *slots)
+            .into_iter()
+            .map(|(_, value)| value)
+            .collect()
+    }
+}
+
+impl<T> Default for WorkerScratch<T> {
+    fn default() -> WorkerScratch<T> {
+        WorkerScratch::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_budget_parses_and_clamps() {
+        assert_eq!(thread_budget(None), None);
+        assert_eq!(thread_budget(Some("")), None);
+        assert_eq!(thread_budget(Some("not a number")), None);
+        assert_eq!(thread_budget(Some("-3")), None);
+        assert_eq!(thread_budget(Some("0")), Some(1));
+        assert_eq!(thread_budget(Some("1")), Some(1));
+        assert_eq!(thread_budget(Some(" 7 ")), Some(7));
+        assert_eq!(thread_budget(Some("64")), Some(64));
+    }
+
+    #[test]
+    fn map_is_identity_ordered_for_every_pool_and_cap() {
+        let serial: Vec<u64> = (0..97).map(|i| (i as u64).wrapping_mul(0x9E37)).collect();
+        for workers in [0, 1, 3, 7] {
+            let pool = Pool::new(workers);
+            for cap in [1, 2, 5, 64] {
+                let got = pool.map(97, cap, |i| (i as u64).wrapping_mul(0x9E37));
+                assert_eq!(got, serial, "workers={workers} cap={cap}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_maps() {
+        let pool = Pool::new(2);
+        assert_eq!(pool.map(0, 8, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.map(1, 8, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn nested_maps_do_not_deadlock() {
+        let pool = Pool::new(2);
+        let sums = pool.map(8, 8, |outer| {
+            crate::map(5, 4, move |inner| outer * 10 + inner)
+                .into_iter()
+                .sum::<usize>()
+        });
+        let expect: Vec<usize> = (0..8).map(|outer| outer * 50 + 10).collect();
+        assert_eq!(sums, expect);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_submitter() {
+        let pool = Pool::new(2);
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            pool.map(16, 4, |i| {
+                if i == 11 {
+                    panic!("task 11 exploded");
+                }
+                i
+            })
+        }));
+        let payload = attempt.expect_err("the task panic must re-raise");
+        let text = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(text, "task 11 exploded");
+        // The pool survives a panicked batch.
+        assert_eq!(pool.map(4, 4, |i| i), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn worker_scratch_reuses_per_thread_state() {
+        let scratch: WorkerScratch<Vec<u32>> = WorkerScratch::new();
+        let first = scratch.with(|| vec![1], |v| v.clone());
+        assert_eq!(first, vec![1]);
+        scratch.with(|| unreachable!("slot must be reused"), |v| v.push(2));
+        let drained = scratch.take_all();
+        assert_eq!(drained, vec![vec![1, 2]]);
+        // Nested `with` checks the slot out: the inner call re-inits.
+        let nested: WorkerScratch<u32> = WorkerScratch::new();
+        nested.with(
+            || 5,
+            |outer| {
+                nested.with(|| 9, |inner| assert_eq!(*inner, 9));
+                assert_eq!(*outer, 5);
+            },
+        );
+        let mut parked = nested.take_all();
+        parked.sort_unstable();
+        assert_eq!(parked, vec![5, 9]);
+    }
+
+    #[test]
+    fn pool_map_matches_serial_under_contention() {
+        // Many small batches through one pool: the reuse regime the
+        // executor exists for. Each batch's results must stay ordered.
+        let pool = Pool::new(3);
+        for round in 0..200usize {
+            let got = pool.map(9, 4, move |i| round * 100 + i);
+            let expect: Vec<usize> = (0..9).map(|i| round * 100 + i).collect();
+            assert_eq!(got, expect, "round {round}");
+        }
+    }
+}

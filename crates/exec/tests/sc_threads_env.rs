@@ -1,0 +1,25 @@
+//! `SC_THREADS` end-to-end: the override must reach [`sc_exec::threads`]
+//! and size the process-wide pool. This lives in its own integration
+//! binary — and therefore its own process — because both values are
+//! probed once and cached for the process lifetime, so the variable must
+//! be set before anything touches them.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn sc_threads_overrides_the_probed_parallelism() {
+    // Set before the first `threads()` call anywhere in this process; no
+    // other thread is running yet — this binary has only this test.
+    std::env::set_var("SC_THREADS", "7");
+    assert_eq!(sc_exec::threads(), 7);
+    // The submitter always participates, so the pool carries one fewer.
+    assert_eq!(sc_exec::pool().workers(), 6);
+    // And the global map actually fans out across them, in order.
+    let claimed = AtomicUsize::new(0);
+    let doubled = sc_exec::map(100, sc_exec::threads(), |i| {
+        claimed.fetch_add(1, Ordering::Relaxed);
+        i * 2
+    });
+    assert_eq!(claimed.load(Ordering::Relaxed), 100);
+    assert_eq!(doubled, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+}

@@ -212,11 +212,10 @@ pub struct Batch<'a, P> {
 impl<'a, P: Counter> Batch<'a, P> {
     /// A sweep runner giving each scenario `horizon` rounds.
     pub fn new(protocol: &'a P, horizon: u64) -> Self {
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
         Batch {
             protocol,
             horizon,
-            threads,
+            threads: sc_exec::threads(),
         }
     }
 
@@ -303,48 +302,22 @@ impl<'a, P: Counter> Batch<'a, P> {
         }
     }
 
-    /// Schedules `runner` over every scenario, fanning out across worker
-    /// threads, and collects outcomes in input order.
+    /// Schedules `runner` over every scenario on the persistent
+    /// [`sc_exec`] pool (capped at [`Batch::threads`] executing threads)
+    /// and collects outcomes in input order.
     ///
-    /// Scenarios are assigned **strided** (worker `t` takes indices `t`,
-    /// `t + threads`, `t + 2·threads`, …), matching the sliced engine's
-    /// lane-group scheduling. Early-decision exits make per-scenario cost
-    /// wildly uneven — adjacent seeds often cycle at similar rounds, so
-    /// contiguous chunks serialise the expensive tail onto one worker
-    /// while the rest idle; striding interleaves cheap and expensive
-    /// scenarios across all workers.
+    /// Workers claim scenarios dynamically, so uneven per-scenario cost —
+    /// early-decision exits make adjacent seeds wildly different — load-
+    /// balances automatically; results land in per-index slots, so the
+    /// report is bitwise identical for every thread count.
     #[cfg(feature = "parallel")]
     fn schedule<R>(&self, scenarios: &[Scenario<P::State>], runner: R) -> BatchReport
     where
         R: Fn(&Scenario<P::State>) -> ScenarioOutcome + Sync,
         P::State: Sync,
     {
-        let threads = self.threads.min(scenarios.len()).max(1);
-        if threads == 1 {
-            return BatchReport {
-                outcomes: scenarios.iter().map(runner).collect(),
-            };
-        }
-        let mut outcomes: Vec<(usize, ScenarioOutcome)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|t| {
-                    let runner = &runner;
-                    scope.spawn(move || {
-                        (t..scenarios.len())
-                            .step_by(threads)
-                            .map(|i| (i, runner(&scenarios[i])))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|handle| handle.join().expect("batch worker panicked"))
-                .collect()
-        });
-        outcomes.sort_unstable_by_key(|&(i, _)| i);
         BatchReport {
-            outcomes: outcomes.into_iter().map(|(_, o)| o).collect(),
+            outcomes: sc_exec::map(scenarios.len(), self.threads, |i| runner(&scenarios[i])),
         }
     }
 

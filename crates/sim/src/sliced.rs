@@ -177,11 +177,10 @@ pub struct SlicedBatch<'a, P> {
 impl<'a, P: SlicedProtocol> SlicedBatch<'a, P> {
     /// A sweep runner giving each scenario `horizon` rounds.
     pub fn new(protocol: &'a P, horizon: u64) -> Self {
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
         SlicedBatch {
             protocol,
             horizon,
-            threads,
+            threads: sc_exec::threads(),
             lane_words: 4,
         }
     }
@@ -298,36 +297,19 @@ impl<'a, P: SlicedProtocol> SlicedBatch<'a, P> {
         BatchReport { outcomes }
     }
 
-    /// Fans group execution out over worker threads, strided so long and
-    /// short tails mix across workers, and restores input order.
+    /// Fans group execution out over the persistent [`sc_exec`] pool
+    /// (workers claim groups dynamically, so long and short tails
+    /// load-balance) and restores input order.
     #[cfg(feature = "parallel")]
     fn schedule_groups(
         &self,
         group_count: usize,
         run_group: &(impl Fn(usize) -> Vec<ScenarioOutcome> + Sync),
     ) -> Vec<ScenarioOutcome> {
-        let threads = self.threads.min(group_count).max(1);
-        if threads == 1 {
-            return (0..group_count).flat_map(run_group).collect();
-        }
-        let mut groups: Vec<(usize, Vec<ScenarioOutcome>)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|t| {
-                    scope.spawn(move || {
-                        (t..group_count)
-                            .step_by(threads)
-                            .map(|gi| (gi, run_group(gi)))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("sliced worker panicked"))
-                .collect()
-        });
-        groups.sort_unstable_by_key(|&(gi, _)| gi);
-        groups.into_iter().flat_map(|(_, o)| o).collect()
+        sc_exec::map(group_count, self.threads, run_group)
+            .into_iter()
+            .flatten()
+            .collect()
     }
 
     /// Single-threaded build: groups run in order.
@@ -340,10 +322,46 @@ impl<'a, P: SlicedProtocol> SlicedBatch<'a, P> {
         (0..group_count).flat_map(run_group).collect()
     }
 
-    /// Packs, advances and adjudicates one lane group.
+    /// Packs, advances and adjudicates one lane group, on the calling
+    /// thread's warm [`GroupScratch`].
     #[allow(clippy::too_many_arguments)]
     fn run_group<S>(
         &self,
+        gi: usize,
+        scenarios: &[Scenario<P::State>],
+        strategy: &S,
+        model: &Mutex<Box<dyn RoundProgramSource + Send>>,
+        layout: &SlicedLayout,
+        faulty: &[NodeId],
+        honest: &[u32],
+        packed_inits: &[PackedInit<P::State>],
+        confirm: u64,
+    ) -> Vec<ScenarioOutcome>
+    where
+        S: SlicedStrategy<P::State>,
+    {
+        GROUP_SCRATCH.with(GroupScratch::new, |scr| {
+            self.run_group_with(
+                scr,
+                gi,
+                scenarios,
+                strategy,
+                model,
+                layout,
+                faulty,
+                honest,
+                packed_inits,
+                confirm,
+            )
+        })
+    }
+
+    /// [`run_group`](SlicedBatch::run_group)'s body, against explicit
+    /// scratch buffers.
+    #[allow(clippy::too_many_arguments)]
+    fn run_group_with<S>(
+        &self,
+        scr: &mut GroupScratch,
         gi: usize,
         scenarios: &[Scenario<P::State>],
         strategy: &S,
@@ -364,10 +382,16 @@ impl<'a, P: SlicedProtocol> SlicedBatch<'a, P> {
         let lw = self.lane_words;
         let n = layout.n as usize;
         let np = layout.node_planes() as usize;
+        let tables = strategy.gather_tables();
+        scr.reshape(
+            layout.total_planes() as usize,
+            np,
+            lw,
+            tables,
+            faulty.len(),
+            n,
+        );
 
-        let mut cur = PlaneBuf::new(layout.total_planes() as usize, lw);
-        let mut next = PlaneBuf::new(layout.total_planes() as usize, lw);
-        let mut packed_arenas: Vec<PlaneBuf> = Vec::with_capacity(packed_inits.len());
         {
             let m = model.lock().expect("model poisoned");
             let mut bits = BitVec::new();
@@ -387,7 +411,8 @@ impl<'a, P: SlicedProtocol> SlicedBatch<'a, P> {
                     bits.clear();
                     self.protocol.encode_state(NodeId::new(i), state, &mut bits);
                     m.extend_bundle(i as u32, &mut bits);
-                    cur.pack_lane(l, layout.node_base(i as u32) as usize, &bits);
+                    scr.cur
+                        .pack_lane(l, layout.node_base(i as u32) as usize, &bits);
                 }
             }
             for init in packed_inits {
@@ -395,14 +420,14 @@ impl<'a, P: SlicedProtocol> SlicedBatch<'a, P> {
                     PackedInit::Uniform { .. } => {
                         // Folded into constants at compile time; the slot is
                         // never loaded.
-                        packed_arenas.push(PlaneBuf::new(0, lw));
+                        scr.packed.push(PlaneBuf::new(0, lw));
                     }
                     PackedInit::PerLane { node, states } => {
                         assert!(
                             states.len() >= end,
                             "per-lane packed bundle shorter than the scenario list"
                         );
-                        let mut buf = PlaneBuf::new(np, lw);
+                        let mut buf = scr.packed_arena(np, lw);
                         for l in 0..active {
                             bits.clear();
                             self.protocol
@@ -410,61 +435,86 @@ impl<'a, P: SlicedProtocol> SlicedBatch<'a, P> {
                             m.extend_bundle(node.index() as u32, &mut bits);
                             buf.pack_lane(l, 0, &bits);
                         }
-                        packed_arenas.push(buf);
+                        scr.packed.push(buf);
                     }
                 }
             }
         }
 
-        let mut detectors: Vec<OnlineDetector> = (0..active)
-            .map(|_| OnlineDetector::new(self.protocol.modulus()))
-            .collect();
-        let mut agree = Vec::new();
-        observe_group(&cur, layout, honest, active, &mut detectors, &mut agree);
+        scr.detectors
+            .extend((0..active).map(|_| OnlineDetector::new(self.protocol.modulus())));
+        observe_group(
+            &scr.cur,
+            layout,
+            honest,
+            active,
+            &mut scr.detectors,
+            &mut scr.agree,
+        );
 
         let max_lag = strategy.max_lag();
-        let mut ring: Vec<PlaneBuf> = Vec::new();
-        let tables = strategy.gather_tables();
-        let mut gathers: Vec<PlaneBuf> = (0..tables).map(|_| PlaneBuf::new(np, lw)).collect();
-        let mut donors: Vec<Vec<u32>> = vec![vec![0; active]; tables];
-        let mut donor_masks = vec![0u64; n * lw];
-        let mut faces = RoundFaces::new(faulty.len(), n);
-        let mut scratch = Vec::new();
+        for donor in &mut scr.donors {
+            donor.clear();
+            donor.resize(active, 0);
+        }
 
         for round in 0..self.horizon {
-            strategy.faces(round, n, &mut faces);
-            canonicalize_faces(&mut faces, round, max_lag, faulty, n);
-            let program = model.lock().expect("model poisoned").round_program(&faces);
+            strategy.faces(round, n, &mut scr.faces);
+            canonicalize_faces(&mut scr.faces, round, max_lag, faulty, n);
+            let program = model
+                .lock()
+                .expect("model poisoned")
+                .round_program(&scr.faces);
             if tables > 0 {
-                strategy.gather_donors(round, start..end, &mut donors);
-                for (table, gather) in gathers.iter_mut().enumerate() {
-                    materialize_gather(gather, &cur, layout, &donors[table], &mut donor_masks);
+                strategy.gather_donors(round, start..end, &mut scr.donors);
+                for (table, gather) in scr.gathers.iter_mut().enumerate() {
+                    materialize_gather(
+                        gather,
+                        &scr.cur,
+                        layout,
+                        &scr.donors[table],
+                        &mut scr.donor_masks,
+                    );
                 }
             }
             // Planes no Store covers (faulty bundles) carry over unchanged.
-            next.copy_from(&cur);
+            scr.next.copy_from(&scr.cur);
             let spaces = ExecSpaces {
-                cur: &cur,
-                ring: &ring,
-                packed: &packed_arenas,
-                gather: &gathers,
+                cur: &scr.cur,
+                ring: &scr.ring,
+                packed: &scr.packed,
+                gather: &scr.gathers,
             };
-            program.exec(&spaces, &mut next, &mut scratch);
-            observe_group(&next, layout, honest, active, &mut detectors, &mut agree);
+            program.exec(&spaces, &mut scr.next, &mut scr.exec);
+            observe_group(
+                &scr.next,
+                layout,
+                honest,
+                active,
+                &mut scr.detectors,
+                &mut scr.agree,
+            );
             if max_lag > 0 {
-                if ring.len() < max_lag {
-                    ring.insert(0, cur.clone());
+                if scr.ring.len() < max_lag {
+                    let entry = match scr.spare.pop() {
+                        Some(mut buf) => {
+                            buf.copy_from(&scr.cur);
+                            buf
+                        }
+                        None => scr.cur.clone(),
+                    };
+                    scr.ring.insert(0, entry);
                 } else {
-                    ring.rotate_right(1);
-                    ring[0].copy_from(&cur);
+                    scr.ring.rotate_right(1);
+                    scr.ring[0].copy_from(&scr.cur);
                 }
             }
-            std::mem::swap(&mut cur, &mut next);
+            std::mem::swap(&mut scr.cur, &mut scr.next);
         }
 
         scenarios[start..end]
             .iter()
-            .zip(detectors)
+            .zip(scr.detectors.drain(..))
             .map(|(scenario, detector)| ScenarioOutcome {
                 seed: scenario.seed,
                 result: detector.finish(confirm),
@@ -474,6 +524,112 @@ impl<'a, P: SlicedProtocol> SlicedBatch<'a, P> {
             .collect()
     }
 }
+
+/// Reusable per-worker buffers for [`SlicedBatch::run_group`] — the plane
+/// arenas, replay ring, gather scratch and face table every group would
+/// otherwise allocate from cold. Parked per OS thread in
+/// [`GROUP_SCRATCH`], so hot callers (attack objectives sweep thousands
+/// of scripts through one `SlicedBatch` shape) reuse warm allocations
+/// across calls.
+struct GroupScratch {
+    /// Current / next state arenas (`total_planes × lane_words`).
+    cur: PlaneBuf,
+    next: PlaneBuf,
+    /// Replay ring, rebuilt per group exactly as a cold run would (one
+    /// entry per executed round up to `max_lag`, so clamped lags never
+    /// read a stale buffer); `spare` parks its buffers between groups.
+    ring: Vec<PlaneBuf>,
+    spare: Vec<PlaneBuf>,
+    /// Packed-bundle arenas of the current group and their pool.
+    packed: Vec<PlaneBuf>,
+    packed_pool: Vec<PlaneBuf>,
+    gathers: Vec<PlaneBuf>,
+    donors: Vec<Vec<u32>>,
+    donor_masks: Vec<u64>,
+    detectors: Vec<OnlineDetector>,
+    agree: Vec<u64>,
+    faces: RoundFaces,
+    /// `Program::exec`'s op arena.
+    exec: Vec<u64>,
+}
+
+impl GroupScratch {
+    fn new() -> GroupScratch {
+        GroupScratch {
+            cur: PlaneBuf::new(0, 1),
+            next: PlaneBuf::new(0, 1),
+            ring: Vec::new(),
+            spare: Vec::new(),
+            packed: Vec::new(),
+            packed_pool: Vec::new(),
+            gathers: Vec::new(),
+            donors: Vec::new(),
+            donor_masks: Vec::new(),
+            detectors: Vec::new(),
+            agree: Vec::new(),
+            faces: RoundFaces::default(),
+            exec: Vec::new(),
+        }
+    }
+
+    /// Re-shapes the buffers for one group: zeroes what survives a
+    /// matching shape, drops and rebuilds what does not. After this the
+    /// scratch is indistinguishable from freshly allocated buffers.
+    fn reshape(
+        &mut self,
+        total_planes: usize,
+        np: usize,
+        lw: usize,
+        tables: usize,
+        faulty: usize,
+        n: usize,
+    ) {
+        // Ring buffers share the state arenas' shape; park them first so
+        // a matching reshape reuses them.
+        self.spare.append(&mut self.ring);
+        if self.cur.planes() != total_planes || self.cur.lane_words() != lw {
+            self.cur = PlaneBuf::new(total_planes, lw);
+            self.next = PlaneBuf::new(total_planes, lw);
+            self.spare.clear();
+        } else {
+            // `next` is fully overwritten by `copy_from` each round and
+            // ring entries on insertion; only `cur` is packed additively.
+            self.cur.clear();
+        }
+        self.packed_pool.append(&mut self.packed);
+        self.packed_pool
+            .retain(|buf| buf.planes() == np && buf.lane_words() == lw);
+        if self.gathers.len() != tables
+            || self
+                .gathers
+                .iter()
+                .any(|g| g.planes() != np || g.lane_words() != lw)
+        {
+            self.gathers = (0..tables).map(|_| PlaneBuf::new(np, lw)).collect();
+        }
+        self.donors.truncate(tables);
+        self.donors.resize_with(tables, Vec::new);
+        self.donor_masks.clear();
+        self.donor_masks.resize(n * lw, 0);
+        self.detectors.clear();
+        self.faces = RoundFaces::new(faulty, n);
+    }
+
+    /// A zeroed `np × lw` packed arena, reusing a parked buffer when one
+    /// fits (the pool was filtered to matching shapes by `reshape`).
+    fn packed_arena(&mut self, np: usize, lw: usize) -> PlaneBuf {
+        match self.packed_pool.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf
+            }
+            None => PlaneBuf::new(np, lw),
+        }
+    }
+}
+
+/// Per-OS-thread [`GroupScratch`] slots, warm across `SlicedBatch` runs.
+static GROUP_SCRATCH: sc_exec::WorkerScratch<GroupScratch> = sc_exec::WorkerScratch::new();
 
 /// Clamps ring lags to what the execution has actually produced (the scalar
 /// replay/stale semantics: effective lag `min(lag, round)`), rewrites

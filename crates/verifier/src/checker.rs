@@ -11,7 +11,7 @@ use crate::orbit::{binomial, exchangeable, OrbitSolver};
 ///
 /// The quotiented solver is only sound for *exchangeable* LUTs (identical
 /// per-node tables, invariant under permuting received positions — see
-/// [`crate::orbit`]); [`SolverMode::Auto`] detects the symmetry per
+/// `crate::orbit`); [`SolverMode::Auto`] detects the symmetry per
 /// candidate and quotients exactly when it may.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum SolverMode {
@@ -152,10 +152,10 @@ fn fold_outcomes(
 /// hold an [`Analyzer`] instead, so the game buffers are reused.
 ///
 /// With the `parallel` feature (default), instances large enough to
-/// amortise thread start-up fan the independent fault-set games out with
-/// [`std::thread::scope`]; results are folded in enumeration order, so the
-/// summary (including which failing fault set is reported) is identical to
-/// the serial path.
+/// amortise hand-off overhead fan the independent fault-set games out on
+/// the persistent [`sc_exec`] pool; results are folded in enumeration
+/// order, so the summary (including which failing fault set is reported)
+/// is identical to the serial path.
 ///
 /// # Errors
 ///
@@ -167,9 +167,9 @@ pub fn analyze(lut: &LutCounter) -> Result<AnalysisSummary, ParamError> {
 /// A reusable [`analyze`] engine: owns the game solver's buffers, so
 /// scoring many candidates (the synthesis hill-climb, a bench loop)
 /// allocates nothing per evaluation once the buffers have grown to the
-/// instance size. (Instances large enough for the thread fan-out reuse
-/// these buffers on the calling thread's share of the fault sets; the
-/// extra workers allocate their own per call.)
+/// instance size. (Instances large enough for the pool fan-out seed one
+/// participating thread with these warm buffers and get a warm engine
+/// back; the other threads allocate their own per call.)
 ///
 /// # Example
 ///
@@ -245,20 +245,20 @@ fn analyze_serial<E: SetEngine>(
     })
 }
 
-/// Fans the fault-set games out across worker threads with the **strided**
-/// assignment `Batch`/`SlicedBatch` use (worker `t` takes indices `t`,
-/// `t + workers`, …). The stride matters twice over: fault sets are
-/// enumerated preorder with the heaviest games (the size-ascending prefix
-/// chain `[]`, `[0]`, `[0,1]`, …) first, so contiguous chunks would hand
-/// one worker nearly all the work, and a ragged tail (`sets % workers ≠ 0`)
-/// would pile the remainder onto the early workers — striding interleaves
-/// heavy and light games across all workers and spreads the tail one
-/// index per worker. Worker 0 runs on the calling thread and reuses the
-/// analyzer's warm engine (the remaining workers bring their own);
-/// outcomes are collected as `(index, outcome)` pairs and sorted back
-/// into enumeration order, so the summary — including which failing fault
-/// set is reported and which error wins — is bitwise identical to the
-/// serial path.
+/// Fans the fault-set games out on the process-wide [`sc_exec`] pool.
+/// Fault sets are enumerated preorder with the heaviest games (the
+/// size-ascending prefix chain `[]`, `[0]`, `[0,1]`, …) first, so static
+/// contiguous chunks would hand one worker nearly all the work — the
+/// pool's dynamic index claiming interleaves heavy and light games across
+/// whoever is free instead. Each claiming thread checks out a private
+/// engine for the whole call: the first to ask is seeded with the
+/// analyzer's warm engine (the rest bring their own), and one warm engine
+/// is handed back to the analyzer afterwards, so repeated `analyze` calls
+/// keep their allocation-free steady state. Results come back in
+/// enumeration order regardless of which thread ran which game, so the
+/// summary — including which failing fault set is reported and which
+/// error wins — is bitwise identical to the serial path at every thread
+/// count.
 #[cfg(feature = "parallel")]
 fn analyze_parallel<E: SetEngine>(
     engine: &mut E,
@@ -266,46 +266,35 @@ fn analyze_parallel<E: SetEngine>(
     sets: &[Vec<usize>],
     threads: usize,
 ) -> Result<AnalysisSummary, ParamError> {
-    fn run_strided<E: SetEngine>(
-        engine: &mut E,
-        lut: &LutCounter,
-        sets: &[Vec<usize>],
-        start: usize,
-        stride: usize,
-    ) -> Vec<(usize, Result<SetOutcome, ParamError>)> {
-        (start..sets.len())
-            .step_by(stride)
-            .map(|index| {
-                let fault_set = &sets[index];
-                let outcome = engine
-                    .run_set(lut, fault_set)
-                    .map(|stats| (fault_set.clone(), stats));
-                (index, outcome)
-            })
-            .collect()
-    }
-
-    let workers = threads.min(sets.len()).max(1);
-    let mut outcomes: Vec<(usize, Result<SetOutcome, ParamError>)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (1..workers)
-            .map(|k| scope.spawn(move || run_strided(&mut E::default(), lut, sets, k, workers)))
-            .collect();
-        let mut all = run_strided(engine, lut, sets, 0, workers);
-        for handle in handles {
-            all.extend(handle.join().expect("verifier worker panicked"));
-        }
-        all
-    });
-    outcomes.sort_unstable_by_key(|&(index, _)| index);
-    fold_outcomes(outcomes.into_iter().map(|(_, outcome)| outcome))
+    analyze_on_pool(sc_exec::pool(), engine, lut, sets, threads)
 }
 
-/// The process-wide worker-thread count, probed once — it is a syscall,
-/// and the gate runs per candidate evaluation.
+/// [`analyze_parallel`] against an explicit pool — the seam the forced
+/// fan-out test drives with its own worker counts.
 #[cfg(feature = "parallel")]
-fn thread_count() -> usize {
-    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *THREADS.get_or_init(|| std::thread::available_parallelism().map_or(1, |t| t.get()))
+fn analyze_on_pool<E: SetEngine>(
+    pool: &sc_exec::Pool,
+    engine: &mut E,
+    lut: &LutCounter,
+    sets: &[Vec<usize>],
+    threads: usize,
+) -> Result<AnalysisSummary, ParamError> {
+    let cap = threads.min(sets.len()).max(1);
+    let warm = std::sync::Mutex::new(Some(std::mem::take(engine)));
+    let engines: sc_exec::WorkerScratch<E> = sc_exec::WorkerScratch::new();
+    let outcomes: Vec<Result<SetOutcome, ParamError>> = pool.map(sets.len(), cap, |index| {
+        engines.with(
+            || warm.lock().unwrap().take().unwrap_or_default(),
+            |e| {
+                e.run_set(lut, &sets[index])
+                    .map(|stats| (sets[index].clone(), stats))
+            },
+        )
+    });
+    if let Some(e) = engines.take_all().into_iter().next() {
+        *engine = e;
+    }
+    fold_outcomes(outcomes)
 }
 
 impl Analyzer {
@@ -325,6 +314,19 @@ impl Analyzer {
     /// Switches the engine selection policy.
     pub fn set_mode(&mut self, mode: SolverMode) {
         self.mode = mode;
+    }
+
+    /// A fresh-buffered analyzer with this one's policy (engine mode and
+    /// fault-set dedup) — the per-worker engine a parallel sweep hands each
+    /// thread. Forks produce bitwise-identical summaries to the parent;
+    /// only the warm buffers are not shared.
+    pub fn fork(&self) -> Analyzer {
+        Analyzer {
+            solver: Solver::default(),
+            orbit: OrbitSolver::default(),
+            mode: self.mode,
+            dedup_faults: self.dedup_faults,
+        }
     }
 
     /// Enables (or disables) symmetry-aware fault-set enumeration: for an
@@ -370,7 +372,7 @@ impl Analyzer {
             // Gate on the largest game in the loop — the fault-free
             // configuration (or orbit) count; tiny instances (the
             // synthesis hill-climb) stay on this thread.
-            let threads = thread_count();
+            let threads = sc_exec::threads();
             let weight = if quotient {
                 binomial(spec.states as usize + spec.n - 1, spec.n)
                     .try_into()
@@ -725,11 +727,11 @@ mod tests {
         );
     }
 
-    /// The strided parallel fan-out must reproduce the serial summary
-    /// bitwise — same coverage, worst time, and *first* failing fault set.
-    /// Driven directly with forced worker counts so the chunked fold is
-    /// exercised regardless of how many cores the host has (the public
-    /// gate only fans out on multi-core machines).
+    /// The pool fan-out must reproduce the serial summary bitwise — same
+    /// coverage, worst time, and *first* failing fault set. Driven against
+    /// explicit [`sc_exec::Pool`]s with forced worker counts so real
+    /// cross-thread claiming is exercised regardless of how many cores the
+    /// host has (the public gate only fans out on multi-core machines).
     #[cfg(feature = "parallel")]
     #[test]
     fn forced_parallel_fan_out_matches_serial_summary() {
@@ -779,8 +781,9 @@ mod tests {
         };
         let sets: Vec<Vec<usize>> = FaultSets::new(4, 1).collect();
         for workers in [2, 3, 5, 8] {
+            let pool = sc_exec::Pool::new(workers - 1);
             let mut solver = Solver::default();
-            let parallel = analyze_parallel(&mut solver, &lut, &sets, workers).unwrap();
+            let parallel = analyze_on_pool(&pool, &mut solver, &lut, &sets, workers).unwrap();
             assert_eq!(parallel, serial, "fan-out with {workers} workers diverges");
         }
     }

@@ -117,6 +117,8 @@ pub mod reference;
 mod synthesis;
 
 pub use checker::{analyze, verify, AnalysisSummary, Analyzer, SolverMode, Verdict, Witness};
+#[cfg(feature = "parallel")]
+pub use synthesis::sweep_family_on;
 pub use synthesis::{
     sweep_family, synthesize, CandidateFilter, NoFilter, SweepCheckpoint, SweepLedger,
     SweepOutcome, SymmetricFamily, SynthesisOutcome, SynthesisReport,

@@ -192,6 +192,30 @@ pub trait CandidateFilter {
     /// Whether a cheap attack already breaks `lut`. `true` must be sound
     /// (see the trait docs); `false` means "exhaustively verify me".
     fn reject(&mut self, lut: &LutCounter) -> bool;
+
+    /// A fresh filter for one worker thread of a parallel sweep, or `None`
+    /// when this filter cannot screen candidates concurrently — the sweep
+    /// then stays serial, so the default is always sound. A fork must
+    /// reject exactly the candidates the parent would (rejection must be a
+    /// pure function of the candidate) and starts with zeroed audit
+    /// counters; the parent recovers them through
+    /// [`CandidateFilter::absorb`].
+    fn fork(&self) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        None
+    }
+
+    /// Folds a fork's audit counters back into `self` once its worker is
+    /// done. Counters are sums, so the totals are independent of which
+    /// thread screened which candidate.
+    fn absorb(&mut self, fork: Self)
+    where
+        Self: Sized,
+    {
+        let _ = fork;
+    }
 }
 
 /// The identity filter: every candidate survives to exhaustive
@@ -202,6 +226,10 @@ pub struct NoFilter;
 impl CandidateFilter for NoFilter {
     fn reject(&mut self, _lut: &LutCounter) -> bool {
         false
+    }
+
+    fn fork(&self) -> Option<NoFilter> {
+        Some(NoFilter)
     }
 }
 
@@ -228,7 +256,7 @@ pub struct SweepLedger {
 /// transition tables over `n` nodes. Rows are grouped into classes by the
 /// multiset of received states; a candidate assigns one next-state per
 /// class, shared by every node — so every candidate is exchangeable by
-/// construction and the orbit-quotient engine ([`crate::orbit`]) applies.
+/// construction and the orbit-quotient engine (`crate::orbit`) applies.
 /// Output tables are fixed to `h(v, s) = s mod c`, as in [`synthesize`].
 ///
 /// The family size is `|X|^classes` with `classes = C(|X|+n−1, n)` — e.g.
@@ -467,11 +495,41 @@ pub struct SweepOutcome {
 /// checkpoint between calls ([`SweepCheckpoint::encode`]) and a killed
 /// sweep resumes exactly where it stopped.
 ///
+/// With the `parallel` feature (default) and a filter that implements
+/// [`CandidateFilter::fork`], candidate screening (pre-filter plus the
+/// quotient solve for survivors) fans out on the persistent [`sc_exec`]
+/// pool in bounded chunks; the ledger, survivor list and finds are folded
+/// in candidate order, so the checkpoint — including mid-chunk resume
+/// points — is bitwise identical to the serial sweep at every thread
+/// count. Filters that return `None` from `fork` keep the serial path.
+///
 /// # Errors
 ///
 /// Returns [`ParamError`] when the family cannot be enumerated in 64 bits
 /// or the verifier rejects the instance shape; the checkpoint is left at
 /// the failing candidate, so a retry resumes there.
+#[cfg(feature = "parallel")]
+pub fn sweep_family<F: CandidateFilter + Send + Sync>(
+    family: &SymmetricFamily,
+    filter: &mut F,
+    analyzer: &mut Analyzer,
+    checkpoint: &mut SweepCheckpoint,
+    budget: u64,
+) -> Result<SweepOutcome, ParamError> {
+    sweep_family_on(
+        sc_exec::pool(),
+        sc_exec::threads(),
+        family,
+        filter,
+        analyzer,
+        checkpoint,
+        budget,
+    )
+}
+
+/// Serial [`sweep_family`] — the `parallel` feature is off, or see
+/// [`sweep_family_on`] for the pool-backed variant.
+#[cfg(not(feature = "parallel"))]
 pub fn sweep_family<F: CandidateFilter>(
     family: &SymmetricFamily,
     filter: &mut F,
@@ -482,8 +540,122 @@ pub fn sweep_family<F: CandidateFilter>(
     let total = family
         .len()
         .ok_or_else(|| ParamError::overflow("|X|^classes candidates"))?;
-    let mut lut = family.seed()?;
     let end = checkpoint.position.saturating_add(budget).min(total);
+    sweep_serial(family, filter, analyzer, checkpoint, end, total)
+}
+
+/// Candidates per pool submission: bounds the per-chunk result buffer (a
+/// huge-budget call folds chunk by chunk) without affecting results — the
+/// fold order is candidate order regardless of the chunk size.
+#[cfg(feature = "parallel")]
+const SWEEP_CHUNK: u64 = 1024;
+
+/// What one worker decided about one candidate, before the in-order fold.
+#[cfg(feature = "parallel")]
+enum Screened {
+    Rejected,
+    Survived(Result<crate::checker::AnalysisSummary, ParamError>),
+}
+
+/// [`sweep_family`] against an explicit pool and thread cap — the seam the
+/// thread-count-invariance tests drive with forced worker counts. The
+/// public entry point passes the process-wide pool and [`sc_exec::threads`].
+#[cfg(feature = "parallel")]
+pub fn sweep_family_on<F: CandidateFilter + Send + Sync>(
+    pool: &sc_exec::Pool,
+    threads: usize,
+    family: &SymmetricFamily,
+    filter: &mut F,
+    analyzer: &mut Analyzer,
+    checkpoint: &mut SweepCheckpoint,
+    budget: u64,
+) -> Result<SweepOutcome, ParamError> {
+    let total = family
+        .len()
+        .ok_or_else(|| ParamError::overflow("|X|^classes candidates"))?;
+    let end = checkpoint.position.saturating_add(budget).min(total);
+    if threads <= 1 || end.saturating_sub(checkpoint.position) <= 1 {
+        return sweep_serial(family, filter, analyzer, checkpoint, end, total);
+    }
+    let Some(probe) = filter.fork() else {
+        // The filter cannot screen concurrently — stay serial (sound and
+        // identical by the fork contract).
+        return sweep_serial(family, filter, analyzer, checkpoint, end, total);
+    };
+    drop(probe);
+    family.seed()?; // Validate the shape once, so worker forks cannot fail.
+    let mut processed = 0u64;
+    while checkpoint.position < end {
+        let base = checkpoint.position;
+        let chunk = (end - base).min(SWEEP_CHUNK);
+        // Each claiming thread checks out a (candidate table, filter fork,
+        // analyzer fork) triple once and reuses it across its claims.
+        let scratch: sc_exec::WorkerScratch<(LutCounter, F, Analyzer)> =
+            sc_exec::WorkerScratch::new();
+        let filter_ref: &F = filter;
+        let analyzer_ref: &Analyzer = analyzer;
+        let outcomes: Vec<Screened> = pool.map(chunk as usize, threads, |i| {
+            scratch.with(
+                || {
+                    (
+                        family.seed().expect("family shape validated above"),
+                        filter_ref.fork().expect("fork is deterministic"),
+                        analyzer_ref.fork(),
+                    )
+                },
+                |(lut, fork, eng)| {
+                    family.instantiate(base + i as u64, lut);
+                    if fork.reject(lut) {
+                        Screened::Rejected
+                    } else {
+                        Screened::Survived(eng.analyze(lut))
+                    }
+                },
+            )
+        });
+        // Audit counters first (sums — claim-order independent), so they
+        // survive even an error return below.
+        for (_, fork, _) in scratch.take_all() {
+            filter.absorb(fork);
+        }
+        // Fold in candidate order: bitwise the serial loop.
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            let index = base + i as u64;
+            checkpoint.ledger.screened += 1;
+            match outcome {
+                Screened::Rejected => checkpoint.ledger.filtered += 1,
+                Screened::Survived(summary) => {
+                    checkpoint.ledger.survivors += 1;
+                    checkpoint.survivors.push(index);
+                    let summary = summary?;
+                    checkpoint.ledger.verified += 1;
+                    if summary.failure.is_none() {
+                        checkpoint.ledger.found += 1;
+                        checkpoint.found.push((index, summary.worst_time));
+                    }
+                }
+            }
+            checkpoint.position += 1;
+            processed += 1;
+        }
+    }
+    Ok(SweepOutcome {
+        complete: checkpoint.position == total,
+        processed,
+    })
+}
+
+/// The serial sweep loop both entry points share: one live candidate table
+/// patched in place, the caller's filter and analyzer reused throughout.
+fn sweep_serial<F: CandidateFilter>(
+    family: &SymmetricFamily,
+    filter: &mut F,
+    analyzer: &mut Analyzer,
+    checkpoint: &mut SweepCheckpoint,
+    end: u64,
+    total: u64,
+) -> Result<SweepOutcome, ParamError> {
+    let mut lut = family.seed()?;
     let mut processed = 0u64;
     while checkpoint.position < end {
         let index = checkpoint.position;
@@ -603,6 +775,43 @@ mod tests {
         let mut bad = sc_protocol::BitVec::new();
         bad.push_bits(99, 8);
         assert!(SweepCheckpoint::decode(&mut bad.reader()).is_err());
+    }
+
+    /// The pool-backed sweep must fold to the serial checkpoint bitwise at
+    /// every thread count, driven against explicit pools so real
+    /// cross-thread claiming runs regardless of host cores.
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_sweep_matches_serial_checkpoint_at_forced_caps() {
+        let family = SymmetricFamily::new(4, 1, 2, 2).unwrap();
+        let total = family.len().unwrap();
+        let run = |workers: usize, threads: usize, budget: u64| {
+            let pool = sc_exec::Pool::new(workers);
+            let mut analyzer = Analyzer::new();
+            let mut checkpoint = SweepCheckpoint::new();
+            loop {
+                let outcome = sweep_family_on(
+                    &pool,
+                    threads,
+                    &family,
+                    &mut NoFilter,
+                    &mut analyzer,
+                    &mut checkpoint,
+                    budget,
+                )
+                .unwrap();
+                if outcome.complete {
+                    return checkpoint;
+                }
+            }
+        };
+        let serial = run(0, 1, total);
+        assert_eq!(serial.ledger.screened, total);
+        for (workers, threads) in [(1, 2), (6, 7)] {
+            assert_eq!(run(workers, threads, total), serial, "cap {threads}");
+            // Budgeted into uneven chunks, resuming mid-sweep.
+            assert_eq!(run(workers, threads, 7), serial, "cap {threads} budgeted");
+        }
     }
 
     #[test]
