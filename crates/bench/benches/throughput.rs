@@ -30,7 +30,13 @@
 //!   the whole difference), thread-cap rows (1 / 2 / all) for that sweep
 //!   and for the n = 5 family sweep (checkpoint equality asserted across
 //!   caps), and the pre-filter's cold vs warm sweep-context evals/s;
-//!   measurements append to `BENCH_parallel.json`.
+//!   measurements append to `BENCH_parallel.json`,
+//! * the **runtime table**: one live `sc-runtime` A(4,1) run with real
+//!   injected faults (delayed, scripted-witness, equivocate, crash) under
+//!   saturating snapshot readers — reads/s (≥ 1M gated), per-burst
+//!   recovery percentiles, batched read-latency percentiles, and the
+//!   deterministic harness's digest-equality witness; measurements append
+//!   to `BENCH_runtime.json`.
 //!
 //! The first-generation `reference_step` engine and its clone-cost baseline
 //! are gone (the bitwise equivalence gate stayed green from PR 1 through
@@ -1407,6 +1413,258 @@ fn write_parallel_trajectory(
     }
 }
 
+/// Sorted-sample percentile (nearest-rank on the scaled index).
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// The live-runtime smoke table: one `sc-runtime` A(4,1) run with real
+/// injected faults — a delayed burst, a scripted-witness burst, an
+/// equivocation burst, and a terminal crash — while saturating reader
+/// threads hammer the [`sc_runtime::CounterHandle`] snapshot. Reports
+/// reads/s (gated **≥ 1M** — the read path is one atomic load, so
+/// anything less means the snapshot plane regressed), per-burst recovery
+/// times with percentiles, and batched read-latency percentiles. The same
+/// config then runs twice through the deterministic harness and the
+/// digests must agree — the bit-reproducibility witness recorded in the
+/// trajectory. Measurements append to `BENCH_runtime.json`.
+fn runtime_table() {
+    use sc_runtime::{
+        run_deterministic, run_live, FaultEntry, FaultKind, FaultPlan, RuntimeConfig,
+    };
+
+    /// Round period: roomy enough that loaded CI machines make deadlines.
+    const PERIOD_NS: u64 = 1_000_000;
+    /// Reads per timed latency batch (a single read is ~1 ns; batching
+    /// keeps the timer overhead out of the sample).
+    const BATCH: u64 = 4096;
+    const READERS: usize = 3;
+
+    println!("## live runtime — A(4,1), injected faults, saturating snapshot readers\n");
+
+    let algo = CounterBuilder::corollary1(1, 2).unwrap().build().unwrap();
+    let mut rng = SmallRng::seed_from_u64(0x11fe);
+    let script = Script::random(4, vec![2], 4, 0, &MoveSpace::echoes(2), &mut rng);
+    // A single in-budget fault is *masked* once A(4,1) stabilises — no
+    // recovery to measure. So the bursts briefly overlap into
+    // over-budget territory (two-plus simultaneous faults), the
+    // transient corruption self-stabilisation is specified to absorb:
+    // the monitor loses stability during each overlap and the recovery
+    // table below times the re-confirmation after each burst end.
+    let plan = FaultPlan::new(
+        4,
+        vec![
+            FaultEntry {
+                node: 0,
+                from_round: 10,
+                until_round: Some(18),
+                kind: FaultKind::Delayed {
+                    jitter_permille: 1500,
+                },
+            },
+            FaultEntry {
+                node: 1,
+                from_round: 14,
+                until_round: None,
+                kind: FaultKind::Crash, // death is permanent: one budget slot gone
+            },
+            FaultEntry {
+                node: 2,
+                from_round: 40,
+                until_round: Some(48),
+                kind: FaultKind::Scripted(script),
+            },
+            FaultEntry {
+                node: 3,
+                from_round: 44,
+                until_round: Some(52),
+                kind: FaultKind::Equivocate,
+            },
+        ],
+    )
+    .expect("bench plan is well-formed");
+    let config = RuntimeConfig {
+        period_ns: PERIOD_NS,
+        horizon: 80,
+        seed: 0xbead,
+        confirm: None,
+        // The plan wraps all four nodes (so the derived `n − f` quorum
+        // would be 0), but outside the deliberate overlaps at most one
+        // node misbehaves at a time: n − 1 reports can agree again after
+        // every burst.
+        quorum: Some(3),
+        plan,
+    };
+
+    type ReaderStats = (u64, u64, Vec<u64>);
+    let (report, readers): (_, Vec<ReaderStats>) = run_live(&algo, &config, |handle| {
+        std::thread::scope(|scope| {
+            let spawned: Vec<_> = (0..READERS)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut reads = 0u64;
+                        let mut last_version = 0u64;
+                        let mut samples: Vec<u64> = Vec::new();
+                        while !handle.is_done() {
+                            let start = Instant::now();
+                            for _ in 0..BATCH {
+                                let (version, _) = handle.read();
+                                assert!(version >= last_version, "snapshot went backwards");
+                                last_version = version;
+                            }
+                            // Per-batch nanos; a single read is sub-ns,
+                            // so divide as float only when reporting.
+                            samples.push(start.elapsed().as_nanos() as u64);
+                            reads += BATCH;
+                        }
+                        (reads, last_version, samples)
+                    })
+                })
+                .collect();
+            spawned
+                .into_iter()
+                .map(|h| h.join().expect("reader thread panicked"))
+                .collect()
+        })
+    })
+    .expect("bench config is valid");
+
+    let total_reads: u64 = readers.iter().map(|(reads, _, _)| reads).sum();
+    let wall_secs = report.wall_nanos as f64 / 1e9;
+    let reads_per_sec = total_reads as f64 / wall_secs;
+    let mut latencies: Vec<u64> = readers
+        .iter()
+        .flat_map(|(_, _, samples)| samples.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let per_read = |batch_ns: u64| batch_ns as f64 / BATCH as f64;
+    let lat = [
+        per_read(percentile(&latencies, 0.5)),
+        per_read(percentile(&latencies, 0.9)),
+        per_read(percentile(&latencies, 0.99)),
+        per_read(*latencies.last().unwrap_or(&0)),
+    ];
+    let mut recovery_ns: Vec<u64> = report.recoveries.iter().map(|r| r.nanos).collect();
+    recovery_ns.sort_unstable();
+    let rec = [
+        percentile(&recovery_ns, 0.5),
+        percentile(&recovery_ns, 0.9),
+        *recovery_ns.last().unwrap_or(&0),
+    ];
+
+    // Every reader must have served from the converged snapshot, the run
+    // must end stable despite four distinct injections, and the read
+    // plane must sustain the gate rate.
+    for (i, (_, last_version, _)) in readers.iter().enumerate() {
+        assert!(*last_version > 0, "reader {i} never saw a stable snapshot");
+    }
+    assert!(
+        report.events.iter().rev().find(|e| e.stable).is_some(),
+        "the live bench run must end stable; events {:?}",
+        report.events
+    );
+    assert!(
+        reads_per_sec >= 1_000_000.0,
+        "snapshot plane must serve ≥ 1M reads/s, got {reads_per_sec:.0}"
+    );
+    assert!(
+        report.recoveries.len() >= 2,
+        "every over-budget burst must yield a recovery measurement; got {:?}",
+        report.recoveries
+    );
+
+    // Bit-reproducibility witness: the identical config, driven twice
+    // through the deterministic harness, must produce one digest.
+    let det_a = run_deterministic(&algo, &config).expect("bench config is valid");
+    let det_b = run_deterministic(&algo, &config).expect("bench config is valid");
+    assert_eq!(
+        det_a.digest, det_b.digest,
+        "deterministic harness must reproduce bit-identically"
+    );
+
+    println!(
+        "| {:>12} | {:>12} | {:>8} | {:>24} | {:>28} |",
+        "reads/s",
+        "reads",
+        "wall (s)",
+        "recovery p50/p90/max (ms)",
+        "read lat p50/p90/p99/max (ns)"
+    );
+    println!(
+        "|{}|{}|{}|{}|{}|",
+        "-".repeat(14),
+        "-".repeat(14),
+        "-".repeat(10),
+        "-".repeat(26),
+        "-".repeat(30)
+    );
+    println!(
+        "| {:>12.0} | {:>12} | {:>8.3} | {:>24} | {:>28} |",
+        reads_per_sec,
+        total_reads,
+        wall_secs,
+        format!(
+            "{:.1} / {:.1} / {:.1}",
+            rec[0] as f64 / 1e6,
+            rec[1] as f64 / 1e6,
+            rec[2] as f64 / 1e6
+        ),
+        format!(
+            "{:.2} / {:.2} / {:.2} / {:.2}",
+            lat[0], lat[1], lat[2], lat[3]
+        ),
+    );
+    println!(
+        "\nfirst stable round {:?}, {} recoveries across the bounded bursts, \
+         det digest 0x{:016x}\n",
+        report.first_stable_round,
+        report.recoveries.len(),
+        det_a.digest
+    );
+
+    let recov_entries: Vec<String> = report
+        .recoveries
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"burst_end_round\":{},\"stable_round\":{},\"nanos\":{}}}",
+                r.burst_end_round, r.stable_round, r.nanos
+            )
+        })
+        .collect();
+    let line = format!(
+        "{{\"bench\":\"runtime\",\"gate_min_reads_per_sec\":1000000.0,\
+         \"reads_per_sec\":{reads_per_sec:.0},\"reads\":{total_reads},\
+         \"wall_secs\":{wall_secs:.4},\"period_ns\":{PERIOD_NS},\"readers\":{READERS},\
+         \"recovery_ns\":{{\"p50\":{},\"p90\":{},\"max\":{}}},\
+         \"read_latency_ns\":{{\"p50\":{:.3},\"p90\":{:.3},\"p99\":{:.3},\"max\":{:.3}}},\
+         \"recoveries\":[{}],\"det_digest\":\"0x{:016x}\"}}\n",
+        rec[0],
+        rec[1],
+        rec[2],
+        lat[0],
+        lat[1],
+        lat[2],
+        lat[3],
+        recov_entries.join(","),
+        det_a.digest
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    match appended {
+        Ok(()) => println!("trajectory appended to BENCH_runtime.json"),
+        Err(e) => println!("warning: could not write BENCH_runtime.json: {e}"),
+    }
+}
+
 criterion_group!(benches, bench_throughput);
 
 fn main() {
@@ -1415,8 +1673,13 @@ fn main() {
     // early-vs-full verdict gate, and the verifier equivalence gate.
     // THROUGHPUT_PARALLEL_ONLY=1 runs just the parallel-scaling table — the
     // quick loop for tuning the executor gates without the other tables.
+    // THROUGHPUT_RUNTIME_ONLY=1 likewise runs just the live-runtime table.
     if std::env::var_os("THROUGHPUT_PARALLEL_ONLY").is_some() {
         parallel_table();
+        return;
+    }
+    if std::env::var_os("THROUGHPUT_RUNTIME_ONLY").is_some() {
+        runtime_table();
         return;
     }
     if std::env::var_os("THROUGHPUT_SUMMARY_ONLY").is_none() {
@@ -1429,4 +1692,5 @@ fn main() {
     verifier_table();
     synthesis_table();
     parallel_table();
+    runtime_table();
 }

@@ -20,7 +20,12 @@
 //!   submission (a task that itself calls [`Pool::map`]) cannot deadlock.
 //! * **Panic propagation.** A panicking task is caught on the worker,
 //!   recorded, and re-raised on the submitting thread once the batch has
-//!   drained, matching the old `scope.join().expect(…)` behaviour.
+//!   drained, matching the old `scope.join().expect(…)` behaviour. The
+//!   batch aborts eagerly: indices claimed after the first panic are
+//!   drained without executing the task, and per-worker
+//!   [`WorkerScratch`] slots touched by the panicking closure are
+//!   discarded rather than returned, so the next submission starts from
+//!   freshly initialised scratch instead of half-mutated state.
 //!
 //! The pool size comes from [`threads`]: the `SC_THREADS` environment
 //! variable when set (clamped to ≥ 1), else `available_parallelism`. The
@@ -36,7 +41,7 @@ use std::any::Any;
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::ThreadId;
 
@@ -100,6 +105,12 @@ struct BatchCore {
     /// Claim counter — the work-stealing. Values `>= len` mean "done".
     next: AtomicUsize,
     len: usize,
+    /// Set on the first task panic. Later claimants still drain their
+    /// indices (the `finished == len` handshake must complete) but skip
+    /// executing the task: the batch's result is already doomed to
+    /// re-raise, so running more of a possibly-corrupted closure only
+    /// wastes work and risks compounding damage.
+    aborted: AtomicBool,
     state: Mutex<BatchState>,
     done: Condvar,
 }
@@ -138,12 +149,19 @@ where
         let slots = core.slots as *const Slot<T>;
         // Slot writes precede the `finished` bump: the submitter reads
         // slots only after observing `finished == len` under the mutex.
-        let panicked = match catch_unwind(AssertUnwindSafe(|| task(index))) {
-            Ok(value) => {
-                *(*slots.add(index)).0.get() = Some(value);
-                None
+        let panicked = if core.aborted.load(Ordering::Relaxed) {
+            None // drain the claim without running the doomed task
+        } else {
+            match catch_unwind(AssertUnwindSafe(|| task(index))) {
+                Ok(value) => {
+                    *(*slots.add(index)).0.get() = Some(value);
+                    None
+                }
+                Err(payload) => {
+                    core.aborted.store(true, Ordering::Relaxed);
+                    Some(payload)
+                }
             }
-            Err(payload) => Some(payload),
         };
         let mut state = core.state.lock().unwrap();
         if let Some(payload) = panicked {
@@ -223,6 +241,7 @@ impl Pool {
             slots: slots.as_ptr().cast(),
             next: AtomicUsize::new(0),
             len,
+            aborted: AtomicBool::new(false),
             state: Mutex::new(BatchState {
                 finished: 0,
                 panic: None,

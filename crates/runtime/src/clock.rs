@@ -1,0 +1,151 @@
+//! Round clocks: the wall clock the live driver runs on and the virtual
+//! clock the deterministic harness substitutes for it.
+
+use std::cell::Cell;
+use std::time::{Duration, Instant};
+
+/// A monotone nanosecond clock a node paces its round loop against.
+/// Implemented by [`WallClock`] (real time) and [`VirtualClock`]
+/// (deterministic harness) so node logic is driver-agnostic.
+pub trait RoundClock {
+    /// Nanoseconds since the run epoch.
+    fn now(&self) -> u64;
+    /// Return no earlier than `deadline_ns`. May return late (the round
+    /// loop fast-forwards past missed rounds); must never return early.
+    fn wait_until(&self, deadline_ns: u64);
+}
+
+/// Real time, anchored at an epoch shared by all threads of a run.
+#[derive(Clone, Copy)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    pub fn new(epoch: Instant) -> WallClock {
+        WallClock { epoch }
+    }
+}
+
+impl RoundClock for WallClock {
+    fn now(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn wait_until(&self, deadline_ns: u64) {
+        // Sleep for the bulk of the wait, spin the last stretch: round
+        // periods are milliseconds, OS sleep granularity is tens of
+        // microseconds, and a node that oversleeps its publish point is
+        // charged as faulty for the round — worth a short spin to avoid.
+        const SPIN_NS: u64 = 100_000;
+        loop {
+            let now = self.now();
+            if now >= deadline_ns {
+                return;
+            }
+            let left = deadline_ns - now;
+            if left > SPIN_NS {
+                std::thread::sleep(Duration::from_nanos(left - SPIN_NS));
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+/// Virtual time for the deterministic harness: `wait_until` jumps the
+/// clock forward instantly. Single-threaded by construction.
+pub struct VirtualClock {
+    now: Cell<u64>,
+}
+
+impl VirtualClock {
+    pub fn new() -> VirtualClock {
+        VirtualClock { now: Cell::new(0) }
+    }
+}
+
+impl Default for VirtualClock {
+    fn default() -> Self {
+        VirtualClock::new()
+    }
+}
+
+impl RoundClock for VirtualClock {
+    fn now(&self) -> u64 {
+        self.now.get()
+    }
+
+    fn wait_until(&self, deadline_ns: u64) {
+        self.now.set(self.now.get().max(deadline_ns));
+    }
+}
+
+/// The shared timetable of a run: round `r` owns the wall window
+/// `[r·period, (r+1)·period)`, with fixed intra-round offsets for the
+/// scripted-injector observe point, the receivers' read point, and the
+/// monitor's sample point.
+#[derive(Clone, Copy, Debug)]
+pub struct RoundSchedule {
+    period_ns: u64,
+    /// Warm-up gap before round 0's window opens, absorbing thread
+    /// spawn latency in the live driver.
+    offset_ns: u64,
+    obs_permille: u64,
+    read_permille: u64,
+    sample_permille: u64,
+}
+
+impl RoundSchedule {
+    /// Default offsets: observe at 25% (scripted injectors read the
+    /// honest publishes that landed at 0%), read at 62.5% (the publish
+    /// deadline — anything later is a miss), monitor sample at 80%
+    /// (after outputs for the round are on the board).
+    pub fn new(period_ns: u64) -> RoundSchedule {
+        RoundSchedule {
+            period_ns,
+            offset_ns: period_ns,
+            obs_permille: 250,
+            read_permille: 625,
+            sample_permille: 800,
+        }
+    }
+
+    pub fn period_ns(&self) -> u64 {
+        self.period_ns
+    }
+
+    /// Start of round `r`'s window — the honest publish point.
+    pub fn slot_start(&self, round: u64) -> u64 {
+        self.offset_ns + round * self.period_ns
+    }
+
+    /// When observing injectors (scripted/equivocate) read the honest
+    /// states they fabricate from.
+    pub fn obs_point(&self, round: u64) -> u64 {
+        self.slot_start(round) + self.period_ns * self.obs_permille / 1000
+    }
+
+    /// The read point = publish deadline. A message not observable here
+    /// was published too late and counts as missed.
+    pub fn read_point(&self, round: u64) -> u64 {
+        self.slot_start(round) + self.period_ns * self.read_permille / 1000
+    }
+
+    /// When the monitor samples the output board for round `r`.
+    pub fn sample_point(&self, round: u64) -> u64 {
+        self.slot_start(round) + self.period_ns * self.sample_permille / 1000
+    }
+
+    /// The round whose window contains instant `now_ns` (0 during the
+    /// warm-up gap) — how an overslept node fast-forwards.
+    pub fn round_of(&self, now_ns: u64) -> u64 {
+        now_ns.saturating_sub(self.offset_ns) / self.period_ns
+    }
+
+    /// Fraction of the period (permille) between publish and read
+    /// points — the headroom a `Delayed` injector races against.
+    pub fn read_permille(&self) -> u64 {
+        self.read_permille
+    }
+}

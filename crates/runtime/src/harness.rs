@@ -1,0 +1,158 @@
+//! The deterministic harness: the same node logic, mailbox plane, and
+//! monitor as the live driver, driven single-threaded on a virtual
+//! clock with a seeded scheduler — every live scenario replayed
+//! bit-reproducibly in CI.
+//!
+//! Per round the harness executes the live timetable's phases in order:
+//! on-time publishes (honest, equivocate, crash — in a seeded shuffle of
+//! node order), then the observing injectors (scripted) at the observe
+//! point, then every surviving node's read + step at the read point,
+//! then the monitor's board sample, and finally any `Delayed` publishes
+//! whose jitter pushed them past the read deadline — landing after the
+//! reads and the sample, exactly as a late publish does live. Two runs
+//! with the same config produce identical reports, digests included.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sc_attack::RawState;
+use sc_protocol::Counter;
+
+use crate::clock::{RoundClock, VirtualClock};
+use crate::live::{RunReport, RuntimeConfig};
+use crate::mailbox::{MailboxPlane, OutputBoard, SnapshotCell};
+use crate::monitor::{BoardSample, MonitorCore};
+use crate::node::{initial_states, NodeCore, PublishAction};
+use crate::ParamError;
+
+/// Salt separating the scheduler's RNG stream from the nodes'.
+const SCHED_SALT: u64 = 0x5eed_0dd5_ca1e_d0e5;
+
+/// Run `config` deterministically. Same config ⇒ bit-identical report.
+pub fn run_deterministic<P>(algo: &P, config: &RuntimeConfig) -> Result<RunReport, ParamError>
+where
+    P: Counter + RawState<P::State>,
+{
+    let (sched, quorum, confirm) = config.resolve(algo)?;
+    let n = algo.n();
+    let horizon = config.horizon;
+    let plane = MailboxPlane::new(n, algo.state_bits());
+    let board = OutputBoard::new(n);
+    let snapshot = SnapshotCell::new();
+    let clock = VirtualClock::new();
+    let mut sched_rng = SmallRng::seed_from_u64(config.seed ^ SCHED_SALT);
+
+    let mut cores: Vec<Option<NodeCore<'_, P>>> = initial_states(algo, config.seed)
+        .into_iter()
+        .enumerate()
+        .map(|(id, state)| {
+            Some(NodeCore::new(
+                algo,
+                id,
+                state,
+                config.seed,
+                config.plan.entry_for(id).cloned(),
+            ))
+        })
+        .collect();
+    let mut crashed_missed: Vec<Option<u64>> = vec![None; n];
+
+    let mut monitor = MonitorCore::new(quorum, algo.modulus(), confirm);
+    let mut trace = Vec::with_capacity(horizon as usize);
+    let read_offset_ns = sched.read_point(0) - sched.slot_start(0);
+
+    for round in 0..horizon {
+        clock.wait_until(sched.slot_start(round));
+
+        // Phase 1: on-time publishes, seeded-shuffled node order.
+        let mut order: Vec<usize> = (0..n).filter(|&i| cores[i].is_some()).collect();
+        shuffle(&mut order, &mut sched_rng);
+        let mut observers: Vec<usize> = Vec::new();
+        let mut late: Vec<(usize, u64, Vec<u64>, u64)> = Vec::new();
+        for &id in &order {
+            let core = cores[id].as_mut().expect("alive");
+            match core.action(round, sched.period_ns()) {
+                PublishAction::Honest => core.publish_honest(&plane, &board, round),
+                PublishAction::Mute => {}
+                PublishAction::Crash => {
+                    core.publish_crash(&plane, round);
+                    crashed_missed[id] = Some(core.missed());
+                    cores[id] = None; // dead for the rest of the run
+                }
+                PublishAction::Delayed { delay_ns } => {
+                    if delay_ns <= read_offset_ns {
+                        core.publish_honest(&plane, &board, round);
+                    } else {
+                        let (payload, output) = core.capture_publish();
+                        late.push((id, delay_ns, payload, output));
+                    }
+                }
+                PublishAction::Equivocate => core.publish_equivocate(&plane, round),
+                PublishAction::Scripted => observers.push(id),
+            }
+        }
+
+        // Phase 2: observing injectors, ascending id.
+        observers.sort_unstable();
+        clock.wait_until(sched.obs_point(round));
+        for id in observers {
+            let core = cores[id].as_mut().expect("alive");
+            core.observe_for_script(&plane, round);
+            core.publish_scripted(&plane, round);
+        }
+
+        // Phase 3: reads + transitions. Plane content is frozen for the
+        // round, so per-node order is immaterial; ascending for clarity.
+        clock.wait_until(sched.read_point(round));
+        for core in cores.iter_mut().flatten() {
+            core.read_and_step(&plane, round);
+        }
+
+        // Phase 4: monitor sample.
+        clock.wait_until(sched.sample_point(round));
+        let sample: BoardSample = (0..n).map(|i| board.sample(i)).collect();
+        monitor.observe(round, &sample, clock.now(), &snapshot);
+        trace.push((round, sample));
+
+        // Phase 5: deadline-missing publishes land last — after every
+        // read and the monitor's sample, like a live straggler.
+        late.sort_unstable_by_key(|&(id, delay_ns, ..)| (delay_ns, id));
+        for (id, delay_ns, payload, output) in late {
+            clock.wait_until(sched.slot_start(round) + delay_ns);
+            NodeCore::<P>::deliver_captured(&plane, &board, id, round, &payload, output);
+        }
+    }
+
+    let missed: Vec<u64> = (0..n)
+        .map(|id| match &cores[id] {
+            Some(core) => core.missed(),
+            None => crashed_missed[id].unwrap_or(0),
+        })
+        .collect();
+    let burst_ends: Vec<u64> = config
+        .plan
+        .entries()
+        .iter()
+        .filter_map(|e| e.until_round)
+        .collect();
+    let digest = monitor.digest();
+    let events = monitor.into_events();
+    let recoveries = MonitorCore::recoveries(&events, &burst_ends, |r| sched.slot_start(r));
+    Ok(RunReport {
+        rounds: horizon,
+        first_stable_round: MonitorCore::first_stable_round(&events),
+        events,
+        recoveries,
+        missed,
+        digest,
+        wall_nanos: clock.now(),
+        trace,
+    })
+}
+
+/// Fisher–Yates over the shim RNG (the shim has no `shuffle`).
+fn shuffle(items: &mut [usize], rng: &mut SmallRng) {
+    for i in (1..items.len()).rev() {
+        let j = rng.random_range(0..=i);
+        items.swap(i, j);
+    }
+}

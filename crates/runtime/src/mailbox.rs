@@ -1,0 +1,213 @@
+//! Lock-free single-writer mailbox plane and the atomic read path.
+//!
+//! One [`Slot`] per (sender, receiver) pair. Each slot is written by
+//! exactly one thread (the sender) and read by exactly one other (the
+//! receiver), using a seqlock: the writer bumps the sequence word to an
+//! odd value, writes the payload words and round tag with relaxed
+//! stores, then publishes with a release store of the next even value.
+//! The reader loads the sequence (acquire), copies the payload
+//! (relaxed), fences (acquire), and re-checks the sequence: odd or
+//! changed means the read raced a write and is discarded as a *miss* —
+//! never retried more than a couple of times, never blocked on. A miss
+//! degrades to "no message received", which the Byzantine model charges
+//! to the sender.
+//!
+//! The publish/observe discipline is validated exhaustively by the
+//! `sc-model` interleaving checker in `tests/mailbox_model.rs`.
+
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+
+/// Sequenced message slot: single writer, single reader.
+pub struct Slot {
+    seq: AtomicU64,
+    round: AtomicU64,
+    words: Box<[AtomicU64]>,
+}
+
+impl Slot {
+    fn new(words_per_msg: usize) -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            round: AtomicU64::new(0),
+            words: (0..words_per_msg).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Publish `payload` tagged with `round`. Single-writer: only the
+    /// owning sender thread may call this.
+    pub fn publish(&self, round: u64, payload: &[u64]) {
+        debug_assert_eq!(payload.len(), self.words.len());
+        let seq = self.seq.load(Ordering::Relaxed);
+        self.seq.store(seq + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        for (slot, &word) in self.words.iter().zip(payload) {
+            slot.store(word, Ordering::Relaxed);
+        }
+        self.round.store(round, Ordering::Relaxed);
+        self.seq.store(seq + 2, Ordering::Release);
+    }
+
+    /// Leave the slot mid-write (sequence odd) — used by the `Crash`
+    /// injector to model a thread dying inside `publish`. Any subsequent
+    /// observe of this slot misses forever.
+    pub fn tear(&self) {
+        let seq = self.seq.load(Ordering::Relaxed);
+        self.seq.store(seq + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+    }
+
+    /// Try to read the message tagged `expected_round` into `out`.
+    /// Returns `true` on a clean, round-matching read; `false` is a
+    /// miss (empty slot, torn write, stale or future round). Bounded
+    /// retries keep this wait-free in practice and lock-free always.
+    pub fn observe(&self, expected_round: u64, out: &mut [u64]) -> bool {
+        debug_assert_eq!(out.len(), self.words.len());
+        for _ in 0..3 {
+            let s1 = self.seq.load(Ordering::Acquire);
+            if s1 == 0 || s1 % 2 == 1 {
+                return false;
+            }
+            for (word, slot) in out.iter_mut().zip(self.words.iter()) {
+                *word = slot.load(Ordering::Relaxed);
+            }
+            let round = self.round.load(Ordering::Relaxed);
+            fence(Ordering::Acquire);
+            let s2 = self.seq.load(Ordering::Relaxed);
+            if s1 == s2 {
+                return round == expected_round;
+            }
+            // Torn: the writer republished mid-copy. Retry.
+        }
+        false
+    }
+}
+
+/// The n × n plane of slots. `slot(sender, receiver)` is written only by
+/// `sender`'s thread and read only by `receiver`'s.
+pub struct MailboxPlane {
+    n: usize,
+    words_per_msg: usize,
+    slots: Vec<Slot>,
+}
+
+impl MailboxPlane {
+    pub fn new(n: usize, state_bits: u32) -> MailboxPlane {
+        let words_per_msg = (state_bits as usize).div_ceil(64).max(1);
+        MailboxPlane {
+            n,
+            words_per_msg,
+            slots: (0..n * n).map(|_| Slot::new(words_per_msg)).collect(),
+        }
+    }
+
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Payload width every publish/observe must use.
+    pub fn words_per_msg(&self) -> usize {
+        self.words_per_msg
+    }
+
+    pub fn slot(&self, sender: usize, receiver: usize) -> &Slot {
+        &self.slots[sender * self.n + receiver]
+    }
+}
+
+/// Per-node output board the monitor samples: one word packing
+/// `(round + 1) << 24 | output`. Zero means "never published".
+pub struct OutputBoard {
+    cells: Vec<AtomicU64>,
+}
+
+/// Bits reserved for the output value in board/snapshot packing; the
+/// counter modulus must fit (`modulus <= OUTPUT_LIMIT`).
+pub const OUTPUT_BITS: u32 = 24;
+/// Exclusive upper bound on packable output values.
+pub const OUTPUT_LIMIT: u64 = 1 << OUTPUT_BITS;
+
+impl OutputBoard {
+    pub fn new(n: usize) -> OutputBoard {
+        OutputBoard {
+            cells: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Post node `node`'s beginning-of-round-`round` output.
+    pub fn post(&self, node: usize, round: u64, output: u64) {
+        debug_assert!(output < OUTPUT_LIMIT);
+        self.cells[node].store(((round + 1) << OUTPUT_BITS) | output, Ordering::Release);
+    }
+
+    /// Latest `(round, output)` posted by `node`, if any.
+    pub fn sample(&self, node: usize) -> Option<(u64, u64)> {
+        let word = self.cells[node].load(Ordering::Acquire);
+        if word == 0 {
+            return None;
+        }
+        Some(((word >> OUTPUT_BITS) - 1, word & (OUTPUT_LIMIT - 1)))
+    }
+}
+
+/// Versioned snapshot of the agreed counter value: a single word packing
+/// `(version << 24) | value` where `version = round + 1`. The monitor
+/// writes it only while the run is stable; readers take one relaxed load.
+pub struct SnapshotCell {
+    word: AtomicU64,
+}
+
+impl SnapshotCell {
+    pub fn new() -> SnapshotCell {
+        SnapshotCell {
+            word: AtomicU64::new(0),
+        }
+    }
+
+    pub fn store(&self, round: u64, value: u64) {
+        debug_assert!(value < OUTPUT_LIMIT);
+        self.word
+            .store(((round + 1) << OUTPUT_BITS) | value, Ordering::Release);
+    }
+
+    /// `(version, value)`; version 0 means "not yet stable".
+    pub fn load(&self) -> (u64, u64) {
+        let word = self.word.load(Ordering::Relaxed);
+        (word >> OUTPUT_BITS, word & (OUTPUT_LIMIT - 1))
+    }
+}
+
+impl Default for SnapshotCell {
+    fn default() -> Self {
+        SnapshotCell::new()
+    }
+}
+
+/// External read handle served to reader threads while a live run is in
+/// flight. `read()` is a single relaxed atomic load — lock-free and
+/// wait-free regardless of what the node threads (including crashed
+/// ones) are doing.
+#[derive(Clone, Copy)]
+pub struct CounterHandle<'a> {
+    cell: &'a SnapshotCell,
+    done: &'a AtomicBool,
+}
+
+impl<'a> CounterHandle<'a> {
+    pub(crate) fn new(cell: &'a SnapshotCell, done: &'a AtomicBool) -> CounterHandle<'a> {
+        CounterHandle { cell, done }
+    }
+
+    /// `(version, value)` of the latest stable counter snapshot.
+    /// Version 0 means the run has not stabilised yet; versions are
+    /// strictly monotone thereafter.
+    #[inline]
+    pub fn read(&self) -> (u64, u64) {
+        self.cell.load()
+    }
+
+    /// Whether the run has finished (readers should drain and exit).
+    #[inline]
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+}

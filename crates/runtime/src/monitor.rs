@@ -1,0 +1,259 @@
+//! The watchdog/recovery monitor: samples the output board each round,
+//! decides whether the cluster currently *counts*, timestamps stability
+//! transitions, and maintains the read-path snapshot.
+//!
+//! The monitor does not know which nodes are faulty. It trusts a value
+//! only when at least `quorum` round-matching board reports agree on it
+//! (`quorum = n − f` by default; sound for majority whenever `n > 2f`,
+//! which every counter here satisfies via `n > 3f`). Agreement alone is
+//! not counting: the agreed value must also *advance* — gap-tolerantly,
+//! `v == prev + (round − prev_round) mod c` — for `confirm` consecutive
+//! observations before the run is declared stable.
+
+use crate::mailbox::SnapshotCell;
+
+/// A stability transition observed by the monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StabilityEvent {
+    /// Observation round that triggered the transition.
+    pub round: u64,
+    /// For a `stable` event: the first round of the confirmed good run.
+    /// For an unstable event: equal to `round`.
+    pub since: u64,
+    /// `true` = the run became stable here; `false` = stability was lost.
+    pub stable: bool,
+    /// Driver timestamp (wall nanoseconds live, virtual nanoseconds in
+    /// the deterministic harness).
+    pub at_nanos: u64,
+}
+
+/// Wall-clock recovery measurement for one disruption burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Recovery {
+    /// First round after the burst's last bounded fault window closed.
+    pub burst_end_round: u64,
+    /// Round at which the monitor re-confirmed stability.
+    pub stable_round: u64,
+    /// Nanoseconds from the burst-end round's slot start to the stable
+    /// observation.
+    pub nanos: u64,
+}
+
+/// One board sample as the monitor sees it: `(round_tag, output)` per
+/// node, `None` if the node never posted.
+pub type BoardSample = Vec<Option<(u64, u64)>>;
+
+/// Driver-agnostic monitor state machine. Drivers feed it one
+/// [`BoardSample`] per observation round; it folds the agreed-output
+/// stream into stability events, the snapshot cell, and an FNV-1a digest
+/// (the bit-reproducibility witness for the deterministic harness).
+pub struct MonitorCore {
+    quorum: usize,
+    modulus: u64,
+    confirm: u64,
+    prev: Option<(u64, u64)>,
+    good_run: u64,
+    stable: bool,
+    events: Vec<StabilityEvent>,
+    digest: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_fold(digest: u64, word: u64) -> u64 {
+    let mut d = digest;
+    for byte in word.to_le_bytes() {
+        d = (d ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+    }
+    d
+}
+
+/// What one observation round amounted to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Verdict {
+    /// Quorum agreed on a value that advances the count.
+    Good(u64),
+    /// Quorum agreed on a value that does not advance the count (or is
+    /// the first agreement, starting a new run).
+    Fresh(u64),
+    /// No quorum agreement among round-matching reports.
+    Disagree,
+    /// Too few round-matching reports, but a quorum of nodes is tagged
+    /// *behind* this round: the monitor outran the cluster (live-mode
+    /// sampling slack). Skipped without penalty.
+    Lagged,
+}
+
+impl MonitorCore {
+    pub fn new(quorum: usize, modulus: u64, confirm: u64) -> MonitorCore {
+        assert!(quorum >= 1 && modulus >= 1 && confirm >= 1);
+        MonitorCore {
+            quorum,
+            modulus,
+            confirm,
+            prev: None,
+            good_run: 0,
+            stable: false,
+            events: Vec::new(),
+            digest: FNV_OFFSET,
+        }
+    }
+
+    /// Default confirmation depth for a modulus-`c` counter: one full
+    /// wrap plus one round, so a frozen value can never confirm.
+    pub fn default_confirm(modulus: u64) -> u64 {
+        modulus + 1
+    }
+
+    fn classify(&self, round: u64, sample: &BoardSample) -> Verdict {
+        let mut candidates: Vec<(u64, usize)> = Vec::new();
+        let mut matching = 0usize;
+        let mut behind = 0usize;
+        for report in sample {
+            match report {
+                Some((tag, value)) if *tag == round => {
+                    matching += 1;
+                    match candidates.iter_mut().find(|(v, _)| v == value) {
+                        Some((_, count)) => *count += 1,
+                        None => candidates.push((*value, 1)),
+                    }
+                }
+                Some((tag, _)) if *tag < round => behind += 1,
+                None => behind += 1,
+                _ => {}
+            }
+        }
+        let agreed = candidates
+            .iter()
+            .find(|(_, count)| *count >= self.quorum)
+            .map(|(v, _)| *v);
+        match agreed {
+            Some(value) => match self.prev {
+                Some((prev_round, prev_value)) => {
+                    let expected = (prev_value + (round - prev_round)) % self.modulus;
+                    if value == expected {
+                        Verdict::Good(value)
+                    } else {
+                        Verdict::Fresh(value)
+                    }
+                }
+                None => Verdict::Fresh(value),
+            },
+            None if matching < self.quorum && behind >= self.quorum => Verdict::Lagged,
+            None => Verdict::Disagree,
+        }
+    }
+
+    /// Fold one observation round. `at_nanos` timestamps any resulting
+    /// stability event; `snapshot` is refreshed whenever the run is
+    /// stable at this observation.
+    pub fn observe(
+        &mut self,
+        round: u64,
+        sample: &BoardSample,
+        at_nanos: u64,
+        snapshot: &SnapshotCell,
+    ) {
+        let verdict = self.classify(round, sample);
+        // Digest the agreed-value stream (sentinels for the non-values);
+        // two bit-identical runs fold to the same digest.
+        let word = match verdict {
+            Verdict::Good(v) | Verdict::Fresh(v) => v << 2,
+            Verdict::Disagree => 1,
+            Verdict::Lagged => 2,
+        };
+        self.digest = fnv_fold(fnv_fold(self.digest, round), word);
+
+        match verdict {
+            Verdict::Good(value) => {
+                self.good_run += 1;
+                self.prev = Some((round, value));
+            }
+            Verdict::Fresh(value) => {
+                self.mark_unstable(round, at_nanos);
+                self.good_run = 1;
+                self.prev = Some((round, value));
+            }
+            Verdict::Disagree => {
+                self.mark_unstable(round, at_nanos);
+                self.good_run = 0;
+                self.prev = None;
+            }
+            Verdict::Lagged => return,
+        }
+
+        if !self.stable && self.good_run >= self.confirm {
+            self.stable = true;
+            self.events.push(StabilityEvent {
+                round,
+                since: round + 1 - self.good_run,
+                stable: true,
+                at_nanos,
+            });
+        }
+        if self.stable {
+            if let Some((r, v)) = self.prev {
+                snapshot.store(r, v);
+            }
+        }
+    }
+
+    fn mark_unstable(&mut self, round: u64, at_nanos: u64) {
+        if self.stable {
+            self.stable = false;
+            self.events.push(StabilityEvent {
+                round,
+                since: round,
+                stable: false,
+                at_nanos,
+            });
+        }
+    }
+
+    pub fn is_stable(&self) -> bool {
+        self.stable
+    }
+
+    pub fn events(&self) -> &[StabilityEvent] {
+        &self.events
+    }
+
+    pub fn into_events(self) -> Vec<StabilityEvent> {
+        self.events
+    }
+
+    /// FNV-1a digest of the (round, verdict) stream — equal across
+    /// bit-identical runs.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// First round of the first confirmed stable period, if any.
+    pub fn first_stable_round(events: &[StabilityEvent]) -> Option<u64> {
+        events.iter().find(|e| e.stable).map(|e| e.since)
+    }
+
+    /// Match disruption-burst ends against re-stabilisation events.
+    /// `burst_ends` are the rounds at which bounded fault windows close;
+    /// `slot_start_nanos(r)` maps a round to its window start time.
+    pub fn recoveries(
+        events: &[StabilityEvent],
+        burst_ends: &[u64],
+        slot_start_nanos: impl Fn(u64) -> u64,
+    ) -> Vec<Recovery> {
+        burst_ends
+            .iter()
+            .filter_map(|&end| {
+                events
+                    .iter()
+                    .find(|e| e.stable && e.round >= end)
+                    .map(|e| Recovery {
+                        burst_end_round: end,
+                        stable_round: e.round,
+                        nanos: e.at_nanos.saturating_sub(slot_start_nanos(end)),
+                    })
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,236 @@
+//! Minimal loom-style model checker: exhaustive interleaving of a small
+//! number of straight-line threads over cloneable shared state.
+//!
+//! The real `loom` crate explores thread schedules at the granularity of
+//! atomic operations by instrumenting `std::sync::atomic`. This offline
+//! shim takes a simpler but still exhaustive approach suited to the
+//! mailbox seqlock protocol in `sc-runtime`: each thread is a list of
+//! *steps* (closures over shared state `S` and a thread-local `L`), and
+//! the explorer enumerates **every** interleaving of those step lists via
+//! depth-first search, cloning the state at each branch point. An
+//! invariant callback runs after every step of every schedule; the first
+//! violation is reported with the schedule that produced it.
+//!
+//! Because each step runs atomically with respect to the other threads,
+//! steps must be written at the granularity of individual shared-memory
+//! accesses (one load or one store per step) for the exploration to be
+//! meaningful — the same discipline loom imposes. With that granularity,
+//! exhaustive interleaving of sequentially-consistent steps soundly
+//! over-approximates the torn-read behaviours the seqlock defends
+//! against: every possible "reader sees a half-written message" ordering
+//! appears as some schedule.
+//!
+//! The number of schedules for threads with `k1, k2, ...` steps is the
+//! multinomial `(k1+k2+...)! / (k1! k2! ...)` — keep step counts small
+//! (≤ ~10 total for 3 threads) and cap exploration with
+//! [`Explorer::schedule_limit`].
+
+use std::fmt;
+
+/// One atomic step of a modelled thread: mutates the shared state and the
+/// thread's local state.
+pub type Step<S, L> = Box<dyn Fn(&mut S, &mut L)>;
+
+/// A modelled thread: a name (for diagnostics) and a straight-line list
+/// of steps executed in order.
+pub struct ModelThread<S, L> {
+    pub name: &'static str,
+    pub steps: Vec<Step<S, L>>,
+}
+
+impl<S, L> ModelThread<S, L> {
+    pub fn new(name: &'static str, steps: Vec<Step<S, L>>) -> Self {
+        ModelThread { name, steps }
+    }
+}
+
+/// A schedule prefix that violated the invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Thread indices in execution order, up to and including the step
+    /// that exposed the violation.
+    pub schedule: Vec<usize>,
+    /// The invariant's explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "schedule {:?}: {}", self.schedule, self.message)
+    }
+}
+
+/// Exploration statistics for a completed (violation-free) run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Number of complete schedules executed.
+    pub schedules: u64,
+    /// Total steps executed across all schedules.
+    pub steps: u64,
+}
+
+/// Exhaustive-interleaving explorer over threads sharing state `S` with
+/// per-thread locals `L`.
+pub struct Explorer<S, L> {
+    threads: Vec<ModelThread<S, L>>,
+    schedule_limit: u64,
+}
+
+impl<S: Clone, L: Clone> Explorer<S, L> {
+    pub fn new(threads: Vec<ModelThread<S, L>>) -> Self {
+        Explorer {
+            threads,
+            schedule_limit: 5_000_000,
+        }
+    }
+
+    /// Cap the number of complete schedules explored (safety valve for
+    /// accidentally large models). Exceeding the cap panics: a truncated
+    /// exploration would silently weaken the check.
+    pub fn schedule_limit(mut self, limit: u64) -> Self {
+        self.schedule_limit = limit;
+        self
+    }
+
+    /// Run every interleaving from `initial` shared state and `locals`
+    /// (one per thread), checking `invariant` after each step.
+    ///
+    /// The invariant receives the shared state, all thread locals, and
+    /// the per-thread program counters (steps completed so far), and
+    /// returns `Err(message)` to report a violation.
+    pub fn check<F>(
+        &self,
+        initial: S,
+        locals: Vec<L>,
+        invariant: F,
+    ) -> Result<ExploreStats, Violation>
+    where
+        F: Fn(&S, &[L], &[usize]) -> Result<(), String>,
+    {
+        assert_eq!(
+            locals.len(),
+            self.threads.len(),
+            "one local state per thread"
+        );
+        let mut stats = ExploreStats {
+            schedules: 0,
+            steps: 0,
+        };
+        let mut pcs = vec![0usize; self.threads.len()];
+        let mut schedule = Vec::new();
+        self.dfs(
+            &initial,
+            &locals,
+            &mut pcs,
+            &mut schedule,
+            &invariant,
+            &mut stats,
+        )?;
+        Ok(stats)
+    }
+
+    fn dfs<F>(
+        &self,
+        state: &S,
+        locals: &[L],
+        pcs: &mut Vec<usize>,
+        schedule: &mut Vec<usize>,
+        invariant: &F,
+        stats: &mut ExploreStats,
+    ) -> Result<(), Violation>
+    where
+        F: Fn(&S, &[L], &[usize]) -> Result<(), String>,
+    {
+        let mut any_runnable = false;
+        for t in 0..self.threads.len() {
+            if pcs[t] >= self.threads[t].steps.len() {
+                continue;
+            }
+            any_runnable = true;
+            // Branch: clone the world, run thread t's next step.
+            let mut next_state = state.clone();
+            let mut next_locals = locals.to_vec();
+            (self.threads[t].steps[pcs[t]])(&mut next_state, &mut next_locals[t]);
+            pcs[t] += 1;
+            schedule.push(t);
+            stats.steps += 1;
+            let verdict = invariant(&next_state, &next_locals, pcs);
+            let result = match verdict {
+                Err(message) => Err(Violation {
+                    schedule: schedule.clone(),
+                    message,
+                }),
+                Ok(()) => self.dfs(&next_state, &next_locals, pcs, schedule, invariant, stats),
+            };
+            schedule.pop();
+            pcs[t] -= 1;
+            result?;
+        }
+        if !any_runnable {
+            stats.schedules += 1;
+            assert!(
+                stats.schedules <= self.schedule_limit,
+                "model exceeded schedule limit {} — shrink the step lists",
+                self.schedule_limit
+            );
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn incr_thread(times: usize) -> ModelThread<i64, ()> {
+        let steps: Vec<Step<i64, ()>> = (0..times)
+            .map(|_| Box::new(|s: &mut i64, _: &mut ()| *s += 1) as Step<i64, ()>)
+            .collect();
+        ModelThread::new("incr", steps)
+    }
+
+    #[test]
+    fn schedule_count_is_multinomial() {
+        // 2 threads × 3 steps each: C(6,3) = 20 schedules, 6 steps each.
+        let explorer = Explorer::new(vec![incr_thread(3), incr_thread(3)]);
+        let stats = explorer
+            .check(0i64, vec![(), ()], |_, _, _| Ok(()))
+            .expect("no violation");
+        assert_eq!(stats.schedules, 20);
+        // Steps counts edges of the prefix tree, shared between
+        // schedules: Σ_{a≤3, b≤3} C(a+b, a) − 1 = 68.
+        assert_eq!(stats.steps, 68);
+    }
+
+    #[test]
+    fn finds_lost_update() {
+        // Classic non-atomic read-modify-write: each thread loads into a
+        // local, then stores local+1. Some interleaving loses an update.
+        let make = || {
+            let steps: Vec<Step<i64, i64>> = vec![
+                Box::new(|s: &mut i64, l: &mut i64| *l = *s),
+                Box::new(|s: &mut i64, l: &mut i64| *s = *l + 1),
+            ];
+            ModelThread::new("rmw", steps)
+        };
+        let explorer = Explorer::new(vec![make(), make()]);
+        let result = explorer.check(0i64, vec![0, 0], |s, _, pcs| {
+            if pcs.iter().all(|&pc| pc == 2) && *s != 2 {
+                return Err(format!("lost update: counter = {s}"));
+            }
+            Ok(())
+        });
+        let violation = result.expect_err("interleaving must lose an update");
+        assert!(violation.message.contains("lost update"));
+    }
+
+    #[test]
+    fn three_thread_exploration_terminates() {
+        let explorer = Explorer::new(vec![incr_thread(2), incr_thread(2), incr_thread(2)]);
+        let stats = explorer
+            .check(0i64, vec![(), (), ()], |_, _, _| Ok(()))
+            .expect("no violation");
+        // 6! / (2! 2! 2!) = 90 schedules.
+        assert_eq!(stats.schedules, 90);
+    }
+}

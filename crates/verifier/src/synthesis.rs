@@ -405,8 +405,14 @@ pub struct SweepCheckpoint {
     pub found: Vec<(u64, u64)>,
 }
 
-/// Codec version tag of [`SweepCheckpoint::encode`].
-const CHECKPOINT_VERSION: u64 = 1;
+/// Codec version tag of [`SweepCheckpoint::encode`]. Version 2 added the
+/// corruption trailer: a declared body length after the version tag and
+/// an FNV-1a checksum after the body.
+const CHECKPOINT_VERSION: u64 = 2;
+
+/// FNV-1a offset basis / prime (64-bit), the repo's checksum of choice.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 impl SweepCheckpoint {
     /// A fresh sweep, positioned at candidate 0.
@@ -414,11 +420,51 @@ impl SweepCheckpoint {
         SweepCheckpoint::default()
     }
 
-    /// Appends the checkpoint to `out`: an 8-bit version, the position and
-    /// the five ledger counters (64 bits each), then the survivor and find
-    /// lists behind 32-bit lengths.
+    /// Body length in bits for the given list sizes: position + five
+    /// ledger counters (64 each), two 32-bit list lengths, the lists.
+    fn body_bits(survivors: u64, found: u64) -> u64 {
+        6 * 64 + 32 + survivors * 64 + 32 + found * 128
+    }
+
+    /// FNV-1a over every semantic field (word-at-a-time), the checksum
+    /// stored in the encode trailer. List lengths are folded in too, so
+    /// an element sliding between lists cannot collide.
+    fn digest(&self) -> u64 {
+        let mut hash = FNV_OFFSET;
+        let mut fold = |word: u64| {
+            hash ^= word;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        };
+        fold(self.position);
+        fold(self.ledger.screened);
+        fold(self.ledger.filtered);
+        fold(self.ledger.survivors);
+        fold(self.ledger.verified);
+        fold(self.ledger.found);
+        fold(self.survivors.len() as u64);
+        for &index in &self.survivors {
+            fold(index);
+        }
+        fold(self.found.len() as u64);
+        for &(index, time) in &self.found {
+            fold(index);
+            fold(time);
+        }
+        hash
+    }
+
+    /// Appends the checkpoint to `out`: an 8-bit version, a 32-bit body
+    /// length, the body (position and the five ledger counters at 64 bits
+    /// each, then the survivor and find lists behind 32-bit lengths), and
+    /// a 64-bit FNV-1a checksum over the semantic fields. Length and
+    /// checksum let [`SweepCheckpoint::decode`] reject truncated or
+    /// bit-flipped streams instead of resuming a sweep from garbage.
     pub fn encode(&self, out: &mut BitVec) {
         out.push_bits(CHECKPOINT_VERSION, 8);
+        out.push_bits(
+            Self::body_bits(self.survivors.len() as u64, self.found.len() as u64),
+            32,
+        );
         out.push_bits(self.position, 64);
         out.push_bits(self.ledger.screened, 64);
         out.push_bits(self.ledger.filtered, 64);
@@ -434,14 +480,18 @@ impl SweepCheckpoint {
             out.push_bits(index, 64);
             out.push_bits(time, 64);
         }
+        out.push_bits(self.digest(), 64);
     }
 
-    /// Decodes a checkpoint written by [`SweepCheckpoint::encode`].
+    /// Decodes a checkpoint written by [`SweepCheckpoint::encode`],
+    /// verifying the declared body length and the checksum trailer.
     ///
     /// # Errors
     ///
-    /// Returns [`CodecError`] when the bit string is truncated or the
-    /// version tag is unknown.
+    /// Returns [`CodecError`] when the bit string is truncated, the
+    /// version tag is unknown, the declared length disagrees with the
+    /// decoded list sizes (`"sweep checkpoint length"`), or the checksum
+    /// does not match the decoded fields (`"sweep checkpoint checksum"`).
     pub fn decode(input: &mut BitReader<'_>) -> Result<SweepCheckpoint, CodecError> {
         let version = input.read_bits(8)?;
         if version != CHECKPOINT_VERSION {
@@ -450,6 +500,7 @@ impl SweepCheckpoint {
                 value: version,
             });
         }
+        let declared = input.read_bits(32)?;
         let position = input.read_bits(64)?;
         let ledger = SweepLedger {
             screened: input.read_bits(64)?,
@@ -458,22 +509,44 @@ impl SweepCheckpoint {
             verified: input.read_bits(64)?,
             found: input.read_bits(64)?,
         };
-        let survivor_count = input.read_bits(32)? as usize;
-        let mut survivors = Vec::with_capacity(survivor_count);
+        let survivor_count = input.read_bits(32)?;
+        // Check the declared length *before* trusting a (possibly
+        // corrupted) count to size an allocation or a read loop.
+        if declared < Self::body_bits(survivor_count, 0) {
+            return Err(CodecError::InvalidField {
+                field: "sweep checkpoint length",
+                value: declared,
+            });
+        }
+        let mut survivors = Vec::with_capacity(survivor_count as usize);
         for _ in 0..survivor_count {
             survivors.push(input.read_bits(64)?);
         }
-        let found_count = input.read_bits(32)? as usize;
-        let mut found = Vec::with_capacity(found_count);
+        let found_count = input.read_bits(32)?;
+        if declared != Self::body_bits(survivor_count, found_count) {
+            return Err(CodecError::InvalidField {
+                field: "sweep checkpoint length",
+                value: declared,
+            });
+        }
+        let mut found = Vec::with_capacity(found_count as usize);
         for _ in 0..found_count {
             found.push((input.read_bits(64)?, input.read_bits(64)?));
         }
-        Ok(SweepCheckpoint {
+        let checksum = input.read_bits(64)?;
+        let checkpoint = SweepCheckpoint {
             position,
             ledger,
             survivors,
             found,
-        })
+        };
+        if checksum != checkpoint.digest() {
+            return Err(CodecError::InvalidField {
+                field: "sweep checkpoint checksum",
+                value: checksum,
+            });
+        }
+        Ok(checkpoint)
     }
 }
 
@@ -775,6 +848,109 @@ mod tests {
         let mut bad = sc_protocol::BitVec::new();
         bad.push_bits(99, 8);
         assert!(SweepCheckpoint::decode(&mut bad.reader()).is_err());
+    }
+
+    /// The fixture shared by the corruption tests: non-trivial lists so
+    /// every codec region (counters, lengths, elements, trailer) exists.
+    fn corruption_fixture() -> SweepCheckpoint {
+        SweepCheckpoint {
+            position: 37,
+            ledger: SweepLedger {
+                screened: 37,
+                filtered: 30,
+                survivors: 7,
+                verified: 7,
+                found: 2,
+            },
+            survivors: vec![3, 9, 11, 20, 21, 30, 36],
+            found: vec![(9, 4), (21, 7)],
+        }
+    }
+
+    #[test]
+    fn checkpoint_rejects_every_truncation() {
+        let checkpoint = corruption_fixture();
+        let mut bits = sc_protocol::BitVec::new();
+        checkpoint.encode(&mut bits);
+        // The checksum trailer is last, so no strict prefix can decode:
+        // every one must fail with a typed error, never return Ok.
+        for keep in 0..bits.len() {
+            let mut truncated = sc_protocol::BitVec::new();
+            for i in 0..keep {
+                truncated.push_bit(bits.bit(i));
+            }
+            assert!(
+                SweepCheckpoint::decode(&mut truncated.reader()).is_err(),
+                "a {keep}-bit prefix of a {}-bit checkpoint must not decode",
+                bits.len()
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_rejects_every_single_bit_flip() {
+        let checkpoint = corruption_fixture();
+        let mut bits = sc_protocol::BitVec::new();
+        checkpoint.encode(&mut bits);
+        for flip in 0..bits.len() {
+            let mut mutated = sc_protocol::BitVec::new();
+            for i in 0..bits.len() {
+                mutated.push_bit(bits.bit(i) ^ (i == flip));
+            }
+            let result = SweepCheckpoint::decode(&mut mutated.reader());
+            assert!(
+                result.is_err(),
+                "flipping bit {flip} must not decode to a valid checkpoint, got {result:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_flip_errors_are_typed_by_region() {
+        use sc_protocol::CodecError;
+        let checkpoint = corruption_fixture();
+        let mut bits = sc_protocol::BitVec::new();
+        checkpoint.encode(&mut bits);
+        let flipped = |flip: usize| {
+            let mut mutated = sc_protocol::BitVec::new();
+            for i in 0..bits.len() {
+                mutated.push_bit(bits.bit(i) ^ (i == flip));
+            }
+            SweepCheckpoint::decode(&mut mutated.reader()).unwrap_err()
+        };
+        // Bit 0 lives in the 8-bit version tag.
+        assert!(matches!(
+            flipped(0),
+            CodecError::InvalidField {
+                field: "sweep checkpoint version",
+                ..
+            }
+        ));
+        // Bit 8 is the top of the declared body length.
+        assert!(matches!(
+            flipped(8),
+            CodecError::InvalidField {
+                field: "sweep checkpoint length",
+                ..
+            }
+        ));
+        // Bit 50 sits inside the `position` body word: the stream stays
+        // structurally parseable, so only the checksum catches it.
+        assert!(matches!(
+            flipped(50),
+            CodecError::InvalidField {
+                field: "sweep checkpoint checksum",
+                ..
+            }
+        ));
+        // The final bit is the checksum itself.
+        assert!(matches!(
+            flipped(bits.len() - 1),
+            CodecError::InvalidField {
+                field: "sweep checkpoint checksum",
+                ..
+            }
+        ));
     }
 
     /// The pool-backed sweep must fold to the serial checkpoint bitwise at

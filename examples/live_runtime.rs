@@ -1,0 +1,105 @@
+//! Live runtime demo: run A(4, 1) on real OS threads with a scripted
+//! Byzantine node injected mid-run, serve counter reads from the
+//! versioned snapshot while the fault burst is raging, and print the
+//! watchdog's stability timeline and recovery measurement.
+//!
+//! Run with `cargo run --release --example live_runtime`.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use synchronous_counting::attack::{MoveSpace, Script};
+use synchronous_counting::core::CounterBuilder;
+use synchronous_counting::protocol::Counter;
+use synchronous_counting::runtime::{
+    run_deterministic, run_live, FaultEntry, FaultKind, FaultPlan, RuntimeConfig,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let counter = CounterBuilder::corollary1(1, 2)?.build()?;
+    println!(
+        "A(4,1): n = 4, f = {}, counting mod {}, {} state bits",
+        counter.resilience(),
+        counter.modulus(),
+        counter.state_bits()
+    );
+
+    // A searched-style lasso script for node 2 — the same witness format
+    // the attack search emits — replayed live during rounds [20, 44).
+    let mut rng = SmallRng::seed_from_u64(7);
+    let script = Script::random(4, vec![2], 6, 2, &MoveSpace::echoes(3), &mut rng);
+    let plan = FaultPlan::new(
+        4,
+        vec![FaultEntry {
+            node: 2,
+            from_round: 20,
+            until_round: Some(44),
+            kind: FaultKind::Scripted(script),
+        }],
+    )?;
+    let config = RuntimeConfig {
+        period_ns: 2_000_000, // 2 ms rounds
+        horizon: 120,
+        seed: 42,
+        confirm: None,
+        quorum: None,
+        plan,
+    };
+
+    // Four node threads + a monitor start here; the closure runs
+    // concurrently on this thread, reading the converged counter exactly
+    // like an external service would.
+    let (report, reads) = run_live(&counter, &config, |handle| {
+        let mut reads = 0u64;
+        let mut last = (0u64, u64::MAX);
+        while !handle.is_done() {
+            let (version, value) = handle.read(); // one atomic load
+            if version > 0 && (version, value) != last {
+                last = (version, value);
+            }
+            reads += 1;
+        }
+        reads
+    })?;
+
+    println!(
+        "\n{} rounds in {:.1} ms; served {} snapshot reads ({:.1}M reads/s)",
+        report.rounds,
+        report.wall_nanos as f64 / 1e6,
+        reads,
+        reads as f64 / (report.wall_nanos as f64 / 1e9) / 1e6
+    );
+    println!("stability timeline (watchdog observations):");
+    for event in &report.events {
+        println!(
+            "  round {:>3}: {} (since round {}, at {:.1} ms)",
+            event.round,
+            if event.stable { "STABLE" } else { "lost" },
+            event.since,
+            event.at_nanos as f64 / 1e6
+        );
+    }
+    for recovery in &report.recoveries {
+        println!(
+            "recovered from the burst ending at round {}: stable again at \
+             round {} ({:.1} ms after the burst)",
+            recovery.burst_end_round,
+            recovery.stable_round,
+            recovery.nanos as f64 / 1e6
+        );
+    }
+    if report.recoveries.is_empty() {
+        println!(
+            "the scripted node stayed within the f = 1 budget: the counter \
+             masked it and never lost stability — nothing to recover from"
+        );
+    }
+
+    // The same scenario through the deterministic harness: virtual
+    // clock, seeded scheduler, same node logic — bit-reproducible.
+    let det = run_deterministic(&counter, &config)?;
+    println!(
+        "\ndeterministic replay: first stable round {:?}, digest 0x{:016x}",
+        det.first_stable_round, det.digest
+    );
+    Ok(())
+}

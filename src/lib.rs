@@ -25,6 +25,11 @@
 //! * [`pulling`] — the randomised pulling-model constructions of §5.
 //! * [`attack`] — worst-case adversary search: scripted attacks as data,
 //!   witness replay, and guided search over the equivocation space.
+//! * [`runtime`] — the live runtime: OS threads exchanging states through
+//!   a lock-free mailbox plane on self-clocked rounds, fault injection
+//!   (crash / mute / delay / equivocate / scripted witnesses), a
+//!   watchdog monitor, a versioned-snapshot read path, and a
+//!   deterministic harness replaying every scenario bit-identically.
 //!
 //! # Quickstart
 //!
@@ -55,5 +60,6 @@ pub use sc_consensus as consensus;
 pub use sc_core as core;
 pub use sc_protocol as protocol;
 pub use sc_pulling as pulling;
+pub use sc_runtime as runtime;
 pub use sc_sim as sim;
 pub use sc_verifier as verifier;
