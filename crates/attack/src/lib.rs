@@ -101,7 +101,7 @@ mod sliced;
 
 pub use adversary::{RawState, SampledRaw, ScriptedAdversary};
 pub use objective::{Delay, Objective};
-pub use prefilter::AttackPreFilter;
+pub use prefilter::{AttackPreFilter, FilterMeter};
 pub use script::{Move, MoveSpace, Script};
 pub use search::{PeriodPoint, SearchConfig, SearchReport};
 pub use sliced::SlicedScript;

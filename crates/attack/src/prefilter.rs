@@ -30,6 +30,198 @@ use sc_verifier::CandidateFilter;
 use crate::search::{hill_climb, SearchConfig};
 use crate::{MoveSpace, Objective, Script};
 
+#[cfg(feature = "trace")]
+pub use meter::FilterMeter;
+
+#[cfg(not(feature = "trace"))]
+pub use meter_noop::FilterMeter;
+
+/// Live metering for [`AttackPreFilter`] sweeps (`trace` feature on).
+///
+/// The filter's own `screened`/`rejected`/`evaluations` ledger is
+/// fork-local — worker forks report zero until [`CandidateFilter::absorb`]
+/// folds them back at the end of a sweep chunk. A [`FilterMeter`] is the
+/// live view: forks share the parent's counter cells (cloning the meter
+/// clones `Arc`s), so a long family sweep's reject rate and evals/s read
+/// correctly *while* workers screen.
+#[cfg(feature = "trace")]
+mod meter {
+    use std::fmt;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    use sc_obs::{CounterCell, MetricsSnapshot, Registry};
+
+    struct Inner {
+        registry: Registry,
+        screened: Arc<CounterCell>,
+        rejected: Arc<CounterCell>,
+        evaluations: Arc<CounterCell>,
+        started: Instant,
+    }
+
+    /// Shared pre-filter meter; see the module docs. Default instances
+    /// are detached (every call is a `None` check).
+    #[derive(Clone, Default)]
+    pub struct FilterMeter {
+        inner: Option<Arc<Inner>>,
+    }
+
+    impl FilterMeter {
+        /// An attached meter with live counters.
+        pub fn recording() -> FilterMeter {
+            let registry = Registry::new();
+            FilterMeter {
+                inner: Some(Arc::new(Inner {
+                    screened: registry.counter("attack.screened"),
+                    rejected: registry.counter("attack.rejected"),
+                    evaluations: registry.counter("attack.evaluations"),
+                    registry,
+                    started: Instant::now(),
+                })),
+            }
+        }
+
+        /// Whether this meter records anything.
+        pub fn is_recording(&self) -> bool {
+            self.inner.is_some()
+        }
+
+        #[inline]
+        pub(crate) fn screened_inc(&self) {
+            if let Some(inner) = &self.inner {
+                inner.screened.inc();
+            }
+        }
+
+        #[inline]
+        pub(crate) fn rejected_inc(&self) {
+            if let Some(inner) = &self.inner {
+                inner.rejected.inc();
+            }
+        }
+
+        #[inline]
+        pub(crate) fn evals_add(&self, n: u64) {
+            if let Some(inner) = &self.inner {
+                inner.evaluations.add(n);
+            }
+        }
+
+        /// `(screened, rejected, evaluations)` so far, across every
+        /// holder of this meter — forks included.
+        pub fn counts(&self) -> (u64, u64, u64) {
+            self.inner.as_ref().map_or((0, 0, 0), |i| {
+                (i.screened.get(), i.rejected.get(), i.evaluations.get())
+            })
+        }
+
+        /// Fraction of screened candidates rejected so far (0 when
+        /// nothing was screened).
+        pub fn reject_rate(&self) -> f64 {
+            let (screened, rejected, _) = self.counts();
+            if screened == 0 {
+                0.0
+            } else {
+                rejected as f64 / screened as f64
+            }
+        }
+
+        /// Sweep evaluations per second since the meter was created.
+        pub fn evals_per_sec(&self) -> f64 {
+            self.inner.as_ref().map_or(0.0, |i| {
+                let secs = i.started.elapsed().as_secs_f64();
+                if secs > 0.0 {
+                    i.evaluations.get() as f64 / secs
+                } else {
+                    0.0
+                }
+            })
+        }
+
+        /// Snapshot of the meters, with the derived rates folded in as
+        /// the `attack.reject_rate_permille` / `attack.evals_per_sec`
+        /// gauges.
+        pub fn metrics(&self) -> Option<MetricsSnapshot> {
+            self.inner.as_ref().map(|i| {
+                i.registry
+                    .gauge("attack.reject_rate_permille")
+                    .set((self.reject_rate() * 1000.0) as i64);
+                i.registry
+                    .gauge("attack.evals_per_sec")
+                    .set(self.evals_per_sec() as i64);
+                i.registry.snapshot()
+            })
+        }
+    }
+
+    impl fmt::Debug for FilterMeter {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match &self.inner {
+                Some(_) => {
+                    let (screened, rejected, evaluations) = self.counts();
+                    write!(
+                        f,
+                        "FilterMeter(recording, screened: {screened}, \
+                         rejected: {rejected}, evaluations: {evaluations})"
+                    )
+                }
+                None => write!(f, "FilterMeter(detached)"),
+            }
+        }
+    }
+}
+
+/// No-op mirror of the pre-filter meter (`trace` feature off).
+#[cfg(not(feature = "trace"))]
+mod meter_noop {
+    /// Pre-filter meter (`trace` feature off): a ZST whose every method
+    /// is an inlined empty body. `Clone` only (no `Copy`) so call sites
+    /// clone identically under both feature states.
+    #[derive(Clone, Debug, Default)]
+    pub struct FilterMeter {}
+
+    impl FilterMeter {
+        /// A no-op meter (the `trace` feature is off).
+        pub fn recording() -> FilterMeter {
+            FilterMeter {}
+        }
+
+        /// Always `false` without the `trace` feature.
+        #[inline(always)]
+        pub fn is_recording(&self) -> bool {
+            false
+        }
+
+        #[inline(always)]
+        pub(crate) fn screened_inc(&self) {}
+
+        #[inline(always)]
+        pub(crate) fn rejected_inc(&self) {}
+
+        #[inline(always)]
+        pub(crate) fn evals_add(&self, _n: u64) {}
+
+        /// Always zero without the `trace` feature.
+        #[inline(always)]
+        pub fn counts(&self) -> (u64, u64, u64) {
+            (0, 0, 0)
+        }
+
+        /// Always 0 without the `trace` feature.
+        #[inline(always)]
+        pub fn reject_rate(&self) -> f64 {
+            0.0
+        }
+
+        /// Always 0 without the `trace` feature.
+        #[inline(always)]
+        pub fn evals_per_sec(&self) -> f64 {
+            0.0
+        }
+    }
+}
+
 /// Cross-candidate invariants of one candidate shape: the seeded scenario
 /// sweep [`Objective::new`] would sample. The initial configurations are a
 /// pure function of `(n, states)` and the filter's scenario count — a LUT
@@ -71,6 +263,8 @@ pub struct AttackPreFilter {
     /// same `(n, states)` — a family sweep resamples nothing after the
     /// first candidate.
     warm: Option<WarmSweep>,
+    /// Live shared meter (a no-op ZST without the `trace` feature).
+    meter: FilterMeter,
 }
 
 impl AttackPreFilter {
@@ -86,7 +280,18 @@ impl AttackPreFilter {
             rejected: 0,
             evaluations: 0,
             warm: None,
+            meter: FilterMeter::default(),
         }
+    }
+
+    /// Attaches a live [`FilterMeter`]: every screen, rejection and sweep
+    /// evaluation — across worker forks too — is counted into the meter's
+    /// shared cells as it happens, unlike the fork-local audit ledger
+    /// that only folds at [`CandidateFilter::absorb`]. Screening results
+    /// are unchanged.
+    pub fn with_meter(mut self, meter: FilterMeter) -> AttackPreFilter {
+        self.meter = meter;
+        self
     }
 
     /// Candidates screened so far.
@@ -161,6 +366,7 @@ impl AttackPreFilter {
             script.map(|script| {
                 let delay = obj.evaluate(&script);
                 self.evaluations += obj.evaluations();
+                self.meter.evals_add(obj.evaluations());
                 delay.unstable > 0
             })
         } else {
@@ -177,6 +383,7 @@ impl AttackPreFilter {
             cfg.threads = 1;
             let report = hill_climb(&obj, &cfg);
             self.evaluations += report.evaluations;
+            self.meter.evals_add(report.evaluations);
             Some(report.delay.unstable > 0)
         };
         if let Some(warm) = self.warm.as_mut() {
@@ -189,9 +396,11 @@ impl AttackPreFilter {
 impl CandidateFilter for AttackPreFilter {
     fn reject(&mut self, lut: &LutCounter) -> bool {
         self.screened += 1;
+        self.meter.screened_inc();
         let broken = self.breaks(lut).unwrap_or(false);
         if broken {
             self.rejected += 1;
+            self.meter.rejected_inc();
         }
         broken
     }
@@ -211,6 +420,9 @@ impl CandidateFilter for AttackPreFilter {
             rejected: 0,
             evaluations: 0,
             warm: self.warm.clone(),
+            // Forks share the parent's meter cells, so the meter reads
+            // live totals while `absorb` still folds the audit ledger.
+            meter: self.meter.clone(),
         })
     }
 
@@ -278,5 +490,35 @@ mod tests {
         assert!(!filter.reject(&lut));
         assert_eq!(filter.screened(), 1);
         assert_eq!(filter.rejected(), 0);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn meter_mirrors_the_ledger_across_forks() {
+        let lut = follow_max(4, 1);
+        let meter = FilterMeter::recording();
+        let mut filter = AttackPreFilter::new(4, 3, 64, 7).with_meter(meter.clone());
+        assert!(filter.reject(&lut));
+        // A fork screens into the *same* meter while its own ledger
+        // stays fork-local until absorb.
+        let mut fork = filter.fork().expect("filter forks");
+        assert!(fork.reject(&lut));
+        assert_eq!(fork.screened(), 1);
+        assert_eq!(filter.screened(), 1, "parent ledger not yet folded");
+        let (screened, rejected, evaluations) = meter.counts();
+        assert_eq!(screened, 2, "meter reads live totals across forks");
+        assert_eq!(rejected, 2);
+        assert!(evaluations > 0);
+        filter.absorb(fork);
+        assert_eq!(filter.screened(), 2);
+        assert_eq!(
+            meter.counts().0,
+            filter.screened(),
+            "after absorb, ledger and meter agree"
+        );
+        assert!((meter.reject_rate() - 1.0).abs() < f64::EPSILON);
+        let metrics = meter.metrics().expect("recording meter");
+        assert_eq!(metrics.counter("attack.screened"), Some(2));
+        assert_eq!(metrics.counter("attack.rejected"), Some(2));
     }
 }

@@ -36,7 +36,13 @@
 //!   saturating snapshot readers — reads/s (≥ 1M gated), per-burst
 //!   recovery percentiles, batched read-latency percentiles, and the
 //!   deterministic harness's digest-equality witness; measurements append
-//!   to `BENCH_runtime.json`.
+//!   to `BENCH_runtime.json`,
+//! * the **observability table** (`--features trace` builds): the traced
+//!   live hot path within **≤ 5%** of untraced wall clock, the metered
+//!   `CounterHandle` read path holding the **≥ 1M reads/s** gate, the
+//!   traced-vs-untraced digest-equality witness, and a flight-recorder
+//!   firing on an injected over-budget burst; measurements append to
+//!   `BENCH_obs.json`.
 //!
 //! The first-generation `reference_step` engine and its clone-cost baseline
 //! are gone (the bitwise equivalence gate stayed green from PR 1 through
@@ -1665,6 +1671,248 @@ fn runtime_table() {
     }
 }
 
+/// The observability table (trace builds): the traced live-runtime hot
+/// path against the untraced one — same config, same seed, wall-clock
+/// compared with a **≤ 5%** overhead gate (instrumentation is a handful
+/// of ring pushes per round; the wall clock is paced by the round
+/// schedule, so any real perturbation shows up as deadline misses and a
+/// longer run) — the metered [`sc_runtime::CounterHandle`] read path
+/// under the same **≥ 1M reads/s** gate as the runtime table (the
+/// read-rate meter is one thread-local increment per read), the
+/// traced-vs-untraced digest-equality witness on the deterministic
+/// harness, and a flight-recorder firing on an injected over-budget
+/// burst with its merged dump sizes. Measurements append to
+/// `BENCH_obs.json`.
+#[cfg(feature = "trace")]
+fn observability_table() {
+    use sc_runtime::obs::{FlightConfig, TriggerReason};
+    use sc_runtime::{
+        run_deterministic, run_deterministic_obs, run_live_obs, FaultEntry, FaultKind, FaultPlan,
+        RuntimeConfig, RuntimeObs,
+    };
+
+    /// Round period: roomy enough that loaded CI machines make deadlines.
+    const PERIOD_NS: u64 = 1_000_000;
+    /// Rounds per timed live run (~60 ms of wall clock each).
+    const LIVE_HORIZON: u64 = 60;
+    /// Wall-clock passes per variant; the minimum is compared, so one
+    /// descheduled run cannot fail the overhead gate on its own.
+    const PASSES: usize = 3;
+    const READERS: usize = 2;
+
+    println!("## observability — traced hot path vs untraced, metered reads, flight recorder\n");
+
+    let algo = CounterBuilder::corollary1(1, 2).unwrap().build().unwrap();
+    let live_cfg = RuntimeConfig {
+        period_ns: PERIOD_NS,
+        horizon: LIVE_HORIZON,
+        seed: 0x0b5,
+        confirm: None,
+        quorum: None,
+        plan: FaultPlan::honest(4),
+    };
+
+    // --- live hot path: wall clock, detached bundle vs recording. ---------
+    let timed_live = |obs: &RuntimeObs| {
+        (0..PASSES)
+            .map(|_| {
+                let (report, ()) = run_live_obs(&algo, &live_cfg, obs, |_| {}).unwrap();
+                report.wall_nanos
+            })
+            .min()
+            .unwrap()
+    };
+    let untraced_ns = timed_live(&RuntimeObs::default());
+    let recording = RuntimeObs::recording(FlightConfig::default());
+    let traced_ns = timed_live(&recording);
+    let overhead = traced_ns as f64 / untraced_ns as f64;
+    assert!(
+        recording.collector().unwrap().total_pushed() > 0,
+        "the recording run must actually record"
+    );
+    assert!(
+        overhead <= 1.05,
+        "traced live hot path must stay within 5% of untraced, \
+         got {overhead:.3}x ({traced_ns} ns vs {untraced_ns} ns)"
+    );
+
+    // --- the metered read path under the runtime table's rate gate. -------
+    let read_obs = RuntimeObs::recording(FlightConfig::default());
+    let (read_report, reader_counts): (_, Vec<u64>) =
+        run_live_obs(&algo, &live_cfg, &read_obs, |handle| {
+            std::thread::scope(|scope| {
+                let spawned: Vec<_> = (0..READERS)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let metered = read_obs.meter_reads(handle);
+                            let mut reads = 0u64;
+                            while !metered.is_done() {
+                                metered.read();
+                                reads += 1;
+                            }
+                            reads
+                        })
+                    })
+                    .collect();
+                spawned
+                    .into_iter()
+                    .map(|h| h.join().expect("reader thread panicked"))
+                    .collect()
+            })
+        })
+        .unwrap();
+    let metered_reads: u64 = reader_counts.iter().sum();
+    let reads_per_sec = metered_reads as f64 / (read_report.wall_nanos as f64 / 1e9);
+    assert_eq!(
+        read_obs.metrics().unwrap().counter("runtime.reads"),
+        Some(metered_reads),
+        "the read meter must count every read exactly"
+    );
+    assert!(
+        reads_per_sec >= 1_000_000.0,
+        "the metered snapshot plane must still serve ≥ 1M reads/s, got {reads_per_sec:.0}"
+    );
+
+    // --- digest equality on the deterministic harness. --------------------
+    let det_cfg = RuntimeConfig {
+        period_ns: PERIOD_NS,
+        horizon: 60,
+        seed: 77,
+        confirm: None,
+        quorum: None,
+        plan: FaultPlan::new(
+            4,
+            vec![FaultEntry {
+                node: 0,
+                from_round: 4,
+                until_round: Some(20),
+                kind: FaultKind::Delayed {
+                    jitter_permille: 2000,
+                },
+            }],
+        )
+        .unwrap(),
+    };
+    let det_plain = run_deterministic(&algo, &det_cfg).unwrap();
+    let det_obs = RuntimeObs::recording(FlightConfig::default());
+    let det_traced = run_deterministic_obs(&algo, &det_cfg, &det_obs).unwrap();
+    assert_eq!(
+        det_plain.digest, det_traced.digest,
+        "tracing must not perturb the deterministic digest"
+    );
+    let events_pushed = det_obs.collector().unwrap().total_pushed();
+
+    // --- flight recorder on an injected over-budget burst. ----------------
+    // Probe where this seed confirms stability, then break the budget:
+    // two simultaneous equivocators leave only two fresh board rows.
+    let seed = 90;
+    let probe_cfg = RuntimeConfig {
+        period_ns: PERIOD_NS,
+        horizon: 200,
+        seed,
+        confirm: None,
+        quorum: None,
+        plan: FaultPlan::honest(4),
+    };
+    let stable_at = run_deterministic(&algo, &probe_cfg)
+        .unwrap()
+        .first_stable_round
+        .expect("fault-free run stabilises");
+    let burst_start = stable_at + 4;
+    let burst_end = burst_start + 16;
+    let flight_cfg = RuntimeConfig {
+        period_ns: PERIOD_NS,
+        horizon: burst_end + algo.stabilization_bound() * 4 + 24,
+        seed,
+        confirm: None,
+        quorum: Some(3), // the default n − fault_count is no majority here
+        plan: FaultPlan::new(
+            4,
+            (2..4)
+                .map(|node| FaultEntry {
+                    node,
+                    from_round: burst_start,
+                    until_round: Some(burst_end),
+                    kind: FaultKind::Equivocate,
+                })
+                .collect(),
+        )
+        .unwrap(),
+    };
+    let flight_obs = RuntimeObs::recording(FlightConfig::default());
+    run_deterministic_obs(&algo, &flight_cfg, &flight_obs).unwrap();
+    assert!(
+        flight_obs.flight_fired(),
+        "the over-budget burst must fire the flight recorder"
+    );
+    let dump = flight_obs.flight_dump().expect("fired recorder has a dump");
+    assert_eq!(dump.reason, TriggerReason::StabilityLost);
+    assert!(!dump.stream.events.is_empty(), "window must hold events");
+
+    println!(
+        "| {:>14} | {:>12} | {:>8} | {:>12} | {:>13} | {:>22} |",
+        "untraced (ms)", "traced (ms)", "overhead", "m. reads/s", "events pushed", "flight"
+    );
+    println!(
+        "|{}|{}|{}|{}|{}|{}|",
+        "-".repeat(16),
+        "-".repeat(14),
+        "-".repeat(10),
+        "-".repeat(14),
+        "-".repeat(15),
+        "-".repeat(24)
+    );
+    println!(
+        "| {:>14.2} | {:>12.2} | {:>7.3}x | {:>12.0} | {:>13} | {:>22} |",
+        untraced_ns as f64 / 1e6,
+        traced_ns as f64 / 1e6,
+        overhead,
+        reads_per_sec,
+        events_pushed,
+        format!("{} ({} ev)", dump.reason.name(), dump.stream.events.len()),
+    );
+    println!(
+        "\ndet digest 0x{:016x} traced == untraced, flight window \
+         [{}, {}]\n",
+        det_traced.digest, dump.first_round, dump.round
+    );
+
+    let line = format!(
+        "{{\"bench\":\"obs\",\"gate_max_overhead\":1.05,\
+         \"gate_min_reads_per_sec\":1000000.0,\
+         \"live_wall_ns\":{{\"untraced\":{untraced_ns},\"traced\":{traced_ns}}},\
+         \"overhead\":{overhead:.4},\"metered_reads\":{metered_reads},\
+         \"metered_reads_per_sec\":{reads_per_sec:.0},\
+         \"events_pushed\":{events_pushed},\"det_digest\":\"0x{:016x}\",\
+         \"digest_match\":true,\"flight\":{{\"fired\":true,\"reason\":\"{}\",\
+         \"trigger_round\":{},\"events\":{}}}}}\n",
+        det_traced.digest,
+        dump.reason.name(),
+        dump.round,
+        dump.stream.events.len()
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    match appended {
+        Ok(()) => println!("trajectory appended to BENCH_obs.json"),
+        Err(e) => println!("warning: could not write BENCH_obs.json: {e}"),
+    }
+}
+
+/// Without the `trace` feature the observability table has nothing to
+/// measure — the seam compiles to no-ops by design.
+#[cfg(not(feature = "trace"))]
+fn observability_table() {
+    println!(
+        "## observability — skipped (rebuild with `--features trace` \
+         for the traced-runtime table)\n"
+    );
+}
+
 criterion_group!(benches, bench_throughput);
 
 fn main() {
@@ -1673,13 +1921,19 @@ fn main() {
     // early-vs-full verdict gate, and the verifier equivalence gate.
     // THROUGHPUT_PARALLEL_ONLY=1 runs just the parallel-scaling table — the
     // quick loop for tuning the executor gates without the other tables.
-    // THROUGHPUT_RUNTIME_ONLY=1 likewise runs just the live-runtime table.
+    // THROUGHPUT_RUNTIME_ONLY=1 likewise runs just the live-runtime table,
+    // and THROUGHPUT_OBS_ONLY=1 just the observability table (which needs
+    // a `--features trace` build to measure anything).
     if std::env::var_os("THROUGHPUT_PARALLEL_ONLY").is_some() {
         parallel_table();
         return;
     }
     if std::env::var_os("THROUGHPUT_RUNTIME_ONLY").is_some() {
         runtime_table();
+        return;
+    }
+    if std::env::var_os("THROUGHPUT_OBS_ONLY").is_some() {
+        observability_table();
         return;
     }
     if std::env::var_os("THROUGHPUT_SUMMARY_ONLY").is_none() {
@@ -1693,4 +1947,5 @@ fn main() {
     synthesis_table();
     parallel_table();
     runtime_table();
+    observability_table();
 }

@@ -41,9 +41,10 @@ use std::any::Any;
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::ThreadId;
+use std::time::Instant;
 
 /// Parses an `SC_THREADS`-style override: a decimal thread budget, clamped
 /// to at least 1. Returns `None` (fall back to `available_parallelism`)
@@ -82,6 +83,40 @@ where
     pool().map(len, cap, task)
 }
 
+/// Lifetime pool introspection counters. All updates are relaxed atomics:
+/// the hot claim path pays exactly one extra `fetch_add`, everything else
+/// is per-batch or per-panic (cold).
+#[derive(Default)]
+struct StatCells {
+    batches: AtomicU64,
+    submitted: AtomicU64,
+    claimed: AtomicU64,
+    panicked: AtomicU64,
+    busy_ns: AtomicU64,
+}
+
+/// A point-in-time copy of a pool's introspection counters
+/// ([`Pool::stats`]). Counters are lifetime totals, monotone across
+/// snapshots; observability code derives rates by differencing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Background worker threads (the submitter is always one more).
+    pub workers: usize,
+    /// `map` calls served (serial fast path included).
+    pub batches: u64,
+    /// Task indices submitted across all batches.
+    pub submitted: u64,
+    /// Task indices claimed and executed (equals `submitted` once all
+    /// batches have drained, short only of serial-path panics).
+    pub claimed: u64,
+    /// Tasks that panicked (each re-raised on its submitter).
+    pub panicked: u64,
+    /// Total wall nanoseconds background workers spent inside batches
+    /// (executing claims). Submitter participation is not counted — it
+    /// is the caller's own time. Idle time is uptime minus this.
+    pub busy_ns: u64,
+}
+
 /// The per-batch progress ledger, shared between submitter and workers.
 struct BatchState {
     /// Indices fully executed (slot written or panic recorded).
@@ -113,6 +148,8 @@ struct BatchCore {
     aborted: AtomicBool,
     state: Mutex<BatchState>,
     done: Condvar,
+    /// The owning pool's counters (claim / panic accounting).
+    stats: Arc<StatCells>,
 }
 
 // The raw pointers are only dereferenced for claimed indices `< len`,
@@ -144,6 +181,7 @@ where
         if index >= core.len {
             return;
         }
+        core.stats.claimed.fetch_add(1, Ordering::Relaxed);
         // Only form references once the claim guarantees liveness.
         let task = &*(core.task as *const F);
         let slots = core.slots as *const Slot<T>;
@@ -159,6 +197,7 @@ where
                 }
                 Err(payload) => {
                     core.aborted.store(true, Ordering::Relaxed);
+                    core.stats.panicked.fetch_add(1, Ordering::Relaxed);
                     Some(payload)
                 }
             }
@@ -186,6 +225,7 @@ struct Queue {
 pub struct Pool {
     queue: Arc<Queue>,
     workers: usize,
+    stats: Arc<StatCells>,
 }
 
 impl Pool {
@@ -196,12 +236,14 @@ impl Pool {
             jobs: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
         });
+        let stats = Arc::new(StatCells::default());
         let mut started = 0;
         for worker in 0..workers {
             let queue = Arc::clone(&queue);
+            let stats = Arc::clone(&stats);
             let spawned = std::thread::Builder::new()
                 .name(format!("sc-exec-{worker}"))
-                .spawn(move || worker_loop(&queue));
+                .spawn(move || worker_loop(&queue, &stats));
             if spawned.is_ok() {
                 started += 1;
             }
@@ -209,12 +251,32 @@ impl Pool {
         Pool {
             queue,
             workers: started,
+            stats,
         }
     }
 
     /// Background workers (the submitter is always one more executor).
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// A snapshot of the pool's lifetime counters. Lock-free reads of
+    /// relaxed atomics — safe to poll from a metrics thread at any rate.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self.workers,
+            batches: self.stats.batches.load(Ordering::Relaxed),
+            submitted: self.stats.submitted.load(Ordering::Relaxed),
+            claimed: self.stats.claimed.load(Ordering::Relaxed),
+            panicked: self.stats.panicked.load(Ordering::Relaxed),
+            busy_ns: self.stats.busy_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Batches currently enqueued and not yet picked up (wake-up tickets
+    /// outstanding). Takes the queue lock briefly; observability only.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.jobs.lock().unwrap().len()
     }
 
     /// Evaluates `task(0..len)` with at most `cap` threads (submitter
@@ -229,9 +291,15 @@ impl Pool {
         if len == 0 {
             return Vec::new();
         }
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .submitted
+            .fetch_add(len as u64, Ordering::Relaxed);
         let cap = cap.min(len).max(1);
         if cap == 1 || self.workers == 0 {
-            return (0..len).map(task).collect();
+            let out: Vec<T> = (0..len).map(task).collect();
+            self.stats.claimed.fetch_add(len as u64, Ordering::Relaxed);
+            return out;
         }
 
         let slots: Vec<Slot<T>> = (0..len).map(|_| Slot(UnsafeCell::new(None))).collect();
@@ -247,6 +315,7 @@ impl Pool {
                 panic: None,
             }),
             done: Condvar::new(),
+            stats: Arc::clone(&self.stats),
         });
 
         let tickets = (cap - 1).min(self.workers);
@@ -287,7 +356,7 @@ impl Pool {
     }
 }
 
-fn worker_loop(queue: &Queue) {
+fn worker_loop(queue: &Queue, stats: &StatCells) {
     loop {
         let core = {
             let mut jobs = queue.jobs.lock().unwrap();
@@ -298,7 +367,11 @@ fn worker_loop(queue: &Queue) {
                 jobs = queue.available.wait(jobs).unwrap();
             }
         };
+        let entered = Instant::now();
         unsafe { (core.enter)(&core) };
+        stats
+            .busy_ns
+            .fetch_add(entered.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 }
 
@@ -313,6 +386,11 @@ fn worker_loop(queue: &Queue) {
 /// use from one thread initialises a fresh value instead of aliasing.
 pub struct WorkerScratch<T> {
     slots: Mutex<Vec<(ThreadId, T)>>,
+    /// `with` calls that reused a parked slot.
+    warm: AtomicU64,
+    /// `with` calls that ran `init` (first use per thread, or nested
+    /// checkout).
+    cold: AtomicU64,
 }
 
 impl<T> WorkerScratch<T> {
@@ -320,7 +398,19 @@ impl<T> WorkerScratch<T> {
     pub const fn new() -> WorkerScratch<T> {
         WorkerScratch {
             slots: Mutex::new(Vec::new()),
+            warm: AtomicU64::new(0),
+            cold: AtomicU64::new(0),
         }
+    }
+
+    /// `with` calls that found a warm per-thread slot.
+    pub fn warm_hits(&self) -> u64 {
+        self.warm.load(Ordering::Relaxed)
+    }
+
+    /// `with` calls that had to build fresh state.
+    pub fn cold_inits(&self) -> u64 {
+        self.cold.load(Ordering::Relaxed)
     }
 
     /// Runs `body` with the calling thread's slot, initialising it via
@@ -337,6 +427,12 @@ impl<T> WorkerScratch<T> {
                 .position(|(owner, _)| *owner == me)
                 .map(|at| slots.swap_remove(at).1)
         };
+        let cell = if taken.is_some() {
+            &self.warm
+        } else {
+            &self.cold
+        };
+        cell.fetch_add(1, Ordering::Relaxed);
         let mut value = taken.unwrap_or_else(init);
         let out = body(&mut value);
         self.slots.lock().unwrap().push((me, value));
@@ -445,6 +541,54 @@ mod tests {
         let mut parked = nested.take_all();
         parked.sort_unstable();
         assert_eq!(parked, vec![5, 9]);
+    }
+
+    #[test]
+    fn stats_count_batches_tasks_and_panics() {
+        let pool = Pool::new(2);
+        let start = pool.stats();
+        assert_eq!(start.workers, 2);
+        assert_eq!((start.batches, start.submitted, start.claimed), (0, 0, 0));
+
+        pool.map(10, 4, |i| i); // parallel path
+        pool.map(5, 1, |i| i); // serial fast path
+        let after = pool.stats();
+        assert_eq!(after.batches, 2);
+        assert_eq!(after.submitted, 15);
+        assert_eq!(after.claimed, 15, "all submitted tasks drain");
+        assert_eq!(after.panicked, 0);
+
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            pool.map(8, 4, |i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+                i
+            })
+        }));
+        let end = pool.stats();
+        assert_eq!(end.batches, 3);
+        assert_eq!(end.submitted, 23);
+        assert_eq!(end.panicked, 1);
+        // Aborted claims still drain: claimed covers the whole batch.
+        assert_eq!(end.claimed, 23);
+        // Stale wake-up tickets are popped asynchronously; the depth
+        // must reach 0 once workers catch up.
+        let deadline = Instant::now() + std::time::Duration::from_secs(10);
+        while pool.queue_depth() > 0 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.queue_depth(), 0, "no stale tickets after drains");
+    }
+
+    #[test]
+    fn scratch_counts_warm_and_cold_paths() {
+        let scratch: WorkerScratch<u32> = WorkerScratch::new();
+        scratch.with(|| 1, |_| {});
+        scratch.with(|| unreachable!(), |_| {});
+        scratch.with(|| unreachable!(), |_| {});
+        assert_eq!(scratch.cold_inits(), 1);
+        assert_eq!(scratch.warm_hits(), 2);
     }
 
     #[test]

@@ -1,0 +1,308 @@
+//! The flight recorder: freeze the last N rounds of trace events when a
+//! watchdog anomaly fires, and dump them for post-mortem analysis.
+//!
+//! The recorder wraps a [`Collector`]. Watchdogs (the runtime's monitor
+//! shim detecting an over-budget burst, a deadline-miss storm, or a
+//! failed re-stabilisation) call [`FlightRecorder::trigger`]; the *first*
+//! trigger wins — it snapshots every ring, keeps the events belonging to
+//! the last `window_rounds` rounds, and freezes them as a [`FlightDump`].
+//! Later triggers are no-ops so the dump always describes the earliest
+//! anomaly, not whatever cascade followed it. Dumps render as JSON-lines
+//! ([`FlightDump::to_jsonl`]) for machines and as an aligned table
+//! ([`FlightDump::to_table`]) for humans.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::collect::{Collector, MergedStream};
+
+/// Why the recorder fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum TriggerReason {
+    /// The monitor observed stability lost mid-run (over-budget burst).
+    StabilityLost = 0,
+    /// Deadline misses exceeded the configured per-observation storm
+    /// threshold.
+    MissStorm = 1,
+    /// The run stayed unstable longer than the re-stabilisation budget.
+    FailedRestabilise = 2,
+    /// Explicit programmatic trigger (tests, examples, operators).
+    Manual = 3,
+}
+
+impl TriggerReason {
+    /// Stable lower-case name used in dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            TriggerReason::StabilityLost => "stability_lost",
+            TriggerReason::MissStorm => "miss_storm",
+            TriggerReason::FailedRestabilise => "failed_restabilise",
+            TriggerReason::Manual => "manual",
+        }
+    }
+}
+
+/// Watchdog thresholds. The recorder itself only uses `window_rounds`;
+/// the storm and re-stabilisation limits are read by the runtime's
+/// monitor shim, which owns the state needed to evaluate them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightConfig {
+    /// How many rounds of history to keep in a dump.
+    pub window_rounds: u64,
+    /// Deadline misses within one observation interval that count as a
+    /// storm.
+    pub miss_storm: u64,
+    /// Consecutive unstable observations tolerated before the run is
+    /// declared failed-to-restabilise.
+    pub max_unstable_rounds: u64,
+}
+
+impl Default for FlightConfig {
+    fn default() -> FlightConfig {
+        FlightConfig {
+            window_rounds: 16,
+            miss_storm: 8,
+            max_unstable_rounds: 32,
+        }
+    }
+}
+
+/// The frozen post-mortem: the anomaly plus the merged, globally-ordered
+/// events of the `window_rounds` rounds leading up to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightDump {
+    /// What fired the recorder.
+    pub reason: TriggerReason,
+    /// Round at which the anomaly was detected.
+    pub round: u64,
+    /// First round included in the window.
+    pub first_round: u64,
+    /// The frozen event stream (global `(t_ns, source, seq)` order).
+    pub stream: MergedStream,
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl FlightDump {
+    /// Renders the dump as JSON-lines: a header line describing the
+    /// anomaly, then one line per event in global order.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"flight\":");
+        push_json_str(&mut out, self.reason.name());
+        let _ = writeln!(
+            out,
+            ",\"round\":{},\"first_round\":{},\"events\":{}}}",
+            self.round,
+            self.first_round,
+            self.stream.events.len()
+        );
+        for tagged in &self.stream.events {
+            let e = &tagged.event;
+            out.push_str("{\"t_ns\":");
+            let _ = write!(out, "{}", e.t_ns);
+            out.push_str(",\"source\":");
+            push_json_str(&mut out, self.stream.source_name(tagged));
+            out.push_str(",\"seq\":");
+            let _ = write!(out, "{}", tagged.seq);
+            out.push_str(",\"kind\":");
+            push_json_str(&mut out, e.kind.name());
+            let _ = writeln!(out, ",\"round\":{},\"a\":{},\"b\":{}}}", e.round, e.a, e.b);
+        }
+        out
+    }
+
+    /// Renders the dump as an aligned human-readable table.
+    pub fn to_table(&self) -> String {
+        let source_width = self
+            .stream
+            .sources
+            .iter()
+            .map(String::len)
+            .max()
+            .unwrap_or(6)
+            .max(6);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "flight recorder: {} at round {} (window [{}, {}], {} events)",
+            self.reason.name(),
+            self.round,
+            self.first_round,
+            self.round,
+            self.stream.events.len()
+        );
+        let _ = writeln!(
+            out,
+            "{:>12}  {:<source_width$}  {:>5}  {:<16}  {:>20}  {:>20}",
+            "t_ns", "source", "round", "kind", "a", "b"
+        );
+        for tagged in &self.stream.events {
+            let e = &tagged.event;
+            let _ = writeln!(
+                out,
+                "{:>12}  {:<source_width$}  {:>5}  {:<16}  {:>20}  {:>20}",
+                e.t_ns,
+                self.stream.source_name(tagged),
+                e.round,
+                e.kind.name(),
+                e.a,
+                e.b
+            );
+        }
+        out
+    }
+}
+
+/// First-trigger-wins recorder over a shared [`Collector`].
+pub struct FlightRecorder {
+    collector: Arc<Collector>,
+    config: FlightConfig,
+    fired: AtomicBool,
+    dump: Mutex<Option<FlightDump>>,
+}
+
+impl FlightRecorder {
+    /// A recorder watching `collector` with the given thresholds.
+    pub fn new(collector: Arc<Collector>, config: FlightConfig) -> FlightRecorder {
+        FlightRecorder {
+            collector,
+            config,
+            fired: AtomicBool::new(false),
+            dump: Mutex::new(None),
+        }
+    }
+
+    /// The thresholds this recorder (and its watchdogs) run with.
+    pub fn config(&self) -> FlightConfig {
+        self.config
+    }
+
+    /// Whether the recorder has already fired.
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::Acquire)
+    }
+
+    /// Fires the recorder: freezes the last `window_rounds` rounds of
+    /// events as of now. Only the first call wins; returns `true` iff
+    /// this call produced the dump.
+    pub fn trigger(&self, reason: TriggerReason, round: u64) -> bool {
+        if self
+            .fired
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return false;
+        }
+        let first_round = round.saturating_sub(self.config.window_rounds);
+        let stream = self.collector.collect().since_round(first_round);
+        *self.dump.lock().unwrap() = Some(FlightDump {
+            reason,
+            round,
+            first_round,
+            stream,
+        });
+        true
+    }
+
+    /// The frozen dump, if the recorder has fired.
+    pub fn dump(&self) -> Option<FlightDump> {
+        self.dump.lock().unwrap().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::{Event, EventKind};
+
+    fn seeded_recorder() -> (Arc<Collector>, FlightRecorder) {
+        let collector = Arc::new(Collector::new(64));
+        let ring = collector.ring("node-0");
+        for round in 0..40u64 {
+            ring.push(Event::new(
+                round * 1000,
+                EventKind::Publish,
+                round,
+                0,
+                round,
+            ));
+        }
+        let recorder = FlightRecorder::new(
+            Arc::clone(&collector),
+            FlightConfig {
+                window_rounds: 5,
+                ..FlightConfig::default()
+            },
+        );
+        (collector, recorder)
+    }
+
+    #[test]
+    fn first_trigger_wins_and_freezes_the_window() {
+        let (collector, recorder) = seeded_recorder();
+        assert!(!recorder.fired());
+        assert!(recorder.trigger(TriggerReason::MissStorm, 39));
+        assert!(!recorder.trigger(TriggerReason::Manual, 39));
+        // Events pushed after the trigger do not leak into the dump.
+        collector
+            .ring("node-0")
+            .push(Event::new(99_000, EventKind::Publish, 99, 0, 0));
+        let dump = recorder.dump().unwrap();
+        assert_eq!(dump.reason, TriggerReason::MissStorm);
+        assert_eq!(dump.first_round, 34);
+        assert!(dump.stream.events.iter().all(|t| t.event.round >= 34));
+        assert!(dump.stream.events.iter().all(|t| t.event.round <= 39));
+        assert!(!dump.stream.events.is_empty());
+    }
+
+    #[test]
+    fn jsonl_has_header_plus_one_line_per_event() {
+        let (_, recorder) = seeded_recorder();
+        recorder.trigger(TriggerReason::StabilityLost, 39);
+        let dump = recorder.dump().unwrap();
+        let jsonl = dump.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), dump.stream.events.len() + 1);
+        assert!(lines[0].contains("\"flight\":\"stability_lost\""));
+        assert!(lines[1].starts_with("{\"t_ns\":"));
+        assert!(lines[1].contains("\"source\":\"node-0\""));
+        assert!(lines[1].contains("\"kind\":\"publish\""));
+        // Every line is brace-delimited (JSON-lines shape).
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+    }
+
+    #[test]
+    fn table_lists_every_event() {
+        let (_, recorder) = seeded_recorder();
+        recorder.trigger(TriggerReason::FailedRestabilise, 39);
+        let dump = recorder.dump().unwrap();
+        let table = dump.to_table();
+        assert!(table.contains("failed_restabilise"));
+        assert_eq!(table.lines().count(), dump.stream.events.len() + 2);
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let mut out = String::new();
+        push_json_str(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, "\"a\\\"b\\\\c\\u000ad\"");
+    }
+}

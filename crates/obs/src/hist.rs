@@ -1,0 +1,376 @@
+//! Log-bucketed latency/round histograms with lossless snapshots.
+//!
+//! [`LogHistogram`] is the recording side: a fixed array of relaxed
+//! atomic bucket counters, so `record` is wait-free and safe to call
+//! from any thread of a live run. [`HistSnapshot`] is the analysis side:
+//! a plain, mergeable, codec-serialisable copy with exact percentile
+//! extraction *over the quantised samples* (see [`HistSnapshot::percentile`]
+//! for the precise contract the property tests pin against a sorted-vec
+//! oracle).
+//!
+//! # Bucketing
+//!
+//! The scheme is log-linear (HdrHistogram-style): values below
+//! `2^SUB_BITS` get one bucket each (exact), and every octave above is
+//! split into `2^SUB_BITS` linear sub-buckets, so the relative
+//! quantisation error is bounded by `2^-SUB_BITS` (12.5% at the default
+//! `SUB_BITS = 3`) while the whole `u64` range fits in
+//! [`BUCKETS`] buckets. Boundaries are monotone and gap-free:
+//! `bucket_bound(i) ≤ v < bucket_bound(i + 1) ⟺ bucket_index(v) == i`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sc_protocol::{BitReader, BitVec, CodecError};
+
+/// Linear sub-bucket resolution: each octave splits into `2^SUB_BITS`
+/// buckets, bounding relative quantisation error by `2^-SUB_BITS`.
+pub const SUB_BITS: u32 = 3;
+
+/// Total bucket count covering all of `u64`:
+/// `2^SUB_BITS` exact low buckets plus `(64 - SUB_BITS)` octaves of
+/// `2^SUB_BITS` sub-buckets each.
+pub const BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) << SUB_BITS;
+
+/// The bucket index recording `value`. Monotone in `value`, gap-free,
+/// and exact (`bucket_bound(bucket_index(v)) == v`) below `2^SUB_BITS`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value < (1 << SUB_BITS) {
+        return value as usize;
+    }
+    let exp = 63 - value.leading_zeros();
+    let mantissa = (value >> (exp - SUB_BITS)) & ((1 << SUB_BITS) - 1);
+    (((exp - SUB_BITS + 1) << SUB_BITS) | mantissa as u32) as usize
+}
+
+/// The smallest value mapping to bucket `index` — the bucket's
+/// representative in percentile extraction.
+///
+/// # Panics
+///
+/// Panics if `index >= BUCKETS`.
+#[inline]
+pub fn bucket_bound(index: usize) -> u64 {
+    assert!(index < BUCKETS, "bucket index {index} out of range");
+    if index < (1 << SUB_BITS) {
+        return index as u64;
+    }
+    let high = (index as u32) >> SUB_BITS;
+    let mantissa = (index as u64) & ((1 << SUB_BITS) - 1);
+    let exp = high + SUB_BITS - 1;
+    (1u64 << exp) | (mantissa << (exp - SUB_BITS))
+}
+
+/// Wait-free recording histogram: relaxed atomic buckets plus exact
+/// count, sum, and max side-channels.
+///
+/// `record` costs one `fetch_add` on the bucket, two more for
+/// count-and-sum, and a `fetch_max` — all relaxed, no fences, no
+/// allocation. Snapshots are taken with [`LogHistogram::snapshot`].
+pub struct LogHistogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl LogHistogram {
+    /// An empty histogram covering all of `u64`.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Wait-free, relaxed ordering throughout.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copies the current state into a plain [`HistSnapshot`].
+    ///
+    /// Concurrent recording is permitted; the snapshot is then *some*
+    /// interleaving (each bucket read once, relaxed), which is the usual
+    /// monitoring contract. Quiescent histograms snapshot losslessly.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then_some((i as u32, n))
+                })
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+/// A plain, mergeable histogram snapshot: sparse `(bucket, count)` pairs
+/// in ascending bucket order plus the exact count/sum/max side-channels.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Non-empty buckets, ascending by index.
+    pub buckets: Vec<(u32, u64)>,
+    /// Total samples.
+    pub count: u64,
+    /// Exact sum of all recorded values (wrapping at `u64`).
+    pub sum: u64,
+    /// Exact maximum recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl HistSnapshot {
+    /// Merges `other` into `self`: the result is the snapshot of the
+    /// union of both sample streams (max of maxes, sums added).
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        let mut merged: Vec<(u32, u64)> = Vec::with_capacity(self.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, na)), Some(&&(ib, nb))) => {
+                    if ia == ib {
+                        merged.push((ia, na + nb));
+                        a.next();
+                        b.next();
+                    } else if ia < ib {
+                        merged.push((ia, na));
+                        a.next();
+                    } else {
+                        merged.push((ib, nb));
+                        b.next();
+                    }
+                }
+                (Some(_), None) => {
+                    merged.extend(a.by_ref().copied());
+                }
+                (None, Some(_)) => {
+                    merged.extend(b.by_ref().copied());
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Exact percentile over the *quantised* sample stream.
+    ///
+    /// Contract (the oracle the property tests check against): quantise
+    /// every recorded sample to its bucket's lower bound
+    /// ([`bucket_bound`]` ∘ `[`bucket_index`]), sort ascending, and
+    /// return the element at rank `max(1, ceil(q · count))`. Returns 0
+    /// on an empty snapshot. `q` is clamped to `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(index, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_bound(index as usize);
+            }
+        }
+        bucket_bound(self.buckets.last().map_or(0, |&(i, _)| i as usize))
+    }
+
+    /// Mean of the recorded values (exact sum / count), 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `p50 / p90 / p99 / max` summary row used by tables and
+    /// trajectory artifacts.
+    pub fn summary(&self) -> [u64; 4] {
+        [
+            self.percentile(0.50),
+            self.percentile(0.90),
+            self.percentile(0.99),
+            self.max,
+        ]
+    }
+
+    /// Appends the snapshot to `out` in the workspace codec style:
+    /// bucket count (16 bits), then ascending `(index: 16, count: 64)`
+    /// pairs, then count/sum/max at 64 bits each.
+    pub fn encode(&self, out: &mut BitVec) {
+        debug_assert!(self.buckets.len() <= BUCKETS);
+        out.push_bits(self.buckets.len() as u64, 16);
+        for &(index, n) in &self.buckets {
+            out.push_bits(u64::from(index), 16);
+            out.push_bits(n, 64);
+        }
+        out.push_bits(self.count, 64);
+        out.push_bits(self.sum, 64);
+        out.push_bits(self.max, 64);
+    }
+
+    /// Decodes a snapshot written by [`HistSnapshot::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::OutOfBits`] on truncation;
+    /// [`CodecError::InvalidField`] when a bucket index is out of range
+    /// or the ascending-order invariant is violated.
+    pub fn decode(input: &mut BitReader<'_>) -> Result<HistSnapshot, CodecError> {
+        let len = input.read_bits(16)? as usize;
+        let mut buckets = Vec::with_capacity(len.min(BUCKETS));
+        let mut prev: Option<u32> = None;
+        for _ in 0..len {
+            let index = input.read_bits(16)? as u32;
+            if index as usize >= BUCKETS || prev.is_some_and(|p| p >= index) {
+                return Err(CodecError::InvalidField {
+                    field: "histogram bucket index",
+                    value: u64::from(index),
+                });
+            }
+            prev = Some(index);
+            let n = input.read_bits(64)?;
+            buckets.push((index, n));
+        }
+        Ok(HistSnapshot {
+            buckets,
+            count: input.read_bits(64)?,
+            sum: input.read_bits(64)?,
+            max: input.read_bits(64)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_are_monotone_and_gap_free() {
+        for i in 0..BUCKETS - 1 {
+            assert!(bucket_bound(i) < bucket_bound(i + 1), "bucket {i}");
+            assert_eq!(bucket_index(bucket_bound(i)), i);
+            assert_eq!(bucket_index(bucket_bound(i + 1) - 1), i);
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_index(bucket_bound(BUCKETS - 1)), BUCKETS - 1);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..(1u64 << SUB_BITS) {
+            assert_eq!(bucket_bound(bucket_index(v)), v);
+        }
+    }
+
+    #[test]
+    fn record_snapshot_round_trip() {
+        let h = LogHistogram::new();
+        for v in [0, 1, 7, 8, 9, 100, 1000, u64::MAX] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 8);
+        assert_eq!(snap.max, u64::MAX);
+        let mut bits = BitVec::new();
+        snap.encode(&mut bits);
+        let back = HistSnapshot::decode(&mut bits.reader()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn merge_is_stream_union() {
+        let (a, b) = (LogHistogram::new(), LogHistogram::new());
+        let union = LogHistogram::new();
+        for v in [3u64, 17, 999] {
+            a.record(v);
+            union.record(v);
+        }
+        for v in [3u64, 250_000, 17] {
+            b.record(v);
+            union.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, union.snapshot());
+    }
+
+    #[test]
+    fn percentiles_match_quantised_oracle() {
+        let h = LogHistogram::new();
+        let samples = [5u64, 5, 9, 12, 90, 1200, 1201, 40_000];
+        for &v in &samples {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut oracle: Vec<u64> = samples
+            .iter()
+            .map(|&v| bucket_bound(bucket_index(v)))
+            .collect();
+        oracle.sort_unstable();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            assert_eq!(snap.percentile(q), oracle[rank - 1], "q = {q}");
+        }
+        assert_eq!(snap.summary()[3], 40_000, "max is exact");
+    }
+
+    #[test]
+    fn decode_rejects_disorder_and_bad_indices() {
+        let mut bits = BitVec::new();
+        bits.push_bits(2, 16);
+        bits.push_bits(9, 16);
+        bits.push_bits(1, 64);
+        bits.push_bits(9, 16); // duplicate index: order violation
+        bits.push_bits(1, 64);
+        for _ in 0..3 {
+            bits.push_bits(0, 64);
+        }
+        assert!(matches!(
+            HistSnapshot::decode(&mut bits.reader()),
+            Err(CodecError::InvalidField { .. })
+        ));
+        let mut bits = BitVec::new();
+        bits.push_bits(1, 16);
+        bits.push_bits(BUCKETS as u64, 16); // out of range
+        bits.push_bits(1, 64);
+        for _ in 0..3 {
+            bits.push_bits(0, 64);
+        }
+        assert!(matches!(
+            HistSnapshot::decode(&mut bits.reader()),
+            Err(CodecError::InvalidField { .. })
+        ));
+    }
+}

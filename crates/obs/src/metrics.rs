@@ -1,0 +1,360 @@
+//! The metrics registry: named atomic counters, gauges, and histograms
+//! with lossless, codec-serialisable snapshots.
+//!
+//! Handles are `Arc`s handed out by [`Registry::counter`] /
+//! [`Registry::gauge`] / [`Registry::histogram`] (get-or-register by
+//! name, so every call site naming the same metric shares one cell).
+//! Recording is relaxed-atomic and wait-free; the registry lock is taken
+//! only at registration and snapshot time, never on the hot path. The
+//! process-wide instance is [`crate::registry`].
+
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use sc_protocol::{BitReader, BitVec, CodecError};
+
+use crate::hist::{HistSnapshot, LogHistogram};
+
+/// A monotone counter: one relaxed `fetch_add` per increment.
+#[derive(Debug, Default)]
+pub struct CounterCell(AtomicU64);
+
+impl CounterCell {
+    /// A zeroed counter.
+    pub const fn new() -> CounterCell {
+        CounterCell(AtomicU64::new(0))
+    }
+
+    /// Adds `n`. Relaxed; safe from any thread.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins signed gauge.
+#[derive(Debug, Default)]
+pub struct GaugeCell(AtomicI64);
+
+impl GaugeCell {
+    /// A zeroed gauge.
+    pub const fn new() -> GaugeCell {
+        GaugeCell(AtomicI64::new(0))
+    }
+
+    /// Sets the gauge. Relaxed store.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Adjusts the gauge by `delta` (queue depths, in-flight counts).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: Vec<(String, Arc<CounterCell>)>,
+    gauges: Vec<(String, Arc<GaugeCell>)>,
+    hists: Vec<(String, Arc<LogHistogram>)>,
+}
+
+/// A named-metric registry. See the module docs for the usage contract;
+/// the process-wide instance is [`crate::registry`].
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+fn get_or_insert<T: Default>(table: &mut Vec<(String, Arc<T>)>, name: &str) -> Arc<T> {
+    match table.iter().find(|(n, _)| n == name) {
+        Some((_, cell)) => Arc::clone(cell),
+        None => {
+            let cell = Arc::new(T::default());
+            table.push((name.to_string(), Arc::clone(&cell)));
+            cell
+        }
+    }
+}
+
+impl Registry {
+    /// An empty registry (tests and scoped meters; production code uses
+    /// the global [`crate::registry`]).
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, registering it on first use.
+    pub fn counter(&self, name: &str) -> Arc<CounterCell> {
+        get_or_insert(&mut self.inner.lock().unwrap().counters, name)
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<GaugeCell> {
+        get_or_insert(&mut self.inner.lock().unwrap().gauges, name)
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<LogHistogram> {
+        get_or_insert(&mut self.inner.lock().unwrap().hists, name)
+    }
+
+    /// A point-in-time copy of every registered metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().unwrap();
+        let mut counters: Vec<(String, u64)> = inner
+            .counters
+            .iter()
+            .map(|(n, c)| (n.clone(), c.get()))
+            .collect();
+        let mut gauges: Vec<(String, i64)> = inner
+            .gauges
+            .iter()
+            .map(|(n, g)| (n.clone(), g.get()))
+            .collect();
+        let mut hists: Vec<(String, HistSnapshot)> = inner
+            .hists
+            .iter()
+            .map(|(n, h)| (n.clone(), h.snapshot()))
+            .collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        hists.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsSnapshot {
+            counters,
+            gauges,
+            hists,
+        }
+    }
+}
+
+/// A plain copy of a [`Registry`] at one instant; sorted by name within
+/// each section, losslessly codec-serialisable, and renderable as a
+/// table via `Display`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` per counter, ascending by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per gauge, ascending by name.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, snapshot)` per histogram, ascending by name.
+    pub hists: Vec<(String, HistSnapshot)>,
+}
+
+const MAX_NAME_BYTES: u64 = 1 << 12;
+
+fn encode_name(name: &str, out: &mut BitVec) {
+    let bytes = name.as_bytes();
+    debug_assert!((bytes.len() as u64) < MAX_NAME_BYTES);
+    out.push_bits(bytes.len() as u64, 12);
+    for &b in bytes {
+        out.push_bits(u64::from(b), 8);
+    }
+}
+
+fn decode_name(input: &mut BitReader<'_>) -> Result<String, CodecError> {
+    let len = input.read_bits(12)? as usize;
+    let mut bytes = Vec::with_capacity(len);
+    for _ in 0..len {
+        bytes.push(input.read_bits(8)? as u8);
+    }
+    String::from_utf8(bytes).map_err(|e| CodecError::InvalidField {
+        field: "metric name utf-8",
+        value: e.utf8_error().valid_up_to() as u64,
+    })
+}
+
+impl MetricsSnapshot {
+    /// Appends the snapshot in the workspace codec style: three
+    /// length-prefixed sections (counters, gauges, histograms), names as
+    /// length-prefixed UTF-8, values at 64 bits (gauges two's-complement).
+    pub fn encode(&self, out: &mut BitVec) {
+        out.push_bits(self.counters.len() as u64, 16);
+        for (name, value) in &self.counters {
+            encode_name(name, out);
+            out.push_bits(*value, 64);
+        }
+        out.push_bits(self.gauges.len() as u64, 16);
+        for (name, value) in &self.gauges {
+            encode_name(name, out);
+            out.push_bits(*value as u64, 64);
+        }
+        out.push_bits(self.hists.len() as u64, 16);
+        for (name, hist) in &self.hists {
+            encode_name(name, out);
+            hist.encode(out);
+        }
+    }
+
+    /// Decodes a snapshot written by [`MetricsSnapshot::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation, non-UTF-8 names, or malformed
+    /// histogram sections.
+    pub fn decode(input: &mut BitReader<'_>) -> Result<MetricsSnapshot, CodecError> {
+        let n = input.read_bits(16)? as usize;
+        let mut counters = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = decode_name(input)?;
+            counters.push((name, input.read_bits(64)?));
+        }
+        let n = input.read_bits(16)? as usize;
+        let mut gauges = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = decode_name(input)?;
+            gauges.push((name, input.read_bits(64)? as i64));
+        }
+        let n = input.read_bits(16)? as usize;
+        let mut hists = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = decode_name(input)?;
+            hists.push((name, HistSnapshot::decode(input)?));
+        }
+        Ok(MetricsSnapshot {
+            counters,
+            gauges,
+            hists,
+        })
+    }
+
+    /// The counter named `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The gauge named `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The histogram named `name`, if present.
+    pub fn hist(&self, name: &str) -> Option<&HistSnapshot> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    /// Renders the snapshot as an aligned human-readable table: one row
+    /// per counter and gauge, one `p50/p90/p99/max` row per histogram.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.gauges.iter().map(|(n, _)| n.len()))
+            .chain(self.hists.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        for (name, value) in &self.counters {
+            writeln!(f, "{name:<width$}  {value}")?;
+        }
+        for (name, value) in &self.gauges {
+            writeln!(f, "{name:<width$}  {value}")?;
+        }
+        for (name, hist) in &self.hists {
+            let [p50, p90, p99, max] = hist.summary();
+            writeln!(
+                f,
+                "{name:<width$}  n={} p50={p50} p90={p90} p99={p99} max={max}",
+                hist.count
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_handles_are_shared_by_name() {
+        let reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("x").get(), 3);
+        reg.gauge("depth").set(-4);
+        reg.gauge("depth").add(1);
+        assert_eq!(reg.gauge("depth").get(), -3);
+        reg.histogram("lat").record(7);
+        assert_eq!(reg.histogram("lat").count(), 1);
+    }
+
+    #[test]
+    fn snapshot_codec_round_trips() {
+        let reg = Registry::new();
+        reg.counter("b.count").add(41);
+        reg.counter("a.count").add(7);
+        reg.gauge("q").set(-9);
+        let h = reg.histogram("lat.ns");
+        for v in [1u64, 5, 5, 900, 1 << 40] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        // Sections sorted by name.
+        assert_eq!(snap.counters[0].0, "a.count");
+        let mut bits = BitVec::new();
+        snap.encode(&mut bits);
+        let back = MetricsSnapshot::decode(&mut bits.reader()).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.counter("b.count"), Some(41));
+        assert_eq!(back.gauge("q"), Some(-9));
+        assert_eq!(back.hist("lat.ns").unwrap().max, 1 << 40);
+    }
+
+    #[test]
+    fn display_renders_every_metric() {
+        let reg = Registry::new();
+        reg.counter("runs").add(3);
+        reg.gauge("eta_ms").set(1500);
+        reg.histogram("recovery_ns").record(100);
+        let text = reg.snapshot().to_string();
+        assert!(text.contains("runs"), "{text}");
+        assert!(text.contains("eta_ms"), "{text}");
+        assert!(text.contains("p99"), "{text}");
+    }
+
+    #[test]
+    fn truncated_snapshot_fails_typed() {
+        let reg = Registry::new();
+        reg.counter("c").add(1);
+        let mut bits = BitVec::new();
+        reg.snapshot().encode(&mut bits);
+        // Rebuild a truncated prefix bit-by-bit and decode: must error,
+        // never panic or return a bogus snapshot.
+        let mut prefix = BitVec::new();
+        for i in 0..bits.len() - 1 {
+            prefix.push_bit(bits.bit(i));
+        }
+        assert!(MetricsSnapshot::decode(&mut prefix.reader()).is_err());
+    }
+}

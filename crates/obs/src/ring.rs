@@ -1,0 +1,340 @@
+//! Per-thread lock-free SPSC trace rings.
+//!
+//! Each instrumented thread owns one [`EventRing`]: a power-of-two array
+//! of sequence-stamped slots written with the same seqlock discipline as
+//! the runtime mailboxes. The producer never blocks and never allocates —
+//! when the ring is full it overwrites the oldest slot, so a ring always
+//! holds the *most recent* window of that thread's events. Any other
+//! thread (the collector) may snapshot the ring at any time; a slot whose
+//! version stamp does not match the expected generation is being
+//! overwritten mid-read and is skipped rather than torn.
+//!
+//! # Slot protocol
+//!
+//! Slot `seq % capacity` carries event number `seq` with version
+//! `2·seq + 1` while the producer is writing it and `2·seq + 2` once
+//! stable. Because the version encodes the full sequence number (not
+//! just parity), a reader can tell "this slot now holds a *newer*
+//! generation" apart from "this slot is mid-write", which is what makes
+//! overwrite-oldest safe without ever locking the producer.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+/// What happened. The vocabulary is shared by every instrumented crate;
+/// the `u16` raw form is what lands in ring slots and dumps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u16)]
+pub enum EventKind {
+    /// A node entered its round slot (`a` = node id).
+    RoundOpen = 0,
+    /// A node published its state (`a` = node id, `b` = packed state).
+    Publish = 1,
+    /// A publish landed after its deadline (`a` = node, `b` = lateness ns).
+    PublishLate = 2,
+    /// A node took its observation snapshot (`a` = node id).
+    Observe = 3,
+    /// A node read neighbours and stepped (`a` = node, `b` = new state).
+    ReadStep = 4,
+    /// A node missed a neighbour's publish (`a` = reader, `b` = writer).
+    DeadlineMiss = 5,
+    /// A fault window is active on a node this round (`a` = node,
+    /// `b` = fault kind tag).
+    FaultActive = 6,
+    /// The monitor declared the run stable (`a` = agreed count).
+    Stable = 7,
+    /// The monitor lost stability (`a` = disagreeing verdict tag).
+    Unstable = 8,
+    /// Stability re-established after a burst (`a` = recovery rounds).
+    Recovered = 9,
+    /// Raw monitor verdict (`a` = verdict tag, `b` = sampled count).
+    Verdict = 10,
+    /// The flight recorder fired (`a` = trigger reason tag).
+    FlightTrigger = 11,
+    /// A worker claimed one task index (`a` = worker, `b` = index).
+    TaskClaim = 12,
+    /// A batch finished on this thread (`a` = tasks executed here).
+    BatchDone = 13,
+    /// Per-thread scratch reused warm (`a` = worker id).
+    ScratchWarm = 14,
+    /// Per-thread scratch built cold (`a` = worker id).
+    ScratchCold = 15,
+    /// One simulation scenario completed (`a` = seed, `b` = exit tag).
+    Scenario = 16,
+    /// An adversary-objective evaluation completed (`a` = evaluations).
+    Eval = 17,
+    /// The attack pre-filter rejected a candidate (`a` = rejected total).
+    PrefilterReject = 18,
+    /// Synthesis sweep progress (`a` = candidates done, `b` = total).
+    SweepProgress = 19,
+    /// Free-form event for tests and examples (`a`, `b` caller-defined).
+    Custom = 20,
+}
+
+impl EventKind {
+    /// Stable lower-case name used in JSON-lines dumps and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::RoundOpen => "round_open",
+            EventKind::Publish => "publish",
+            EventKind::PublishLate => "publish_late",
+            EventKind::Observe => "observe",
+            EventKind::ReadStep => "read_step",
+            EventKind::DeadlineMiss => "deadline_miss",
+            EventKind::FaultActive => "fault_active",
+            EventKind::Stable => "stable",
+            EventKind::Unstable => "unstable",
+            EventKind::Recovered => "recovered",
+            EventKind::Verdict => "verdict",
+            EventKind::FlightTrigger => "flight_trigger",
+            EventKind::TaskClaim => "task_claim",
+            EventKind::BatchDone => "batch_done",
+            EventKind::ScratchWarm => "scratch_warm",
+            EventKind::ScratchCold => "scratch_cold",
+            EventKind::Scenario => "scenario",
+            EventKind::Eval => "eval",
+            EventKind::PrefilterReject => "prefilter_reject",
+            EventKind::SweepProgress => "sweep_progress",
+            EventKind::Custom => "custom",
+        }
+    }
+
+    /// Inverse of `self as u16`; `None` for unknown raw values (a slot
+    /// overwritten by a future vocabulary is skipped, not misread).
+    pub fn from_raw(raw: u16) -> Option<EventKind> {
+        Some(match raw {
+            0 => EventKind::RoundOpen,
+            1 => EventKind::Publish,
+            2 => EventKind::PublishLate,
+            3 => EventKind::Observe,
+            4 => EventKind::ReadStep,
+            5 => EventKind::DeadlineMiss,
+            6 => EventKind::FaultActive,
+            7 => EventKind::Stable,
+            8 => EventKind::Unstable,
+            9 => EventKind::Recovered,
+            10 => EventKind::Verdict,
+            11 => EventKind::FlightTrigger,
+            12 => EventKind::TaskClaim,
+            13 => EventKind::BatchDone,
+            14 => EventKind::ScratchWarm,
+            15 => EventKind::ScratchCold,
+            16 => EventKind::Scenario,
+            17 => EventKind::Eval,
+            18 => EventKind::PrefilterReject,
+            19 => EventKind::SweepProgress,
+            20 => EventKind::Custom,
+            _ => return None,
+        })
+    }
+}
+
+/// One structured trace event: a timestamp, a kind, the round it belongs
+/// to, and two kind-specific payload words (see [`EventKind`] for each
+/// kind's `a`/`b` meaning).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Nanosecond timestamp (wall or virtual clock, run-relative).
+    pub t_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Round the event belongs to.
+    pub round: u64,
+    /// First payload word.
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+}
+
+impl Event {
+    /// Convenience constructor.
+    pub fn new(t_ns: u64, kind: EventKind, round: u64, a: u64, b: u64) -> Event {
+        Event {
+            t_ns,
+            kind,
+            round,
+            a,
+            b,
+        }
+    }
+}
+
+struct Slot {
+    /// `2·seq + 1` while writing event `seq`, `2·seq + 2` once stable,
+    /// 0 when never written.
+    version: AtomicU64,
+    t_ns: AtomicU64,
+    kind: AtomicU64,
+    round: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot {
+            version: AtomicU64::new(0),
+            t_ns: AtomicU64::new(0),
+            kind: AtomicU64::new(0),
+            round: AtomicU64::new(0),
+            a: AtomicU64::new(0),
+            b: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A fixed-capacity single-producer trace ring with overwrite-oldest
+/// semantics. See the module docs for the slot protocol.
+///
+/// `push` is safe to call from exactly one thread at a time (the owning
+/// producer); [`EventRing::snapshot`] may run concurrently from any
+/// thread. All slot traffic is atomic, so even a misused ring can only
+/// drop or skip events, never exhibit undefined behaviour.
+pub struct EventRing {
+    slots: Box<[Slot]>,
+    mask: u64,
+    /// Number of events ever pushed (the next sequence number). Written
+    /// only by the producer, `Release` so a collector that observes it
+    /// also observes the slots it covers.
+    head: AtomicU64,
+}
+
+impl EventRing {
+    /// A ring holding the most recent `capacity` events (rounded up to a
+    /// power of two, minimum 2).
+    pub fn new(capacity: usize) -> EventRing {
+        let cap = capacity.next_power_of_two().max(2);
+        EventRing {
+            slots: (0..cap).map(|_| Slot::empty()).collect(),
+            mask: cap as u64 - 1,
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events pushed over the ring's lifetime (≥ what a snapshot can
+    /// recover once the ring has wrapped).
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Appends one event, overwriting the oldest if the ring is full.
+    /// Single-producer: must not race with another `push` on this ring.
+    #[inline]
+    pub fn push(&self, event: Event) {
+        let seq = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(seq & self.mask) as usize];
+        // Seqlock write: odd (writing) stamp, fence, relaxed payload,
+        // even (stable) stamp with Release.
+        slot.version.store(2 * seq + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        slot.t_ns.store(event.t_ns, Ordering::Relaxed);
+        slot.kind
+            .store(u64::from(event.kind as u16), Ordering::Relaxed);
+        slot.round.store(event.round, Ordering::Relaxed);
+        slot.a.store(event.a, Ordering::Relaxed);
+        slot.b.store(event.b, Ordering::Relaxed);
+        slot.version.store(2 * seq + 2, Ordering::Release);
+        self.head.store(seq + 1, Ordering::Release);
+    }
+
+    /// Reads one stable slot generation. `None` if the slot is mid-write
+    /// or already holds a different generation.
+    fn read_seq(&self, seq: u64) -> Option<Event> {
+        let slot = &self.slots[(seq & self.mask) as usize];
+        let expect = 2 * seq + 2;
+        if slot.version.load(Ordering::Acquire) != expect {
+            return None;
+        }
+        let t_ns = slot.t_ns.load(Ordering::Relaxed);
+        let kind = slot.kind.load(Ordering::Relaxed);
+        let round = slot.round.load(Ordering::Relaxed);
+        let a = slot.a.load(Ordering::Relaxed);
+        let b = slot.b.load(Ordering::Relaxed);
+        fence(Ordering::Acquire);
+        if slot.version.load(Ordering::Relaxed) != expect {
+            return None;
+        }
+        let kind = EventKind::from_raw(kind as u16)?;
+        Some(Event {
+            t_ns,
+            kind,
+            round,
+            a,
+            b,
+        })
+    }
+
+    /// Copies out the currently recoverable events as `(seq, event)`
+    /// pairs in sequence order. Slots overwritten (or mid-overwrite)
+    /// during the scan are skipped, never torn.
+    pub fn snapshot(&self) -> Vec<(u64, Event)> {
+        let head = self.head.load(Ordering::Acquire);
+        let first = head.saturating_sub(self.slots.len() as u64);
+        (first..head)
+            .filter_map(|seq| self.read_seq(seq).map(|e| (seq, e)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn kind_raw_round_trips() {
+        for raw in 0..=20u16 {
+            let kind = EventKind::from_raw(raw).unwrap();
+            assert_eq!(kind as u16, raw);
+            assert!(!kind.name().is_empty());
+        }
+        assert_eq!(EventKind::from_raw(21), None);
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_window() {
+        let ring = EventRing::new(4);
+        for i in 0..10u64 {
+            ring.push(Event::new(i, EventKind::Custom, i, i * 2, 0));
+        }
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 4);
+        assert_eq!(
+            events.iter().map(|&(seq, _)| seq).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+        for &(seq, event) in &events {
+            assert_eq!(event.t_ns, seq);
+            assert_eq!(event.a, seq * 2);
+        }
+        assert_eq!(ring.pushed(), 10);
+    }
+
+    #[test]
+    fn concurrent_snapshot_never_tears() {
+        let ring = Arc::new(EventRing::new(8));
+        let writer = Arc::clone(&ring);
+        let producer = std::thread::spawn(move || {
+            for i in 0..200_000u64 {
+                // a and b carry the same value: a torn read would show
+                // a mismatch.
+                writer.push(Event::new(i, EventKind::Custom, i, i, i));
+            }
+        });
+        let mut seen = 0usize;
+        while seen < 50 {
+            for (seq, event) in ring.snapshot() {
+                assert_eq!(event.a, event.b, "torn slot at seq {seq}");
+                assert_eq!(event.t_ns, event.round);
+                seen += 1;
+            }
+        }
+        producer.join().unwrap();
+        let last = ring.snapshot();
+        assert_eq!(last.last().unwrap().0, 199_999);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property coverage for the log-bucketed histogram: monotone gap-free
+//! bucket boundaries, lossless record → snapshot → codec round-trips,
+//! merge as stream union, and percentile extraction exact against a
+//! sorted-vec oracle on random samples.
+
+use proptest::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sc_obs::{bucket_bound, bucket_index, HistSnapshot, LogHistogram, BUCKETS};
+use sc_protocol::BitVec;
+
+/// Random samples spread across the full dynamic range: mixes exact
+/// low values, mid-range, and values near `u64::MAX` so every octave
+/// regime is exercised.
+fn random_samples(seed: u64) -> Vec<u64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let len: usize = rng.random_range(1..200);
+    (0..len)
+        .map(|_| {
+            let magnitude: u32 = rng.random_range(0..64);
+            rng.random_range(0..=u64::MAX) >> magnitude
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// `bucket_index` is monotone over random pairs and agrees with the
+    /// boundary inverse: every value lands in the bucket whose bound
+    /// window contains it.
+    #[test]
+    fn bucketing_is_monotone_and_gap_free(seed in proptest::any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let magnitude: u32 = rng.random_range(0..64);
+            let v = rng.random_range(0..=u64::MAX) >> magnitude;
+            let i = bucket_index(v);
+            prop_assert!(i < BUCKETS);
+            prop_assert!(bucket_bound(i) <= v);
+            if i + 1 < BUCKETS {
+                prop_assert!(v < bucket_bound(i + 1));
+            }
+            let w = rng.random_range(0..=u64::MAX) >> rng.random_range(0..64u32);
+            let (lo, hi) = (v.min(w), v.max(w));
+            prop_assert!(bucket_index(lo) <= bucket_index(hi));
+        }
+    }
+
+    /// Record → snapshot → encode → decode is lossless: the decoded
+    /// snapshot equals the original and re-encodes bit-identically.
+    #[test]
+    fn record_snapshot_codec_round_trip(seed in proptest::any::<u64>()) {
+        let samples = random_samples(seed);
+        let hist = LogHistogram::new();
+        for &v in &samples {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        prop_assert_eq!(snap.max, samples.iter().copied().max().unwrap_or(0));
+        let expected_sum = samples.iter().fold(0u64, |acc, &v| acc.wrapping_add(v));
+        prop_assert_eq!(snap.sum, expected_sum);
+        let mut bits = BitVec::new();
+        snap.encode(&mut bits);
+        let back = HistSnapshot::decode(&mut bits.reader()).unwrap();
+        prop_assert_eq!(&back, &snap);
+        let mut bits2 = BitVec::new();
+        back.encode(&mut bits2);
+        prop_assert_eq!(bits.len(), bits2.len());
+        prop_assert_eq!(bits.words(), bits2.words());
+    }
+
+    /// Merging two snapshots equals recording the concatenated stream
+    /// into one histogram: merge is the snapshot of the union.
+    #[test]
+    fn merge_equals_union_stream(seed in proptest::any::<u64>()) {
+        let left = random_samples(seed);
+        let right = random_samples(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let (a, b, union) = (LogHistogram::new(), LogHistogram::new(), LogHistogram::new());
+        for &v in &left {
+            a.record(v);
+            union.record(v);
+        }
+        for &v in &right {
+            b.record(v);
+            union.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        prop_assert_eq!(merged, union.snapshot());
+    }
+
+    /// Percentile extraction matches the sorted-vec oracle exactly at
+    /// random quantiles: quantise each sample to its bucket's lower
+    /// bound, sort, index at rank `max(1, ceil(q·count))`.
+    #[test]
+    fn percentiles_match_sorted_vec_oracle(seed in proptest::any::<u64>()) {
+        let samples = random_samples(seed);
+        let hist = LogHistogram::new();
+        for &v in &samples {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        let mut oracle: Vec<u64> = samples
+            .iter()
+            .map(|&v| bucket_bound(bucket_index(v)))
+            .collect();
+        oracle.sort_unstable();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xabcd);
+        let mut quantiles = vec![0.0, 0.5, 0.9, 0.99, 1.0];
+        for _ in 0..16 {
+            quantiles.push(rng.random_range(0..=1000u32) as f64 / 1000.0);
+        }
+        for q in quantiles {
+            let rank = ((q * oracle.len() as f64).ceil() as usize).clamp(1, oracle.len());
+            prop_assert_eq!(snap.percentile(q), oracle[rank - 1], "q = {}", q);
+        }
+        // The summary's max channel is exact, not quantised.
+        prop_assert_eq!(snap.summary()[3], samples.iter().copied().max().unwrap());
+    }
+}

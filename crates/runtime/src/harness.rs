@@ -22,6 +22,7 @@ use crate::live::{RunReport, RuntimeConfig};
 use crate::mailbox::{MailboxPlane, OutputBoard, SnapshotCell};
 use crate::monitor::{BoardSample, MonitorCore};
 use crate::node::{initial_states, NodeCore, PublishAction};
+use crate::trace::{NodeTrace, RuntimeObs};
 use crate::ParamError;
 
 /// Salt separating the scheduler's RNG stream from the nodes'.
@@ -29,6 +30,23 @@ const SCHED_SALT: u64 = 0x5eed_0dd5_ca1e_d0e5;
 
 /// Run `config` deterministically. Same config ⇒ bit-identical report.
 pub fn run_deterministic<P>(algo: &P, config: &RuntimeConfig) -> Result<RunReport, ParamError>
+where
+    P: Counter + RawState<P::State>,
+{
+    run_deterministic_obs(algo, config, &RuntimeObs::default())
+}
+
+/// [`run_deterministic`] with an observability bundle attached.
+///
+/// Instrumentation is observe-only: tracers read protocol state, never
+/// feed it, and timestamps come from the same virtual clock the phases
+/// already advance. The report — digest included — is therefore
+/// bit-identical whether `obs` is recording, detached, or compiled out.
+pub fn run_deterministic_obs<P>(
+    algo: &P,
+    config: &RuntimeConfig,
+    obs: &RuntimeObs,
+) -> Result<RunReport, ParamError>
 where
     P: Counter + RawState<P::State>,
 {
@@ -55,6 +73,8 @@ where
         })
         .collect();
     let mut crashed_missed: Vec<Option<u64>> = vec![None; n];
+    let mut tracers: Vec<NodeTrace> = (0..n).map(|id| obs.node_tracer(id)).collect();
+    let mut mtrace = obs.monitor_tracer();
 
     let mut monitor = MonitorCore::new(quorum, algo.modulus(), confirm);
     let mut trace = Vec::with_capacity(horizon as usize);
@@ -70,23 +90,34 @@ where
         let mut late: Vec<(usize, u64, Vec<u64>, u64)> = Vec::new();
         for &id in &order {
             let core = cores[id].as_mut().expect("alive");
+            let tracer = &mut tracers[id];
+            tracer.round_open(|| clock.now(), round);
             match core.action(round, sched.period_ns()) {
-                PublishAction::Honest => core.publish_honest(&plane, &board, round),
-                PublishAction::Mute => {}
+                PublishAction::Honest => {
+                    core.publish_honest(&plane, &board, round);
+                    tracer.publish(|| clock.now(), round, || core.output());
+                }
+                PublishAction::Mute => tracer.fault_active(|| clock.now(), round, 1),
                 PublishAction::Crash => {
                     core.publish_crash(&plane, round);
+                    tracer.fault_active(|| clock.now(), round, 0);
                     crashed_missed[id] = Some(core.missed());
                     cores[id] = None; // dead for the rest of the run
                 }
                 PublishAction::Delayed { delay_ns } => {
+                    tracer.fault_active(|| clock.now(), round, 2);
                     if delay_ns <= read_offset_ns {
                         core.publish_honest(&plane, &board, round);
+                        tracer.publish_late(|| clock.now(), round, delay_ns);
                     } else {
                         let (payload, output) = core.capture_publish();
                         late.push((id, delay_ns, payload, output));
                     }
                 }
-                PublishAction::Equivocate => core.publish_equivocate(&plane, round),
+                PublishAction::Equivocate => {
+                    core.publish_equivocate(&plane, round);
+                    tracer.fault_active(|| clock.now(), round, 3);
+                }
                 PublishAction::Scripted => observers.push(id),
             }
         }
@@ -98,19 +129,24 @@ where
             let core = cores[id].as_mut().expect("alive");
             core.observe_for_script(&plane, round);
             core.publish_scripted(&plane, round);
+            tracers[id].fault_active(|| clock.now(), round, 4);
         }
 
         // Phase 3: reads + transitions. Plane content is frozen for the
         // round, so per-node order is immaterial; ascending for clarity.
         clock.wait_until(sched.read_point(round));
-        for core in cores.iter_mut().flatten() {
-            core.read_and_step(&plane, round);
+        for id in 0..n {
+            if let Some(core) = cores[id].as_mut() {
+                core.read_and_step(&plane, round);
+                tracers[id].read_step(|| clock.now(), round, core.missed());
+            }
         }
 
         // Phase 4: monitor sample.
         clock.wait_until(sched.sample_point(round));
         let sample: BoardSample = (0..n).map(|i| board.sample(i)).collect();
         monitor.observe(round, &sample, clock.now(), &snapshot);
+        mtrace.observe(|| clock.now(), round, &monitor);
         trace.push((round, sample));
 
         // Phase 5: deadline-missing publishes land last — after every
@@ -119,6 +155,7 @@ where
         for (id, delay_ns, payload, output) in late {
             clock.wait_until(sched.slot_start(round) + delay_ns);
             NodeCore::<P>::deliver_captured(&plane, &board, id, round, &payload, output);
+            tracers[id].publish_late(|| clock.now(), round, delay_ns);
         }
     }
 
@@ -137,6 +174,7 @@ where
     let digest = monitor.digest();
     let events = monitor.into_events();
     let recoveries = MonitorCore::recoveries(&events, &burst_ends, |r| sched.slot_start(r));
+    obs.record_recoveries(&recoveries);
     Ok(RunReport {
         rounds: horizon,
         first_stable_round: MonitorCore::first_stable_round(&events),

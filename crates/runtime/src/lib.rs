@@ -41,14 +41,24 @@ pub mod mailbox;
 pub mod monitor;
 pub mod node;
 pub mod plan;
+pub mod trace;
 
 pub use clock::{RoundClock, RoundSchedule, VirtualClock, WallClock};
-pub use harness::run_deterministic;
-pub use live::{run_live, RunReport, RuntimeConfig};
+pub use harness::{run_deterministic, run_deterministic_obs};
+pub use live::{run_live, run_live_obs, RunReport, RuntimeConfig};
 pub use mailbox::{CounterHandle, MailboxPlane, OutputBoard, SnapshotCell};
 pub use monitor::{MonitorCore, Recovery, StabilityEvent};
 pub use node::{initial_states, NodeCore, PublishAction};
 pub use plan::{FaultEntry, FaultKind, FaultPlan};
+pub use trace::{MonitorTrace, NodeTrace, RuntimeObs};
+
+/// Re-export of the observability substrate (only with the `trace`
+/// feature), so downstream code can name `sc_runtime::obs::FlightConfig`
+/// etc. without depending on `sc-obs` directly.
+#[cfg(feature = "trace")]
+pub use sc_obs as obs;
+#[cfg(feature = "trace")]
+pub use trace::MeteredReads;
 
 use std::fmt;
 

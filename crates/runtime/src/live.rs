@@ -19,6 +19,7 @@ use crate::mailbox::{CounterHandle, MailboxPlane, OutputBoard, SnapshotCell, OUT
 use crate::monitor::{BoardSample, MonitorCore, Recovery, StabilityEvent};
 use crate::node::{initial_states, NodeCore, PublishAction};
 use crate::plan::FaultPlan;
+use crate::trace::{MonitorTrace, NodeTrace, RuntimeObs};
 use crate::ParamError;
 
 /// Parameters of one runtime run, shared by the live driver and the
@@ -147,6 +148,24 @@ where
     P::State: Send,
     F: FnOnce(CounterHandle<'_>) -> R,
 {
+    run_live_obs(algo, config, &RuntimeObs::default(), serve)
+}
+
+/// [`run_live`] with an observability bundle attached. With the `trace`
+/// feature off (or a detached default bundle) every instrumentation call
+/// compiles to (or short-circuits at) a no-op; instrumentation is
+/// observe-only either way, so the report is identical.
+pub fn run_live_obs<P, F, R>(
+    algo: &P,
+    config: &RuntimeConfig,
+    obs: &RuntimeObs,
+    serve: F,
+) -> Result<(RunReport, R), ParamError>
+where
+    P: Counter + RawState<P::State> + Sync,
+    P::State: Send,
+    F: FnOnce(CounterHandle<'_>) -> R,
+{
     let (sched, quorum, confirm) = config.resolve(algo)?;
     let n = algo.n();
     let horizon = config.horizon;
@@ -179,8 +198,9 @@ where
             debug_assert_eq!(core.id(), id);
             let plane = &plane;
             let board = &board;
+            let tracer = obs.node_tracer(id);
             node_handles.push(scope.spawn(move || {
-                run_node_thread(&mut core, plane, board, &clock, &sched, horizon);
+                run_node_thread(&mut core, plane, board, &clock, &sched, horizon, tracer);
                 core.missed()
             }));
         }
@@ -190,9 +210,11 @@ where
             let snapshot = &snapshot;
             let done = &done;
             let modulus = algo.modulus();
+            let tracer = obs.monitor_tracer();
             scope.spawn(move || {
                 let result = run_monitor_thread(
                     plane_n, board, snapshot, &clock, &sched, horizon, quorum, modulus, confirm,
+                    tracer,
                 );
                 done.store(true, Ordering::Release);
                 result
@@ -214,6 +236,7 @@ where
             .filter_map(|e| e.until_round)
             .collect();
         let recoveries = MonitorCore::recoveries(&events, &burst_ends, |r| sched.slot_start(r));
+        obs.record_recoveries(&recoveries);
         let report = RunReport {
             rounds: horizon,
             first_stable_round: MonitorCore::first_stable_round(&events),
@@ -231,6 +254,7 @@ where
 
 /// One node's self-clocked round loop. Returns when the horizon is
 /// reached or the node crashes.
+#[allow(clippy::too_many_arguments)]
 fn run_node_thread<P>(
     core: &mut NodeCore<'_, P>,
     plane: &MailboxPlane,
@@ -238,6 +262,7 @@ fn run_node_thread<P>(
     clock: &WallClock,
     sched: &RoundSchedule,
     horizon: u64,
+    mut tracer: NodeTrace,
 ) where
     P: Counter + RawState<P::State>,
 {
@@ -254,26 +279,37 @@ fn run_node_thread<P>(
                 break;
             }
         }
+        tracer.round_open(|| clock.now(), round);
         match core.action(round, sched.period_ns()) {
-            PublishAction::Honest => core.publish_honest(plane, board, round),
-            PublishAction::Mute => {}
+            PublishAction::Honest => {
+                core.publish_honest(plane, board, round);
+                tracer.publish(|| clock.now(), round, || core.output());
+            }
+            PublishAction::Mute => tracer.fault_active(|| clock.now(), round, 1),
             PublishAction::Crash => {
                 core.publish_crash(plane, round);
+                tracer.fault_active(|| clock.now(), round, 0);
                 return; // the thread dies mid-round, for real
             }
             PublishAction::Delayed { delay_ns } => {
                 clock.wait_until(sched.slot_start(round) + delay_ns);
                 core.publish_honest(plane, board, round);
+                tracer.publish_late(|| clock.now(), round, delay_ns);
             }
-            PublishAction::Equivocate => core.publish_equivocate(plane, round),
+            PublishAction::Equivocate => {
+                core.publish_equivocate(plane, round);
+                tracer.fault_active(|| clock.now(), round, 3);
+            }
             PublishAction::Scripted => {
                 clock.wait_until(sched.obs_point(round));
                 core.observe_for_script(plane, round);
                 core.publish_scripted(plane, round);
+                tracer.fault_active(|| clock.now(), round, 4);
             }
         }
         clock.wait_until(sched.read_point(round));
         core.read_and_step(plane, round);
+        tracer.read_step(|| clock.now(), round, core.missed());
         round += 1;
     }
 }
@@ -290,6 +326,7 @@ fn run_monitor_thread(
     quorum: usize,
     modulus: u64,
     confirm: u64,
+    mut tracer: MonitorTrace,
 ) -> (Vec<StabilityEvent>, u64, Vec<(u64, BoardSample)>) {
     let mut monitor = MonitorCore::new(quorum, modulus, confirm);
     let mut trace = Vec::with_capacity(horizon as usize);
@@ -309,6 +346,7 @@ fn run_monitor_thread(
         }
         let sample: BoardSample = (0..n).map(|i| board.sample(i)).collect();
         monitor.observe(round, &sample, now, snapshot);
+        tracer.observe(|| clock.now(), round, &monitor);
         trace.push((round, sample));
         round += 1;
     }

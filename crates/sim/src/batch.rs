@@ -55,6 +55,7 @@ use sc_protocol::{Counter, Fingerprint, PreparedProtocol};
 
 use crate::adversary::Adversary;
 use crate::early::ExitReason;
+use crate::obs::SimObs;
 use crate::simulation::{required_confirmation, Simulation};
 use crate::stabilization::{OnlineDetector, StabilizationReport};
 use crate::SimError;
@@ -207,6 +208,7 @@ pub struct Batch<'a, P> {
     protocol: &'a P,
     horizon: u64,
     threads: usize,
+    obs: Option<&'a SimObs>,
 }
 
 impl<'a, P: Counter> Batch<'a, P> {
@@ -216,6 +218,7 @@ impl<'a, P: Counter> Batch<'a, P> {
             protocol,
             horizon,
             threads: sc_exec::threads(),
+            obs: None,
         }
     }
 
@@ -223,6 +226,14 @@ impl<'a, P: Counter> Batch<'a, P> {
     /// feature; clamped to at least 1).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Meters every scenario of this sweep into `obs` (scenario count,
+    /// exit-reason tallies, stabilisation rounds). Metering is
+    /// observe-only: verdicts are bitwise unchanged.
+    pub fn observed(mut self, obs: &'a SimObs) -> Self {
+        self.obs = Some(obs);
         self
     }
 
@@ -316,8 +327,15 @@ impl<'a, P: Counter> Batch<'a, P> {
         R: Fn(&Scenario<P::State>) -> ScenarioOutcome + Sync,
         P::State: Sync,
     {
+        let obs = self.obs;
         BatchReport {
-            outcomes: sc_exec::map(scenarios.len(), self.threads, |i| runner(&scenarios[i])),
+            outcomes: sc_exec::map(scenarios.len(), self.threads, |i| {
+                let outcome = runner(&scenarios[i]);
+                if let Some(obs) = obs {
+                    obs.scenario_done(&outcome);
+                }
+                outcome
+            }),
         }
     }
 
@@ -329,7 +347,16 @@ impl<'a, P: Counter> Batch<'a, P> {
         R: Fn(&Scenario<P::State>) -> ScenarioOutcome,
     {
         BatchReport {
-            outcomes: scenarios.iter().map(runner).collect(),
+            outcomes: scenarios
+                .iter()
+                .map(|s| {
+                    let outcome = runner(s);
+                    if let Some(obs) = self.obs {
+                        obs.scenario_done(&outcome);
+                    }
+                    outcome
+                })
+                .collect(),
         }
     }
 

@@ -67,6 +67,7 @@ mod batch;
 mod early;
 mod error;
 mod metrics;
+mod obs;
 mod seeded;
 mod simulation;
 mod sliced;
@@ -81,6 +82,7 @@ pub use batch::{Batch, BatchReport, BatchSummary, Scenario, ScenarioOutcome};
 pub use early::ExitReason;
 pub use error::SimError;
 pub use metrics::{broadcast_metrics, BroadcastMetrics};
+pub use obs::SimObs;
 pub use seeded::{random_periodic, two_faced_periodic, RandomPeriodic, TwoFacedPeriodic};
 pub use simulation::{required_confirmation, Simulation};
 pub use sliced::{

@@ -44,6 +44,7 @@ use sc_protocol::{
 use crate::adversaries::normalize_faults;
 use crate::batch::{BatchReport, Scenario, ScenarioOutcome};
 use crate::early::ExitReason;
+use crate::obs::SimObs;
 use crate::simulation::required_confirmation;
 use crate::stabilization::OnlineDetector;
 use crate::SimError;
@@ -172,6 +173,7 @@ pub struct SlicedBatch<'a, P> {
     horizon: u64,
     threads: usize,
     lane_words: usize,
+    obs: Option<&'a SimObs>,
 }
 
 impl<'a, P: SlicedProtocol> SlicedBatch<'a, P> {
@@ -182,7 +184,16 @@ impl<'a, P: SlicedProtocol> SlicedBatch<'a, P> {
             horizon,
             threads: sc_exec::threads(),
             lane_words: 4,
+            obs: None,
         }
+    }
+
+    /// Meters every scenario of this sweep into `obs`, a lane group at a
+    /// time (see [`crate::Batch::observed`]). Verdicts are bitwise
+    /// unchanged.
+    pub fn observed(mut self, obs: &'a SimObs) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// Caps the worker thread count (clamped to at least 1).
@@ -229,20 +240,24 @@ impl<'a, P: SlicedProtocol> SlicedBatch<'a, P> {
     {
         let confirm = required_confirmation(self.protocol.modulus());
         if self.horizon < confirm {
-            return BatchReport {
-                outcomes: scenarios
-                    .iter()
-                    .map(|s| ScenarioOutcome {
-                        seed: s.seed,
-                        result: Err(SimError::HorizonTooShort {
-                            horizon: self.horizon,
-                            required: confirm,
-                        }),
-                        fabricated_states: 0,
-                        exit_reason: ExitReason::FullHorizon,
-                    })
-                    .collect(),
-            };
+            let outcomes: Vec<ScenarioOutcome> = scenarios
+                .iter()
+                .map(|s| ScenarioOutcome {
+                    seed: s.seed,
+                    result: Err(SimError::HorizonTooShort {
+                        horizon: self.horizon,
+                        required: confirm,
+                    }),
+                    fabricated_states: 0,
+                    exit_reason: ExitReason::FullHorizon,
+                })
+                .collect();
+            if let Some(obs) = self.obs {
+                for outcome in &outcomes {
+                    obs.scenario_done(outcome);
+                }
+            }
+            return BatchReport { outcomes };
         }
         if scenarios.is_empty() {
             return BatchReport {
@@ -280,7 +295,7 @@ impl<'a, P: SlicedProtocol> SlicedBatch<'a, P> {
         let group_lanes = self.lane_words * 64;
         let group_count = scenarios.len().div_ceil(group_lanes);
         let run_group = |gi: usize| -> Vec<ScenarioOutcome> {
-            self.run_group(
+            let outcomes = self.run_group(
                 gi,
                 scenarios,
                 strategy,
@@ -290,7 +305,15 @@ impl<'a, P: SlicedProtocol> SlicedBatch<'a, P> {
                 &honest,
                 &packed_inits,
                 confirm,
-            )
+            );
+            // Metered per lane group as workers finish, so a long sweep's
+            // scenarios/s reads live rather than at the join.
+            if let Some(obs) = self.obs {
+                for outcome in &outcomes {
+                    obs.scenario_done(outcome);
+                }
+            }
+            outcomes
         };
 
         let outcomes = self.schedule_groups(group_count, &run_group);

@@ -113,10 +113,12 @@
 mod checker;
 mod game;
 mod orbit;
+mod progress;
 pub mod reference;
 mod synthesis;
 
 pub use checker::{analyze, verify, AnalysisSummary, Analyzer, SolverMode, Verdict, Witness};
+pub use progress::{sweep_family_observed, SweepObs};
 #[cfg(feature = "parallel")]
 pub use synthesis::sweep_family_on;
 pub use synthesis::{
